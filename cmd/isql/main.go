@@ -1,0 +1,120 @@
+// Command isql executes I-SQL scripts over world-sets.
+//
+// Usage:
+//
+//	isql [-demo name] [-worlds] [script.isql]
+//
+// Without a script argument, statements are read from standard input.
+// The -demo flag preloads one of the paper's datasets: flights,
+// acquisition, census or lineitem. After every select, the distinct
+// answers across worlds are printed; -worlds additionally prints the
+// whole world-set after each statement.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isql"
+	"worldsetdb/internal/relation"
+)
+
+func main() {
+	demo := flag.String("demo", "", "preload a demo database: flights | acquisition | census | lineitem")
+	showWorlds := flag.Bool("worlds", false, "print the full world-set after every statement")
+	flag.Parse()
+
+	session, err := newSession(*demo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var input string
+	switch flag.NArg() {
+	case 0:
+		data, err := readAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		input = data
+	case 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		input = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: isql [-demo name] [-worlds] [script.isql]")
+		os.Exit(2)
+	}
+
+	stmts, err := isql.ParseScript(input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, st := range stmts {
+		fmt.Printf("isql> %s\n", st)
+		res, err := session.Exec(st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		switch {
+		case len(res.Answers) > 0:
+			for i, a := range res.Answers {
+				caption := "answer"
+				if len(res.Answers) > 1 {
+					caption = fmt.Sprintf("answer variant %d of %d", i+1, len(res.Answers))
+				}
+				fmt.Println(a.Render(caption))
+			}
+		case res.Affected > 0:
+			fmt.Printf("%d tuple(s) affected across %d world(s)\n\n",
+				res.Affected, session.WorldSet().Len())
+		default:
+			fmt.Printf("ok; %d world(s)\n\n", session.WorldSet().Len())
+		}
+		if *showWorlds {
+			fmt.Println(session.WorldSet())
+		}
+	}
+}
+
+func newSession(demo string) (*isql.Session, error) {
+	switch demo {
+	case "":
+		return isql.NewSession(), nil
+	case "flights":
+		return isql.FromDB([]string{"HFlights"},
+			[]*relation.Relation{datagen.PaperFlights()}), nil
+	case "acquisition":
+		return isql.FromDB([]string{"Company_Emp", "Emp_Skills"},
+			[]*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()}), nil
+	case "census":
+		return isql.FromDB([]string{"Census"},
+			[]*relation.Relation{datagen.PaperCensus()}), nil
+	case "lineitem":
+		return isql.FromDB([]string{"Lineitem"},
+			[]*relation.Relation{datagen.Lineitem(60, 3, 4, 42)}), nil
+	}
+	return nil, fmt.Errorf("unknown demo %q (want flights, acquisition, census or lineitem)", demo)
+}
+
+func readAll(f *os.File) (string, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), sc.Err()
+}

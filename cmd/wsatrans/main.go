@@ -1,0 +1,129 @@
+// Command wsatrans shows the whole compilation pipeline of the paper for
+// one query: I-SQL text → World-set Algebra (§4) → operator type →
+// rewritten plan (Figure 7) → general relational algebra translation
+// (Figure 6) → optimized complete-to-complete translation (§5.3). All
+// plans are evaluated and cross-checked on the selected demo database.
+//
+// Usage:
+//
+//	wsatrans [-demo flights] [-q "select certain Arr from HFlights choice of Dep;"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isql"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/rewrite"
+	"worldsetdb/internal/translate"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+func main() {
+	demo := flag.String("demo", "flights", "demo database: flights | acquisition | census")
+	query := flag.String("q", "select certain Arr from HFlights choice of Dep;", "I-SQL query")
+	flag.Parse()
+
+	names, rels, err := demoDB(*demo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	session := isql.FromDB(names, rels)
+	db := ra.DB{}
+	for i, n := range names {
+		db[n] = rels[i]
+	}
+
+	fmt.Printf("I-SQL:\n  %s\n\n", *query)
+	q, err := session.CompileString(*query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("World-set Algebra (§4):\n  %s\n  type: %s\n\n", q, wsa.TypeOf(q, wsa.One))
+
+	env := wsa.NewEnv(names, schemasOf(rels))
+	opt, trace := rewrite.Optimize(q, env, true)
+	fmt.Printf("Figure 7 rewriting (cost %.1f → %.1f):\n", rewrite.Cost(q), rewrite.Cost(opt))
+	for _, step := range trace {
+		fmt.Printf("  %-8s %s\n", step.Rule, step.Expr)
+	}
+	if len(trace) == 0 {
+		fmt.Println("  (already optimal)")
+	}
+	fmt.Println()
+
+	ws := worldset.FromDB(names, rels)
+	refAnswers, err := wsa.Answers(q, ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reference evaluation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 3 reference semantics: %d distinct answer(s)\n", len(refAnswers))
+	for _, a := range refAnswers {
+		fmt.Println(a.Render("  answer"))
+	}
+
+	if !wsa.IsCompleteToComplete(q) {
+		fmt.Println("query is not 1↦1: no relational algebra equivalent on the complete database (Theorem 5.7 does not apply)")
+		return
+	}
+
+	gen, err := translate.ToRelational(q, names, db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "general translation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 6 general translation (%d nodes):\n  %s\n\n", ra.Size(gen), gen)
+
+	optPlan, err := translate.ToRelationalOptimized(q, names, db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimized translation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("§5.3 optimized translation (%d nodes):\n  %s\n", ra.Size(optPlan), optPlan)
+	fmt.Printf("  paper display form: %s\n\n", translate.SimplifyPaperForm(optPlan, db))
+
+	genRes, err := gen.Eval(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluating general plan:", err)
+		os.Exit(1)
+	}
+	optRes, err := optPlan.Eval(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluating optimized plan:", err)
+		os.Exit(1)
+	}
+	agree := genRes.EqualContents(refAnswers[0]) && optRes.EqualContents(refAnswers[0])
+	fmt.Printf("cross-check: reference == general translation == optimized translation: %v\n", agree)
+	if !agree {
+		os.Exit(1)
+	}
+}
+
+func demoDB(name string) ([]string, []*relation.Relation, error) {
+	switch name {
+	case "flights":
+		return []string{"HFlights"}, []*relation.Relation{datagen.PaperFlights()}, nil
+	case "acquisition":
+		return []string{"Company_Emp", "Emp_Skills"},
+			[]*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()}, nil
+	case "census":
+		return []string{"Census"}, []*relation.Relation{datagen.PaperCensus()}, nil
+	}
+	return nil, nil, fmt.Errorf("unknown demo %q", name)
+}
+
+func schemasOf(rels []*relation.Relation) []relation.Schema {
+	out := make([]relation.Schema, len(rels))
+	for i, r := range rels {
+		out[i] = r.Schema()
+	}
+	return out
+}

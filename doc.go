@@ -1,0 +1,14 @@
+// Package worldsetdb is a from-scratch Go reproduction of "From Complete
+// to Incomplete Information and Back" (Antova, Koch, Olteanu; SIGMOD
+// 2007): the I-SQL language, World-set Algebra with the Figure 3
+// possible-worlds semantics, the inlined representation and the
+// translations to relational algebra of §5 (Theorem 5.7), and the
+// algebraic equivalences and rewriting of §6.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are cmd/isql, cmd/wsatrans and
+// cmd/wsabench, and the examples/ directory walks through the paper's
+// application scenarios. The benchmarks in bench_test.go regenerate the
+// performance-relevant artifacts (EXPERIMENTS.md records a captured
+// run).
+package worldsetdb

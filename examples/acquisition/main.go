@@ -1,0 +1,76 @@
+// Acquisition walks through the §2 business decision-support scenario
+// step by step, printing the same tables the paper shows: U (buy one
+// company), V (one key employee leaves), W (certain skills per target)
+// and the final possible acquisition targets that guarantee the skill
+// 'Web'.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isql"
+	"worldsetdb/internal/relation"
+)
+
+func step(s *isql.Session, title, sql string) {
+	fmt.Printf("=== %s ===\n%s\n\n", title, sql)
+	if _, err := s.ExecString(sql); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printRelationAcrossWorlds(s *isql.Session, name string) {
+	ws := s.WorldSet()
+	idx := ws.IndexOf(name)
+	seen := map[string]bool{}
+	n := 0
+	for _, w := range ws.Worlds() {
+		key := w[idx].ContentKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		n++
+		fmt.Println(w[idx].Render(fmt.Sprintf("%s (variant %d)", name, n)))
+	}
+	fmt.Printf("world count: %d\n\n", ws.Len())
+}
+
+func main() {
+	s := isql.FromDB(
+		[]string{"Company_Emp", "Emp_Skills"},
+		[]*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()})
+
+	fmt.Println(datagen.PaperCompanyEmp().Render("Company_Emp"))
+	fmt.Println(datagen.PaperEmpSkills().Render("Emp_Skills"))
+
+	step(s, "Suppose I choose to buy exactly one company",
+		"create table U as select * from Company_Emp choice of CID;")
+	printRelationAcrossWorlds(s, "U")
+
+	step(s, "Assume that one (key) employee leaves that company",
+		`create table V as
+		   select R1.CID, R1.EID
+		   from Company_Emp R1, (select * from U choice of EID) R2
+		   where R1.CID = R2.CID and R1.EID != R2.EID;`)
+	printRelationAcrossWorlds(s, "V")
+
+	step(s, "Which skills can I obtain for certain per target?",
+		`create table W as
+		   select certain CID, Skill
+		   from V, Emp_Skills
+		   where V.EID = Emp_Skills.EID
+		   group worlds by (select CID from V);`)
+	printRelationAcrossWorlds(s, "W")
+
+	fmt.Println("=== Possible targets guaranteeing the skill 'Web' ===")
+	res, err := s.ExecString("select possible CID from W where Skill = 'Web';")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		fmt.Println(a.Render("Result"))
+	}
+}

@@ -1,0 +1,53 @@
+// Tpch_whatif runs the §2 TPC-H Q17-style hypothetical query on a
+// synthetic Lineitem relation: which years would lose more than a
+// threshold of revenue if products of some quantity (package size) could
+// no longer be sold? Every (year, missing quantity) pair becomes a
+// possible world.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isql"
+	"worldsetdb/internal/relation"
+)
+
+func main() {
+	lineitem := datagen.Lineitem(60, 3, 4, 42)
+	fmt.Printf("Lineitem: %d rows (60 products × 4 years, 3 package sizes)\n\n", lineitem.Len())
+
+	s := isql.FromDB([]string{"Lineitem"}, []*relation.Relation{lineitem})
+
+	// Total revenue per year, for reference.
+	res, err := s.ExecString("select Year, sum(Price) as Revenue from Lineitem group by Year;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Answers[0].Render("revenue per year"))
+
+	// One world per (year, missing quantity): the remaining revenue.
+	if _, err := s.ExecString(`create view YearQuantity as
+		select A.Year, sum(A.Price) as Revenue
+		from (select * from Lineitem choice of Year) as A
+		where Quantity not in (select * from Lineitem choice of Quantity)
+		group by A.Year;`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Possible remaining revenues across the what-if worlds.
+	res, err = s.ExecString("select possible Year, Revenue from YearQuantity;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Answers[0].Render("possible (year, remaining revenue) pairs"))
+
+	// Years that would lose more than 150,000.
+	res, err = s.ExecString(`select possible Year from YearQuantity as Y
+		where (select sum(Price) from Lineitem where Lineitem.Year = Y.Year) - Y.Revenue > 150000;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Answers[0].Render("years with a possible loss over 150000"))
+}

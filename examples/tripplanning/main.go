@@ -1,0 +1,87 @@
+// Tripplanning reproduces Figure 2 end to end (choice-of, deletion under
+// the possible-worlds DML semantics, certain arrivals) and then the
+// query-rewriting examples of Figures 8 and 9: the optimizer derives the
+// paper's q1′ and q2′ plans and shows the cost reduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isql"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/rewrite"
+	"worldsetdb/internal/wsa"
+)
+
+func main() {
+	figure2()
+	figures8and9()
+}
+
+func figure2() {
+	fmt.Println("================ Figure 2 ================")
+	s := isql.FromDB([]string{"Flights"}, []*relation.Relation{datagen.PaperFlights()})
+	fmt.Println(datagen.PaperFlights().Render("Flights (a)"))
+
+	if _, err := s.ExecString("create table FlightsW as select * from Flights choice of Dep;"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(b) choice-of on Dep creates %d worlds\n\n", s.WorldSet().Len())
+	for i, w := range s.WorldSet().Worlds() {
+		idx := s.WorldSet().IndexOf("FlightsW")
+		fmt.Println(w[idx].Render(fmt.Sprintf("Flights world %c", 'A'+i)))
+	}
+
+	res, err := s.ExecString("delete from FlightsW where Arr = 'ATL';")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(c) deleted %d ATL tuples across worlds; %d worlds remain\n\n",
+		res.Affected, s.WorldSet().Len())
+
+	res, err = s.ExecString("select certain Arr from Flights;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("(d) certain arrivals over the original Flights:")
+	for _, a := range res.Answers {
+		fmt.Println(a.Render("F"))
+	}
+}
+
+func tripEnv() *wsa.Env {
+	return wsa.NewEnv(
+		[]string{"HFlights", "Hotels"},
+		[]relation.Schema{
+			relation.NewSchema("Dep", "Arr"),
+			relation.NewSchema("Name", "City", "Price"),
+		})
+}
+
+func figures8and9() {
+	fmt.Println("================ Figures 8 and 9 ================")
+	q1 := wsa.NewCert(
+		&wsa.Project{Columns: []string{"City"},
+			From: &wsa.Select{Pred: ra.Eq("Arr", "City"),
+				From: wsa.NewPossGroup([]string{"Dep"}, nil,
+					&wsa.Choice{Attrs: []string{"Dep", "City"},
+						From: wsa.NewProduct(&wsa.Rel{Name: "HFlights"}, &wsa.Rel{Name: "Hotels"})})}})
+	q2 := wsa.NewPoss(
+		&wsa.Project{Columns: []string{"City"},
+			From: &wsa.Select{Pred: ra.Eq("Arr", "City"),
+				From: wsa.NewPossGroup([]string{"Dep"}, nil,
+					&wsa.Choice{Attrs: []string{"Dep", "City"},
+						From: wsa.NewProduct(&wsa.Rel{Name: "HFlights"}, &wsa.Rel{Name: "Hotels"})})}})
+
+	for name, q := range map[string]wsa.Expr{"q1 (Figure 8)": q1, "q2 (Figure 9)": q2} {
+		opt, trace := rewrite.Optimize(q, tripEnv(), true)
+		fmt.Printf("%s:\n  original (cost %5.1f): %s\n", name, rewrite.Cost(q), q)
+		for _, step := range trace {
+			fmt.Printf("    %-8s → %s\n", step.Rule, step.Expr)
+		}
+		fmt.Printf("  optimized (cost %5.1f): %s\n\n", rewrite.Cost(opt), opt)
+	}
+}

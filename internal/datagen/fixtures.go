@@ -1,0 +1,100 @@
+// Package datagen provides the paper's example instances (Figures 2, 4,
+// 5 and the §2 scenarios) and deterministic synthetic workload
+// generators for tests and benchmarks.
+package datagen
+
+import (
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+func strTuple(vals ...string) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = value.Str(v)
+	}
+	return t
+}
+
+// PaperFlights returns the Flights(Dep, Arr) database of Figure 2(a).
+func PaperFlights() *relation.Relation {
+	return relation.FromRows(relation.NewSchema("Dep", "Arr"),
+		strTuple("FRA", "BCN"),
+		strTuple("FRA", "ATL"),
+		strTuple("PAR", "ATL"),
+		strTuple("PAR", "BCN"),
+		strTuple("PHL", "ATL"),
+	)
+}
+
+// PaperCompanyEmp returns the Company_Emp(CID, EID) relation of §2.
+func PaperCompanyEmp() *relation.Relation {
+	return relation.FromRows(relation.NewSchema("CID", "EID"),
+		strTuple("ACME", "e1"),
+		strTuple("ACME", "e2"),
+		strTuple("HAL", "e3"),
+		strTuple("HAL", "e4"),
+		strTuple("HAL", "e5"),
+	)
+}
+
+// PaperEmpSkills returns the Emp_Skills(EID, Skill) relation of §2.
+func PaperEmpSkills() *relation.Relation {
+	return relation.FromRows(relation.NewSchema("EID", "Skill"),
+		strTuple("e1", "Web"),
+		strTuple("e2", "Web"),
+		strTuple("e3", "Java"),
+		strTuple("e3", "Web"),
+		strTuple("e4", "SQL"),
+		strTuple("e5", "Java"),
+	)
+}
+
+// Fig5R returns relation R(A, B) of Figure 5(a).
+func Fig5R() *relation.Relation {
+	mk := func(a, b int64) relation.Tuple {
+		return relation.Tuple{value.Int(a), value.Int(b)}
+	}
+	return relation.FromRows(relation.NewSchema("A", "B"),
+		mk(1, 2), mk(2, 3), mk(2, 4), mk(3, 2))
+}
+
+// Fig5S returns relation S(C, D) of Figure 5(a).
+func Fig5S() *relation.Relation {
+	mk := func(c, d int64) relation.Tuple {
+		return relation.Tuple{value.Int(c), value.Int(d)}
+	}
+	return relation.FromRows(relation.NewSchema("C", "D"),
+		mk(2, 3), mk(4, 5))
+}
+
+// PaperHotels returns a Hotels(Name, City, Price) instance compatible
+// with the Example 6.1 trip-planning scenario: hotels exist in the
+// arrival cities of PaperFlights.
+func PaperHotels() *relation.Relation {
+	mk := func(name, city string, price int64) relation.Tuple {
+		return relation.Tuple{value.Str(name), value.Str(city), value.Int(price)}
+	}
+	return relation.FromRows(relation.NewSchema("Name", "City", "Price"),
+		mk("Ritz", "BCN", 300),
+		mk("Ibis", "BCN", 90),
+		mk("Hyatt", "ATL", 200),
+		mk("Plaza", "PAR", 250),
+	)
+}
+
+// PaperCensus returns the Census(SSN, Name, POB, POW) relation of §2
+// with key violations on SSN (two persons sharing SSN 111, two sharing
+// 222): 2·2 = 4 possible repairs.
+func PaperCensus() *relation.Relation {
+	mk := func(ssn int64, name, pob, pow string) relation.Tuple {
+		return relation.Tuple{value.Int(ssn), value.Str(name), value.Str(pob), value.Str(pow)}
+	}
+	return relation.FromRows(relation.NewSchema("SSN", "Name", "POB", "POW"),
+		mk(111, "Smith", "NYC", "Boston"),
+		mk(111, "Smyth", "NYC", "Boston"),
+		mk(222, "Jones", "LA", "SF"),
+		mk(222, "Jonas", "LA", "SD"),
+		mk(333, "Brown", "Austin", "Austin"),
+	)
+}

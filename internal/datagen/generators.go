@@ -1,0 +1,165 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+)
+
+// Flights generates a Flights(Dep, Arr) relation with nDep departure
+// airports and, for each, a random subset of nArr arrival airports with
+// the given density. A designated "hub" arrival appears for every
+// departure so that `cert` queries have non-empty answers. Deterministic
+// in seed.
+func Flights(nDep, nArr int, density float64, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.NewSchema("Dep", "Arr"))
+	for d := 0; d < nDep; d++ {
+		dep := value.Str(fmt.Sprintf("D%03d", d))
+		r.Insert(relation.Tuple{dep, value.Str("HUB")})
+		for a := 0; a < nArr; a++ {
+			if rng.Float64() < density {
+				r.Insert(relation.Tuple{dep, value.Str(fmt.Sprintf("A%03d", a))})
+			}
+		}
+	}
+	return r
+}
+
+// Hotels generates Hotels(Name, City, Price) with one or more hotels per
+// arrival city produced by Flights (cities A000..A(nArr-1) and HUB).
+func Hotels(nArr, perCity int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.NewSchema("Name", "City", "Price"))
+	cities := []string{"HUB"}
+	for a := 0; a < nArr; a++ {
+		cities = append(cities, fmt.Sprintf("A%03d", a))
+	}
+	for _, c := range cities {
+		for h := 0; h < perCity; h++ {
+			r.Insert(relation.Tuple{
+				value.Str(fmt.Sprintf("H-%s-%d", c, h)),
+				value.Str(c),
+				value.Int(int64(50 + rng.Intn(400))),
+			})
+		}
+	}
+	return r
+}
+
+// CompanyEmp generates Company_Emp(CID, EID) with nCompanies companies
+// of empPerCompany employees each.
+func CompanyEmp(nCompanies, empPerCompany int) *relation.Relation {
+	r := relation.New(relation.NewSchema("CID", "EID"))
+	for c := 0; c < nCompanies; c++ {
+		for e := 0; e < empPerCompany; e++ {
+			r.Insert(relation.Tuple{
+				value.Str(fmt.Sprintf("C%03d", c)),
+				value.Str(fmt.Sprintf("e%03d_%03d", c, e)),
+			})
+		}
+	}
+	return r
+}
+
+// EmpSkills generates Emp_Skills(EID, Skill) giving each employee of
+// CompanyEmp(nCompanies, empPerCompany) a random subset of nSkills
+// skills; every employee gets skill "S0" so that certain-skill queries
+// are non-trivial.
+func EmpSkills(nCompanies, empPerCompany, nSkills int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.NewSchema("EID", "Skill"))
+	for c := 0; c < nCompanies; c++ {
+		for e := 0; e < empPerCompany; e++ {
+			eid := value.Str(fmt.Sprintf("e%03d_%03d", c, e))
+			r.Insert(relation.Tuple{eid, value.Str("S0")})
+			for s := 1; s < nSkills; s++ {
+				if rng.Float64() < 0.4 {
+					r.Insert(relation.Tuple{eid, value.Str(fmt.Sprintf("S%d", s))})
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Lineitem generates Lineitem(Product, Quantity, Price, Year) in the
+// spirit of the §2 TPC-H discussion: nProducts products sold in one of
+// nQuantities package sizes across nYears years.
+func Lineitem(nProducts, nQuantities, nYears int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.NewSchema("Product", "Quantity", "Price", "Year"))
+	for p := 0; p < nProducts; p++ {
+		for y := 0; y < nYears; y++ {
+			q := 100 * (1 + rng.Intn(nQuantities))
+			r.Insert(relation.Tuple{
+				value.Str(fmt.Sprintf("P%04d", p)),
+				value.Int(int64(q)),
+				value.Int(int64(10 + rng.Intn(10000))),
+				value.Int(int64(2000 + y)),
+			})
+		}
+	}
+	return r
+}
+
+// Census generates Census(SSN, Name, POB, POW) with n persons of which
+// nDup social security numbers are duplicated once (each duplicated SSN
+// doubles the number of repairs: 2^nDup worlds).
+func Census(n, nDup int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(relation.NewSchema("SSN", "Name", "POB", "POW"))
+	cities := []string{"NYC", "LA", "SF", "Austin", "Boston"}
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{
+			value.Int(int64(100000 + i)),
+			value.Str(fmt.Sprintf("Person%04d", i)),
+			value.Str(cities[rng.Intn(len(cities))]),
+			value.Str(cities[rng.Intn(len(cities))]),
+		})
+	}
+	for i := 0; i < nDup && i < n; i++ {
+		// A second, conflicting tuple for an existing SSN (mistyped name).
+		r.Insert(relation.Tuple{
+			value.Int(int64(100000 + i)),
+			value.Str(fmt.Sprintf("Persom%04d", i)),
+			value.Str(cities[rng.Intn(len(cities))]),
+			value.Str(cities[rng.Intn(len(cities))]),
+		})
+	}
+	return r
+}
+
+// RandomRelation generates a relation over the given schema with up to
+// maxTuples tuples drawn from an integer domain of the given size.
+func RandomRelation(rng *rand.Rand, schema relation.Schema, domain, maxTuples int) *relation.Relation {
+	r := relation.New(schema)
+	n := rng.Intn(maxTuples + 1)
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, len(schema))
+		for j := range t {
+			t[j] = value.Int(int64(rng.Intn(domain)))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// RandomWorldSet generates a world-set with up to maxWorlds worlds over
+// the given named schemas, each relation drawn by RandomRelation. At
+// least one world is always produced.
+func RandomWorldSet(rng *rand.Rand, names []string, schemas []relation.Schema, domain, maxTuples, maxWorlds int) *worldset.WorldSet {
+	ws := worldset.New(names, schemas)
+	n := 1 + rng.Intn(maxWorlds)
+	for i := 0; i < n; i++ {
+		w := make(worldset.World, len(schemas))
+		for j, s := range schemas {
+			w[j] = RandomRelation(rng, s, domain, maxTuples)
+		}
+		ws.Add(w)
+	}
+	return ws
+}

@@ -1,0 +1,124 @@
+// Package inline implements the inlined representation of world-sets of
+// Definition 5.1: all instances of a relation across worlds are stored
+// in one table extended with world-id attributes, together with a world
+// table W listing the world ids.
+//
+// Id attributes carry the relation.IDPrefix ('#') so the id/value split
+// of a table is statically known. A table whose schema has no id
+// attributes encodes a relation that appears unchanged in every world —
+// the refinement used by the optimized translation of §5.3.
+package inline
+
+import (
+	"fmt"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+)
+
+// WorldAttr is the id attribute used by Encode.
+const WorldAttr = "#w"
+
+// WorldTableName is the name under which the world table is registered
+// when a representation is loaded into an ra.DB catalog.
+const WorldTableName = "$W"
+
+// Repr is an inlined representation T = ⟨R1^T, …, Rk^T, W⟩.
+type Repr struct {
+	// Names are the represented relation names R1, …, Rk.
+	Names []string
+	// Tables hold the inlined instances; each schema is Ui ∪ Vi with
+	// Vi ⊆ attrs(World) the table's id attributes.
+	Tables []*relation.Relation
+	// World is the world table W over the id attributes.
+	World *relation.Relation
+}
+
+// Encode builds the inlined representation of a world-set, assigning
+// integer world ids 1..n under the single id attribute "#w".
+func Encode(ws *worldset.WorldSet) *Repr {
+	names := append([]string{}, ws.Names()...)
+	schemas := ws.Schemas()
+	tables := make([]*relation.Relation, len(names))
+	for i, s := range schemas {
+		tables[i] = relation.New(s.Concat(relation.Schema{WorldAttr}))
+	}
+	world := relation.New(relation.Schema{WorldAttr})
+	for wi, w := range ws.Worlds() {
+		id := value.Int(int64(wi + 1))
+		world.Insert(relation.Tuple{id})
+		for ri, r := range w {
+			r.Each(func(t relation.Tuple) {
+				tables[ri].Insert(append(t.Clone(), id))
+			})
+		}
+	}
+	return &Repr{Names: names, Tables: tables, World: world}
+}
+
+// Decode computes rep(T): the represented set of possible worlds. For
+// each tuple w of the world table, each relation is the set of value
+// tuples whose id attributes match the corresponding components of w;
+// tables without id attributes are copied into every world. Several ids
+// may decode to the same world; set semantics collapses them.
+func (t *Repr) Decode() (*worldset.WorldSet, error) {
+	wSchema := t.World.Schema()
+	valueSchemas := make([]relation.Schema, len(t.Tables))
+	idIdxTable := make([][]int, len(t.Tables)) // positions of id attrs in table
+	idIdxWorld := make([][]int, len(t.Tables)) // positions of same attrs in W
+	valIdx := make([][]int, len(t.Tables))
+	for i, tbl := range t.Tables {
+		s := tbl.Schema()
+		ids := s.IDAttrs()
+		vals := s.ValueAttrs()
+		valueSchemas[i] = vals
+		var err error
+		if idIdxTable[i], err = s.Indexes(ids); err != nil {
+			return nil, err
+		}
+		if idIdxWorld[i], err = wSchema.Indexes(ids); err != nil {
+			return nil, fmt.Errorf("inline: table %s has id attribute missing from world table: %w", t.Names[i], err)
+		}
+		if valIdx[i], err = s.Indexes(vals); err != nil {
+			return nil, err
+		}
+	}
+	ws := worldset.New(t.Names, valueSchemas)
+	for _, w := range t.World.Tuples() {
+		world := make(worldset.World, len(t.Tables))
+		for i, tbl := range t.Tables {
+			out := relation.New(valueSchemas[i])
+			tIdx, wIdx, vIdx := idIdxTable[i], idIdxWorld[i], valIdx[i]
+			tbl.Each(func(tup relation.Tuple) {
+				for p, ti := range tIdx {
+					if !tup[ti].Equal(w[wIdx[p]]) {
+						return
+					}
+				}
+				vt := make(relation.Tuple, len(vIdx))
+				for p, vi := range vIdx {
+					vt[p] = tup[vi]
+				}
+				out.Insert(vt)
+			})
+			world[i] = out
+		}
+		ws.Add(world)
+	}
+	return ws, nil
+}
+
+// NumWorlds returns the number of world ids in the world table (distinct
+// representations of possibly equal worlds).
+func (t *Repr) NumWorlds() int { return t.World.Len() }
+
+// String renders the representation in the style of Figure 4(a).
+func (t *Repr) String() string {
+	out := ""
+	for i, tbl := range t.Tables {
+		out += tbl.Render(t.Names[i])
+	}
+	out += t.World.Render("W")
+	return out
+}

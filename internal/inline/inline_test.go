@@ -1,0 +1,132 @@
+package inline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+)
+
+// TestFigure4RoundTrip reproduces Figure 4: the inlined representation
+// with R^T = {(1,1), (3,1), (1,2)} and W^T = {1, 2, 3} encodes exactly
+// the three worlds R1 = {1, 3}, R2 = {1}, R3 = {} (world 3 is empty,
+// which the world table can express even though R^T never mentions id 3).
+func TestFigure4RoundTrip(t *testing.T) {
+	rt := relation.New(relation.NewSchema("A", "#w"))
+	rt.InsertValues(value.Int(1), value.Int(1))
+	rt.InsertValues(value.Int(3), value.Int(1))
+	rt.InsertValues(value.Int(1), value.Int(2))
+	wt := relation.New(relation.NewSchema("#w"))
+	wt.InsertValues(value.Int(1))
+	wt.InsertValues(value.Int(2))
+	wt.InsertValues(value.Int(3))
+	repr := &Repr{Names: []string{"R"}, Tables: []*relation.Relation{rt}, World: wt}
+
+	ws, err := repr.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Len() != 3 {
+		t.Fatalf("decoded %d worlds, want 3 (Figure 4(b))", ws.Len())
+	}
+	schemaA := relation.NewSchema("A")
+	want := worldset.New([]string{"R"}, []relation.Schema{schemaA})
+	want.Add(worldset.World{relation.FromRows(schemaA,
+		relation.Tuple{value.Int(1)}, relation.Tuple{value.Int(3)})})
+	want.Add(worldset.World{relation.FromRows(schemaA, relation.Tuple{value.Int(1)})})
+	want.Add(worldset.World{relation.New(schemaA)})
+	if !ws.Equal(want) {
+		t.Fatalf("decoded world-set differs from Figure 4(b):\n%s", ws)
+	}
+}
+
+// TestEncodeDecodeIdentity checks rep(Encode(A)) = A on the paper's
+// world-sets and on random ones.
+func TestEncodeDecodeIdentity(t *testing.T) {
+	schema := relation.NewSchema("Dep", "Arr")
+	ws := worldset.New([]string{"Flights"}, []relation.Schema{schema})
+	fra := relation.FromRows(schema,
+		relation.Tuple{value.Str("FRA"), value.Str("BCN")},
+		relation.Tuple{value.Str("FRA"), value.Str("ATL")})
+	par := relation.FromRows(schema,
+		relation.Tuple{value.Str("PAR"), value.Str("ATL")},
+		relation.Tuple{value.Str("PAR"), value.Str("BCN")})
+	ws.Add(worldset.World{fra})
+	ws.Add(worldset.World{par})
+
+	got, err := Encode(ws).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ws) {
+		t.Fatalf("round trip failed:\n%s\nvs\n%s", got, ws)
+	}
+}
+
+// TestEncodeDecodeProperty is the property-based version over random
+// world-sets with two relations.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := datagen.RandomWorldSet(rng,
+			[]string{"R", "S"},
+			[]relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")},
+			4, 5, 6)
+		got, err := Encode(ws).Decode()
+		if err != nil {
+			return false
+		}
+		return got.Equal(ws)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeEmptyWorldSet checks that the empty world-set encodes as an
+// empty world table (the paper: "The empty world-set is encoded by an
+// empty world table").
+func TestEncodeEmptyWorldSet(t *testing.T) {
+	ws := worldset.New([]string{"R"}, []relation.Schema{relation.NewSchema("A")})
+	repr := Encode(ws)
+	if repr.World.Len() != 0 {
+		t.Fatalf("world table should be empty")
+	}
+	back, err := repr.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("decoded world-set should be empty")
+	}
+}
+
+// TestDecodeIDFreeTable checks the §5.3 refinement: a table without id
+// attributes decodes into every world.
+func TestDecodeIDFreeTable(t *testing.T) {
+	rt := relation.New(relation.NewSchema("A", "#w"))
+	rt.InsertValues(value.Int(1), value.Int(1))
+	rt.InsertValues(value.Int(2), value.Int(2))
+	st := relation.New(relation.NewSchema("B"))
+	st.InsertValues(value.Int(9))
+	wt := relation.New(relation.NewSchema("#w"))
+	wt.InsertValues(value.Int(1))
+	wt.InsertValues(value.Int(2))
+	repr := &Repr{Names: []string{"R", "S"}, Tables: []*relation.Relation{rt, st}, World: wt}
+	ws, err := repr.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Len() != 2 {
+		t.Fatalf("want 2 worlds, got %d", ws.Len())
+	}
+	for _, w := range ws.Worlds() {
+		if w[1].Len() != 1 {
+			t.Fatalf("S must appear in every world")
+		}
+	}
+}

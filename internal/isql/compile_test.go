@@ -1,0 +1,105 @@
+package isql
+
+import (
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/translate"
+	"worldsetdb/internal/wsa"
+)
+
+// compileAndCompare compiles the I-SQL query to WSA, evaluates it with
+// the reference Figure 3 semantics, and compares the distinct answers
+// with the direct I-SQL evaluator's.
+func compileAndCompare(t *testing.T, s *Session, sql string) wsa.Expr {
+	t.Helper()
+	q, err := s.CompileString(sql)
+	if err != nil {
+		t.Fatalf("compile %s: %v", sql, err)
+	}
+	direct := mustExec(t, s, sql)
+	viaWSA, err := wsa.Answers(q, s.WorldSet())
+	if err != nil {
+		t.Fatalf("wsa eval of %s: %v", q, err)
+	}
+	if len(direct.Answers) != len(viaWSA) {
+		t.Fatalf("%s: %d distinct answers via I-SQL, %d via WSA\nWSA: %s",
+			sql, len(direct.Answers), len(viaWSA), q)
+	}
+	for i := range direct.Answers {
+		if !direct.Answers[i].EqualContents(viaWSA[i]) {
+			t.Fatalf("%s: answer %d differs\nisql: %v\nwsa: %v\nWSA query: %s",
+				sql, i, direct.Answers[i], viaWSA[i], q)
+		}
+	}
+	return q
+}
+
+// TestCompileTripPlanning compiles the §2 trip-planning query and checks
+// both evaluators agree; the compiled query is 1↦1 and translates to
+// relational algebra end-to-end.
+func TestCompileTripPlanning(t *testing.T) {
+	s := flightsSession()
+	q := compileAndCompare(t, s, "select certain Arr from HFlights choice of Dep;")
+	if !wsa.IsCompleteToComplete(q) {
+		t.Fatalf("compiled query should be 1↦1: %s", q)
+	}
+	db := ra.DB{"HFlights": datagen.PaperFlights()}
+	got, err := translate.EvalComplete(q, []string{"HFlights"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.FromRows(relation.NewSchema("Arr"), strTuple("ATL"))
+	if !got.EqualContents(want) {
+		t.Fatalf("I-SQL → WSA → RA pipeline returned %v, want {ATL}", got)
+	}
+}
+
+// TestCompileVariants checks the compiler across the fragment's
+// constructs against the direct evaluator.
+func TestCompileVariants(t *testing.T) {
+	queries := []string{
+		"select * from HFlights;",
+		"select Dep from HFlights;",
+		"select Arr from HFlights where Dep = 'FRA';",
+		"select possible Arr from HFlights choice of Dep;",
+		"select certain Arr from HFlights choice of Dep, Arr;",
+		"select F.Arr as City from HFlights F where F.Dep != 'PHL';",
+		"select A.Arr, B.Dep from HFlights A, HFlights B where A.Dep = B.Dep and A.Arr != B.Arr;",
+		"select possible Arr from (select * from HFlights where Dep != 'PHL') G choice of Dep;",
+		"select certain Arr from HFlights choice of Dep group worlds by Dep;",
+		"select * from HFlights repair by key Dep;",
+	}
+	for _, q := range queries {
+		compileAndCompare(t, flightsSession(), q)
+	}
+}
+
+// TestCompileAcquisition compiles the inner acquisition steps (through a
+// view for U) and checks agreement.
+func TestCompileAcquisition(t *testing.T) {
+	s := FromDB([]string{"Company_Emp", "Emp_Skills"},
+		[]*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()})
+	mustExec(t, s, "create view U as select * from Company_Emp choice of CID;")
+	compileAndCompare(t, s, `select R1.CID, R1.EID
+		from Company_Emp R1, (select * from U choice of EID) R2
+		where R1.CID = R2.CID and R1.EID != R2.EID;`)
+}
+
+// TestCompileRejectsNonFragment checks aggregation, subqueries and
+// divide-by are refused with clear errors.
+func TestCompileRejectsNonFragment(t *testing.T) {
+	s := flightsSession()
+	bad := []string{
+		"select count(*) as N from HFlights;",
+		"select Arr from HFlights where Dep in (select Dep from HFlights);",
+		"select Arr from (select Arr, Dep from HFlights) as F1 divide by (select Dep from HFlights) as F2 on F1.Dep = F2.Dep;",
+	}
+	for _, q := range bad {
+		if _, err := s.CompileString(q); err == nil {
+			t.Errorf("expected compile error for %s", q)
+		}
+	}
+}

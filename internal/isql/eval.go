@@ -1,0 +1,630 @@
+package isql
+
+import (
+	"fmt"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+)
+
+// preAnswerName carries the where-filtered join during select
+// evaluation; the world-manipulating clauses operate on it.
+const preAnswerName = "$pre"
+
+// evalCtx is the runtime environment for expression evaluation: the
+// current world, the current tuple (schema + values), lifted subquery
+// relations, and the chain of enclosing contexts for correlated
+// subqueries.
+type evalCtx struct {
+	session *Session
+	world   worldset.World
+	names   []string
+	schemas []relation.Schema
+	schema  relation.Schema
+	tuple   relation.Tuple
+	lifted  map[*SelectStmt]int
+	outer   *evalCtx
+	// groupRows is set while evaluating aggregate expressions: the
+	// tuples of the current group.
+	groupRows []relation.Tuple
+}
+
+// scopeChain returns the tuple schemas of the context chain, innermost
+// first, for static analysis of subqueries.
+func (c *evalCtx) scopeChain() []relation.Schema {
+	var out []relation.Schema
+	for cur := c; cur != nil; cur = cur.outer {
+		out = append(out, cur.schema)
+	}
+	return out
+}
+
+// evalSelect evaluates sel on ws. The returned world-set contains the
+// input relations of ws followed by one answer relation (named "$ans").
+// outer, when non-nil, supplies the enclosing tuple environment for
+// correlated subquery evaluation.
+func (s *Session) evalSelect(sel *SelectStmt, ws *worldset.WorldSet, outer *evalCtx) (*worldset.WorldSet, error) {
+	var scopes []relation.Schema
+	if outer != nil {
+		scopes = outer.scopeChain()
+	}
+	info, err := s.analyzeSelect(sel, ws.Names(), ws.Schemas(), scopes)
+	if err != nil {
+		return nil, err
+	}
+	k0 := ws.NumRelations()
+
+	// Phase 1: from items (each extends the world-set by one relation,
+	// possibly multiplying worlds via nested choice-of).
+	cur := ws
+	fromIdx := make([]int, len(sel.From))
+	for i, item := range sel.From {
+		cur, err = s.evalFromItem(item, cur, info.fromSchemas[i])
+		if err != nil {
+			return nil, err
+		}
+		fromIdx[i] = cur.NumRelations() - 1
+	}
+	divIdx := -1
+	if sel.Divide != nil {
+		cur, err = s.evalFromItem(sel.Divide.Item, cur, info.divSchema)
+		if err != nil {
+			return nil, err
+		}
+		divIdx = cur.NumRelations() - 1
+	}
+
+	// Phase 2: lift uncorrelated expression subqueries.
+	lifted := map[*SelectStmt]int{}
+	for _, sub := range info.uncorrelated {
+		cur, err = s.evalSelect(sub, cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		lifted[sub] = cur.NumRelations() - 1
+	}
+
+	// Phase 3: per world, the where-filtered join (the pre-answer).
+	pre := worldset.New(
+		append(append([]string{}, cur.Names()...), preAnswerName),
+		append(append([]relation.Schema{}, cur.Schemas()...), info.joined))
+	var evalErr error
+	cur.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		ctx := &evalCtx{
+			session: s, world: w,
+			names: cur.Names(), schemas: cur.Schemas(),
+			schema: info.joined, lifted: lifted, outer: outer,
+		}
+		rows, err := s.joinWorld(w, fromIdx, info, sel.Where, ctx)
+		if err != nil {
+			evalErr = err
+			return
+		}
+		nw := make(worldset.World, len(w)+1)
+		copy(nw, w)
+		nw[len(w)] = rows
+		pre.Add(nw)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	// Phase 4: choice-of and repair-by-key split worlds on the
+	// pre-answer (§3, order of evaluation).
+	if len(sel.ChoiceOf) > 0 {
+		pre, err = splitChoice(pre, refNames(sel.ChoiceOf))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(sel.RepairKey) > 0 {
+		pre, err = splitRepair(pre, refNames(sel.RepairKey), s.maxWorlds())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 5: per world, project/aggregate the pre-answer into the
+	// output relation.
+	preIdx := pre.NumRelations() - 1
+	withOut := worldset.New(
+		append(append([]string{}, pre.Names()...), answerName),
+		append(append([]relation.Schema{}, pre.Schemas()...), info.out))
+	pre.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		ctx := &evalCtx{
+			session: s, world: w[:len(w)-1],
+			names: cur.Names(), schemas: cur.Schemas(),
+			schema: info.joined, lifted: lifted, outer: outer,
+		}
+		var ans *relation.Relation
+		var err error
+		switch {
+		case sel.Divide != nil:
+			ans, err = s.evalDivision(sel, info, w[preIdx], w[divIdx], ctx)
+		case info.aggregated:
+			ans, err = s.evalAggregation(sel, info, w[preIdx], ctx)
+		default:
+			ans, err = s.evalProjection(sel, info, w[preIdx], ctx)
+		}
+		if err != nil {
+			evalErr = err
+			return
+		}
+		nw := make(worldset.World, len(w)+1)
+		copy(nw, w)
+		nw[len(w)] = ans
+		withOut.Add(nw)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	// Phase 6: possible/certain, grouped by the group-worlds-by clause.
+	if sel.Close != CloseNone {
+		withOut, err = s.applyClose(sel, info, withOut, preIdx)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 7: drop the intermediate relations, keeping the original
+	// k0 relations and the answer.
+	ansIdx := withOut.NumRelations() - 1
+	out := worldset.New(
+		append(append([]string{}, ws.Names()...), answerName),
+		append(append([]relation.Schema{}, ws.Schemas()...), info.out))
+	withOut.Each(func(w worldset.World) {
+		nw := make(worldset.World, k0+1)
+		copy(nw, w[:k0])
+		nw[k0] = w[ansIdx]
+		out.Add(nw)
+	})
+	return out, nil
+}
+
+// evalFromItem extends the world-set with one relation: a base table or
+// view copy, or a derived table. The new relation carries the qualified
+// schema computed by analysis.
+func (s *Session) evalFromItem(item FromItem, cur *worldset.WorldSet, qualified relation.Schema) (*worldset.WorldSet, error) {
+	if item.Sub != nil {
+		sub, err := s.evalSelect(item.Sub, cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		return relabelLast(sub, qualified), nil
+	}
+	if view, ok := s.views[item.Table]; ok {
+		sub, err := s.evalSelect(view, cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		return relabelLast(sub, qualified), nil
+	}
+	idx := cur.IndexOf(item.Table)
+	if idx < 0 {
+		return nil, fmt.Errorf("isql: unknown relation %q", item.Table)
+	}
+	return cur.Extend(preAnswerName, qualified, func(w worldset.World) *relation.Relation {
+		return w[idx].WithSchema(qualified)
+	}), nil
+}
+
+// relabelLast renames the last relation's attributes (and keeps the
+// reserved relation name).
+func relabelLast(ws *worldset.WorldSet, schema relation.Schema) *worldset.WorldSet {
+	k := ws.NumRelations() - 1
+	schemas := append([]relation.Schema{}, ws.Schemas()...)
+	schemas[k] = schema
+	out := worldset.New(ws.Names(), schemas)
+	ws.Each(func(w worldset.World) {
+		nw := append(worldset.World{}, w...)
+		nw[k] = nw[k].WithSchema(schema)
+		out.Add(nw)
+	})
+	return out
+}
+
+// joinWorld computes the where-filtered product of the from relations in
+// one world.
+func (s *Session) joinWorld(w worldset.World, fromIdx []int, info *selectInfo, where Expr, ctx *evalCtx) (*relation.Relation, error) {
+	out := relation.New(info.joined)
+	if len(fromIdx) == 0 {
+		return out, nil
+	}
+	rels := make([][]relation.Tuple, len(fromIdx))
+	for i, idx := range fromIdx {
+		rels[i] = w[idx].Tuples()
+		if len(rels[i]) == 0 {
+			return out, nil
+		}
+	}
+	current := make(relation.Tuple, 0, len(info.joined))
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == len(rels) {
+			t := current.Clone()
+			if where != nil {
+				ctx.tuple = t
+				keep, err := ctx.evalBool(where)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					return nil
+				}
+			}
+			out.Insert(t)
+			return nil
+		}
+		for _, t := range rels[level] {
+			current = append(current, t...)
+			if err := rec(level + 1); err != nil {
+				return err
+			}
+			current = current[:len(current)-len(t)]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalProjection computes the plain (non-aggregated) select list over
+// the pre-answer rows.
+func (s *Session) evalProjection(sel *SelectStmt, info *selectInfo, pre *relation.Relation, ctx *evalCtx) (*relation.Relation, error) {
+	out := relation.New(info.out)
+	if sel.Star {
+		pre.Each(func(t relation.Tuple) { out.Insert(t) })
+		return out, nil
+	}
+	var evalErr error
+	pre.Each(func(t relation.Tuple) {
+		if evalErr != nil {
+			return
+		}
+		ctx.tuple = t
+		row := make(relation.Tuple, len(info.outExprs))
+		for i, e := range info.outExprs {
+			v, err := ctx.evalExpr(e)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			row[i] = v
+		}
+		out.Insert(row)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// evalAggregation groups the pre-answer rows by the group-by attributes
+// and evaluates the select list once per group (aggregates see the
+// group's rows).
+func (s *Session) evalAggregation(sel *SelectStmt, info *selectInfo, pre *relation.Relation, ctx *evalCtx) (*relation.Relation, error) {
+	gIdx, err := info.joined.Indexes(refNames(sel.GroupBy))
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string][]relation.Tuple{}
+	var order []string
+	for _, t := range pre.Tuples() {
+		var key []byte
+		for _, i := range gIdx {
+			key = t[i].AppendKey(key)
+			key = append(key, 0x1f)
+		}
+		if _, ok := groups[string(key)]; !ok {
+			order = append(order, string(key))
+		}
+		groups[string(key)] = append(groups[string(key)], t)
+	}
+	out := relation.New(info.out)
+	// A global aggregate over an empty input produces one row (e.g.
+	// count(*) = 0) only when there is no group-by, matching SQL. The
+	// group must be non-nil: nil marks "no aggregation context".
+	if len(order) == 0 && len(sel.GroupBy) == 0 {
+		order = append(order, "")
+		groups[""] = []relation.Tuple{}
+	}
+	for _, key := range order {
+		rows := groups[key]
+		ctx.groupRows = rows
+		if len(rows) > 0 {
+			ctx.tuple = rows[0]
+		} else {
+			ctx.tuple = make(relation.Tuple, len(info.joined))
+		}
+		row := make(relation.Tuple, len(info.outExprs))
+		for i, e := range info.outExprs {
+			v, err := ctx.evalExpr(e)
+			if err != nil {
+				ctx.groupRows = nil
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Insert(row)
+	}
+	ctx.groupRows = nil
+	return out, nil
+}
+
+// evalDivision implements the `divide by ... on ...` extension: output
+// tuples o (the select list over dividend rows) such that for every
+// divisor row d some dividend row j with the same select-list values
+// satisfies the ON condition against d.
+func (s *Session) evalDivision(sel *SelectStmt, info *selectInfo, pre, div *relation.Relation, ctx *evalCtx) (*relation.Relation, error) {
+	out := relation.New(info.out)
+	combined := info.joined.Concat(info.divSchema)
+	divRows := div.Tuples()
+	preRows := pre.Tuples()
+
+	// Candidate outputs with their witness rows.
+	type cand struct {
+		out  relation.Tuple
+		rows []relation.Tuple
+	}
+	cands := map[string]*cand{}
+	for _, j := range preRows {
+		ctx.tuple = j
+		row := make(relation.Tuple, len(info.outExprs))
+		for i, e := range info.outExprs {
+			v, err := ctx.evalExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		k := row.Key()
+		c, ok := cands[k]
+		if !ok {
+			c = &cand{out: row}
+			cands[k] = c
+		}
+		c.rows = append(c.rows, j)
+	}
+	dctx := &evalCtx{
+		session: s, world: ctx.world, names: ctx.names, schemas: ctx.schemas,
+		schema: combined, lifted: ctx.lifted, outer: ctx.outer,
+	}
+	for _, c := range cands {
+		covered := true
+		for _, d := range divRows {
+			ok := false
+			for _, j := range c.rows {
+				t := make(relation.Tuple, 0, len(combined))
+				t = append(append(t, j...), d...)
+				dctx.tuple = t
+				match, err := dctx.evalBool(sel.Divide.On)
+				if err != nil {
+					return nil, err
+				}
+				if match {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			out.Insert(c.out)
+		}
+	}
+	return out, nil
+}
+
+// refNames flattens column references to their written names.
+func refNames(refs []ColumnRef) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.Full()
+	}
+	return out
+}
+
+// splitChoice implements choice-of on the last relation: one world per
+// combination of values of the given attributes; empty answers keep
+// their world.
+func splitChoice(ws *worldset.WorldSet, attrs []string) (*worldset.WorldSet, error) {
+	k := ws.NumRelations() - 1
+	idx, err := ws.Schemas()[k].Indexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := worldset.New(ws.Names(), ws.Schemas())
+	ws.Each(func(w worldset.World) {
+		r := w[k]
+		if r.Empty() {
+			out.Add(w)
+			return
+		}
+		parts := map[string]*relation.Relation{}
+		r.Each(func(t relation.Tuple) {
+			var key []byte
+			for _, i := range idx {
+				key = t[i].AppendKey(key)
+				key = append(key, 0x1f)
+			}
+			p, ok := parts[string(key)]
+			if !ok {
+				p = relation.New(r.Schema())
+				parts[string(key)] = p
+			}
+			p.Insert(t)
+		})
+		for _, p := range parts {
+			nw := append(worldset.World{}, w...)
+			nw[k] = p
+			out.Add(nw)
+		}
+	})
+	return out, nil
+}
+
+// splitRepair implements repair-by-key on the last relation: one world
+// per maximal repair under the key constraint.
+func splitRepair(ws *worldset.WorldSet, attrs []string, maxWorlds int) (*worldset.WorldSet, error) {
+	k := ws.NumRelations() - 1
+	idx, err := ws.Schemas()[k].Indexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := worldset.New(ws.Names(), ws.Schemas())
+	var evalErr error
+	ws.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		r := w[k]
+		groups := map[string][]relation.Tuple{}
+		var order []string
+		for _, t := range r.Tuples() {
+			var key []byte
+			for _, i := range idx {
+				key = t[i].AppendKey(key)
+				key = append(key, 0x1f)
+			}
+			if _, ok := groups[string(key)]; !ok {
+				order = append(order, string(key))
+			}
+			groups[string(key)] = append(groups[string(key)], t)
+		}
+		total := 1
+		for _, key := range order {
+			total *= len(groups[key])
+			if total > maxWorlds {
+				evalErr = fmt.Errorf("isql: repair-by-key would create more than %d worlds", maxWorlds)
+				return
+			}
+		}
+		choice := make([]int, len(order))
+		for {
+			rep := relation.New(r.Schema())
+			for gi, key := range order {
+				rep.Insert(groups[key][choice[gi]])
+			}
+			nw := append(worldset.World{}, w...)
+			nw[k] = rep
+			out.Add(nw)
+			if out.Len() > maxWorlds {
+				evalErr = fmt.Errorf("isql: repair-by-key exceeds the %d world limit", maxWorlds)
+				return
+			}
+			i := 0
+			for ; i < len(order); i++ {
+				choice[i]++
+				if choice[i] < len(groups[order[i]]) {
+					break
+				}
+				choice[i] = 0
+			}
+			if i == len(order) {
+				break
+			}
+		}
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// applyClose implements possible/certain with optional group-worlds-by:
+// worlds are grouped (by the grouping query's per-world answer, by a
+// projection of the pre-answer, or all together), and each world's
+// output is replaced by the union (possible) or intersection (certain)
+// over its group.
+func (s *Session) applyClose(sel *SelectStmt, info *selectInfo, ws *worldset.WorldSet, preIdx int) (*worldset.WorldSet, error) {
+	k := ws.NumRelations() - 1
+
+	groupKey := func(w worldset.World) (string, error) {
+		gw := sel.GroupWorlds
+		if gw == nil {
+			return "", nil
+		}
+		if gw.Query != nil {
+			single := worldset.New(ws.Names(), ws.Schemas())
+			single.Add(w)
+			res, err := s.evalSelect(gw.Query, single, nil)
+			if err != nil {
+				return "", err
+			}
+			worlds := res.Worlds()
+			if len(worlds) != 1 {
+				return "", fmt.Errorf("isql: group-worlds-by query must not create worlds")
+			}
+			return worlds[0][len(worlds[0])-1].ContentKey(), nil
+		}
+		idx, err := w[preIdx].Schema().Indexes(refNames(gw.Attrs))
+		if err != nil {
+			return "", err
+		}
+		return w[preIdx].Project(idx, relation.NewSchema(refNames(gw.Attrs)...)).ContentKey(), nil
+	}
+
+	agg := map[string]*relation.Relation{}
+	var aggErr error
+	ws.Each(func(w worldset.World) {
+		if aggErr != nil {
+			return
+		}
+		key, err := groupKey(w)
+		if err != nil {
+			aggErr = err
+			return
+		}
+		cur, ok := agg[key]
+		if !ok {
+			agg[key] = w[k]
+			return
+		}
+		if sel.Close == ClosePossible {
+			merged := cur.Clone()
+			w[k].Each(func(t relation.Tuple) { merged.Insert(t) })
+			agg[key] = merged
+		} else {
+			next := relation.New(cur.Schema())
+			cur.Each(func(t relation.Tuple) {
+				if w[k].Contains(t) {
+					next.Insert(t)
+				}
+			})
+			agg[key] = next
+		}
+	})
+	if aggErr != nil {
+		return nil, aggErr
+	}
+	out := worldset.New(ws.Names(), ws.Schemas())
+	ws.Each(func(w worldset.World) {
+		if aggErr != nil {
+			return
+		}
+		key, err := groupKey(w)
+		if err != nil {
+			aggErr = err
+			return
+		}
+		nw := append(worldset.World{}, w...)
+		nw[k] = agg[key]
+		out.Add(nw)
+	})
+	if aggErr != nil {
+		return nil, aggErr
+	}
+	return out, nil
+}

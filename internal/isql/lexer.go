@@ -1,0 +1,84 @@
+package isql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes an I-SQL input. Comments run from "--" to end of line.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				// Stop a trailing dot that is qualification, e.g. "1.CID"
+				// is not valid here, but "1.5" is; accept digits after dot.
+				if input[i] == '.' && (i+1 >= n || input[i+1] < '0' || input[i+1] > '9') {
+					break
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for i < n && input[i] != '\'' {
+				sb.WriteByte(input[i])
+				i++
+			}
+			if i >= n {
+				return nil, errf(start, "unterminated string literal")
+			}
+			i++ // closing quote
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "!=", "<>", "<=", ">=":
+				toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', '*', '=', '<', '>', '.', '+', '-', '/':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, errf(start, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,823 @@
+package isql
+
+import (
+	"strings"
+
+	"worldsetdb/internal/value"
+)
+
+// Parse parses a single I-SQL statement (a trailing semicolon is
+// allowed).
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, errf(p.peek().Pos, "unexpected trailing input %q", p.peek().Text)
+	}
+	return st, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(input string) ([]Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Statement
+	for !p.atEOF() {
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.accept(";") && !p.atEOF() {
+			return nil, errf(p.peek().Pos, "expected ';' between statements, got %q", p.peek().Text)
+		}
+		for p.accept(";") {
+		}
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token   { return p.toks[p.pos] }
+func (p *parser) atEOF() bool   { return p.peek().Kind == TokEOF }
+func (p *parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+// isKw reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) isKw(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectKw consumes the keyword or fails.
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errf(p.peek().Pos, "expected %q, got %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+// accept consumes the symbol if present.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.Kind == TokSymbol && t.Text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes the symbol or fails.
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return errf(p.peek().Pos, "expected %q, got %q", sym, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", errf(t.Pos, "expected identifier, got %q", t.Text)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isKw("select"):
+		return p.parseSelect()
+	case p.isKw("insert"):
+		return p.parseInsert()
+	case p.isKw("delete"):
+		return p.parseDelete()
+	case p.isKw("update"):
+		return p.parseUpdate()
+	case p.isKw("create"):
+		return p.parseCreate()
+	case p.isKw("drop"):
+		return p.parseDrop()
+	}
+	return nil, errf(p.peek().Pos, "expected a statement, got %q", p.peek().Text)
+}
+
+// reservedAfterFrom are keywords that terminate an implicit alias.
+var reservedAfterFrom = map[string]bool{
+	"where": true, "group": true, "choice": true, "repair": true,
+	"divide": true, "on": true, "as": true, "from": true, "and": true,
+	"or": true, "not": true, "in": true, "exists": true, "values": true,
+	"set": true, "order": true, "select": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.acceptKw("possible") {
+		s.Close = ClosePossible
+	} else if p.acceptKw("certain") {
+		s.Close = CloseCertain
+	}
+	if p.accept("*") {
+		s.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("divide") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		s.Divide = &DivideClause{Item: item, On: on}
+	}
+	if p.acceptKw("where") {
+		w, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	// "group by" vs "group worlds by" need lookahead.
+	for {
+		switch {
+		case p.isKw("group"):
+			mark := p.save()
+			p.next()
+			if p.acceptKw("worlds") {
+				if err := p.expectKw("by"); err != nil {
+					return nil, err
+				}
+				gw, err := p.parseGroupWorlds()
+				if err != nil {
+					return nil, err
+				}
+				s.GroupWorlds = gw
+				continue
+			}
+			if p.acceptKw("by") {
+				refs, err := p.parseRefList()
+				if err != nil {
+					return nil, err
+				}
+				s.GroupBy = refs
+				continue
+			}
+			p.restore(mark)
+			return s, nil
+		case p.isKw("choice"):
+			p.next()
+			if err := p.expectKw("of"); err != nil {
+				return nil, err
+			}
+			refs, err := p.parseRefList()
+			if err != nil {
+				return nil, err
+			}
+			s.ChoiceOf = refs
+		case p.isKw("repair"):
+			p.next()
+			if err := p.expectKw("by"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("key"); err != nil {
+				return nil, err
+			}
+			refs, err := p.parseRefList()
+			if err != nil {
+				return nil, err
+			}
+			s.RepairKey = refs
+		default:
+			return s, nil
+		}
+	}
+}
+
+func (p *parser) parseGroupWorlds() (*GroupWorldsClause, error) {
+	if p.accept("(") {
+		if p.isKw("select") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &GroupWorldsClause{Query: sub}, nil
+		}
+		refs, err := p.parseRefList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &GroupWorldsClause{Attrs: refs}, nil
+	}
+	refs, err := p.parseRefList()
+	if err != nil {
+		return nil, err
+	}
+	return &GroupWorldsClause{Attrs: refs}, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if t := p.peek(); t.Kind == TokIdent && !reservedAfterFrom[strings.ToLower(t.Text)] {
+		item.Alias = t.Text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	var item FromItem
+	if p.accept("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return item, err
+		}
+		if err := p.expect(")"); err != nil {
+			return item, err
+		}
+		item.Sub = sub
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Table = name
+	}
+	if p.acceptKw("as") {
+		a, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = a
+	} else if t := p.peek(); t.Kind == TokIdent && !reservedAfterFrom[strings.ToLower(t.Text)] {
+		item.Alias = t.Text
+		p.pos++
+	}
+	if item.Sub != nil && item.Alias == "" {
+		return item, errf(p.peek().Pos, "derived table requires an alias")
+	}
+	return item, nil
+}
+
+func (p *parser) parseRefList() ([]ColumnRef, error) {
+	var out []ColumnRef
+	for {
+		r, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.accept(".") {
+		col, err := p.ident()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Qualifier: name, Name: col}, nil
+	}
+	return ColumnRef{Name: name}, nil
+}
+
+// parseCondition parses a boolean expression (OR-level).
+func (p *parser) parseCondition() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("not") {
+		if p.isKw("exists") {
+			p.next()
+			sub, err := p.parseParenSelect()
+			if err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub, Neg: true}, nil
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.isKw("exists") {
+		p.next()
+		sub, err := p.parseParenSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseParenSelect() (*SelectStmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// IN / NOT IN.
+	if p.acceptKw("not") {
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseParenSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &InExpr{Left: l, Sub: sub, Neg: true}, nil
+	}
+	if p.acceptKw("in") {
+		sub, err := p.parseParenSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &InExpr{Left: l, Sub: sub}, nil
+	}
+	t := p.peek()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	// A parenthesized boolean expression is already a condition.
+	if isBooleanExpr(l) {
+		return l, nil
+	}
+	return nil, errf(t.Pos, "expected comparison operator, got %q", t.Text)
+}
+
+// isBooleanExpr reports whether e is condition-shaped (produced by a
+// comparison, connective or quantifier) rather than a scalar.
+func isBooleanExpr(e Expr) bool {
+	switch n := e.(type) {
+	case *LogicExpr, *NotExpr, *InExpr, *ExistsExpr:
+		return true
+	case *BinExpr:
+		switch n.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpr parses additive arithmetic.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+var aggFns = map[string]bool{"sum": true, "count": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &LitExpr{Val: value.Parse(t.Text)}, nil
+	case TokString:
+		p.next()
+		return &LitExpr{Val: value.Str(t.Text)}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			if p.isKw("select") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sub: sub}, nil
+			}
+			e, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "-" {
+			p.next()
+			e, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: "-", L: &LitExpr{Val: value.Int(0)}, R: e}, nil
+		}
+	case TokIdent:
+		lower := strings.ToLower(t.Text)
+		switch lower {
+		case "null":
+			p.next()
+			return &LitExpr{Val: value.Null()}, nil
+		case "true", "false":
+			p.next()
+			return &LitExpr{Val: value.Bool(lower == "true")}, nil
+		}
+		if aggFns[lower] && p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "(" {
+			p.next()
+			p.next() // '('
+			if p.accept("*") {
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return &AggExpr{Fn: lower, Star: true}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &AggExpr{Fn: lower, Arg: arg}, nil
+		}
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		return &ColExpr{Ref: ref}, nil
+	}
+	return nil, errf(t.Pos, "expected expression, got %q", t.Text)
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKw("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseLiteral() (value.Value, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return value.Parse(t.Text), nil
+	case TokString:
+		p.next()
+		return value.Str(t.Text), nil
+	case TokIdent:
+		lower := strings.ToLower(t.Text)
+		switch lower {
+		case "null":
+			p.next()
+			return value.Null(), nil
+		case "true", "false":
+			p.next()
+			return value.Bool(lower == "true"), nil
+		}
+	case TokSymbol:
+		if t.Text == "-" {
+			p.next()
+			v, err := p.parseLiteral()
+			if err != nil {
+				return value.Null(), err
+			}
+			switch v.Kind() {
+			case value.KindInt:
+				return value.Int(-v.AsInt()), nil
+			case value.KindFloat:
+				return value.Float(-v.AsFloat()), nil
+			}
+			return value.Null(), errf(t.Pos, "cannot negate non-numeric literal")
+		}
+	}
+	return value.Null(), errf(t.Pos, "expected literal, got %q", t.Text)
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKw("where") {
+		w, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKw("update"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Col: ref, Expr: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("where") {
+		w, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKw("create"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("view") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("as"); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{Name: name, Query: sub}, nil
+	}
+	if p.acceptKw("table") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptKw("as") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			return &CreateTableAsStmt{Name: name, Query: sub}, nil
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Name: name, Columns: cols}, nil
+	}
+	return nil, errf(p.peek().Pos, "expected VIEW or TABLE after CREATE")
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKw("drop"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}

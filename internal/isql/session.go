@@ -1,0 +1,349 @@
+package isql
+
+import (
+	"fmt"
+	"sort"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+)
+
+// Session is an I-SQL database: a world-set of named relations plus a
+// view catalog. The zero value is not usable; construct with NewSession
+// or FromDB.
+type Session struct {
+	ws    *worldset.WorldSet
+	views map[string]*SelectStmt
+	// MaxWorlds bounds world-set growth (repair-by-key is exponential);
+	// 0 means the package default of 1<<20.
+	MaxWorlds int
+}
+
+// NewSession returns a session over the empty complete database: one
+// world with no relations.
+func NewSession() *Session {
+	ws := worldset.New(nil, nil)
+	ws.Add(worldset.World{})
+	return &Session{ws: ws, views: map[string]*SelectStmt{}}
+}
+
+// FromDB returns a session whose world-set is the singleton {A} for the
+// given complete database.
+func FromDB(names []string, rels []*relation.Relation) *Session {
+	return &Session{ws: worldset.FromDB(names, rels), views: map[string]*SelectStmt{}}
+}
+
+// FromWorldSet returns a session over an existing world-set.
+func FromWorldSet(ws *worldset.WorldSet) *Session {
+	return &Session{ws: ws, views: map[string]*SelectStmt{}}
+}
+
+// WorldSet returns the session's current world-set.
+func (s *Session) WorldSet() *worldset.WorldSet { return s.ws }
+
+// Views returns the names of registered views, sorted.
+func (s *Session) Views() []string {
+	out := make([]string, 0, len(s.views))
+	for n := range s.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Session) maxWorlds() int {
+	if s.MaxWorlds == 0 {
+		return 1 << 20
+	}
+	return s.MaxWorlds
+}
+
+// Result reports the outcome of executing a statement.
+type Result struct {
+	// Answers holds, for a select, the distinct answer relations across
+	// worlds in deterministic order (a 1↦1 query yields exactly one).
+	Answers []*relation.Relation
+	// WorldSet is the world-set after the statement, extended with the
+	// answer relation for a select (named Answer).
+	WorldSet *worldset.WorldSet
+	// Affected counts modified tuples per world summed over worlds, for
+	// DML statements.
+	Affected int
+}
+
+// answerName is the name of a select's answer relation in Result.WorldSet.
+const answerName = "$ans"
+
+// ExecString parses and executes one statement.
+func (s *Session) ExecString(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Exec(st)
+}
+
+// ExecScript parses and executes a semicolon-separated script, returning
+// the result of the last statement.
+func (s *Session) ExecScript(sql string) (*Result, error) {
+	stmts, err := ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		if last, err = s.Exec(st); err != nil {
+			return nil, fmt.Errorf("executing %q: %w", st, err)
+		}
+	}
+	return last, nil
+}
+
+// Exec executes a statement against the session. Select statements do
+// not modify the session; DML, create and drop statements do.
+func (s *Session) Exec(st Statement) (*Result, error) {
+	switch n := st.(type) {
+	case *SelectStmt:
+		out, err := s.evalSelect(n, s.ws, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Answers: distinctAnswers(out), WorldSet: out}, nil
+
+	case *CreateTableAsStmt:
+		if s.ws.IndexOf(n.Name) >= 0 || s.views[n.Name] != nil {
+			return nil, fmt.Errorf("isql: relation %q already exists", n.Name)
+		}
+		out, err := s.evalSelect(n.Query, s.ws, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.ws = renameLastRelation(out, n.Name)
+		return &Result{WorldSet: s.ws}, nil
+
+	case *CreateViewStmt:
+		if s.ws.IndexOf(n.Name) >= 0 || s.views[n.Name] != nil {
+			return nil, fmt.Errorf("isql: relation %q already exists", n.Name)
+		}
+		// Validate the view body against the current schema by a dry
+		// run on an empty world-set clone of the schema.
+		if _, err := s.evalSelect(n.Query, s.ws, nil); err != nil {
+			return nil, fmt.Errorf("isql: invalid view %q: %w", n.Name, err)
+		}
+		s.views[n.Name] = n.Query
+		return &Result{WorldSet: s.ws}, nil
+
+	case *CreateTableStmt:
+		if s.ws.IndexOf(n.Name) >= 0 || s.views[n.Name] != nil {
+			return nil, fmt.Errorf("isql: relation %q already exists", n.Name)
+		}
+		schema := relation.NewSchema(n.Columns...)
+		s.ws = s.ws.Extend(n.Name, schema, func(worldset.World) *relation.Relation {
+			return relation.New(schema)
+		})
+		return &Result{WorldSet: s.ws}, nil
+
+	case *DropTableStmt:
+		idx := s.ws.IndexOf(n.Name)
+		if idx < 0 {
+			if _, ok := s.views[n.Name]; ok {
+				delete(s.views, n.Name)
+				return &Result{WorldSet: s.ws}, nil
+			}
+			return nil, fmt.Errorf("isql: unknown relation %q", n.Name)
+		}
+		s.ws = dropRelation(s.ws, idx)
+		return &Result{WorldSet: s.ws}, nil
+
+	case *InsertStmt:
+		return s.execInsert(n)
+	case *DeleteStmt:
+		return s.execDelete(n)
+	case *UpdateStmt:
+		return s.execUpdate(n)
+	}
+	return nil, fmt.Errorf("isql: unsupported statement %T", st)
+}
+
+// distinctAnswers extracts the deduplicated answer relations of an
+// evaluated select, in deterministic order.
+func distinctAnswers(ws *worldset.WorldSet) []*relation.Relation {
+	k := ws.NumRelations() - 1
+	seen := map[string]*relation.Relation{}
+	for _, w := range ws.Worlds() {
+		seen[w[k].ContentKey()] = w[k]
+	}
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]*relation.Relation, len(keys))
+	for i, key := range keys {
+		out[i] = seen[key]
+	}
+	return out
+}
+
+func renameLastRelation(ws *worldset.WorldSet, name string) *worldset.WorldSet {
+	names := append([]string{}, ws.Names()...)
+	names[len(names)-1] = name
+	out := worldset.New(names, ws.Schemas())
+	ws.Each(func(w worldset.World) { out.Add(w) })
+	return out
+}
+
+func dropRelation(ws *worldset.WorldSet, idx int) *worldset.WorldSet {
+	names := append([]string{}, ws.Names()...)
+	schemas := append([]relation.Schema{}, ws.Schemas()...)
+	names = append(names[:idx], names[idx+1:]...)
+	schemas = append(schemas[:idx], schemas[idx+1:]...)
+	out := worldset.New(names, schemas)
+	ws.Each(func(w worldset.World) {
+		nw := make(worldset.World, 0, len(w)-1)
+		nw = append(nw, w[:idx]...)
+		nw = append(nw, w[idx+1:]...)
+		out.Add(nw)
+	})
+	return out
+}
+
+func (s *Session) execInsert(n *InsertStmt) (*Result, error) {
+	idx := s.ws.IndexOf(n.Table)
+	if idx < 0 {
+		return nil, fmt.Errorf("isql: unknown relation %q", n.Table)
+	}
+	schema := s.ws.Schemas()[idx]
+	for _, row := range n.Rows {
+		if len(row) != len(schema) {
+			return nil, fmt.Errorf("isql: insert arity %d does not match schema %v", len(row), schema)
+		}
+	}
+	affected := 0
+	out := worldset.New(s.ws.Names(), s.ws.Schemas())
+	s.ws.Each(func(w worldset.World) {
+		nw := append(worldset.World{}, w...)
+		nr := nw[idx].Clone()
+		for _, row := range n.Rows {
+			if nr.Insert(relation.Tuple(row)) {
+				affected++
+			}
+		}
+		nw[idx] = nr
+		out.Add(nw)
+	})
+	s.ws = out
+	return &Result{WorldSet: s.ws, Affected: affected}, nil
+}
+
+func (s *Session) execDelete(n *DeleteStmt) (*Result, error) {
+	idx := s.ws.IndexOf(n.Table)
+	if idx < 0 {
+		return nil, fmt.Errorf("isql: unknown relation %q", n.Table)
+	}
+	schema := s.ws.Schemas()[idx]
+	affected := 0
+	out := worldset.New(s.ws.Names(), s.ws.Schemas())
+	var evalErr error
+	s.ws.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		nw := append(worldset.World{}, w...)
+		nr := relation.New(schema)
+		ctx := &evalCtx{session: s, world: w, names: s.ws.Names(), schemas: s.ws.Schemas(), schema: schema}
+		nw[idx].Each(func(t relation.Tuple) {
+			if evalErr != nil {
+				return
+			}
+			keep := true
+			if n.Where != nil {
+				ctx.tuple = t
+				match, err := ctx.evalBool(n.Where)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				keep = !match
+			} else {
+				keep = false
+			}
+			if keep {
+				nr.Insert(t)
+			} else {
+				affected++
+			}
+		})
+		nw[idx] = nr
+		out.Add(nw)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	s.ws = out
+	return &Result{WorldSet: s.ws, Affected: affected}, nil
+}
+
+func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
+	idx := s.ws.IndexOf(n.Table)
+	if idx < 0 {
+		return nil, fmt.Errorf("isql: unknown relation %q", n.Table)
+	}
+	schema := s.ws.Schemas()[idx]
+	setIdx := make([]int, len(n.Sets))
+	for i, sc := range n.Sets {
+		j := schema.Index(sc.Col.Full())
+		if j < 0 {
+			return nil, fmt.Errorf("isql: unknown column %q in update", sc.Col.Full())
+		}
+		setIdx[i] = j
+	}
+	affected := 0
+	out := worldset.New(s.ws.Names(), s.ws.Schemas())
+	var evalErr error
+	s.ws.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		nw := append(worldset.World{}, w...)
+		nr := relation.New(schema)
+		ctx := &evalCtx{session: s, world: w, names: s.ws.Names(), schemas: s.ws.Schemas(), schema: schema}
+		nw[idx].Each(func(t relation.Tuple) {
+			if evalErr != nil {
+				return
+			}
+			ctx.tuple = t
+			match := true
+			if n.Where != nil {
+				m, err := ctx.evalBool(n.Where)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				match = m
+			}
+			if !match {
+				nr.Insert(t)
+				return
+			}
+			nt := t.Clone()
+			for i, sc := range n.Sets {
+				v, err := ctx.evalExpr(sc.Expr)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				nt[setIdx[i]] = v
+			}
+			nr.Insert(nt)
+			affected++
+		})
+		nw[idx] = nr
+		out.Add(nw)
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	s.ws = out
+	return &Result{WorldSet: s.ws, Affected: affected}, nil
+}

@@ -1,0 +1,84 @@
+package isql
+
+import (
+	"fmt"
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// colorSession builds the Proposition 4.2 reduction instance: Vert(V),
+// Edge(U, W) and Palette(Col) = {r, g, b}.
+func colorSession(vertices int, edges [][2]int) *Session {
+	vert := relation.New(relation.NewSchema("V"))
+	for i := 0; i < vertices; i++ {
+		vert.InsertValues(value.Str(fmt.Sprintf("v%d", i)))
+	}
+	edge := relation.New(relation.NewSchema("U", "W"))
+	for _, e := range edges {
+		edge.InsertValues(value.Str(fmt.Sprintf("v%d", e[0])), value.Str(fmt.Sprintf("v%d", e[1])))
+	}
+	palette := relation.New(relation.NewSchema("Col"))
+	for _, c := range []string{"r", "g", "b"} {
+		palette.InsertValues(value.Str(c))
+	}
+	return FromDB([]string{"Vert", "Edge", "Palette"},
+		[]*relation.Relation{vert, edge, palette})
+}
+
+// threeColorable runs the guess-and-check program of Proposition 4.2:
+// repair-by-key over Vert × Palette enumerates all colorings as possible
+// worlds; the check query lists monochromatic edges per world. The graph
+// is 3-colorable iff some world has no monochromatic edge.
+func threeColorable(t *testing.T, s *Session) bool {
+	t.Helper()
+	mustExec(t, s, `create table Coloring as
+		select V, Col from Vert, Palette repair by key V;`)
+	res := mustExec(t, s, `select C1.V from Edge, Coloring C1, Coloring C2
+		where Edge.U = C1.V and Edge.W = C2.V and C1.Col = C2.Col;`)
+	for _, ans := range res.Answers {
+		if ans.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestThreeColorabilityReduction checks the Proposition 4.2 reduction on
+// graphs with known chromatic numbers: a triangle (χ=3), the complete
+// graph K4 (χ=4), the odd cycle C5 (χ=3) and a path (χ=2).
+func TestThreeColorabilityReduction(t *testing.T) {
+	cases := []struct {
+		name     string
+		vertices int
+		edges    [][2]int
+		want     bool
+	}{
+		{"triangle", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, true},
+		{"K4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, false},
+		{"C5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, true},
+		{"path", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			s := colorSession(c.vertices, c.edges)
+			if got := threeColorable(t, s); got != c.want {
+				t.Fatalf("3-colorable(%s) = %v, want %v", c.name, got, c.want)
+			}
+		})
+	}
+}
+
+// TestColoringWorldCount checks that the repair-by-key enumeration
+// creates exactly 3^|V| worlds — the exponential blowup Proposition 4.2
+// exploits.
+func TestColoringWorldCount(t *testing.T) {
+	s := colorSession(4, [][2]int{{0, 1}})
+	mustExec(t, s, `create table Coloring as
+		select V, Col from Vert, Palette repair by key V;`)
+	if got, want := s.WorldSet().Len(), 81; got != want {
+		t.Fatalf("coloring worlds = %d, want 3^4 = %d", got, want)
+	}
+}

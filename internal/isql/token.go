@@ -1,0 +1,54 @@
+// Package isql implements I-SQL, the SQL analog for incomplete
+// information of §3 of the paper: the standard SQL skeleton plus the
+// possible/certain closing constructs, choice-of, repair-by-key and
+// group-worlds-by, with data manipulation commands executed under the
+// possible-worlds semantics (Figure 1).
+//
+// The package contains a lexer, a recursive-descent parser, a direct
+// evaluator over world-sets (including the SQL aggregation the paper
+// uses in its TPC-H scenario, which World-set Algebra deliberately
+// omits), and a compiler from the clean fragment to World-set Algebra.
+package isql
+
+import "fmt"
+
+// TokKind classifies lexer tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical unit. Keywords are TokIdent; the parser matches
+// them case-insensitively.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "<eof>"
+	}
+	return t.Text
+}
+
+// SyntaxError reports a parse failure with position information.
+type SyntaxError struct {
+	Pos     int
+	Message string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("isql: syntax error at offset %d: %s", e.Pos, e.Message)
+}
+
+func errf(pos int, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,111 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+var (
+	names   = []string{"R", "S"}
+	schemas = []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+)
+
+// checkAgainstReference runs q through the physical executor and the
+// Figure 3 reference semantics and compares world-sets.
+func checkAgainstReference(t *testing.T, q wsa.Expr, ws *worldset.WorldSet) {
+	t.Helper()
+	want, err := wsa.Eval(q, ws)
+	if err != nil {
+		t.Fatalf("reference %s: %v", q, err)
+	}
+	got, err := EvalWorldSet(q, ws)
+	if err != nil {
+		t.Fatalf("physical %s: %v", q, err)
+	}
+	if !got.EqualWorlds(want) {
+		t.Fatalf("physical executor disagrees for %s\ninput:\n%s\nreference:\n%s\nphysical:\n%s",
+			q, ws, want, got)
+	}
+}
+
+// TestPhysicalTripPlanning checks the §2 query end to end.
+func TestPhysicalTripPlanning(t *testing.T) {
+	ws := worldset.FromDB([]string{"HFlights"}, []*relation.Relation{datagen.PaperFlights()})
+	q := wsa.NewCert(&wsa.Project{Columns: []string{"Arr"},
+		From: &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}})
+	out, err := EvalWorldSet(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range out.Worlds() {
+		ans := w[len(w)-1]
+		if ans.Len() != 1 {
+			t.Fatalf("certain arrivals should be {ATL}, got %v", ans)
+		}
+	}
+	checkAgainstReference(t, q, ws)
+}
+
+// TestPhysicalOperators covers each dedicated operator against the
+// reference semantics on the shared schema.
+func TestPhysicalOperators(t *testing.T) {
+	rel := func(n string) wsa.Expr { return &wsa.Rel{Name: n} }
+	queries := []wsa.Expr{
+		rel("R"),
+		&wsa.Project{Columns: []string{"B"}, From: rel("R")},
+		wsa.NewPoss(&wsa.Choice{Attrs: []string{"A"}, From: rel("R")}),
+		wsa.NewCert(&wsa.Choice{Attrs: []string{"A"}, From: rel("R")}),
+		wsa.NewCert(&wsa.Project{Columns: []string{"B"},
+			From: &wsa.Choice{Attrs: []string{"A"}, From: rel("R")}}),
+		wsa.NewPossGroup([]string{"B"}, []string{"A", "B"},
+			&wsa.Choice{Attrs: []string{"A"}, From: rel("R")}),
+		wsa.NewCertGroup([]string{"B"}, []string{"A"},
+			&wsa.Choice{Attrs: []string{"A"}, From: rel("R")}),
+		wsa.NewUnion(
+			&wsa.Project{Columns: []string{"A"}, From: &wsa.Choice{Attrs: []string{"A"}, From: rel("R")}},
+			&wsa.Choice{Attrs: []string{"C"}, From: rel("S")}),
+		wsa.NewProduct(
+			&wsa.Project{Columns: []string{"A"}, From: &wsa.Choice{Attrs: []string{"B"}, From: rel("R")}},
+			rel("S")),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, q := range queries {
+		for i := 0; i < 10; i++ {
+			ws := datagen.RandomWorldSet(rng, names, schemas, 3, 4, 3)
+			checkAgainstReference(t, q, ws)
+		}
+	}
+}
+
+// TestPhysicalFuzz cross-checks the executor on random queries — the
+// same regime as the translation fuzzers.
+func TestPhysicalFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(4242))
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	for qi := 0; qi < 150; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		for wi := 0; wi < 3; wi++ {
+			ws := datagen.RandomWorldSet(rng, names, schemas, 3, 3, 3)
+			checkAgainstReference(t, q, ws)
+		}
+	}
+}
+
+// TestPhysicalRejectsRepair: repair-by-key stays with the reference
+// evaluator.
+func TestPhysicalRejectsRepair(t *testing.T) {
+	ws := worldset.FromDB([]string{"R"}, []*relation.Relation{datagen.Fig5R()})
+	q := &wsa.RepairKey{Attrs: []string{"A"}, From: &wsa.Rel{Name: "R"}}
+	if _, err := EvalWorldSet(q, ws); err == nil {
+		t.Fatal("expected an error for repair-by-key")
+	}
+}

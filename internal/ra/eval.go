@@ -1,0 +1,400 @@
+package ra
+
+import (
+	"fmt"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// Eval implements Expr.
+func (b *Base) Eval(db DB) (*relation.Relation, error) {
+	r, ok := db[b.Name]
+	if !ok {
+		return nil, fmt.Errorf("ra: unknown relation %q", b.Name)
+	}
+	return r, nil
+}
+
+// Eval implements Expr.
+func (s *Select) Eval(db DB) (*relation.Relation, error) {
+	in, err := s.From.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := s.Pred.Compile(in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(in.Schema())
+	in.Each(func(t relation.Tuple) {
+		if pred(t) {
+			out.Insert(t)
+		}
+	})
+	return out, nil
+}
+
+// Eval implements Expr.
+func (p *Project) Eval(db DB) (*relation.Relation, error) {
+	in, err := p.From.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]string, len(p.Columns))
+	names := make(relation.Schema, len(p.Columns))
+	for i, c := range p.Columns {
+		srcs[i] = c.Src
+		names[i] = c.As
+	}
+	idx, err := in.Schema().Indexes(srcs)
+	if err != nil {
+		return nil, fmt.Errorf("ra: project: %w", err)
+	}
+	if dup := firstDuplicate(names); dup != "" {
+		return nil, fmt.Errorf("ra: duplicate output attribute %q in projection", dup)
+	}
+	return in.Project(idx, names), nil
+}
+
+// Eval implements Expr.
+func (r *Rename) Eval(db DB) (*relation.Relation, error) {
+	in, err := r.From.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.mapped(in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return in.WithSchema(out), nil
+}
+
+// Eval implements Expr.
+func (p *Product) Eval(db DB) (*relation.Relation, error) {
+	l, err := p.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	if shared := l.Schema().Intersect(r.Schema()); len(shared) > 0 {
+		return nil, fmt.Errorf("ra: product operands share attributes %v", shared)
+	}
+	out := relation.New(l.Schema().Concat(r.Schema()))
+	l.Each(func(lt relation.Tuple) {
+		r.Each(func(rt relation.Tuple) {
+			t := make(relation.Tuple, 0, len(lt)+len(rt))
+			t = append(append(t, lt...), rt...)
+			out.Insert(t)
+		})
+	})
+	return out, nil
+}
+
+// Eval implements Expr. Equality conjuncts between the operands are
+// executed as a hash join; residual conjuncts filter the matches.
+func (j *Join) Eval(db DB) (*relation.Relation, error) {
+	l, err := j.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := l.Schema().Concat(r.Schema())
+	pairs, rest := equiPairs(j.Pred, l.Schema(), r.Schema())
+	residual, err := Conj(rest...).Compile(outSchema)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema)
+	emit := func(lt, rt relation.Tuple) {
+		t := make(relation.Tuple, 0, len(lt)+len(rt))
+		t = append(append(t, lt...), rt...)
+		if residual(t) {
+			out.Insert(t)
+		}
+	}
+	if len(pairs) == 0 {
+		l.Each(func(lt relation.Tuple) {
+			r.Each(func(rt relation.Tuple) { emit(lt, rt) })
+		})
+		return out, nil
+	}
+	// Hash join: build on the right operand.
+	build := make(map[string][]relation.Tuple, r.Len())
+	r.Each(func(rt relation.Tuple) {
+		var k []byte
+		for _, pr := range pairs {
+			k = rt[pr[1]].AppendKey(k)
+			k = append(k, 0x1f)
+		}
+		build[string(k)] = append(build[string(k)], rt)
+	})
+	l.Each(func(lt relation.Tuple) {
+		var k []byte
+		for _, pr := range pairs {
+			k = lt[pr[0]].AppendKey(k)
+			k = append(k, 0x1f)
+		}
+		for _, rt := range build[string(k)] {
+			emit(lt, rt)
+		}
+	})
+	return out, nil
+}
+
+// naturalParts computes the shared attributes and the join plumbing for
+// natural-join-family operators.
+type naturalPlan struct {
+	shared    relation.Schema
+	lIdx      []int // positions of shared attrs in left schema
+	rIdx      []int // positions of shared attrs in right schema
+	rRestIdx  []int // positions of non-shared attrs in right schema
+	outSchema relation.Schema
+}
+
+func planNatural(l, r *relation.Relation) (naturalPlan, error) {
+	var p naturalPlan
+	p.shared = l.Schema().Intersect(r.Schema())
+	var err error
+	p.lIdx, err = l.Schema().Indexes(p.shared)
+	if err != nil {
+		return p, err
+	}
+	p.rIdx, err = r.Schema().Indexes(p.shared)
+	if err != nil {
+		return p, err
+	}
+	rest := r.Schema().Minus(l.Schema())
+	p.rRestIdx, err = r.Schema().Indexes(rest)
+	if err != nil {
+		return p, err
+	}
+	p.outSchema = l.Schema().Concat(rest)
+	return p, nil
+}
+
+func hashKey(t relation.Tuple, idx []int) string {
+	var k []byte
+	for _, i := range idx {
+		k = t[i].AppendKey(k)
+		k = append(k, 0x1f)
+	}
+	return string(k)
+}
+
+// Eval implements Expr.
+func (j *NaturalJoin) Eval(db DB) (*relation.Relation, error) {
+	l, err := j.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	p, err := planNatural(l, r)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.outSchema)
+	build := make(map[string][]relation.Tuple, r.Len())
+	r.Each(func(rt relation.Tuple) {
+		k := hashKey(rt, p.rIdx)
+		build[k] = append(build[k], rt)
+	})
+	l.Each(func(lt relation.Tuple) {
+		for _, rt := range build[hashKey(lt, p.lIdx)] {
+			t := make(relation.Tuple, 0, len(p.outSchema))
+			t = append(t, lt...)
+			for _, i := range p.rRestIdx {
+				t = append(t, rt[i])
+			}
+			out.Insert(t)
+		}
+	})
+	return out, nil
+}
+
+// Eval implements Expr: R ⋈ S plus dangling R-tuples padded with the
+// constant c.
+func (j *LeftOuterPad) Eval(db DB) (*relation.Relation, error) {
+	l, err := j.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	p, err := planNatural(l, r)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.outSchema)
+	build := make(map[string][]relation.Tuple, r.Len())
+	r.Each(func(rt relation.Tuple) {
+		k := hashKey(rt, p.rIdx)
+		build[k] = append(build[k], rt)
+	})
+	nPad := len(p.rRestIdx)
+	l.Each(func(lt relation.Tuple) {
+		matches := build[hashKey(lt, p.lIdx)]
+		if len(matches) == 0 {
+			t := make(relation.Tuple, 0, len(p.outSchema))
+			t = append(t, lt...)
+			for i := 0; i < nPad; i++ {
+				t = append(t, value.Pad())
+			}
+			out.Insert(t)
+			return
+		}
+		for _, rt := range matches {
+			t := make(relation.Tuple, 0, len(p.outSchema))
+			t = append(t, lt...)
+			for _, i := range p.rRestIdx {
+				t = append(t, rt[i])
+			}
+			out.Insert(t)
+		}
+	})
+	return out, nil
+}
+
+func evalSetOperands(db DB, le, re Expr, op string) (*relation.Relation, *relation.Relation, error) {
+	l, err := le.Eval(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := re.Eval(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(l.Schema()) != len(r.Schema()) {
+		return nil, nil, fmt.Errorf("ra: %s operands have arities %d and %d", op, len(l.Schema()), len(r.Schema()))
+	}
+	return l, r, nil
+}
+
+// Eval implements Expr.
+func (u *Union) Eval(db DB) (*relation.Relation, error) {
+	l, r, err := evalSetOperands(db, u.L, u.R, "∪")
+	if err != nil {
+		return nil, err
+	}
+	out := l.Clone()
+	r.Each(func(t relation.Tuple) { out.Insert(t) })
+	return out, nil
+}
+
+// Eval implements Expr.
+func (d *Diff) Eval(db DB) (*relation.Relation, error) {
+	l, r, err := evalSetOperands(db, d.L, d.R, "−")
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Schema())
+	l.Each(func(t relation.Tuple) {
+		if !r.Contains(t) {
+			out.Insert(t)
+		}
+	})
+	return out, nil
+}
+
+// Eval implements Expr.
+func (i *Intersect) Eval(db DB) (*relation.Relation, error) {
+	l, r, err := evalSetOperands(db, i.L, i.R, "∩")
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Schema())
+	l.Each(func(t relation.Tuple) {
+		if r.Contains(t) {
+			out.Insert(t)
+		}
+	})
+	return out, nil
+}
+
+// Eval implements Expr. Division groups the dividend by its D-attributes
+// and keeps groups covering every divisor tuple.
+func (d *Divide) Eval(db DB) (*relation.Relation, error) {
+	l, err := d.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := d.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	shared := l.Schema().Intersect(r.Schema())
+	if len(shared) != len(r.Schema()) {
+		return nil, fmt.Errorf("ra: divisor schema %v not contained in dividend schema %v", r.Schema(), l.Schema())
+	}
+	dAttrs := l.Schema().Minus(r.Schema())
+	dIdx, err := l.Schema().Indexes(dAttrs)
+	if err != nil {
+		return nil, err
+	}
+	lShared, err := l.Schema().Indexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	rShared, err := r.Schema().Indexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	divisor := make(map[string]bool, r.Len())
+	r.Each(func(t relation.Tuple) { divisor[hashKey(t, rShared)] = true })
+
+	covered := make(map[string]map[string]bool)
+	rep := make(map[string]relation.Tuple)
+	l.Each(func(t relation.Tuple) {
+		dk := hashKey(t, dIdx)
+		sk := hashKey(t, lShared)
+		if !divisor[sk] {
+			// Tuples pairing d with non-divisor values do not help
+			// coverage; standard division ignores them.
+			if _, ok := covered[dk]; !ok {
+				covered[dk] = make(map[string]bool)
+				rep[dk] = t
+			}
+			return
+		}
+		m, ok := covered[dk]
+		if !ok {
+			m = make(map[string]bool)
+			covered[dk] = m
+			rep[dk] = t
+		}
+		m[sk] = true
+	})
+	out := relation.New(dAttrs)
+	for dk, m := range covered {
+		if len(m) == len(divisor) {
+			t := rep[dk]
+			p := make(relation.Tuple, len(dIdx))
+			for i, j := range dIdx {
+				p[i] = t[j]
+			}
+			out.Insert(p)
+		}
+	}
+	return out, nil
+}
+
+// MustEval evaluates e against db, panicking on error. For tests and
+// examples where the expression is statically known to be well-formed.
+func MustEval(e Expr, db DB) *relation.Relation {
+	r, err := e.Eval(db)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

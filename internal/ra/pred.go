@@ -1,0 +1,287 @@
+// Package ra implements the named-perspective relational algebra the
+// paper builds on (§4.1): selection σ, projection π (generalized with
+// renaming, so π_{D, B as V_B} is a single operator), renaming δ,
+// product ×, union ∪, difference −, intersection ∩, theta and natural
+// joins ⋈, division ÷, and the padded left outer join =⊲⊳ of Remark 5.5.
+//
+// Expressions evaluate against a DB (a catalog of named relations) and
+// produce fresh relations; the evaluator uses hash-based algorithms for
+// joins and set operations.
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// CmpOp is a comparison operator in a selection condition.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Apply evaluates the comparison on two values.
+func (o CmpOp) Apply(a, b value.Value) bool {
+	c := a.Compare(b)
+	switch o {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Operand is one side of a comparison: an attribute or a constant.
+type Operand struct {
+	Col     string      // attribute name if IsCol
+	Const   value.Value // constant otherwise
+	IsCol   bool
+	colIdx  int // resolved by compile
+	isBound bool
+}
+
+// Col returns an attribute operand.
+func Col(name string) Operand { return Operand{Col: name, IsCol: true} }
+
+// Const returns a constant operand.
+func Const(v value.Value) Operand { return Operand{Const: v} }
+
+func (o Operand) String() string {
+	if o.IsCol {
+		return o.Col
+	}
+	if o.Const.Kind() == value.KindString {
+		return "'" + o.Const.String() + "'"
+	}
+	return o.Const.String()
+}
+
+// Pred is a selection condition over the tuples of a single schema.
+type Pred interface {
+	// Compile resolves attribute references against a schema, returning
+	// an evaluator closure.
+	Compile(s relation.Schema) (func(relation.Tuple) bool, error)
+	// Columns appends the attribute names referenced by the predicate.
+	Columns(dst []string) []string
+	String() string
+}
+
+// True is the always-true predicate.
+type True struct{}
+
+// Compile implements Pred.
+func (True) Compile(relation.Schema) (func(relation.Tuple) bool, error) {
+	return func(relation.Tuple) bool { return true }, nil
+}
+
+// Columns implements Pred.
+func (True) Columns(dst []string) []string { return dst }
+
+func (True) String() string { return "true" }
+
+// Cmp compares two operands.
+type Cmp struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// Eq builds the equality comparison l = r on two attributes.
+func Eq(l, r string) Cmp { return Cmp{Left: Col(l), Op: OpEq, Right: Col(r)} }
+
+// EqConst builds the comparison attr = const.
+func EqConst(attr string, v value.Value) Cmp {
+	return Cmp{Left: Col(attr), Op: OpEq, Right: Const(v)}
+}
+
+// NeConst builds the comparison attr != const.
+func NeConst(attr string, v value.Value) Cmp {
+	return Cmp{Left: Col(attr), Op: OpNe, Right: Const(v)}
+}
+
+// Ne builds the comparison l != r on two attributes.
+func Ne(l, r string) Cmp { return Cmp{Left: Col(l), Op: OpNe, Right: Col(r)} }
+
+// Compile implements Pred.
+func (c Cmp) Compile(s relation.Schema) (func(relation.Tuple) bool, error) {
+	get := func(o Operand) (func(relation.Tuple) value.Value, error) {
+		if !o.IsCol {
+			v := o.Const
+			return func(relation.Tuple) value.Value { return v }, nil
+		}
+		i := s.Index(o.Col)
+		if i < 0 {
+			return nil, fmt.Errorf("ra: attribute %q not in schema %v", o.Col, s)
+		}
+		return func(t relation.Tuple) value.Value { return t[i] }, nil
+	}
+	l, err := get(c.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := get(c.Right)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(t relation.Tuple) bool { return op.Apply(l(t), r(t)) }, nil
+}
+
+// Columns implements Pred.
+func (c Cmp) Columns(dst []string) []string {
+	if c.Left.IsCol {
+		dst = append(dst, c.Left.Col)
+	}
+	if c.Right.IsCol {
+		dst = append(dst, c.Right.Col)
+	}
+	return dst
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s%s%s", c.Left, c.Op, c.Right)
+}
+
+// And is conjunction.
+type And struct{ L, R Pred }
+
+// Conj folds a list of predicates into a conjunction (True if empty).
+func Conj(ps ...Pred) Pred {
+	var out Pred = True{}
+	for i, p := range ps {
+		if i == 0 {
+			out = p
+		} else {
+			out = And{out, p}
+		}
+	}
+	return out
+}
+
+// Compile implements Pred.
+func (a And) Compile(s relation.Schema) (func(relation.Tuple) bool, error) {
+	l, err := a.L.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t relation.Tuple) bool { return l(t) && r(t) }, nil
+}
+
+// Columns implements Pred.
+func (a And) Columns(dst []string) []string { return a.R.Columns(a.L.Columns(dst)) }
+
+func (a And) String() string { return a.L.String() + " ∧ " + a.R.String() }
+
+// Or is disjunction.
+type Or struct{ L, R Pred }
+
+// Compile implements Pred.
+func (o Or) Compile(s relation.Schema) (func(relation.Tuple) bool, error) {
+	l, err := o.L.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.R.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t relation.Tuple) bool { return l(t) || r(t) }, nil
+}
+
+// Columns implements Pred.
+func (o Or) Columns(dst []string) []string { return o.R.Columns(o.L.Columns(dst)) }
+
+func (o Or) String() string { return "(" + o.L.String() + " ∨ " + o.R.String() + ")" }
+
+// Not is negation.
+type Not struct{ P Pred }
+
+// Compile implements Pred.
+func (n Not) Compile(s relation.Schema) (func(relation.Tuple) bool, error) {
+	p, err := n.P.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t relation.Tuple) bool { return !p(t) }, nil
+}
+
+// Columns implements Pred.
+func (n Not) Columns(dst []string) []string { return n.P.Columns(dst) }
+
+func (n Not) String() string { return "¬(" + n.P.String() + ")" }
+
+// equiPairs extracts attribute pairs (l, r) from the conjunctive closure
+// of p such that l resolves only in ls and r only in rs (or vice versa).
+// remainder collects conjuncts that are not such equalities. Used by the
+// hash-join planner inside the evaluator.
+func equiPairs(p Pred, ls, rs relation.Schema) (pairs [][2]int, remainder []Pred) {
+	switch q := p.(type) {
+	case And:
+		p1, r1 := equiPairs(q.L, ls, rs)
+		p2, r2 := equiPairs(q.R, ls, rs)
+		return append(p1, p2...), append(r1, r2...)
+	case Cmp:
+		if q.Op == OpEq && q.Left.IsCol && q.Right.IsCol {
+			li, ri := ls.Index(q.Left.Col), rs.Index(q.Right.Col)
+			if li >= 0 && ri >= 0 && rs.Index(q.Left.Col) < 0 && ls.Index(q.Right.Col) < 0 {
+				return [][2]int{{li, ri}}, nil
+			}
+			li, ri = ls.Index(q.Right.Col), rs.Index(q.Left.Col)
+			if li >= 0 && ri >= 0 && rs.Index(q.Right.Col) < 0 && ls.Index(q.Left.Col) < 0 {
+				return [][2]int{{li, ri}}, nil
+			}
+		}
+	case True:
+		return nil, nil
+	}
+	return nil, []Pred{p}
+}
+
+func predList(ps []Pred) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,299 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+func tup(vals ...int64) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = value.Int(v)
+	}
+	return t
+}
+
+func randomRel(rng *rand.Rand, schema relation.Schema, domain, maxRows int) *relation.Relation {
+	r := relation.New(schema)
+	for i := 0; i < rng.Intn(maxRows+1); i++ {
+		t := make(relation.Tuple, len(schema))
+		for j := range t {
+			t[j] = value.Int(int64(rng.Intn(domain)))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+func testDB(rng *rand.Rand) DB {
+	return DB{
+		"R": randomRel(rng, relation.NewSchema("A", "B"), 3, 8),
+		"S": randomRel(rng, relation.NewSchema("B", "C"), 3, 8),
+		"T": randomRel(rng, relation.NewSchema("D"), 3, 4),
+	}
+}
+
+// TestSelectProject checks σ and generalized π on a fixture.
+func TestSelectProject(t *testing.T) {
+	db := DB{"R": relation.FromRows(relation.NewSchema("A", "B"),
+		tup(1, 2), tup(2, 3), tup(2, 4))}
+	got := MustEval(&Select{Pred: EqConst("A", value.Int(2)), From: &Base{Name: "R"}}, db)
+	if got.Len() != 2 {
+		t.Fatalf("σ_A=2 should keep 2 rows, got %d", got.Len())
+	}
+	// Generalized projection with a duplicated, renamed column.
+	p := &Project{Columns: []ProjCol{{As: "A", Src: "A"}, {As: "A2", Src: "A"}}, From: &Base{Name: "R"}}
+	pr := MustEval(p, db)
+	if pr.Len() != 2 { // (1,1) and (2,2)
+		t.Fatalf("π_{A, A as A2} should collapse to 2 rows, got %d", pr.Len())
+	}
+	pr.Each(func(tp relation.Tuple) {
+		if !tp[0].Equal(tp[1]) {
+			t.Fatalf("duplicated column mismatch: %v", tp)
+		}
+	})
+}
+
+// TestJoinMatchesProductSelect is the hash-join correctness property:
+// R ⋈_pred S ≡ σ_pred(R × S) on random inputs, for both equi and theta
+// predicates.
+func TestJoinMatchesProductSelect(t *testing.T) {
+	preds := []Pred{
+		Eq("A", "C"),
+		And{L: Eq("A", "C"), R: Cmp{Left: Col("B"), Op: OpLt, Right: Col("S.B")}},
+		Cmp{Left: Col("B"), Op: OpGe, Right: Col("C")},
+	}
+	for _, pred := range preds {
+		pred := pred
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			db := DB{
+				"R": randomRel(rng, relation.NewSchema("A", "B"), 3, 10),
+				"S": randomRel(rng, relation.NewSchema("C", "S.B"), 3, 10),
+			}
+			join, err := (&Join{L: &Base{Name: "R"}, R: &Base{Name: "S"}, Pred: pred}).Eval(db)
+			if err != nil {
+				return false
+			}
+			ps, err := (&Select{Pred: pred, From: &Product{L: &Base{Name: "R"}, R: &Base{Name: "S"}}}).Eval(db)
+			if err != nil {
+				return false
+			}
+			return join.Equal(ps)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("pred %v: %v", pred, err)
+		}
+	}
+}
+
+// TestNaturalJoinSharedAttrs checks natural join against its definition
+// via product, rename, select and project.
+func TestNaturalJoinSharedAttrs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := testDB(rng)
+		nj, err := (&NaturalJoin{L: &Base{Name: "R"}, R: &Base{Name: "S"}}).Eval(db)
+		if err != nil {
+			return false
+		}
+		// Definition: π_{A,B,C}(σ_{B=B'}(R × δ_{B→B'}(S))).
+		def := &Project{
+			Columns: Cols("A", "B", "C"),
+			From: &Select{Pred: Eq("B", "B'"),
+				From: &Product{L: &Base{Name: "R"},
+					R: &Rename{Pairs: []RenamePair{{From: "B", To: "B'"}}, From: &Base{Name: "S"}}}},
+		}
+		want, err := def.Eval(db)
+		if err != nil {
+			return false
+		}
+		return nj.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDivideTextbookIdentity checks ÷ against the classical expansion
+// R ÷ S = π_D(R) − π_D((π_D(R) × S) − R).
+func TestDivideTextbookIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := DB{
+			"R": randomRel(rng, relation.NewSchema("A", "D"), 3, 10),
+			"T": randomRel(rng, relation.NewSchema("D"), 3, 4),
+		}
+		div, err := (&Divide{L: &Base{Name: "R"}, R: &Base{Name: "T"}}).Eval(db)
+		if err != nil {
+			return false
+		}
+		piD := ProjectNames(&Base{Name: "R"}, "A")
+		expansion := &Diff{
+			L: piD,
+			R: ProjectNames(&Diff{
+				L: &Product{L: piD, R: &Base{Name: "T"}},
+				R: ProjectNames(&Base{Name: "R"}, "A", "D"),
+			}, "A"),
+		}
+		want, err := expansion.Eval(db)
+		if err != nil {
+			return false
+		}
+		return div.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDivideByNullary: dividing by the nullary world table {⟨⟩} is the
+// identity — the single-world case of the cert translation.
+func TestDivideByNullary(t *testing.T) {
+	db := DB{"R": relation.FromRows(relation.NewSchema("A"), tup(1), tup(2))}
+	got := MustEval(&Divide{L: &Base{Name: "R"}, R: Nullary()}, db)
+	if !got.Equal(db["R"]) {
+		t.Fatalf("R ÷ {⟨⟩} = %v, want R", got)
+	}
+}
+
+// TestLeftOuterPad checks =⊲⊳ pads dangling tuples with the constant c
+// (Remark 5.5).
+func TestLeftOuterPad(t *testing.T) {
+	db := DB{
+		"W": relation.FromRows(relation.NewSchema("V"), tup(1), tup(2)),
+		"X": relation.FromRows(relation.NewSchema("V", "U"), tup(1, 10)),
+	}
+	got := MustEval(&LeftOuterPad{L: &Base{Name: "W"}, R: &Base{Name: "X"}}, db)
+	if got.Len() != 2 {
+		t.Fatalf("=⊲⊳ should keep both W rows, got %d", got.Len())
+	}
+	if !got.Contains(relation.Tuple{value.Int(1), value.Int(10)}) {
+		t.Error("matched row missing")
+	}
+	if !got.Contains(relation.Tuple{value.Int(2), value.Pad()}) {
+		t.Error("dangling row should be padded with c")
+	}
+}
+
+// TestSetOps checks ∪, ∩, − align positionally and keep the left schema.
+func TestSetOps(t *testing.T) {
+	db := DB{
+		"R": relation.FromRows(relation.NewSchema("A"), tup(1), tup(2)),
+		"S": relation.FromRows(relation.NewSchema("B"), tup(2), tup(3)),
+	}
+	u := MustEval(&Union{L: &Base{Name: "R"}, R: &Base{Name: "S"}}, db)
+	if u.Len() != 3 || !u.Schema().Equal(relation.Schema{"A"}) {
+		t.Errorf("union = %v", u)
+	}
+	i := MustEval(&Intersect{L: &Base{Name: "R"}, R: &Base{Name: "S"}}, db)
+	if i.Len() != 1 || !i.Contains(tup(2)) {
+		t.Errorf("intersect = %v", i)
+	}
+	d := MustEval(&Diff{L: &Base{Name: "R"}, R: &Base{Name: "S"}}, db)
+	if d.Len() != 1 || !d.Contains(tup(1)) {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+// TestSchemaErrors checks static schema validation catches malformed
+// plans.
+func TestSchemaErrors(t *testing.T) {
+	cat := SchemaCatalog{"R": relation.NewSchema("A", "B")}
+	bad := []Expr{
+		&Select{Pred: EqConst("Z", value.Int(1)), From: &Base{Name: "R"}},
+		ProjectNames(&Base{Name: "R"}, "Z"),
+		&Product{L: &Base{Name: "R"}, R: &Base{Name: "R"}}, // shared attrs
+		&Divide{L: &Base{Name: "R"}, R: &Base{Name: "missing"}},
+		&Rename{Pairs: []RenamePair{{From: "A", To: "B"}}, From: &Base{Name: "R"}}, // duplicate
+	}
+	for _, e := range bad {
+		if _, err := e.Schema(cat); err == nil {
+			t.Errorf("expected schema error for %s", e)
+		}
+	}
+}
+
+// TestSimplifyPreservesSemantics fuzzes the plan simplifier: simplified
+// plans evaluate identically.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	exprs := []Expr{
+		ProjectNames(ProjectNames(&Base{Name: "R"}, "A", "B"), "A"),
+		&Rename{Pairs: []RenamePair{{From: "A", To: "X"}},
+			From: ProjectNames(&Base{Name: "R"}, "A")},
+		ProjectNames(&Rename{Pairs: []RenamePair{{From: "A", To: "X"}}, From: &Base{Name: "R"}}, "X"),
+		&Product{L: Nullary(), R: &Base{Name: "T"}},
+		&Select{Pred: True{}, From: &Base{Name: "T"}},
+		&Project{Columns: Cols("A", "B"), From: &Base{Name: "R"}}, // identity
+		&Union{L: ProjectNames(ProjectNames(&Base{Name: "R"}, "A", "B"), "A"),
+			R: &Rename{Pairs: []RenamePair{{From: "D", To: "A"}}, From: &Base{Name: "T"}}},
+	}
+	for _, e := range exprs {
+		e := e
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			db := testDB(rng)
+			simp := SimplifyWith(e, db, SimplifyOptions{})
+			want, err := e.Eval(db)
+			if err != nil {
+				return false
+			}
+			got, err := simp.Eval(db)
+			if err != nil {
+				return false
+			}
+			return got.Equal(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("simplify broke %s: %v", e, err)
+		}
+	}
+}
+
+// TestSimplifyReduces checks the simplifier actually shrinks the
+// canonical patterns.
+func TestSimplifyReduces(t *testing.T) {
+	cat := SchemaCatalog{"R": relation.NewSchema("A", "B")}
+	e := ProjectNames(ProjectNames(&Base{Name: "R"}, "A", "B"), "A")
+	s := SimplifyWith(e, cat, SimplifyOptions{})
+	if Size(s) >= Size(e) {
+		t.Errorf("π∘π not fused: %s", s)
+	}
+	id := &Project{Columns: Cols("A", "B"), From: &Base{Name: "R"}}
+	if got := SimplifyWith(id, cat, SimplifyOptions{}); Size(got) != 1 {
+		t.Errorf("identity projection not eliminated: %s", got)
+	}
+}
+
+// TestPredicateCompile checks comparison and boolean connective
+// evaluation.
+func TestPredicateCompile(t *testing.T) {
+	schema := relation.NewSchema("A", "B")
+	pred := Or{
+		L: And{L: Cmp{Left: Col("A"), Op: OpLe, Right: Col("B")},
+			R: NeConst("A", value.Int(0))},
+		R: Not{P: Cmp{Left: Col("B"), Op: OpGt, Right: Const(value.Int(1))}},
+	}
+	eval, err := pred.Compile(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    relation.Tuple
+		want bool
+	}{
+		{tup(1, 2), true},  // 1<=2 ∧ 1≠0
+		{tup(0, 5), false}, // left fails (A=0), right fails (5>1)
+		{tup(0, 1), true},  // right side: ¬(1>1)
+		{tup(3, 2), false},
+	}
+	for _, c := range cases {
+		if got := eval(c.t); got != c.want {
+			t.Errorf("pred(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"worldsetdb/internal/value"
+)
+
+// Tuple is an ordered list of values conforming to some schema.
+type Tuple []value.Value
+
+// Key returns an injective encoding of the tuple, usable as a map key.
+func (t Tuple) Key() string {
+	var b []byte
+	for _, v := range t {
+		b = v.AppendKey(b)
+		b = append(b, 0x1f) // field separator; never produced by AppendKey payloads of equal length ambiguity
+	}
+	return string(b)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Less orders tuples lexicographically.
+func (t Tuple) Less(u Tuple) bool {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(t) < len(u)
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "⟨" + strings.Join(parts, ", ") + "⟩"
+}
+
+// Relation is a set of tuples over a schema. The zero Relation is not
+// usable; construct with New. Relations are mutable until shared; all
+// algebra operators in package ra allocate fresh results.
+type Relation struct {
+	schema Schema
+	rows   map[string]Tuple
+}
+
+// New returns an empty relation over the given schema.
+func New(schema Schema) *Relation {
+	return &Relation{schema: schema, rows: make(map[string]Tuple)}
+}
+
+// FromRows builds a relation over schema containing the given tuples.
+// Each row must have exactly len(schema) values.
+func FromRows(schema Schema, rows ...Tuple) *Relation {
+	r := New(schema)
+	for _, t := range rows {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Schema returns the relation's schema. Callers must not mutate it.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+
+// Insert adds a tuple, reporting whether it was new. It panics if the
+// arity does not match the schema: arity mismatches are program bugs, not
+// data errors.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != len(r.schema) {
+		panic(fmt.Sprintf("relation: inserting arity-%d tuple into schema %v", len(t), r.schema))
+	}
+	k := t.Key()
+	if _, ok := r.rows[k]; ok {
+		return false
+	}
+	r.rows[k] = t
+	return true
+}
+
+// InsertValues is Insert with a variadic convenience signature.
+func (r *Relation) InsertValues(vs ...value.Value) bool { return r.Insert(Tuple(vs)) }
+
+// Delete removes a tuple if present, reporting whether it was there.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.rows[k]; !ok {
+		return false
+	}
+	delete(r.rows, k)
+	return true
+}
+
+// Contains reports tuple membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// ContainsKey reports membership by precomputed key.
+func (r *Relation) ContainsKey(k string) bool {
+	_, ok := r.rows[k]
+	return ok
+}
+
+// Each calls f for every tuple in unspecified order. f must not mutate
+// the relation.
+func (r *Relation) Each(f func(Tuple)) {
+	for _, t := range r.rows {
+		f(t)
+	}
+}
+
+// Tuples returns the tuples sorted lexicographically, for deterministic
+// printing and comparison in tests.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep-enough copy (tuples are immutable by convention).
+func (r *Relation) Clone() *Relation {
+	c := &Relation{schema: r.schema.Clone(), rows: make(map[string]Tuple, len(r.rows))}
+	for k, t := range r.rows {
+		c.rows[k] = t
+	}
+	return c
+}
+
+// WithSchema returns a relation with the same rows but attribute names
+// replaced by the given schema (same arity). Used for renaming.
+func (r *Relation) WithSchema(s Schema) *Relation {
+	if len(s) != len(r.schema) {
+		panic("relation: WithSchema arity mismatch")
+	}
+	return &Relation{schema: s, rows: r.rows}
+}
+
+// Equal reports set equality of tuples and order-sensitive schema
+// equality.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.schema.Equal(o.schema) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	for k := range r.rows {
+		if _, ok := o.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualContents reports set equality of tuples after aligning o's columns
+// to r's schema by name. Schemas must contain the same attribute names.
+func (r *Relation) EqualContents(o *Relation) bool {
+	if len(r.schema) != len(o.schema) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	perm, err := o.schema.Indexes(r.schema)
+	if err != nil {
+		return false
+	}
+	for _, t := range o.rows {
+		aligned := make(Tuple, len(perm))
+		for i, j := range perm {
+			aligned[i] = t[j]
+		}
+		if !r.Contains(aligned) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContentKey returns an injective encoding of the relation's contents
+// (schema + sorted tuple keys), suitable for hashing whole relations, and
+// hence worlds, and hence world-sets.
+func (r *Relation) ContentKey() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.schema, ","))
+	b.WriteByte('|')
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// Project returns a new relation keeping the columns at the given
+// indexes, in that order, with the given output names. Duplicate rows
+// collapse (set semantics).
+func (r *Relation) Project(idx []int, names Schema) *Relation {
+	out := New(names)
+	for _, t := range r.rows {
+		p := make(Tuple, len(idx))
+		for i, j := range idx {
+			p[i] = t[j]
+		}
+		out.Insert(p)
+	}
+	return out
+}
+
+// String renders the relation as an ASCII table in the style of the
+// paper's figures: header row of attribute names, one row per tuple,
+// sorted.
+func (r *Relation) String() string { return r.Render("") }
+
+// Render renders the relation with an optional caption.
+func (r *Relation) Render(caption string) string {
+	cols := len(r.schema)
+	widths := make([]int, cols)
+	for i, n := range r.schema {
+		widths[i] = len([]rune(n))
+	}
+	tuples := r.Tuples()
+	cells := make([][]string, len(tuples))
+	for ti, t := range tuples {
+		row := make([]string, cols)
+		for i, v := range t {
+			row[i] = v.String()
+			if w := len([]rune(row[i])); w > widths[i] {
+				widths[i] = w
+			}
+		}
+		cells[ti] = row
+	}
+	var b strings.Builder
+	if caption != "" {
+		b.WriteString(caption)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len([]rune(c)); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.schema)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if len(tuples) == 0 {
+		b.WriteString("(empty)\n")
+	}
+	return b.String()
+}

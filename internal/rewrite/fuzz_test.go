@@ -1,0 +1,58 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsa"
+)
+
+// TestFuzzOptimizer generates random queries, optimizes them (in both
+// the multi-world and the complete-input regimes) and cross-checks the
+// optimized plan against the original on random inputs. This guards the
+// whole rule set — including the side conditions added on top of the
+// paper's Figure 7 — in composition, not just rule by rule.
+func TestFuzzOptimizer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	env := wsa.NewEnv(names, schemas)
+	rng := rand.New(rand.NewSource(777))
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	opts := &Options{MaxExpansions: 400, MaxSize: 60}
+
+	for qi := 0; qi < 120; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		for _, complete := range []bool{false, true} {
+			opt, trace := OptimizeOpts(q, env, complete, opts)
+			if Cost(opt) > Cost(q) {
+				t.Fatalf("optimizer increased cost: %s (%.1f) → %s (%.1f)",
+					q, Cost(q), opt, Cost(opt))
+			}
+			maxWorlds := 4
+			if complete {
+				maxWorlds = 1
+			}
+			for wi := 0; wi < 3; wi++ {
+				ws := datagen.RandomWorldSet(rng, names, schemas, 3, 3, maxWorlds)
+				want, err := wsa.Eval(q, ws)
+				if err != nil {
+					t.Fatalf("query %d (%s): %v", qi, q, err)
+				}
+				got, err := wsa.Eval(opt, ws)
+				if err != nil {
+					t.Fatalf("query %d optimized (%s): %v", qi, opt, err)
+				}
+				if !got.EqualWorlds(want) {
+					t.Fatalf("optimizer broke semantics (complete=%v)\noriginal: %s\noptimized: %s\ntrace: %v\ninput:\n%s",
+						complete, q, opt, trace, ws)
+				}
+			}
+		}
+	}
+}

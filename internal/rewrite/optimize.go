@@ -1,0 +1,217 @@
+package rewrite
+
+import (
+	"container/heap"
+
+	"worldsetdb/internal/wsa"
+)
+
+// Cost estimates the evaluation expense of a WSA plan. World-creating
+// and world-merging operators dominate: group-worlds-by pairs worlds
+// quadratically, choice-of multiplies the world count, and products are
+// quadratic in the data. The absolute numbers only matter relative to
+// one another.
+func Cost(q wsa.Expr) float64 {
+	switch n := q.(type) {
+	case *wsa.Rel:
+		return 1
+	case *wsa.Select:
+		return Cost(n.From) + 0.5
+	case *wsa.Project:
+		return Cost(n.From) + 0.5
+	case *wsa.Rename:
+		return Cost(n.From) + 0.2
+	case *wsa.BinOp:
+		base := Cost(n.L) + Cost(n.R)
+		if n.Kind == wsa.OpProduct {
+			return base + 10
+		}
+		return base + 3
+	case *wsa.Join:
+		return Cost(n.L) + Cost(n.R) + 5
+	case *wsa.Choice:
+		return Cost(n.From) + 6
+	case *wsa.Group:
+		return Cost(n.From) + 20
+	case *wsa.Close:
+		return Cost(n.From) + 4
+	case *wsa.RepairKey:
+		return Cost(n.From) + 50
+	}
+	return 1
+}
+
+// children returns the direct subqueries of q.
+func children(q wsa.Expr) []wsa.Expr {
+	switch n := q.(type) {
+	case *wsa.Select:
+		return []wsa.Expr{n.From}
+	case *wsa.Project:
+		return []wsa.Expr{n.From}
+	case *wsa.Rename:
+		return []wsa.Expr{n.From}
+	case *wsa.BinOp:
+		return []wsa.Expr{n.L, n.R}
+	case *wsa.Join:
+		return []wsa.Expr{n.L, n.R}
+	case *wsa.Choice:
+		return []wsa.Expr{n.From}
+	case *wsa.Group:
+		return []wsa.Expr{n.From}
+	case *wsa.Close:
+		return []wsa.Expr{n.From}
+	case *wsa.RepairKey:
+		return []wsa.Expr{n.From}
+	}
+	return nil
+}
+
+// withChildren rebuilds q with replaced subqueries (same arity as
+// children(q)).
+func withChildren(q wsa.Expr, cs []wsa.Expr) wsa.Expr {
+	switch n := q.(type) {
+	case *wsa.Select:
+		return &wsa.Select{Pred: n.Pred, From: cs[0]}
+	case *wsa.Project:
+		return &wsa.Project{Columns: n.Columns, From: cs[0]}
+	case *wsa.Rename:
+		return &wsa.Rename{Pairs: n.Pairs, From: cs[0]}
+	case *wsa.BinOp:
+		return &wsa.BinOp{Kind: n.Kind, L: cs[0], R: cs[1]}
+	case *wsa.Join:
+		return &wsa.Join{L: cs[0], R: cs[1], Pred: n.Pred}
+	case *wsa.Choice:
+		return &wsa.Choice{Attrs: n.Attrs, From: cs[0]}
+	case *wsa.Group:
+		return &wsa.Group{Kind: n.Kind, GroupBy: n.GroupBy, Proj: n.Proj, From: cs[0]}
+	case *wsa.Close:
+		return &wsa.Close{Kind: n.Kind, From: cs[0]}
+	case *wsa.RepairKey:
+		return &wsa.RepairKey{Attrs: n.Attrs, From: cs[0]}
+	}
+	return q
+}
+
+// rewritesAt returns all expressions obtained by applying a single rule
+// once, at the root or at any descendant position.
+func rewritesAt(ctx *Context, q wsa.Expr, rules []Rule) []candidate {
+	var out []candidate
+	for _, r := range rules {
+		for _, nq := range r.Apply(ctx, q) {
+			out = append(out, candidate{expr: nq, rule: r.ID})
+		}
+	}
+	cs := children(q)
+	for i, c := range cs {
+		for _, sub := range rewritesAt(ctx, c, rules) {
+			ncs := append([]wsa.Expr{}, cs...)
+			ncs[i] = sub.expr
+			out = append(out, candidate{expr: withChildren(q, ncs), rule: sub.rule})
+		}
+	}
+	return out
+}
+
+type candidate struct {
+	expr wsa.Expr
+	rule string
+}
+
+// Step records one rewrite in an optimization trace.
+type Step struct {
+	// Rule is the equation that fired, e.g. "(20)".
+	Rule string
+	// Expr is the whole query after the rewrite.
+	Expr wsa.Expr
+}
+
+// item is a search-frontier entry.
+type item struct {
+	expr  wsa.Expr
+	cost  float64
+	trace []Step
+}
+
+type frontier []*item
+
+func (f frontier) Len() int            { return len(f) }
+func (f frontier) Less(i, j int) bool  { return f[i].cost < f[j].cost }
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(*item)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// Options tune the optimizer's search.
+type Options struct {
+	// MaxExpansions bounds the number of expressions explored
+	// (default 4000).
+	MaxExpansions int
+	// MaxSize prunes expressions with more AST nodes than this
+	// (default 80).
+	MaxSize int
+}
+
+func (o *Options) maxExpansions() int {
+	if o == nil || o.MaxExpansions == 0 {
+		return 4000
+	}
+	return o.MaxExpansions
+}
+
+func (o *Options) maxSize() int {
+	if o == nil || o.MaxSize == 0 {
+		return 80
+	}
+	return o.MaxSize
+}
+
+// Optimize searches the rewrite space for the cheapest equivalent plan
+// under Cost, using the verified Figure 7 equivalences. It returns the
+// best plan found and the rewrite trace that produced it.
+//
+// completeInput declares that the query will run on a singleton
+// world-set (a complete database); this additionally enables the rules
+// that are only sound in that case — the setting of all rewriting
+// examples in §6 of the paper.
+func Optimize(q wsa.Expr, env *wsa.Env, completeInput bool) (wsa.Expr, []Step) {
+	return OptimizeOpts(q, env, completeInput, nil)
+}
+
+// OptimizeOpts is Optimize with explicit search bounds.
+func OptimizeOpts(q wsa.Expr, env *wsa.Env, completeInput bool, opt *Options) (wsa.Expr, []Step) {
+	ctx := &Context{Env: env}
+	var rules []Rule
+	for _, r := range Rules() {
+		if r.CompleteOnly && !completeInput {
+			continue
+		}
+		rules = append(rules, r)
+	}
+
+	best := &item{expr: q, cost: Cost(q)}
+	visited := map[string]bool{q.String(): true}
+	f := &frontier{best}
+	heap.Init(f)
+
+	for expansions := 0; f.Len() > 0 && expansions < opt.maxExpansions(); expansions++ {
+		cur := heap.Pop(f).(*item)
+		if cur.cost < best.cost {
+			best = cur
+		}
+		for _, cand := range rewritesAt(ctx, cur.expr, rules) {
+			key := cand.expr.String()
+			if visited[key] || wsa.Size(cand.expr) > opt.maxSize() {
+				continue
+			}
+			visited[key] = true
+			trace := append(append([]Step{}, cur.trace...), Step{Rule: cand.rule, Expr: cand.expr})
+			heap.Push(f, &item{expr: cand.expr, cost: Cost(cand.expr), trace: trace})
+		}
+	}
+	return best.expr, best.trace
+}

@@ -1,0 +1,110 @@
+package translate
+
+import (
+	"fmt"
+
+	"worldsetdb/internal/inline"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+// AnswerTableName is the name given to the answer table when an
+// evaluated representation is decoded back into a world-set.
+const AnswerTableName = "$ans"
+
+// ToRelational implements Theorem 5.7: for a 1↦1 (complete-to-complete)
+// WSA query q over the named base tables, it returns an equivalent
+// relational algebra query that operates directly on the complete
+// database. The final operator projects away all world-id attributes
+// created by nested operators.
+func ToRelational(q wsa.Expr, names []string, cat ra.Catalog) (ra.Expr, error) {
+	if !wsa.IsCompleteToComplete(q) {
+		return nil, fmt.Errorf("translate: query has type 1 ↦ %s, not 1 ↦ 1", q.Out(wsa.One))
+	}
+	if err := checkNames(names, cat); err != nil {
+		return nil, err
+	}
+	tr := NewTranslator(cat)
+	sym, err := tr.Translate(q, InitComplete(names))
+	if err != nil {
+		return nil, err
+	}
+	s, err := tr.schemaOf(sym.Result)
+	if err != nil {
+		return nil, err
+	}
+	if ids := s.IDAttrs(); len(ids) == 0 {
+		return sym.Result, nil
+	}
+	return ra.ProjectNames(sym.Result, s.ValueAttrs()...), nil
+}
+
+// EvalComplete translates q (which must be 1↦1) and evaluates the
+// resulting relational algebra query on the complete database db. The
+// base-table names are taken from db's catalog via the query itself.
+func EvalComplete(q wsa.Expr, names []string, db ra.DB) (*relation.Relation, error) {
+	e, err := ToRelational(q, names, db)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(db)
+}
+
+// EvalWorldSet evaluates an arbitrary (any type) WSA query on a
+// world-set by (1) encoding the world-set as an inlined representation,
+// (2) running the Figure 6 translation over it, (3) evaluating every
+// table expression, and (4) decoding the resulting representation. The
+// output is a world-set over ⟨R1, …, Rk, $ans⟩ directly comparable with
+// the reference evaluator's wsa.Eval.
+func EvalWorldSet(q wsa.Expr, ws *worldset.WorldSet) (*worldset.WorldSet, error) {
+	repr := inline.Encode(ws)
+	db := ra.DB{inline.WorldTableName: repr.World}
+	for i, n := range repr.Names {
+		db[n] = repr.Tables[i]
+	}
+	if err := checkNames(repr.Names, db); err != nil {
+		return nil, err
+	}
+	tr := NewTranslator(db)
+	sym, err := tr.Translate(q, InitInlined(repr.Names))
+	if err != nil {
+		return nil, err
+	}
+	out := &inline.Repr{Names: append(append([]string{}, sym.Names...), AnswerTableName)}
+	for _, te := range sym.Tables {
+		rel, err := te.Eval(db)
+		if err != nil {
+			return nil, err
+		}
+		out.Tables = append(out.Tables, rel)
+	}
+	res, err := sym.Result.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = append(out.Tables, res)
+	if out.World, err = sym.World.Eval(db); err != nil {
+		return nil, err
+	}
+	return out.Decode()
+}
+
+func checkNames(names []string, cat ra.Catalog) error {
+	for _, n := range names {
+		if n == inline.WorldTableName || n == AnswerTableName {
+			return fmt.Errorf("translate: relation name %q is reserved", n)
+		}
+		s, ok := cat.SchemaOf(n)
+		if !ok {
+			return fmt.Errorf("translate: unknown relation %q", n)
+		}
+		for _, attr := range s {
+			if relation.IsIDAttr(attr) && attr != inline.WorldAttr {
+				return fmt.Errorf("translate: base attribute %q uses the reserved id prefix", attr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package translate
+
+import (
+	"testing"
+
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsa"
+)
+
+// TestReservedNamesRejected: base relations may not collide with the
+// representation's reserved names or use the world-id prefix.
+func TestReservedNamesRejected(t *testing.T) {
+	q := wsa.NewCert(&wsa.Rel{Name: "$W"})
+	cat := ra.SchemaCatalog{"$W": relation.NewSchema("A")}
+	if _, err := ToRelational(q, []string{"$W"}, cat); err == nil {
+		t.Error("expected reserved-name error for $W")
+	}
+
+	cat2 := ra.SchemaCatalog{"R": relation.NewSchema("A", "#mine")}
+	q2 := wsa.NewCert(&wsa.Rel{Name: "R"})
+	if _, err := ToRelational(q2, []string{"R"}, cat2); err == nil {
+		t.Error("expected reserved-prefix error for attribute #mine")
+	}
+
+	if _, err := ToRelational(q2, []string{"R"}, ra.SchemaCatalog{}); err == nil {
+		t.Error("expected unknown-relation error")
+	}
+}
+
+// TestTranslationSizePolynomial spot-checks the "polynomial size" claim
+// of Theorem 5.7. The Figure 6 translation is presented with
+// let-bindings, i.e. as a DAG with shared subplans; our translator
+// preserves that sharing through common node pointers. The DAG size must
+// grow by a bounded amount per nesting level, even though the tree
+// rendering duplicates shared subtrees and grows geometrically.
+func TestTranslationSizePolynomial(t *testing.T) {
+	cat := ra.SchemaCatalog{"R": relation.NewSchema("A", "B")}
+	build := func(levels int) wsa.Expr {
+		var q wsa.Expr = &wsa.Rel{Name: "R"}
+		for i := 0; i < levels; i++ {
+			q = wsa.NewCert(&wsa.Choice{Attrs: []string{"A"}, From: q})
+		}
+		return q
+	}
+	var sizes []int
+	for levels := 1; levels <= 6; levels++ {
+		e, err := ToRelational(build(levels), []string{"R"}, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, ra.DAGSize(e))
+	}
+	// Constant growth per level: the increments must not increase.
+	for i := 2; i < len(sizes); i++ {
+		prev := sizes[i-1] - sizes[i-2]
+		cur := sizes[i] - sizes[i-1]
+		if cur > prev+2 {
+			t.Fatalf("DAG size grows superlinearly: %v", sizes)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+// TestDebugOptimizedUnion reproduces a failing seed for development
+// diagnostics; it stays in the suite as a regression test.
+func TestDebugOptimizedUnion(t *testing.T) {
+	q := wsa.NewCert(wsa.NewUnion(
+		&wsa.Project{Columns: []string{"A"}, From: &wsa.Choice{Attrs: []string{"A"}, From: &wsa.Rel{Name: "R"}}},
+		&wsa.Choice{Attrs: []string{"C"}, From: &wsa.Rel{Name: "S"}}))
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	rng := rand.New(rand.NewSource(-1628201133064968394))
+	db := ra.DB{
+		"R": datagen.RandomRelation(rng, schemas[0], 3, 5),
+		"S": datagen.RandomRelation(rng, schemas[1], 3, 5),
+	}
+	ws := worldset.FromDB(names, []*relation.Relation{db["R"], db["S"]})
+	wantWS, err := wsa.Eval(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantWS.Worlds()[0][len(wantWS.Worlds()[0])-1]
+	got, err := EvalCompleteOptimized(q, names, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualContents(want) {
+		e, _ := ToRelationalOptimized(q, names, db)
+		t.Fatalf("R=\n%s\nS=\n%s\nwant=\n%s\ngot=\n%s\nplan=%s", db["R"], db["S"], want, got, e)
+	}
+}

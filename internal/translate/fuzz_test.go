@@ -1,0 +1,102 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+// fuzzSchema is the schema random queries are generated over.
+var fuzzNames = []string{"R", "S"}
+var fuzzSchemas = []relation.Schema{
+	relation.NewSchema("A", "B"),
+	relation.NewSchema("C"),
+}
+
+// TestFuzzGeneralTranslation generates hundreds of random WSA queries
+// and random multi-world inputs and checks the Figure 6 translation
+// against the Figure 3 reference semantics — the strongest evidence for
+// the §5 construction beyond the hand-picked zoo.
+func TestFuzzGeneralTranslation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20070611))
+	gen := randquery.NewQueryGen(rng, fuzzNames, fuzzSchemas)
+	queries, inputs := 200, 3
+	for qi := 0; qi < queries; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		for wi := 0; wi < inputs; wi++ {
+			ws := datagen.RandomWorldSet(rng, fuzzNames, fuzzSchemas, 3, 3, 3)
+			want, err := wsa.Eval(q, ws)
+			if err != nil {
+				t.Fatalf("query %d (%s): reference eval failed: %v", qi, q, err)
+			}
+			got, err := EvalWorldSet(q, ws)
+			if err != nil {
+				t.Fatalf("query %d (%s): translated eval failed: %v", qi, q, err)
+			}
+			if !got.EqualWorlds(want) {
+				t.Fatalf("query %d disagrees with the Figure 3 semantics\nquery: %s\ninput:\n%s\nreference:\n%s\ntranslated:\n%s",
+					qi, q, ws, want, got)
+			}
+		}
+	}
+}
+
+// TestFuzzConservativity generates random 1↦1 queries (by closing random
+// queries with cert/poss) and checks both translations on random
+// complete databases.
+func TestFuzzConservativity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(57))
+	gen := randquery.NewQueryGen(rng, fuzzNames, fuzzSchemas)
+	for qi := 0; qi < 150; qi++ {
+		q := wsa.Expr(wsa.NewCert(gen.Query(1 + rng.Intn(3))))
+		if rng.Intn(2) == 0 {
+			q = wsa.NewPoss(gen.Query(1 + rng.Intn(3)))
+		}
+		if !wsa.IsCompleteToComplete(q) {
+			t.Fatalf("closed query must be 1↦1: %s", q)
+		}
+		db := ra.DB{
+			"R": datagen.RandomRelation(rng, fuzzSchemas[0], 3, 5),
+			"S": datagen.RandomRelation(rng, fuzzSchemas[1], 3, 5),
+		}
+		ws := worldset.FromDB(fuzzNames, []*relation.Relation{db["R"], db["S"]})
+		wantWS, err := wsa.Eval(q, ws)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", qi, q, err)
+		}
+		worlds := wantWS.Worlds()
+		if len(worlds) != 1 {
+			t.Fatalf("query %d (%s): 1↦1 query produced %d worlds", qi, q, len(worlds))
+		}
+		want := worlds[0][len(worlds[0])-1]
+
+		general, err := EvalComplete(q, fuzzNames, db)
+		if err != nil {
+			t.Fatalf("query %d (%s): general translation: %v", qi, q, err)
+		}
+		if !general.EqualContents(want) {
+			t.Fatalf("query %d: general translation wrong\nquery: %s\nwant %v\ngot %v",
+				qi, q, want, general)
+		}
+		optimized, err := EvalCompleteOptimized(q, fuzzNames, db)
+		if err != nil {
+			t.Fatalf("query %d (%s): optimized translation: %v", qi, q, err)
+		}
+		if !optimized.EqualContents(want) {
+			t.Fatalf("query %d: optimized translation wrong\nquery: %s\nwant %v\ngot %v",
+				qi, q, want, optimized)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+func strTuple(vals ...string) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = value.Str(v)
+	}
+	return t
+}
+
+// checkAgainstReference verifies that the Figure 6 translation evaluated
+// over the encoded world-set agrees with the direct Figure 3 semantics.
+func checkAgainstReference(t *testing.T, q wsa.Expr, ws *worldset.WorldSet) {
+	t.Helper()
+	want, err := wsa.Eval(q, ws)
+	if err != nil {
+		t.Fatalf("reference eval of %s: %v", q, err)
+	}
+	got, err := EvalWorldSet(q, ws)
+	if err != nil {
+		t.Fatalf("translated eval of %s: %v", q, err)
+	}
+	if !got.EqualWorlds(want) {
+		t.Fatalf("translation disagrees with Figure 3 semantics for %s\nreference:\n%s\ntranslated:\n%s",
+			q, want, got)
+	}
+}
+
+func flightsWS() *worldset.WorldSet {
+	return worldset.FromDB([]string{"HFlights"}, []*relation.Relation{datagen.PaperFlights()})
+}
+
+// TestExample56Translation reproduces Example 5.6: the trip-planning
+// query cert(π_Arr(χ_Dep(HFlights))) translated to relational algebra
+// evaluates to {ATL} on the Figure 2(a) database.
+func TestExample56Translation(t *testing.T) {
+	q := wsa.NewCert(&wsa.Project{Columns: []string{"Arr"},
+		From: &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}})
+	db := ra.DB{"HFlights": datagen.PaperFlights()}
+
+	e, err := ToRelational(q, []string{"HFlights"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Eval(db)
+	if err != nil {
+		t.Fatalf("evaluating %s: %v", e, err)
+	}
+	want := relation.FromRows(relation.NewSchema("Arr"), strTuple("ATL"))
+	if !got.Equal(want) {
+		t.Fatalf("translated query returned %v, want {ATL}\nquery: %s", got, e)
+	}
+}
+
+// TestFigure5ChoiceStep reproduces Figure 5(c): evaluating χ_A(R) on the
+// inlined representation creates world ids 1, 2, 3 (the A-values) and
+// tags each tuple with its world.
+func TestFigure5ChoiceStep(t *testing.T) {
+	db := ra.DB{"R": datagen.Fig5R(), "S": datagen.Fig5S()}
+	tr := NewTranslator(db)
+	sym, err := tr.Translate(
+		&wsa.Choice{Attrs: []string{"A"}, From: &wsa.Rel{Name: "R"}},
+		InitComplete([]string{"R", "S"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sym.Result.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R1 has schema (A, B, #id) with the id equal to A.
+	if r1.Len() != 4 {
+		t.Fatalf("R1 should keep all 4 tuples, got %d", r1.Len())
+	}
+	ids := r1.Schema().IDAttrs()
+	if len(ids) != 1 {
+		t.Fatalf("R1 should have one id attribute, got %v", r1.Schema())
+	}
+	aIdx := r1.Schema().Index("A")
+	idIdx := r1.Schema().Index(ids[0])
+	r1.Each(func(tup relation.Tuple) {
+		if !tup[aIdx].Equal(tup[idIdx]) {
+			t.Fatalf("world id must equal the A value: %v", tup)
+		}
+	})
+	w, err := sym.World.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("world table should have the 3 A-values, got\n%s", w)
+	}
+}
+
+// TestFigure5GroupStep reproduces Figure 5(d–e): pγ^{A,B}_B(χ_A(R))
+// evaluated via the translation matches the reference semantics, and the
+// answer table contains the six tuples of R3.
+func TestFigure5GroupStep(t *testing.T) {
+	ws := worldset.FromDB([]string{"R", "S"},
+		[]*relation.Relation{datagen.Fig5R(), datagen.Fig5S()})
+	q := wsa.NewPossGroup([]string{"B"}, []string{"A", "B"},
+		&wsa.Choice{Attrs: []string{"A"}, From: &wsa.Rel{Name: "R"}})
+	checkAgainstReference(t, q, ws)
+
+	// The inlined answer (before decoding) has 6 (A, B, world) rows:
+	// worlds 1 and 3 each carry {(1,2), (3,2)}, world 2 carries
+	// {(2,3), (2,4)} — exactly R3 of Figure 5(e).
+	db := ra.DB{"R": datagen.Fig5R(), "S": datagen.Fig5S()}
+	tr := NewTranslator(db)
+	sym, err := tr.Translate(q, InitComplete([]string{"R", "S"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := sym.Result.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Len() != 6 {
+		t.Fatalf("R3 should have 6 rows as in Figure 5(e), got %d:\n%s", r3.Len(), r3)
+	}
+}
+
+// TestChoiceKeepsEmptyWorlds checks the Remark 5.5 pad mechanism: a
+// choice-of over an answer that is empty in some world keeps that world
+// alive under the pad id, so a subsequent cert returns the empty
+// relation rather than a wrong non-empty one.
+func TestChoiceKeepsEmptyWorlds(t *testing.T) {
+	schema := relation.NewSchema("Dep", "Arr")
+	ws := worldset.New([]string{"F"}, []relation.Schema{schema})
+	ws.Add(worldset.World{relation.FromRows(schema, strTuple("FRA", "BCN"))})
+	ws.Add(worldset.World{relation.New(schema)}) // an empty world
+
+	q := wsa.NewCert(&wsa.Project{Columns: []string{"Arr"},
+		From: &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "F"}}})
+	checkAgainstReference(t, q, ws)
+}
+
+// TestConservativityAcquisition checks Theorem 5.7 on the paper's
+// acquisition query: the generated relational algebra query returns
+// {ACME} on the complete database.
+func TestConservativityAcquisition(t *testing.T) {
+	chosen := &wsa.Choice{
+		Attrs: []string{"c2", "e2"},
+		From: &wsa.Rename{
+			Pairs: []ra.RenamePair{{From: "CID", To: "c2"}, {From: "EID", To: "e2"}},
+			From:  &wsa.Rel{Name: "Company_Emp"},
+		},
+	}
+	v := &wsa.Project{
+		Columns: []string{"CID", "EID"},
+		From: &wsa.Join{
+			L:    &wsa.Rel{Name: "Company_Emp"},
+			R:    chosen,
+			Pred: ra.And{L: ra.Eq("CID", "c2"), R: ra.Ne("EID", "e2")},
+		},
+	}
+	joined := &wsa.Join{
+		L:    v,
+		R:    &wsa.Rename{Pairs: []ra.RenamePair{{From: "EID", To: "e3"}}, From: &wsa.Rel{Name: "Emp_Skills"}},
+		Pred: ra.Eq("EID", "e3"),
+	}
+	w := wsa.NewCertGroup([]string{"CID"}, []string{"CID", "Skill"}, joined)
+	q := wsa.NewPoss(&wsa.Project{
+		Columns: []string{"CID"},
+		From:    &wsa.Select{Pred: ra.EqConst("Skill", value.Str("Web")), From: w},
+	})
+
+	db := ra.DB{
+		"Company_Emp": datagen.PaperCompanyEmp(),
+		"Emp_Skills":  datagen.PaperEmpSkills(),
+	}
+	got, err := EvalComplete(q, []string{"Company_Emp", "Emp_Skills"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.FromRows(relation.NewSchema("CID"), strTuple("ACME"))
+	if !got.Equal(want) {
+		t.Fatalf("translated acquisition query = %v, want {ACME}", got)
+	}
+}
+
+// TestTranslationRejectsNonC2C checks the §4.1 typing gate: a query of
+// type 1↦m has no relational equivalent on complete databases.
+func TestTranslationRejectsNonC2C(t *testing.T) {
+	q := &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}
+	db := ra.DB{"HFlights": datagen.PaperFlights()}
+	if _, err := ToRelational(q, []string{"HFlights"}, db); err == nil {
+		t.Fatal("expected type error for 1↦m query")
+	}
+}
+
+// TestTranslationRejectsRepair checks Proposition 4.2's consequence:
+// repair-by-key is not translatable.
+func TestTranslationRejectsRepair(t *testing.T) {
+	q := wsa.NewPoss(&wsa.RepairKey{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}})
+	db := ra.DB{"HFlights": datagen.PaperFlights()}
+	if _, err := ToRelational(q, []string{"HFlights"}, db); err == nil {
+		t.Fatal("expected translation error for repair-by-key")
+	}
+}
+
+// queryZoo returns a diverse set of WSA queries over the schema
+// R(A, B), S(C) used by the property tests.
+func queryZoo() []wsa.Expr {
+	r := func() wsa.Expr { return &wsa.Rel{Name: "R"} }
+	s := func() wsa.Expr { return &wsa.Rel{Name: "S"} }
+	return []wsa.Expr{
+		r(),
+		&wsa.Select{Pred: ra.EqConst("A", value.Int(1)), From: r()},
+		&wsa.Project{Columns: []string{"B"}, From: r()},
+		wsa.NewPoss(r()),
+		wsa.NewCert(r()),
+		wsa.NewPoss(&wsa.Project{Columns: []string{"A"}, From: r()}),
+		wsa.NewCert(&wsa.Project{Columns: []string{"A"}, From: r()}),
+		&wsa.Choice{Attrs: []string{"A"}, From: r()},
+		&wsa.Choice{Attrs: []string{"A", "B"}, From: r()},
+		wsa.NewCert(&wsa.Project{Columns: []string{"B"}, From: &wsa.Choice{Attrs: []string{"A"}, From: r()}}),
+		wsa.NewPoss(&wsa.Choice{Attrs: []string{"A"}, From: r()}),
+		wsa.NewPossGroup([]string{"B"}, []string{"A", "B"}, &wsa.Choice{Attrs: []string{"A"}, From: r()}),
+		wsa.NewCertGroup([]string{"B"}, []string{"A", "B"}, &wsa.Choice{Attrs: []string{"A"}, From: r()}),
+		wsa.NewPossGroup([]string{"A"}, []string{"A"}, r()),
+		wsa.NewCertGroup([]string{"A"}, []string{"B"}, r()),
+		wsa.NewProduct(&wsa.Project{Columns: []string{"A"}, From: r()}, s()),
+		wsa.NewUnion(&wsa.Project{Columns: []string{"A"}, From: r()}, s()),
+		wsa.NewDiff(&wsa.Project{Columns: []string{"A"}, From: r()}, s()),
+		wsa.NewIntersect(&wsa.Project{Columns: []string{"A"}, From: r()}, s()),
+		wsa.NewUnion(
+			&wsa.Project{Columns: []string{"A"}, From: &wsa.Choice{Attrs: []string{"A"}, From: r()}},
+			&wsa.Choice{Attrs: []string{"C"}, From: s()}),
+		wsa.NewCert(wsa.NewUnion(
+			&wsa.Project{Columns: []string{"A"}, From: &wsa.Choice{Attrs: []string{"A"}, From: r()}},
+			&wsa.Choice{Attrs: []string{"C"}, From: s()})),
+		wsa.NewPoss(wsa.NewProduct(
+			&wsa.Project{Columns: []string{"A"}, From: &wsa.Choice{Attrs: []string{"B"}, From: r()}},
+			&wsa.Rename{Pairs: []ra.RenamePair{{From: "C", To: "C2"}}, From: s()})),
+		wsa.NewCertGroup([]string{"A"}, []string{"A", "B"},
+			&wsa.Choice{Attrs: []string{"A"}, From: r()}),
+	}
+}
+
+// TestTranslationAgreesOnRandomWorldSets is the central §5 property
+// test: for every query in the zoo and random input world-sets, the
+// Figure 6 translation evaluated on the inlined representation produces
+// exactly the world-set computed by the Figure 3 semantics.
+func TestTranslationAgreesOnRandomWorldSets(t *testing.T) {
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	for qi, q := range queryZoo() {
+		qi, q := qi, q
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			ws := datagen.RandomWorldSet(rng, names, schemas, 3, 4, 4)
+			want, err := wsa.Eval(q, ws)
+			if err != nil {
+				return false
+			}
+			got, err := EvalWorldSet(q, ws)
+			if err != nil {
+				return false
+			}
+			return got.EqualWorlds(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("query %d (%s): %v", qi, q, err)
+		}
+	}
+}
+
+// TestConservativityProperty is the Theorem 5.7 property: for 1↦1
+// queries and random complete databases, the translated RA query on the
+// complete database returns the same relation as the reference
+// semantics on the singleton world-set.
+func TestConservativityProperty(t *testing.T) {
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	for qi, q := range queryZoo() {
+		if !wsa.IsCompleteToComplete(q) {
+			continue
+		}
+		qi, q := qi, q
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			db := ra.DB{
+				"R": datagen.RandomRelation(rng, schemas[0], 3, 5),
+				"S": datagen.RandomRelation(rng, schemas[1], 3, 5),
+			}
+			ws := worldset.FromDB(names, []*relation.Relation{db["R"], db["S"]})
+			wantWS, err := wsa.Eval(q, ws)
+			if err != nil {
+				return false
+			}
+			// A 1↦1 query yields one world; its answer is the expected
+			// relation.
+			worlds := wantWS.Worlds()
+			if len(worlds) != 1 {
+				return false
+			}
+			want := worlds[0][len(worlds[0])-1]
+			got, err := EvalComplete(q, names, db)
+			if err != nil {
+				return false
+			}
+			return got.EqualContents(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("query %d (%s): %v", qi, q, err)
+		}
+	}
+}

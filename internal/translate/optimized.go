@@ -1,0 +1,307 @@
+package translate
+
+import (
+	"fmt"
+
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsa"
+)
+
+// OptSym is the state of the §5.3 optimized translation. In contrast to
+// the general translation:
+//
+//   - base tables are never copied into new worlds: a table (or answer)
+//     without id attributes "appears in all worlds";
+//   - the world table is maintained symbolically but only referenced by
+//     cert and the set operations ∪, ∩, − (the lazy, on-demand approach
+//     of §5.3);
+//   - the answer of poss and cert is id-free, so the trailing × W of the
+//     general translation disappears, and a pure relational algebra
+//     query translates to itself.
+type OptSym struct {
+	// Result computes the answer table; its '#'-prefixed attributes are
+	// the world ids it depends on.
+	Result ra.Expr
+	// World computes the world table over all ids created so far. It is
+	// only embedded into Result by cert and the set operations.
+	World ra.Expr
+}
+
+// TranslateOptimized runs the §5.3 translation of a complete-to-complete
+// query. It panics on queries that reference unknown relations only via
+// the returned error.
+func (tr *Translator) TranslateOptimized(q wsa.Expr) (*OptSym, error) {
+	switch n := q.(type) {
+	case *wsa.Rel:
+		if _, ok := tr.cat.SchemaOf(n.Name); !ok {
+			return nil, fmt.Errorf("translate: unknown relation %q", n.Name)
+		}
+		return &OptSym{Result: &ra.Base{Name: n.Name}, World: ra.Nullary()}, nil
+
+	case *wsa.Select:
+		sub, err := tr.TranslateOptimized(n.From)
+		if err != nil {
+			return nil, err
+		}
+		sub.Result = &ra.Select{Pred: n.Pred, From: sub.Result}
+		return sub, nil
+
+	case *wsa.Project:
+		sub, err := tr.TranslateOptimized(n.From)
+		if err != nil {
+			return nil, err
+		}
+		s, err := tr.schemaOf(sub.Result)
+		if err != nil {
+			return nil, err
+		}
+		cols := append(append([]string{}, n.Columns...), s.IDAttrs()...)
+		sub.Result = ra.ProjectNames(sub.Result, cols...)
+		return sub, nil
+
+	case *wsa.Rename:
+		sub, err := tr.TranslateOptimized(n.From)
+		if err != nil {
+			return nil, err
+		}
+		sub.Result = &ra.Rename{Pairs: n.Pairs, From: sub.Result}
+		return sub, nil
+
+	case *wsa.Choice:
+		sub, err := tr.TranslateOptimized(n.From)
+		if err != nil {
+			return nil, err
+		}
+		s, err := tr.schemaOf(sub.Result)
+		if err != nil {
+			return nil, err
+		}
+		d, v := s.ValueAttrs(), s.IDAttrs()
+		vb := make([]string, len(n.Attrs))
+		pairs := make([]ra.RenamePair, len(n.Attrs))
+		for i, b := range n.Attrs {
+			if !contains(d, b) {
+				return nil, fmt.Errorf("translate: choice attribute %q not a value attribute of %v", b, s)
+			}
+			vb[i] = tr.freshID(b)
+			pairs[i] = ra.RenamePair{From: b, To: vb[i]}
+		}
+		// World ids created by χ_B: π_B of the current answer (§5.3),
+		// padded into the running world table so empty worlds survive.
+		x := &ra.Rename{Pairs: pairs,
+			From: ra.ProjectNames(sub.Result, append(append([]string{}, v...), n.Attrs...)...)}
+		sub.World = &ra.LeftOuterPad{L: sub.World, R: x}
+		cols := ra.Cols(append(append([]string{}, d...), v...)...)
+		for i := range n.Attrs {
+			cols = ra.ColsAs(cols, n.Attrs[i], vb[i])
+		}
+		sub.Result = &ra.Project{Columns: cols, From: sub.Result}
+		return sub, nil
+
+	case *wsa.Close:
+		sub, err := tr.TranslateOptimized(n.From)
+		if err != nil {
+			return nil, err
+		}
+		s, err := tr.schemaOf(sub.Result)
+		if err != nil {
+			return nil, err
+		}
+		d, v := s.ValueAttrs(), s.IDAttrs()
+		if len(v) == 0 {
+			// Id-free answers appear in all worlds: poss and cert are
+			// the identity on them.
+			return sub, nil
+		}
+		if n.Kind == wsa.ClosePoss {
+			sub.Result = ra.ProjectNames(sub.Result, d...)
+			return sub, nil
+		}
+		// cert: divide by the world table projected to the ids the
+		// answer actually depends on. The answer of other worlds is
+		// constant in the remaining ids, so the projection is exact.
+		divisor := tr.worldProjection(sub.World, v)
+		sub.Result = &ra.Divide{L: sub.Result, R: divisor}
+		return sub, nil
+
+	case *wsa.Group:
+		sub, err := tr.TranslateOptimized(n.From)
+		if err != nil {
+			return nil, err
+		}
+		return tr.optimizedGroup(n, sub)
+
+	case *wsa.BinOp:
+		return tr.optimizedBinary(n.Kind, n.L, n.R)
+
+	case *wsa.Join:
+		sub, err := tr.optimizedBinary(wsa.OpProduct, n.L, n.R)
+		if err != nil {
+			return nil, err
+		}
+		sub.Result = &ra.Select{Pred: n.Pred, From: sub.Result}
+		return sub, nil
+
+	case *wsa.RepairKey:
+		return nil, fmt.Errorf("translate: repair-by-key has no relational algebra equivalent (Proposition 4.2: NP-hard)")
+	}
+	return nil, fmt.Errorf("translate: unknown operator %T", q)
+}
+
+// worldProjection projects the world table to a subset of its ids,
+// eliminating the projection entirely when it is the identity.
+func (tr *Translator) worldProjection(world ra.Expr, ids relation.Schema) ra.Expr {
+	ws, err := tr.schemaOf(world)
+	if err == nil && ws.Equal(ids) {
+		return world
+	}
+	return ra.ProjectNames(world, ids...)
+}
+
+// optimizedGroup reuses the general pairing construction (which only
+// reads the answer table, never the world table) on the optimized
+// answer.
+func (tr *Translator) optimizedGroup(n *wsa.Group, sub *OptSym) (*OptSym, error) {
+	g := &Sym{Result: sub.Result, World: sub.World}
+	out, err := tr.groupOnResult(n, g)
+	if err != nil {
+		return nil, err
+	}
+	sub.Result = out.Result
+	return sub, nil
+}
+
+func (tr *Translator) optimizedBinary(kind wsa.BinOpKind, l, r wsa.Expr) (*OptSym, error) {
+	t1, err := tr.TranslateOptimized(l)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := tr.TranslateOptimized(r)
+	if err != nil {
+		return nil, err
+	}
+	w0 := joinWorlds(t1.World, t2.World)
+	out := &OptSym{World: w0}
+
+	if kind == wsa.OpProduct {
+		s1, err := tr.schemaOf(t1.Result)
+		if err != nil {
+			return nil, err
+		}
+		s2, err := tr.schemaOf(t2.Result)
+		if err != nil {
+			return nil, err
+		}
+		if len(s1.Intersect(s2)) == 0 {
+			out.Result = &ra.Product{L: t1.Result, R: t2.Result}
+		} else {
+			// Shared ids (nested binary operators): join on them.
+			out.Result = &ra.NaturalJoin{L: t1.Result, R: t2.Result}
+		}
+		return out, nil
+	}
+
+	s1, err := tr.schemaOf(t1.Result)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := tr.schemaOf(t2.Result)
+	if err != nil {
+		return nil, err
+	}
+	d1, d2 := s1.ValueAttrs(), s2.ValueAttrs()
+	if len(d1) != len(d2) {
+		return nil, fmt.Errorf("translate: %v operands have arities %d and %d", kind, len(d1), len(d2))
+	}
+	w0s, err := tr.schemaOf(w0)
+	if err != nil {
+		return nil, err
+	}
+	lhs := extendToWorlds(t1.Result, s1, w0, w0s, d1, nil)
+	rhs := extendToWorlds(t2.Result, s2, w0, w0s, d2, d1)
+	switch kind {
+	case wsa.OpUnion:
+		out.Result = &ra.Union{L: lhs, R: rhs}
+	case wsa.OpIntersect:
+		out.Result = &ra.Intersect{L: lhs, R: rhs}
+	case wsa.OpDiff:
+		out.Result = &ra.Diff{L: lhs, R: rhs}
+	default:
+		return nil, fmt.Errorf("translate: unknown binary kind %v", kind)
+	}
+	return out, nil
+}
+
+// joinWorlds combines two world tables; nullary worlds vanish.
+func joinWorlds(w1, w2 ra.Expr) ra.Expr {
+	return &ra.NaturalJoin{L: w1, R: w2}
+}
+
+// extendToWorlds copies an answer into the combined worlds (natural join
+// with w0) and projects to the canonical column order valueNames ++ ids;
+// when renameTo is non-nil, value columns are renamed positionally to it
+// (aligning the right operand of a set operation to the left one).
+func extendToWorlds(result ra.Expr, s relation.Schema, w0 ra.Expr, w0s relation.Schema, valueNames, renameTo []string) ra.Expr {
+	joined := &ra.NaturalJoin{L: result, R: w0}
+	cols := make([]ra.ProjCol, 0, len(valueNames)+len(w0s))
+	for i, v := range valueNames {
+		as := v
+		if renameTo != nil {
+			as = renameTo[i]
+		}
+		cols = append(cols, ra.ProjCol{As: as, Src: v})
+	}
+	for _, id := range w0s {
+		cols = append(cols, ra.ProjCol{As: id, Src: id})
+	}
+	return &ra.Project{Columns: cols, From: joined}
+}
+
+// ToRelationalOptimized is the §5.3 counterpart of ToRelational: it
+// translates a 1↦1 query into a compact relational algebra query (lazy
+// world table, no copying) and simplifies the plan. On a pure relational
+// algebra input it returns (the simplified form of) that query itself.
+func ToRelationalOptimized(q wsa.Expr, names []string, cat ra.Catalog) (ra.Expr, error) {
+	if !wsa.IsCompleteToComplete(q) {
+		return nil, fmt.Errorf("translate: query has type 1 ↦ %s, not 1 ↦ 1", q.Out(wsa.One))
+	}
+	if err := checkNames(names, cat); err != nil {
+		return nil, err
+	}
+	tr := NewTranslator(cat)
+	sym, err := tr.TranslateOptimized(q)
+	if err != nil {
+		return nil, err
+	}
+	s, err := tr.schemaOf(sym.Result)
+	if err != nil {
+		return nil, err
+	}
+	e := sym.Result
+	if ids := s.IDAttrs(); len(ids) > 0 {
+		e = ra.ProjectNames(e, s.ValueAttrs()...)
+	}
+	return ra.SimplifyWith(e, cat, ra.SimplifyOptions{}), nil
+}
+
+// SimplifyPaperForm additionally drops the {⟨⟩} =⊲⊳ X guard that keeps
+// empty-answer worlds alive, producing exactly the shapes the paper
+// prints (Example 5.8: π_{Arr,Dep}(HFlights) ÷ π_Dep(HFlights)). The
+// guard only matters when a choice-of's input can be empty while a
+// sibling operand of a set operation is not, so this form is sound for
+// single-chain queries; prefer ToRelationalOptimized's output when in
+// doubt.
+func SimplifyPaperForm(e ra.Expr, cat ra.Catalog) ra.Expr {
+	return ra.SimplifyWith(e, cat, ra.SimplifyOptions{DropNullaryOuterPad: true})
+}
+
+// EvalCompleteOptimized translates with the optimized scheme and
+// evaluates on the complete database.
+func EvalCompleteOptimized(q wsa.Expr, names []string, db ra.DB) (*relation.Relation, error) {
+	e, err := ToRelationalOptimized(q, names, db)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(db)
+}

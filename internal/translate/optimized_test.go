@@ -1,0 +1,176 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+// tripQuery is cert(π_Arr(χ_Dep(HFlights))) — Examples 5.6 and 5.8.
+func tripQuery() wsa.Expr {
+	return wsa.NewCert(&wsa.Project{Columns: []string{"Arr"},
+		From: &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}})
+}
+
+// TestExample58Optimized reproduces Example 5.8: the optimized
+// translation of the trip-planning query collapses to a division of two
+// projections of HFlights — the form π_{Arr,Dep}(HFlights) ÷
+// π_Dep(HFlights) of the paper, modulo the renaming of the copied Dep
+// column to a world-id attribute.
+func TestExample58Optimized(t *testing.T) {
+	db := ra.DB{"HFlights": datagen.PaperFlights()}
+	sound, err := ToRelationalOptimized(tripQuery(), []string{"HFlights"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := SimplifyPaperForm(sound, db)
+
+	// Shape: a single division whose operands are (projections of) the
+	// base table — and dramatically smaller than the general translation.
+	div, ok := e.(*ra.Divide)
+	if !ok {
+		t.Fatalf("optimized plan is not a division: %s", e)
+	}
+	if got := ra.Size(e); got > 6 {
+		t.Errorf("optimized plan has %d nodes, want ≤ 6: %s", got, e)
+	}
+	gen, err := ToRelational(tripQuery(), []string{"HFlights"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Size(e) >= ra.Size(gen) {
+		t.Errorf("optimized plan (%d nodes) not smaller than general plan (%d nodes)",
+			ra.Size(e), ra.Size(gen))
+	}
+
+	// Semantics: equal to the paper's explicit form
+	// π_{Arr,Dep}(HFlights) ÷ π_Dep(HFlights) on random databases,
+	// including the empty one.
+	paperForm := &ra.Divide{
+		L: ra.ProjectNames(&ra.Base{Name: "HFlights"}, "Arr", "Dep"),
+		R: ra.ProjectNames(&ra.Base{Name: "HFlights"}, "Dep"),
+	}
+	_ = div
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := ra.DB{"HFlights": datagen.RandomRelation(rng,
+			relation.NewSchema("Dep", "Arr"), 4, 8)}
+		got, err := e.Eval(d)
+		if err != nil {
+			return false
+		}
+		want, err := paperForm.Eval(d)
+		if err != nil {
+			return false
+		}
+		return got.EqualContents(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("optimized plan %s disagrees with the paper's division form: %v", e, err)
+	}
+	// Empty database edge case.
+	empty := ra.DB{"HFlights": relation.New(relation.NewSchema("Dep", "Arr"))}
+	got, err := e.Eval(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Errorf("on the empty database the certain arrivals must be empty, got %v", got)
+	}
+}
+
+// TestOptimizedPureRAPassThrough checks the §5.3 claim that a relational
+// algebra query translates to (essentially) itself: no world-id
+// machinery appears in the output plan.
+func TestOptimizedPureRAPassThrough(t *testing.T) {
+	q := &wsa.Select{Pred: ra.Eq("A", "B"),
+		From: &wsa.Project{Columns: []string{"A", "B"}, From: &wsa.Rel{Name: "R"}}}
+	db := ra.DB{"R": relation.New(relation.NewSchema("A", "B", "C"))}
+	e, err := ToRelationalOptimized(q, []string{"R"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Schema(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := s.IDAttrs(); len(ids) != 0 {
+		t.Errorf("pure RA query acquired world ids: %v in %s", ids, e)
+	}
+	if got, want := e.String(), "σ[A=B](π[A,B](R))"; got != want {
+		t.Errorf("expected the identity translation %q, got %q", want, got)
+	}
+}
+
+// TestOptimizedConservativityProperty checks that the optimized
+// translation agrees with both the general translation and the reference
+// semantics for every 1↦1 query in the zoo on random complete databases.
+func TestOptimizedConservativityProperty(t *testing.T) {
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	for qi, q := range queryZoo() {
+		if !wsa.IsCompleteToComplete(q) {
+			continue
+		}
+		qi, q := qi, q
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			db := ra.DB{
+				"R": datagen.RandomRelation(rng, schemas[0], 3, 5),
+				"S": datagen.RandomRelation(rng, schemas[1], 3, 5),
+			}
+			ws := worldset.FromDB(names, []*relation.Relation{db["R"], db["S"]})
+			wantWS, err := wsa.Eval(q, ws)
+			if err != nil {
+				return false
+			}
+			worlds := wantWS.Worlds()
+			if len(worlds) != 1 {
+				return false
+			}
+			want := worlds[0][len(worlds[0])-1]
+			got, err := EvalCompleteOptimized(q, names, db)
+			if err != nil {
+				return false
+			}
+			return got.EqualContents(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("query %d (%s): %v", qi, q, err)
+		}
+	}
+}
+
+// TestOptimizedSmallerThanGeneral quantifies the §5.3 claim: across the
+// 1↦1 query zoo, the optimized plan never has more nodes than the
+// general plan.
+func TestOptimizedSmallerThanGeneral(t *testing.T) {
+	names := []string{"R", "S"}
+	cat := ra.SchemaCatalog{
+		"R": relation.NewSchema("A", "B"),
+		"S": relation.NewSchema("C"),
+	}
+	for qi, q := range queryZoo() {
+		if !wsa.IsCompleteToComplete(q) {
+			continue
+		}
+		gen, err := ToRelational(q, names, cat)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		opt, err := ToRelationalOptimized(q, names, cat)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if ra.Size(opt) > ra.Size(gen) {
+			t.Errorf("query %d (%s): optimized plan larger than general (%d > %d)\nopt: %s\ngen: %s",
+				qi, q, ra.Size(opt), ra.Size(gen), opt, gen)
+		}
+	}
+}

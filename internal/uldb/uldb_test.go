@@ -1,0 +1,121 @@
+package uldb
+
+import (
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+)
+
+// u1 builds the ULDB U1 of Remark 4.6: one maybe x-tuple t1 with
+// alternatives (1) and (2) and no lineage.
+func u1() *ULDB {
+	return &ULDB{
+		Relations: []*XRelation{{
+			Name:   "R",
+			Schema: relation.NewSchema("A"),
+			Tuples: []*XTuple{{
+				ID:           "t1",
+				Alternatives: []relation.Tuple{IntTuple(1), IntTuple(2)},
+				Maybe:        true,
+			}},
+		}},
+	}
+}
+
+// u2 builds the ULDB U2 of Remark 4.6: two maybe x-tuples with one
+// alternative each, whose lineage points to the two alternatives of an
+// external x-tuple s1 (so they are mutually exclusive).
+func u2() *ULDB {
+	return &ULDB{
+		External: map[string]int{"s1": 2},
+		Relations: []*XRelation{{
+			Name:   "R",
+			Schema: relation.NewSchema("A"),
+			Tuples: []*XTuple{
+				{
+					ID:           "t1",
+					Alternatives: []relation.Tuple{IntTuple(1)},
+					Maybe:        true,
+					Lineage:      [][]AltRef{{{Tuple: "s1", Alt: 1}}},
+				},
+				{
+					ID:           "t2",
+					Alternatives: []relation.Tuple{IntTuple(2)},
+					Maybe:        true,
+					Lineage:      [][]AltRef{{{Tuple: "s1", Alt: 2}}},
+				},
+			},
+		}},
+	}
+}
+
+// expectedWorlds is the three-world set {A}={1}, {B}={2}, {C}={} that
+// both U1 and U2 represent.
+func expectedWorlds() *worldset.WorldSet {
+	schema := relation.NewSchema("A")
+	ws := worldset.New([]string{"R"}, []relation.Schema{schema})
+	ws.Add(worldset.World{relation.FromRows(schema, IntTuple(1))})
+	ws.Add(worldset.World{relation.FromRows(schema, IntTuple(2))})
+	ws.Add(worldset.World{relation.New(schema)})
+	return ws
+}
+
+// TestU1U2RepresentSameWorlds checks the premise of Remark 4.6: U1 and
+// U2 are different representations of the same set of three worlds.
+func TestU1U2RepresentSameWorlds(t *testing.T) {
+	w1, err := u1().Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := u2().Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedWorlds()
+	if !w1.Equal(want) {
+		t.Fatalf("U1 worlds:\n%s\nwant:\n%s", w1, want)
+	}
+	if !w2.Equal(want) {
+		t.Fatalf("U2 worlds:\n%s\nwant:\n%s", w2, want)
+	}
+	if !w1.Equal(w2) {
+		t.Fatal("U1 and U2 must represent identical world-sets")
+	}
+}
+
+// TestTriQLNonGenericity reproduces the Remark 4.6 counterexample: the
+// horizontal-selection query q returns the identity on U1 but the empty
+// x-relation on U2, although the inputs represent the same world-set —
+// so the identity isomorphism on the inputs does not extend to the
+// outputs, and TriQL is not generic.
+func TestTriQLNonGenericity(t *testing.T) {
+	q1 := HorizontalSelect(u1().Relations[0])
+	q2 := HorizontalSelect(u2().Relations[0])
+
+	if len(q1.Tuples) != 1 {
+		t.Fatalf("q(U1) should keep the two-alternative x-tuple, got %d tuples", len(q1.Tuples))
+	}
+	if len(q2.Tuples) != 0 {
+		t.Fatalf("q(U2) should be empty, got %d tuples", len(q2.Tuples))
+	}
+
+	// Interpret the answers as world-sets and exhibit the violation:
+	// the inputs are isomorphic (identical), the outputs are not.
+	a1 := &ULDB{Relations: []*XRelation{q1}}
+	a2 := &ULDB{External: map[string]int{"s1": 2}, Relations: []*XRelation{q2}}
+	w1, err := a1.Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := a2.Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Equal(w2) {
+		t.Fatal("expected the query answers to represent different world-sets")
+	}
+	if _, iso := worldset.Isomorphic(w1, w2); iso {
+		t.Fatal("expected no isomorphism between q(U1) and q(U2) world-sets")
+	}
+}

@@ -1,0 +1,166 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue draws a value of a random kind from a small domain so
+// collisions (equal values) actually occur in the property tests.
+func randomValue(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(rng.Intn(2) == 0)
+	case 2:
+		return Int(int64(rng.Intn(5) - 2))
+	case 3:
+		return Float(float64(rng.Intn(5)) / 2)
+	case 4:
+		return Str(string(rune('a' + rng.Intn(3))))
+	default:
+		return Pad()
+	}
+}
+
+// TestCompareTotalOrder checks reflexivity, antisymmetry and
+// transitivity of Compare on random triples.
+func TestCompareTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(rng), randomValue(rng), randomValue(rng)
+		if a.Compare(a) != 0 {
+			return false
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Transitivity: a ≤ b ∧ b ≤ c ⇒ a ≤ c.
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyInjective checks the fundamental hashing invariant: two values
+// have equal keys iff Compare reports equality.
+func TestKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomValue(rng), randomValue(rng)
+		return (a.Key() == b.Key()) == (a.Compare(b) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNumericCrossKindEquality: Int(2) and Float(2.0) must be the same
+// value for set semantics (and hash identically).
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should equal Float(2.0)")
+	}
+	if Int(2).Key() != Float(2.0).Key() {
+		t.Error("Int(2) and Float(2.0) must hash identically")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Error("Int(2) should not equal Float(2.5)")
+	}
+	if Int(3).Compare(Float(2.5)) <= 0 {
+		t.Error("Int(3) should sort after Float(2.5)")
+	}
+}
+
+// TestAccessors checks the typed accessors and panic behaviour.
+func TestAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 {
+		t.Error("AsInt")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Error("AsFloat")
+	}
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("AsFloat on int")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("AsString")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("AsBool")
+	}
+	if !Pad().IsPad() || Pad().IsNull() {
+		t.Error("Pad classification")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AsInt on a string must panic")
+		}
+	}()
+	Str("x").AsInt()
+}
+
+// TestParse checks literal parsing used by the I-SQL layer.
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"'hello'", Str("hello")},
+		{"\"hi\"", Str("hi")},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"null", Null()},
+		{"BCN", Str("BCN")},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%s), want %v (%s)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+// TestStringRendering checks the table-cell rendering.
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		"BCN":   Str("BCN"),
+		"true":  Bool(true),
+		"null":  Null(),
+		"⊥c":    Pad(),
+		"-7":    Int(-7),
+		"false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestPadDistinctFromAllValues: the padding constant c must differ from
+// every data value (Remark 5.5 relies on it never colliding with a real
+// world id).
+func TestPadDistinctFromAllValues(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng)
+		if v.Kind() == KindPad {
+			return true
+		}
+		return !v.Equal(Pad())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

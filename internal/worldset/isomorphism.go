@@ -1,0 +1,121 @@
+package worldset
+
+import (
+	"sort"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// Domain returns the sorted set of values occurring in any relation of
+// any world of ws (the active domain dom A of Definition 4.3).
+func (ws *WorldSet) Domain() []value.Value {
+	seen := make(map[string]value.Value)
+	for _, w := range ws.worlds {
+		for _, r := range w {
+			r.Each(func(t relation.Tuple) {
+				for _, v := range t {
+					seen[v.Key()] = v
+				}
+			})
+		}
+	}
+	out := make([]value.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Bijection is a mapping of domain values, keyed by value.Key().
+type Bijection map[string]value.Value
+
+// NewBijection builds a bijection from parallel from/to slices.
+func NewBijection(from, to []value.Value) Bijection {
+	if len(from) != len(to) {
+		panic("worldset: bijection length mismatch")
+	}
+	b := make(Bijection, len(from))
+	for i, f := range from {
+		b[f.Key()] = to[i]
+	}
+	return b
+}
+
+// Apply maps a value through the bijection; values outside the mapping
+// pass through unchanged.
+func (b Bijection) Apply(v value.Value) value.Value {
+	if m, ok := b[v.Key()]; ok {
+		return m
+	}
+	return v
+}
+
+// ApplyBijection returns θ(A): every value in every relation of every
+// world mapped through θ. This is the left-hand side of the genericity
+// condition q(A) θ≅ q(θ(A)) of Definition 4.4.
+func (ws *WorldSet) ApplyBijection(b Bijection) *WorldSet {
+	out := New(ws.names, ws.schemas)
+	for _, w := range ws.worlds {
+		nw := make(World, len(w))
+		for i, r := range w {
+			nr := relation.New(r.Schema())
+			r.Each(func(t relation.Tuple) {
+				nt := make(relation.Tuple, len(t))
+				for j, v := range t {
+					nt[j] = b.Apply(v)
+				}
+				nr.Insert(nt)
+			})
+			nw[i] = nr
+		}
+		out.Add(nw)
+	}
+	return out
+}
+
+// IsomorphicUnder reports whether A θ≅ B for the given bijection θ
+// (Definition 4.3): θ(A) and B contain the same worlds.
+func IsomorphicUnder(a, b *WorldSet, theta Bijection) bool {
+	return a.ApplyBijection(theta).EqualWorlds(b)
+}
+
+// Isomorphic searches for a bijection θ: dom A → dom B with A θ≅ B.
+// It is a backtracking search intended for the small instances that occur
+// in tests (the paper's genericity arguments are over abstract domains).
+// Candidates are restricted to values of the same order class, since a
+// world-set maps to an isomorphic one only if tuple-position kinds line
+// up in practice; this prunes the search without affecting the paper's
+// examples, where domains are homogeneous.
+func Isomorphic(a, b *WorldSet) (Bijection, bool) {
+	da, db := a.Domain(), b.Domain()
+	if len(da) != len(db) {
+		return nil, false
+	}
+	theta := make(Bijection, len(da))
+	used := make([]bool, len(db))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(da) {
+			return IsomorphicUnder(a, b, theta)
+		}
+		for j, cand := range db {
+			if used[j] || cand.Kind() != da[i].Kind() {
+				continue
+			}
+			used[j] = true
+			theta[da[i].Key()] = cand
+			if rec(i + 1) {
+				return true
+			}
+			used[j] = false
+			delete(theta, da[i].Key())
+		}
+		return false
+	}
+	if rec(0) {
+		return theta, true
+	}
+	return nil, false
+}

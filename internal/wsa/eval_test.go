@@ -1,0 +1,481 @@
+package wsa
+
+import (
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+)
+
+func singleWorld(t *testing.T, names []string, rels ...*relation.Relation) *worldset.WorldSet {
+	t.Helper()
+	return worldset.FromDB(names, rels)
+}
+
+func strTuple(vals ...string) relation.Tuple {
+	tup := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		tup[i] = value.Str(v)
+	}
+	return tup
+}
+
+// answerContents returns the distinct answer relations of q on ws as a
+// map from ContentKey for easy assertions plus the slice itself.
+func mustAnswers(t *testing.T, q Expr, ws *worldset.WorldSet) []*relation.Relation {
+	t.Helper()
+	rs, err := Answers(q, ws)
+	if err != nil {
+		t.Fatalf("Answers(%s): %v", q, err)
+	}
+	return rs
+}
+
+// TestFigure2ChoiceOf reproduces Figure 2(b): choice-of on Dep over the
+// Flights database of Figure 2(a) yields three worlds, one per
+// departure airport.
+func TestFigure2ChoiceOf(t *testing.T) {
+	ws := singleWorld(t, []string{"Flights"}, datagen.PaperFlights())
+	q := &Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "Flights"}}
+	out, err := Run(q, ws, "FlightsW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Len(), 3; got != want {
+		t.Fatalf("world count = %d, want %d\n%s", got, want, out)
+	}
+	want := map[string]*relation.Relation{
+		"FRA": relation.FromRows(relation.NewSchema("Dep", "Arr"),
+			strTuple("FRA", "BCN"), strTuple("FRA", "ATL")),
+		"PAR": relation.FromRows(relation.NewSchema("Dep", "Arr"),
+			strTuple("PAR", "ATL"), strTuple("PAR", "BCN")),
+		"PHL": relation.FromRows(relation.NewSchema("Dep", "Arr"),
+			strTuple("PHL", "ATL")),
+	}
+	matched := 0
+	for _, w := range out.Worlds() {
+		ans := w[1]
+		for dep, exp := range want {
+			if ans.Equal(exp) {
+				matched++
+				_ = dep
+			}
+		}
+	}
+	if matched != 3 {
+		t.Fatalf("expected the three worlds of Figure 2(b), got\n%s", out)
+	}
+}
+
+// fig2bWorldSet builds the world-set of Figure 2(b) directly: three
+// worlds whose only relation Flights is the per-departure slice.
+func fig2bWorldSet() *worldset.WorldSet {
+	schema := relation.NewSchema("Dep", "Arr")
+	ws := worldset.New([]string{"Flights"}, []relation.Schema{schema})
+	ws.Add(worldset.World{relation.FromRows(schema,
+		strTuple("FRA", "BCN"), strTuple("FRA", "ATL"))})
+	ws.Add(worldset.World{relation.FromRows(schema,
+		strTuple("PAR", "ATL"), strTuple("PAR", "BCN"))})
+	ws.Add(worldset.World{relation.FromRows(schema,
+		strTuple("PHL", "ATL"))})
+	return ws
+}
+
+// TestExample31Certain reproduces Example 3.1 / Figure 2(d): on the
+// world-set of Figure 2(b), `select certain Arr from Flights` extends
+// each of the three worlds with F = {ATL}.
+func TestExample31Certain(t *testing.T) {
+	ws := fig2bWorldSet()
+	q := NewCert(&Project{Columns: []string{"Arr"}, From: &Rel{Name: "Flights"}})
+	out, err := Run(q, ws, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Len(), 3; got != want {
+		t.Fatalf("world count = %d, want %d (certain keeps the input worlds)", got, want)
+	}
+	wantF := relation.FromRows(relation.NewSchema("Arr"), strTuple("ATL"))
+	for _, w := range out.Worlds() {
+		if !w[1].Equal(wantF) {
+			t.Fatalf("F = %v, want {ATL}", w[1])
+		}
+	}
+}
+
+// TestPossOnFig2b checks the dual: possible arrivals are {ATL, BCN} in
+// every world.
+func TestPossOnFig2b(t *testing.T) {
+	ws := fig2bWorldSet()
+	q := NewPoss(&Project{Columns: []string{"Arr"}, From: &Rel{Name: "Flights"}})
+	out, err := Run(q, ws, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.FromRows(relation.NewSchema("Arr"), strTuple("ATL"), strTuple("BCN"))
+	for _, w := range out.Worlds() {
+		if !w[1].Equal(want) {
+			t.Fatalf("F = %v, want {ATL, BCN}", w[1])
+		}
+	}
+}
+
+// acquisitionQuery builds the Example 4.1 query:
+//
+//	poss(π_CID(σ_Skill='Web'(cγ^{CID,Skill}_CID(
+//	    π_{CID,EID}(χ_{c2,e2}(δ(Company_Emp)) ⋈_{CID=c2 ∧ EID≠e2} Company_Emp)
+//	    ⋈_{EID=e3} δ_{EID→e3}(Emp_Skills)))))
+func acquisitionQuery() Expr {
+	chosen := &Choice{
+		Attrs: []string{"c2", "e2"},
+		From: &Rename{
+			Pairs: []ra.RenamePair{{From: "CID", To: "c2"}, {From: "EID", To: "e2"}},
+			From:  &Rel{Name: "Company_Emp"},
+		},
+	}
+	v := &Project{
+		Columns: []string{"CID", "EID"},
+		From: &Join{
+			L:    &Rel{Name: "Company_Emp"},
+			R:    chosen,
+			Pred: ra.And{L: ra.Eq("CID", "c2"), R: ra.Ne("EID", "e2")},
+		},
+	}
+	joined := &Join{
+		L:    v,
+		R:    &Rename{Pairs: []ra.RenamePair{{From: "EID", To: "e3"}}, From: &Rel{Name: "Emp_Skills"}},
+		Pred: ra.Eq("EID", "e3"),
+	}
+	w := NewCertGroup([]string{"CID"}, []string{"CID", "Skill"}, joined)
+	return NewPoss(&Project{
+		Columns: []string{"CID"},
+		From:    &Select{Pred: ra.EqConst("Skill", value.Str("Web")), From: w},
+	})
+}
+
+// TestAcquisitionScenario walks the §2 acquisition use case: buying one
+// company, one key employee leaves, which skills are certain, which
+// targets guarantee 'Web'. The paper's answer is {ACME}.
+func TestAcquisitionScenario(t *testing.T) {
+	ws := singleWorld(t, []string{"Company_Emp", "Emp_Skills"},
+		datagen.PaperCompanyEmp(), datagen.PaperEmpSkills())
+
+	// Step U: "buy exactly one company" — two worlds.
+	u := &Choice{Attrs: []string{"CID"}, From: &Rel{Name: "Company_Emp"}}
+	uOut, err := Run(u, ws, "U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := uOut.Len(), 2; got != want {
+		t.Fatalf("U: world count = %d, want %d", got, want)
+	}
+
+	// Step V: "one (key) employee leaves" — five worlds (V1.1..V2.3).
+	chosen := &Choice{
+		Attrs: []string{"c2", "e2"},
+		From: &Rename{
+			Pairs: []ra.RenamePair{{From: "CID", To: "c2"}, {From: "EID", To: "e2"}},
+			From:  &Rel{Name: "Company_Emp"},
+		},
+	}
+	v := &Project{
+		Columns: []string{"CID", "EID"},
+		From: &Join{
+			L:    &Rel{Name: "Company_Emp"},
+			R:    chosen,
+			Pred: ra.And{L: ra.Eq("CID", "c2"), R: ra.Ne("EID", "e2")},
+		},
+	}
+	vOut, err := Run(v, ws, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vOut.Len(), 5; got != want {
+		t.Fatalf("V: world count = %d, want %d\n%s", got, want, vOut)
+	}
+
+	// Full query: the only guaranteed acquisition target is ACME.
+	answers := mustAnswers(t, acquisitionQuery(), ws)
+	if len(answers) != 1 {
+		t.Fatalf("expected a single possible answer, got %d", len(answers))
+	}
+	want := relation.FromRows(relation.NewSchema("CID"), strTuple("ACME"))
+	if !answers[0].Equal(want) {
+		t.Fatalf("acquisition answer = %v, want {ACME}", answers[0])
+	}
+}
+
+// TestAcquisitionCertainSkills checks the W step of §2: per acquisition
+// target, the certain skills are (ACME, Web) and (HAL, Java).
+func TestAcquisitionCertainSkills(t *testing.T) {
+	ws := singleWorld(t, []string{"Company_Emp", "Emp_Skills"},
+		datagen.PaperCompanyEmp(), datagen.PaperEmpSkills())
+	chosen := &Choice{
+		Attrs: []string{"c2", "e2"},
+		From: &Rename{
+			Pairs: []ra.RenamePair{{From: "CID", To: "c2"}, {From: "EID", To: "e2"}},
+			From:  &Rel{Name: "Company_Emp"},
+		},
+	}
+	v := &Project{
+		Columns: []string{"CID", "EID"},
+		From: &Join{
+			L:    &Rel{Name: "Company_Emp"},
+			R:    chosen,
+			Pred: ra.And{L: ra.Eq("CID", "c2"), R: ra.Ne("EID", "e2")},
+		},
+	}
+	joined := &Join{
+		L:    v,
+		R:    &Rename{Pairs: []ra.RenamePair{{From: "EID", To: "e3"}}, From: &Rel{Name: "Emp_Skills"}},
+		Pred: ra.Eq("EID", "e3"),
+	}
+	w := NewCertGroup([]string{"CID"}, []string{"CID", "Skill"}, joined)
+
+	answers := mustAnswers(t, w, ws)
+	wantACME := relation.FromRows(relation.NewSchema("CID", "Skill"), strTuple("ACME", "Web"))
+	wantHAL := relation.FromRows(relation.NewSchema("CID", "Skill"), strTuple("HAL", "Java"))
+	if len(answers) != 2 {
+		t.Fatalf("expected two distinct group answers, got %d", len(answers))
+	}
+	seenACME, seenHAL := false, false
+	for _, a := range answers {
+		if a.Equal(wantACME) {
+			seenACME = true
+		}
+		if a.Equal(wantHAL) {
+			seenHAL = true
+		}
+	}
+	if !seenACME || !seenHAL {
+		t.Fatalf("W answers = %v, want {(ACME,Web)} and {(HAL,Java)}", answers)
+	}
+}
+
+// TestChoiceOnEmptyRelation checks the Figure 3 edge case: choice-of on
+// an empty answer produces the world with the empty relation rather than
+// dropping the world.
+func TestChoiceOnEmptyRelation(t *testing.T) {
+	empty := relation.New(relation.NewSchema("Dep", "Arr"))
+	ws := singleWorld(t, []string{"Flights"}, empty)
+	q := &Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "Flights"}}
+	out, err := Run(q, ws, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("world count = %d, want 1", out.Len())
+	}
+	if !out.Worlds()[0][1].Empty() {
+		t.Fatalf("answer should be empty")
+	}
+}
+
+// TestBinaryPairingRespectsPrefix checks the binary-operator condition
+// of Figure 3: answers are only combined across worlds that agree on
+// R1, …, Rk.
+func TestBinaryPairingRespectsPrefix(t *testing.T) {
+	schema := relation.NewSchema("A")
+	ws := worldset.New([]string{"R"}, []relation.Schema{schema})
+	r1 := relation.FromRows(schema, relation.Tuple{value.Int(1)})
+	r2 := relation.FromRows(schema, relation.Tuple{value.Int(2)})
+	ws.Add(worldset.World{r1})
+	ws.Add(worldset.World{r2})
+
+	// q = R × δ_{A→B}(R): within each world this is the square of R, and
+	// never mixes tuples across worlds.
+	q := NewProduct(&Rel{Name: "R"},
+		&Rename{Pairs: []ra.RenamePair{{From: "A", To: "B"}}, From: &Rel{Name: "R"}})
+	out, err := Run(q, ws, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("world count = %d, want 2", out.Len())
+	}
+	for _, w := range out.Worlds() {
+		ans := w[1]
+		if ans.Len() != 1 {
+			t.Fatalf("answer %v should have exactly the diagonal tuple", ans)
+		}
+		ans.Each(func(tup relation.Tuple) {
+			if !tup[0].Equal(tup[1]) {
+				t.Fatalf("cross-world pairing leaked: %v", tup)
+			}
+		})
+	}
+}
+
+// TestUnionAcrossSubqueryWorlds checks that a union whose operands
+// create worlds produces all combinations of operand worlds derived
+// from the same input world (the "possible combinations" side effect
+// described in §5.2).
+func TestUnionAcrossSubqueryWorlds(t *testing.T) {
+	schema := relation.NewSchema("A")
+	r := relation.FromRows(schema,
+		relation.Tuple{value.Int(1)}, relation.Tuple{value.Int(2)})
+	ws := singleWorld(t, []string{"R"}, r)
+	q := NewUnion(
+		&Choice{Attrs: []string{"A"}, From: &Rel{Name: "R"}},
+		&Choice{Attrs: []string{"A"}, From: &Rel{Name: "R"}},
+	)
+	out, err := Run(q, ws, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Choice yields worlds {1} and {2} on each side; union of all pairs
+	// gives {1}, {2}, {1,2} — three distinct worlds.
+	if out.Len() != 3 {
+		t.Fatalf("world count = %d, want 3\n%s", out.Len(), out)
+	}
+}
+
+// TestRepairByKeyCensus reproduces the §2 census scenario: two SSNs with
+// two candidate tuples each yield 2·2 = 4 repairs.
+func TestRepairByKeyCensus(t *testing.T) {
+	ws := singleWorld(t, []string{"Census"}, datagen.PaperCensus())
+	q := &RepairKey{Attrs: []string{"SSN"}, From: &Rel{Name: "Census"}}
+	out, err := Run(q, ws, "Repaired")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Len(), 4; got != want {
+		t.Fatalf("repair count = %d, want %d", got, want)
+	}
+	for _, w := range out.Worlds() {
+		rep := w[1]
+		if rep.Len() != 3 {
+			t.Fatalf("each repair keeps one tuple per SSN (3 SSNs), got %d", rep.Len())
+		}
+		// SSN must now be a key.
+		seen := map[string]bool{}
+		rep.Each(func(tup relation.Tuple) {
+			k := tup[0].Key()
+			if seen[k] {
+				t.Fatalf("repair violates key: %v", rep)
+			}
+			seen[k] = true
+		})
+	}
+}
+
+// TestRepairByKeyLimit checks that the evaluator refuses exponential
+// blowups beyond the configured bound instead of running away.
+func TestRepairByKeyLimit(t *testing.T) {
+	ws := worldset.FromDB([]string{"Census"}, []*relation.Relation{datagen.Census(40, 40, 1)})
+	q := &RepairKey{Attrs: []string{"SSN"}, From: &Rel{Name: "Census"}}
+	_, err := EvalOpts(q, ws, &Options{MaxWorlds: 1024})
+	if err == nil {
+		t.Fatal("expected world-limit error for 2^40 repairs")
+	}
+}
+
+// TestOperatorTyping spot-checks the §4.1 typing discipline.
+func TestOperatorTyping(t *testing.T) {
+	flights := &Rel{Name: "Flights"}
+	cases := []struct {
+		q    Expr
+		in   Mult
+		want Mult
+	}{
+		{flights, One, One},
+		{flights, Many, Many},
+		{&Choice{Attrs: []string{"Dep"}, From: flights}, One, Many},
+		{&Choice{Attrs: []string{"Dep"}, From: flights}, Many, Many},
+		{NewCert(&Choice{Attrs: []string{"Dep"}, From: flights}), One, One},
+		{NewPoss(flights), Many, One},
+		{NewPossGroup([]string{"Dep"}, nil, &Choice{Attrs: []string{"Dep"}, From: flights}), One, Many},
+		{acquisitionQuery(), One, One},
+	}
+	for _, c := range cases {
+		if got := c.q.Out(c.in); got != c.want {
+			t.Errorf("type of %s with input %s: got %s, want %s", c.q, c.in, got, c.want)
+		}
+	}
+	if !IsCompleteToComplete(acquisitionQuery()) {
+		t.Error("acquisition query must be complete-to-complete (1↦1)")
+	}
+}
+
+// TestTripPlanningCertain reproduces the §2 trip-planning query
+// cert(π_Arr(χ_Dep(HFlights))): the certain common destination of all
+// departures is ATL.
+func TestTripPlanningCertain(t *testing.T) {
+	ws := singleWorld(t, []string{"HFlights"}, datagen.PaperFlights())
+	q := NewCert(&Project{Columns: []string{"Arr"},
+		From: &Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "HFlights"}}})
+	answers := mustAnswers(t, q, ws)
+	want := relation.FromRows(relation.NewSchema("Arr"), strTuple("ATL"))
+	if len(answers) != 1 || !answers[0].Equal(want) {
+		t.Fatalf("certain arrivals = %v, want {ATL}", answers)
+	}
+}
+
+// TestGroupWorldsByPoss checks pγ on the Figure 5 data: χ_A(R) followed
+// by pγ^{A,B}_B produces, per world, the union of the answers of worlds
+// agreeing on π_B.
+func TestGroupWorldsByPoss(t *testing.T) {
+	ws := singleWorld(t, []string{"R"}, datagen.Fig5R())
+	q := NewPossGroup([]string{"B"}, []string{"A", "B"},
+		&Choice{Attrs: []string{"A"}, From: &Rel{Name: "R"}})
+	out, err := Run(q, ws, "R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// χ_A(R) yields worlds {(1,2)}, {(2,3),(2,4)}, {(3,2)}. Worlds 1 and
+	// 3 share π_B = {2}; their group union is {(1,2),(3,2)}. World 2 is
+	// its own group.
+	mk := func(a, b int64) relation.Tuple { return relation.Tuple{value.Int(a), value.Int(b)} }
+	wantG13 := relation.FromRows(relation.NewSchema("A", "B"), mk(1, 2), mk(3, 2))
+	wantG2 := relation.FromRows(relation.NewSchema("A", "B"), mk(2, 3), mk(2, 4))
+	if out.Len() != 2 {
+		// Worlds 1 and 3 receive identical answers and collapse with
+		// identical R — no: R is the same in all worlds, so worlds 1 and
+		// 3 collapse into one.
+		t.Fatalf("world count = %d, want 2\n%s", out.Len(), out)
+	}
+	found13, found2 := false, false
+	for _, w := range out.Worlds() {
+		if w[1].Equal(wantG13) {
+			found13 = true
+		}
+		if w[1].Equal(wantG2) {
+			found2 = true
+		}
+	}
+	if !found13 || !found2 {
+		t.Fatalf("pγ answers wrong:\n%s", out)
+	}
+}
+
+// TestGenericity is the Proposition 4.5 property: for a domain bijection
+// θ, q(θ(A)) = θ(q(A)).
+func TestGenericity(t *testing.T) {
+	ws := fig2bWorldSet()
+	// θ swaps the two arrival airports and renames a departure.
+	theta := worldset.NewBijection(
+		[]value.Value{value.Str("ATL"), value.Str("BCN"), value.Str("FRA")},
+		[]value.Value{value.Str("BCN"), value.Str("ATL"), value.Str("MUC")},
+	)
+	queries := []Expr{
+		NewCert(&Project{Columns: []string{"Arr"}, From: &Rel{Name: "Flights"}}),
+		NewPoss(&Project{Columns: []string{"Arr"}, From: &Rel{Name: "Flights"}}),
+		&Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "Flights"}},
+		NewPossGroup([]string{"Dep"}, []string{"Arr"}, &Rel{Name: "Flights"}),
+	}
+	for _, q := range queries {
+		qa, err := Eval(q, ws)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		qThetaA, err := Eval(q, ws.ApplyBijection(theta))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !qa.ApplyBijection(theta).EqualWorlds(qThetaA) {
+			t.Errorf("genericity violated for %s", q)
+		}
+	}
+}

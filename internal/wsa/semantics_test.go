@@ -1,0 +1,264 @@
+package wsa
+
+import (
+	"strings"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+)
+
+// intWS builds a world-set over R(A, B) from per-world row lists.
+func intWS(worldsRows ...[][2]int64) *worldset.WorldSet {
+	schema := relation.NewSchema("A", "B")
+	ws := worldset.New([]string{"R"}, []relation.Schema{schema})
+	for _, rows := range worldsRows {
+		r := relation.New(schema)
+		for _, row := range rows {
+			r.InsertValues(value.Int(row[0]), value.Int(row[1]))
+		}
+		ws.Add(worldset.World{r})
+	}
+	return ws
+}
+
+// TestSelectPerWorld: σ filters each world independently.
+func TestSelectPerWorld(t *testing.T) {
+	ws := intWS(
+		[][2]int64{{1, 1}, {2, 2}},
+		[][2]int64{{1, 9}},
+	)
+	q := &Select{Pred: ra.EqConst("A", value.Int(1)), From: &Rel{Name: "R"}}
+	out, err := Eval(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("σ must keep both worlds, got %d", out.Len())
+	}
+	for _, w := range out.Worlds() {
+		w[1].Each(func(tup relation.Tuple) {
+			if !tup[0].Equal(value.Int(1)) {
+				t.Fatalf("selection leaked tuple %v", tup)
+			}
+		})
+	}
+}
+
+// TestIntersectAndDiffAcrossWorlds: binary set operations pair answers
+// within each world only.
+func TestIntersectAndDiffAcrossWorlds(t *testing.T) {
+	ws := intWS(
+		[][2]int64{{1, 1}, {2, 2}},
+		[][2]int64{{2, 2}, {3, 3}},
+	)
+	left := &Project{Columns: []string{"A"}, From: &Rel{Name: "R"}}
+	right := &Project{Columns: []string{"A"},
+		From: &Select{Pred: ra.NeConst("A", value.Int(2)), From: &Rel{Name: "R"}}}
+
+	inter, err := Eval(NewIntersect(left, right), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range inter.Worlds() {
+		// Intersection removes exactly the A=2 tuple per world.
+		if w[1].Contains(relation.Tuple{value.Int(2)}) {
+			t.Fatalf("intersection kept filtered tuple: %v", w[1])
+		}
+	}
+	diff, err := Eval(NewDiff(left, right), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range diff.Worlds() {
+		if w[1].Len() != 1 || !w[1].Contains(relation.Tuple{value.Int(2)}) {
+			t.Fatalf("difference should keep exactly the A=2 tuple, got %v", w[1])
+		}
+	}
+}
+
+// TestCertOverDisjointWorlds: certain answers over worlds with nothing
+// in common are empty — and the worlds all survive.
+func TestCertOverDisjointWorlds(t *testing.T) {
+	ws := intWS(
+		[][2]int64{{1, 1}},
+		[][2]int64{{2, 2}},
+	)
+	out, err := Eval(NewCert(&Rel{Name: "R"}), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("worlds must survive cert, got %d", out.Len())
+	}
+	for _, w := range out.Worlds() {
+		if !w[1].Empty() {
+			t.Fatalf("certain answer should be empty, got %v", w[1])
+		}
+	}
+}
+
+// TestEvalOnEmptyWorldSet: the empty world-set maps to the empty
+// world-set under every operator.
+func TestEvalOnEmptyWorldSet(t *testing.T) {
+	empty := worldset.New([]string{"R"}, []relation.Schema{relation.NewSchema("A", "B")})
+	queries := []Expr{
+		&Rel{Name: "R"},
+		NewPoss(&Rel{Name: "R"}),
+		NewCert(&Rel{Name: "R"}),
+		&Choice{Attrs: []string{"A"}, From: &Rel{Name: "R"}},
+		NewPossGroup([]string{"A"}, []string{"B"}, &Rel{Name: "R"}),
+	}
+	for _, q := range queries {
+		out, err := Eval(q, empty)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%s on the empty world-set produced %d worlds", q, out.Len())
+		}
+	}
+}
+
+// TestSchemaErrors: malformed queries are rejected before evaluation.
+func TestSchemaErrors(t *testing.T) {
+	ws := intWS([][2]int64{{1, 1}})
+	bad := []Expr{
+		&Rel{Name: "missing"},
+		&Project{Columns: []string{"Z"}, From: &Rel{Name: "R"}},
+		&Select{Pred: ra.EqConst("Z", value.Int(1)), From: &Rel{Name: "R"}},
+		&Choice{Attrs: []string{"Z"}, From: &Rel{Name: "R"}},
+		NewPossGroup([]string{"Z"}, nil, &Rel{Name: "R"}),
+		NewProduct(&Rel{Name: "R"}, &Rel{Name: "R"}), // shared attributes
+		NewUnion(&Rel{Name: "R"}, &Project{Columns: []string{"A"}, From: &Rel{Name: "R"}}),
+	}
+	for _, q := range bad {
+		if _, err := Eval(q, ws); err == nil {
+			t.Errorf("expected error for %s", q)
+		}
+	}
+}
+
+// TestStringForms: the canonical rendering is stable — the rewrite
+// engine keys its visited set on it.
+func TestStringForms(t *testing.T) {
+	q := NewCert(&Project{Columns: []string{"Arr"},
+		From: &Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "HFlights"}}})
+	want := "cert(π[Arr](χ[Dep](HFlights)))"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	g := NewPossGroup([]string{"Dep"}, nil, &Rel{Name: "F"})
+	if got := g.String(); !strings.Contains(got, "pγ[Dep|*]") {
+		t.Errorf("group rendering = %q", got)
+	}
+	r := &RepairKey{Attrs: []string{"SSN"}, From: &Rel{Name: "Census"}}
+	if got := r.String(); got != "repair[SSN](Census)" {
+		t.Errorf("repair rendering = %q", got)
+	}
+	if !Equal(q, NewCert(&Project{Columns: []string{"Arr"},
+		From: &Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "HFlights"}}})) {
+		t.Error("structurally equal queries must compare equal")
+	}
+}
+
+// TestWalkAndSize: traversal visits every node exactly once.
+func TestWalkAndSize(t *testing.T) {
+	q := NewUnion(
+		&Select{Pred: ra.True{}, From: &Rel{Name: "R"}},
+		&Project{Columns: []string{"A"}, From: &Rel{Name: "R"}})
+	if got := Size(q); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+	var rels int
+	Walk(q, func(e Expr) {
+		if _, ok := e.(*Rel); ok {
+			rels++
+		}
+	})
+	if rels != 2 {
+		t.Errorf("Walk found %d Rel leaves, want 2", rels)
+	}
+}
+
+// TestAnswersDeduplication: Answers returns each distinct answer once,
+// deterministically ordered.
+func TestAnswersDeduplication(t *testing.T) {
+	ws := worldset.FromDB([]string{"Flights"}, []*relation.Relation{datagen.PaperFlights()})
+	q := &Project{Columns: []string{"Arr"},
+		From: &Choice{Attrs: []string{"Dep"}, From: &Rel{Name: "Flights"}}}
+	answers, err := Answers(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FRA and PAR both give {ATL, BCN}; PHL gives {ATL}: two distinct.
+	if len(answers) != 2 {
+		t.Fatalf("distinct answers = %d, want 2", len(answers))
+	}
+	a, err := Answers(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range answers {
+		if !answers[i].Equal(a[i]) {
+			t.Fatal("Answers must be deterministic")
+		}
+	}
+}
+
+// TestGroupCertWithinGroups: cγ intersects only within groups, not
+// globally.
+func TestGroupCertWithinGroups(t *testing.T) {
+	// Worlds: {(1,1)}, {(1,2)}, {(2,3)}. Grouping by A puts the first
+	// two together (π_A = {1}) and the third alone.
+	ws := intWS(
+		[][2]int64{{1, 1}},
+		[][2]int64{{1, 2}},
+		[][2]int64{{2, 3}},
+	)
+	q := NewCertGroup([]string{"A"}, []string{"A"}, &Rel{Name: "R"})
+	out, err := Eval(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group {1}: ∩π_A = {1}; group {2}: {2}. Every world keeps a
+	// non-empty answer — unlike global cert, which would be empty.
+	for _, w := range out.Worlds() {
+		if w[1].Empty() {
+			t.Fatalf("group-cert should not be globally empty:\n%s", out)
+		}
+	}
+	glob, err := Eval(NewCert(&Project{Columns: []string{"A"}, From: &Rel{Name: "R"}}), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range glob.Worlds() {
+		if !w[1].Empty() {
+			t.Fatalf("global cert over disjoint worlds must be empty")
+		}
+	}
+}
+
+// TestRenameThenJoin: the δ + ⋈ combination used throughout the paper's
+// examples (self-joins with fresh names).
+func TestRenameThenJoin(t *testing.T) {
+	ws := intWS([][2]int64{{1, 2}, {2, 3}})
+	q := &Join{
+		L: &Rel{Name: "R"},
+		R: &Rename{Pairs: []ra.RenamePair{{From: "A", To: "A2"}, {From: "B", To: "B2"}},
+			From: &Rel{Name: "R"}},
+		Pred: ra.Eq("B", "A2"),
+	}
+	out, err := Eval(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := out.Worlds()[0]
+	// (1,2)⋈(2,3) is the only chain.
+	if w[1].Len() != 1 {
+		t.Fatalf("join should produce one chain, got %v", w[1])
+	}
+}

@@ -1,0 +1,233 @@
+package wsd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+// TestRepairByKeyCensus: the paper's 5-row census decomposes into 1
+// certain tuple and two 2-alternative components — 4 worlds in size 5.
+func TestRepairByKeyCensus(t *testing.T) {
+	d, err := RepairByKey("Census", datagen.PaperCensus(), []string{"SSN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Certain.Len() != 1 {
+		t.Errorf("certain tuples = %d, want 1 (SSN 333)", d.Certain.Len())
+	}
+	if len(d.Components) != 2 {
+		t.Errorf("components = %d, want 2", len(d.Components))
+	}
+	if d.NumWorlds() != 4 {
+		t.Errorf("worlds = %d, want 4", d.NumWorlds())
+	}
+	if d.Size() != 5 {
+		t.Errorf("size = %d, want 5 (the input tuples)", d.Size())
+	}
+}
+
+// TestRepairDecompositionMatchesEnumeration: Rep(RepairByKey(R)) equals
+// the reference repair-by-key world enumeration.
+func TestRepairDecompositionMatchesEnumeration(t *testing.T) {
+	census := datagen.PaperCensus()
+	d, err := RepairByKey("Census", census, []string{"SSN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := worldset.FromDB([]string{"Census"}, []*relation.Relation{census})
+	ref, err := wsa.Eval(&wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference result carries (Census, answer); project to the
+	// answer only for comparison.
+	refAnswers := worldset.New([]string{"Census"}, []relation.Schema{census.Schema()})
+	ref.Each(func(w worldset.World) { refAnswers.Add(worldset.World{w[1]}) })
+	if !got.EqualWorlds(refAnswers) {
+		t.Fatalf("decomposition expands to different repairs:\n%s\nvs\n%s", got, refAnswers)
+	}
+}
+
+// TestHugeRepairWithoutEnumeration is the point of the representation:
+// 40 duplicated SSNs mean 2^40 repairs — far beyond enumeration — yet
+// possible and certain answers come out in microseconds from the
+// decomposition.
+func TestHugeRepairWithoutEnumeration(t *testing.T) {
+	census := datagen.Census(10000, 40, 7)
+	d, err := RepairByKey("Census", census, []string{"SSN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.NumWorlds(), uint64(1)<<40; got != want {
+		t.Fatalf("worlds = %d, want 2^40 = %d", got, want)
+	}
+	if d.Size() != census.Len() {
+		t.Fatalf("size = %d, want the %d input tuples", d.Size(), census.Len())
+	}
+	poss := d.Poss()
+	if poss.Len() != census.Len() {
+		t.Errorf("every input tuple is possible: got %d of %d", poss.Len(), census.Len())
+	}
+	cert := d.Cert()
+	// Exactly the tuples of non-duplicated SSNs are certain.
+	if got, want := cert.Len(), census.Len()-2*40; got != want {
+		t.Errorf("certain tuples = %d, want %d", got, want)
+	}
+	if _, err := d.Rep(1 << 16); err == nil {
+		t.Error("expansion of 2^40 worlds must be refused")
+	}
+}
+
+// TestPossCertAgainstExpansion: on expandable decompositions, Poss and
+// Cert agree with the explicit union/intersection over worlds.
+func TestPossCertAgainstExpansion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		census := datagen.Census(6+rng.Intn(6), 1+rng.Intn(3), seed)
+		d, err := RepairByKey("R", census, []string{"SSN"})
+		if err != nil {
+			return false
+		}
+		ws, err := d.Rep(0)
+		if err != nil {
+			return false
+		}
+		worlds := ws.Worlds()
+		union := relation.New(d.Schema)
+		inter := worlds[0][0].Clone()
+		for _, w := range worlds {
+			w[0].Each(func(tup relation.Tuple) { union.Insert(tup) })
+			next := relation.New(d.Schema)
+			inter.Each(func(tup relation.Tuple) {
+				if w[0].Contains(tup) {
+					next.Insert(tup)
+				}
+			})
+			inter = next
+		}
+		return d.Poss().Equal(union) && d.Cert().Equal(inter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeRoundTrip: Decompose followed by Rep reproduces the
+// world-set, and independent structure is actually factored.
+func TestDecomposeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := datagen.RandomWorldSet(rng, []string{"R"},
+			[]relation.Schema{relation.NewSchema("A", "B")}, 3, 4, 6)
+		d, err := Decompose("R", ws)
+		if err != nil {
+			return false
+		}
+		back, err := d.Rep(0)
+		if err != nil {
+			return false
+		}
+		return back.EqualWorlds(ws)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeFactorsProducts: a world-set that is a genuine product of
+// two independent choices decomposes into two components (succinctness),
+// not one.
+func TestDecomposeFactorsProducts(t *testing.T) {
+	schema := relation.NewSchema("A")
+	mk := func(vals ...int64) *relation.Relation {
+		r := relation.New(schema)
+		for _, v := range vals {
+			r.InsertValues(intVal(v))
+		}
+		return r
+	}
+	// Worlds: {1 or 2} × {10 or 20} — four worlds.
+	ws := worldset.New([]string{"R"}, []relation.Schema{schema})
+	for _, a := range []int64{1, 2} {
+		for _, b := range []int64{10, 20} {
+			ws.Add(worldset.World{mk(a, b)})
+		}
+	}
+	d, err := Decompose("R", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Components) != 2 {
+		t.Fatalf("expected 2 independent components, got %d:\n%s", len(d.Components), d)
+	}
+	if d.NumWorlds() != 4 {
+		t.Fatalf("worlds = %d, want 4", d.NumWorlds())
+	}
+	if d.Size() != 4 {
+		t.Fatalf("size = %d, want 4 (2 + 2 alternatives)", d.Size())
+	}
+	back, err := d.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualWorlds(ws) {
+		t.Fatal("factored decomposition must expand to the input")
+	}
+}
+
+// TestDecomposeCorrelatedFallsBack: XOR-correlated tuples (never
+// together, never both absent) cannot factor and stay in one component.
+func TestDecomposeCorrelatedFallsBack(t *testing.T) {
+	schema := relation.NewSchema("A")
+	mk := func(vals ...int64) *relation.Relation {
+		r := relation.New(schema)
+		for _, v := range vals {
+			r.InsertValues(intVal(v))
+		}
+		return r
+	}
+	ws := worldset.New([]string{"R"}, []relation.Schema{schema})
+	ws.Add(worldset.World{mk(1)})
+	ws.Add(worldset.World{mk(2)})
+	d, err := Decompose("R", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Components) != 1 {
+		t.Fatalf("XOR tuples must share a component, got %d", len(d.Components))
+	}
+	back, err := d.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualWorlds(ws) {
+		t.Fatal("round trip failed")
+	}
+}
+
+// TestNumWorldsSaturates: overflow saturates instead of wrapping.
+func TestNumWorldsSaturates(t *testing.T) {
+	d := New("R", relation.NewSchema("A"))
+	alt := NewAlternative(d.Schema)
+	comp := Component{Alternatives: []Alternative{alt, alt, alt, alt}}
+	for i := 0; i < 40; i++ { // 4^40 = 2^80 > 2^64
+		d.Components = append(d.Components, comp)
+	}
+	if d.NumWorlds() != math.MaxUint64 {
+		t.Fatalf("expected saturation at MaxUint64, got %d", d.NumWorlds())
+	}
+}
+
+func intVal(v int64) value.Value { return value.Int(v) }
