@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,7 +32,53 @@ import (
 	"worldsetdb/internal/wsd"
 )
 
-var scale = flag.Int("scale", 1, "multiply workload sizes")
+var (
+	scale    = flag.Int("scale", 1, "multiply workload sizes")
+	jsonPath = flag.String("json", "BENCH_results.json",
+		"write measured rows as JSON to this file ('' disables); future PRs diff these for perf regressions")
+)
+
+// benchRow is one measured operation in the JSON report.
+type benchRow struct {
+	Op          string `json:"op"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	Worlds      int    `json:"worlds"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+}
+
+var benchRows []benchRow
+
+// bench measures f like timed and records a row for the JSON report.
+// worlds may point at a counter the closure fills in (the world count
+// the operation handled); nil means not applicable.
+func bench(op string, worlds *int, f func()) time.Duration {
+	d, allocs := timedAllocs(f)
+	w := 0
+	if worlds != nil {
+		w = *worlds
+	}
+	benchRows = append(benchRows, benchRow{
+		Op:          op,
+		NsPerOp:     d.Nanoseconds(),
+		AllocsPerOp: allocs,
+		Worlds:      w,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	})
+	return d
+}
+
+// writeJSON dumps the recorded rows so future PRs have a perf
+// trajectory to compare against.
+func writeJSON(path string) {
+	if path == "" || len(benchRows) == 0 {
+		return
+	}
+	data, err := json.MarshalIndent(benchRows, "", "  ")
+	must(err)
+	must(os.WriteFile(path, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %d measured rows to %s\n", len(benchRows), path)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md) or 'all'")
@@ -68,17 +116,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	writeJSON(*jsonPath)
 }
 
 // timed reports the wall-clock time of f, repeated until 50ms or 5 runs
 // for stability, returning the minimum.
 func timed(f func()) time.Duration {
+	d, _ := timedAllocs(f)
+	return d
+}
+
+// timedAllocs is timed plus the mean heap allocations per run.
+func timedAllocs(f func()) (time.Duration, uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
 	best := time.Duration(0)
 	total := time.Duration(0)
+	runs := 0
 	for i := 0; i < 5; i++ {
 		start := time.Now()
 		f()
 		d := time.Since(start)
+		runs++
 		if best == 0 || d < best {
 			best = d
 		}
@@ -87,7 +147,8 @@ func timed(f func()) time.Duration {
 			break
 		}
 	}
-	return best
+	runtime.ReadMemStats(&ms)
+	return best, (ms.Mallocs - m0) / uint64(runs)
 }
 
 func must(err error) {
@@ -107,13 +168,13 @@ func expF2() {
 		ws := worldset.FromDB([]string{"Flights"}, []*relation.Relation{flights})
 		chi := &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "Flights"}}
 		var worlds int
-		dChoice := timed(func() {
+		dChoice := bench(fmt.Sprintf("F2/choice/deps=%d", nDep), &worlds, func() {
 			out, err := wsa.Eval(chi, ws)
 			must(err)
 			worlds = out.Len()
 		})
 		certQ := wsa.NewCert(&wsa.Project{Columns: []string{"Arr"}, From: chi})
-		dCert := timed(func() {
+		dCert := bench(fmt.Sprintf("F2/certain/deps=%d", nDep), &worlds, func() {
 			_, err := wsa.Eval(certQ, ws)
 			must(err)
 		})
@@ -129,7 +190,7 @@ func expAcquisition() {
 		ce := datagen.CompanyEmp(n, 4)
 		es := datagen.EmpSkills(n, 4, 4, 11)
 		var worlds, targets int
-		d := timed(func() {
+		d := bench(fmt.Sprintf("ACQ/script/companies=%d", n), &worlds, func() {
 			s := isql.FromDB([]string{"Company_Emp", "Emp_Skills"},
 				[]*relation.Relation{ce, es})
 			_, err := s.ExecScript(`
@@ -159,7 +220,7 @@ func expTPCH() {
 		n := n * *scale
 		li := datagen.Lineitem(n, 3, 4, 42)
 		var worlds, years int
-		d := timed(func() {
+		d := bench(fmt.Sprintf("TPCH/script/products=%d", n), &worlds, func() {
 			s := isql.FromDB([]string{"Lineitem"}, []*relation.Relation{li})
 			_, err := s.ExecString(`create table YearQuantity as
 				select A.Year, sum(A.Price) as Revenue
@@ -182,7 +243,7 @@ func expCensus() {
 	for _, d := range []int{2, 4, 8, 12} {
 		census := datagen.Census(200, d, 3)
 		var repairs int
-		dt := timed(func() {
+		dt := bench(fmt.Sprintf("CENSUS/repair/dups=%d", d), &repairs, func() {
 			s := isql.FromDB([]string{"Census"}, []*relation.Relation{census})
 			_, err := s.ExecString("create table Clean as select * from Census repair by key SSN;")
 			must(err)
@@ -204,7 +265,7 @@ func expWSD() {
 		census := datagen.Census(200, dups, 3)
 		enumTime := "(skipped: too many worlds)"
 		if dups <= 12 {
-			d := timed(func() {
+			d := bench(fmt.Sprintf("WSD/enumeration/dups=%d", dups), nil, func() {
 				s := isql.FromDB([]string{"Census"}, []*relation.Relation{census})
 				_, err := s.ExecString("create table Clean as select * from Census repair by key SSN;")
 				must(err)
@@ -212,13 +273,13 @@ func expWSD() {
 			enumTime = d.String()
 		}
 		var dec *wsd.WSD
-		dDecomp := timed(func() {
+		dDecomp := bench(fmt.Sprintf("WSD/decomposition/dups=%d", dups), nil, func() {
 			var err error
 			dec, err = wsd.RepairByKey("Census", census, []string{"SSN"})
 			must(err)
 		})
 		var certLen int
-		dCert := timed(func() { certLen = dec.Cert().Len() })
+		dCert := bench(fmt.Sprintf("WSD/cert/dups=%d", dups), nil, func() { certLen = dec.Cert().Len() })
 		worlds := fmt.Sprintf("%d", dec.NumWorlds())
 		if dups == 40 {
 			worlds = "2^40"
@@ -245,9 +306,9 @@ func expThreeWays() {
 	// subqueries, so the workload is kept small; even here I-SQL's
 	// choice-of + certain wins by orders of magnitude.
 	flights := datagen.Flights(8**scale, 12, 0.4, 9)
-	for _, q := range queries {
+	for qi, q := range queries {
 		var rows int
-		d := timed(func() {
+		d := bench(fmt.Sprintf("SQL3/form%d", qi), nil, func() {
 			s := isql.FromDB([]string{"HFlights"}, []*relation.Relation{flights})
 			res, err := s.ExecString(q.sql)
 			must(err)
@@ -268,13 +329,13 @@ func expTranslations() {
 		db := ra.DB{"HFlights": flights}
 		ws := worldset.FromDB([]string{"HFlights"}, []*relation.Relation{flights})
 
-		dNaive := timed(func() { _, err := wsa.Eval(q, ws); must(err) })
+		dNaive := bench(fmt.Sprintf("E56/naive/deps=%d", nDep), nil, func() { _, err := wsa.Eval(q, ws); must(err) })
 		gen, err := translate.ToRelational(q, []string{"HFlights"}, db)
 		must(err)
-		dGen := timed(func() { _, err := gen.Eval(db); must(err) })
+		dGen := bench(fmt.Sprintf("E56/generalRA/deps=%d", nDep), nil, func() { _, err := gen.Eval(db); must(err) })
 		opt, err := translate.ToRelationalOptimized(q, []string{"HFlights"}, db)
 		must(err)
-		dOpt := timed(func() { _, err := opt.Eval(db); must(err) })
+		dOpt := bench(fmt.Sprintf("E56/optimizedRA/deps=%d", nDep), nil, func() { _, err := opt.Eval(db); must(err) })
 		fmt.Printf("%-10d %-14s %-14s %-14s %-12d %-12d\n",
 			flights.Len(), dNaive, dGen, dOpt, ra.Size(gen), ra.Size(opt))
 	}
@@ -307,8 +368,10 @@ func expRewriting() {
 			hotels := datagen.Hotels(10, 2, 4)
 			ws := worldset.FromDB([]string{"HFlights", "Hotels"},
 				[]*relation.Relation{flights, hotels})
-			dOrig := timed(func() { _, err := wsa.Eval(q, ws); must(err) })
-			dOpt := timed(func() { _, err := wsa.Eval(opt, ws); must(err) })
+			dOrig := bench(fmt.Sprintf("F8F9/%s-original/deps=%d", tc.name, nDep), nil,
+				func() { _, err := wsa.Eval(q, ws); must(err) })
+			dOpt := bench(fmt.Sprintf("F8F9/%s-rewritten/deps=%d", tc.name, nDep), nil,
+				func() { _, err := wsa.Eval(opt, ws); must(err) })
 			fmt.Printf("%-8s %-10d %-12.1f %-12.1f %-14s %-14s %.1fx\n",
 				tc.name, flights.Len(), rewrite.Cost(q), rewrite.Cost(opt), dOrig, dOpt,
 				float64(dOrig)/float64(dOpt))
@@ -331,16 +394,16 @@ func expPhysical() {
 		flights := datagen.Flights(nDep, 15, 0.3, 7)
 		ws := worldset.FromDB([]string{"Flights"}, []*relation.Relation{flights})
 		var worlds int
-		dNaive := timed(func() {
+		dNaive := bench(fmt.Sprintf("PHYS/naive/deps=%d", nDep), &worlds, func() {
 			out, err := wsa.Eval(q, ws)
 			must(err)
 			worlds = out.Len()
 		})
-		dRA := timed(func() {
+		dRA := bench(fmt.Sprintf("PHYS/figure6RA/deps=%d", nDep), &worlds, func() {
 			_, err := translate.EvalWorldSet(q, ws)
 			must(err)
 		})
-		dPhys := timed(func() {
+		dPhys := bench(fmt.Sprintf("PHYS/physical/deps=%d", nDep), &worlds, func() {
 			_, err := physical.EvalWorldSet(q, ws)
 			must(err)
 		})

@@ -11,4 +11,28 @@
 // application scenarios. The benchmarks in bench_test.go regenerate the
 // performance-relevant artifacts (EXPERIMENTS.md records a captured
 // run).
+//
+// # Execution engine
+//
+// All evaluators share an allocation-lean hashing core: tuples, column
+// projections and whole relations hash through 64-bit FNV-1a digests
+// (internal/hashkey) with typed-value verification on collision, never
+// through intermediate key strings. Relations store rows in hash
+// buckets and memoize their content digests (internal/relation), the
+// relational operators join through cached per-column hash indexes
+// (internal/ra), and the dedicated executor for the paper's conclusion
+// (internal/physical) partitions every operator by world and fans the
+// partitions out across a GOMAXPROCS-sized worker pool with a
+// deterministic merge — see internal/physical's package comment for the
+// partitioning scheme and determinism guarantee.
+//
+// # Correctness harnesses
+//
+// internal/difftest runs every query through the three evaluators
+// (Figure 3 reference, Figure 6 translation, physical operators) on
+// randomized world-sets and requires world-set-identical answers,
+// including under the race detector with partitioning forced on.
+// golden_test.go pins the paper's running examples (Figure 2 pipeline,
+// the Figure 8/9 rewrite pairs, census repair, trip planning) to
+// committed outputs under testdata/.
 package worldsetdb

@@ -1,0 +1,3 @@
+module worldsetdb
+
+go 1.24

@@ -1,0 +1,106 @@
+package difftest
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+)
+
+var (
+	names   = []string{"R", "S"}
+	schemas = []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+)
+
+// TestMain forces the partitioned parallel code paths in the physical
+// executor and the inline decoder regardless of input size and core
+// count, so the differential runs — especially under -race — exercise
+// the worker fan-out and the deterministic merges.
+func TestMain(m *testing.M) {
+	relation.ForceParts = 3
+	os.Exit(m.Run())
+}
+
+// TestPaperQueriesAgree pins the three evaluators to one another on the
+// paper's running trip-planning pipeline, independent of randomness.
+func TestPaperQueriesAgree(t *testing.T) {
+	ws := worldset.FromDB([]string{"HFlights"}, []*relation.Relation{datagen.PaperFlights()})
+	queries := []wsa.Expr{
+		&wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}},
+		wsa.NewCert(&wsa.Project{Columns: []string{"Arr"},
+			From: &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}}),
+		wsa.NewPoss(&wsa.Project{Columns: []string{"Arr"},
+			From: &wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}}),
+		wsa.NewPossGroup([]string{"Arr"}, []string{"Dep", "Arr"},
+			&wsa.Choice{Attrs: []string{"Dep"}, From: &wsa.Rel{Name: "HFlights"}}),
+	}
+	for _, q := range queries {
+		if err := Check(q, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRandomizedAgreement is the main differential sweep: hundreds of
+// randomized well-typed queries over randomized multi-world inputs, all
+// three evaluators required to agree world-set-for-world-set.
+func TestRandomizedAgreement(t *testing.T) {
+	queries, inputs := 250, 2
+	if testing.Short() {
+		queries = 40
+	}
+	rng := rand.New(rand.NewSource(20070612))
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	checked := 0
+	for qi := 0; qi < queries; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		for wi := 0; wi < inputs; wi++ {
+			ws := datagen.RandomWorldSet(rng, names, schemas, 3, 3, 3)
+			if err := Check(q, ws); err != nil {
+				t.Fatalf("query %d input %d: %v", qi, wi, err)
+			}
+			checked++
+		}
+	}
+	if want := queries * inputs; checked != want {
+		t.Fatalf("checked %d query/input pairs, want %d", checked, want)
+	}
+	if !testing.Short() && checked < 500 {
+		t.Fatalf("differential sweep too small: %d < 500", checked)
+	}
+}
+
+// TestParallelMatchesSequential pins the determinism guarantee of the
+// parallel executor: with partitioning forced on (TestMain) and off, the
+// physical evaluator must produce byte-identical rendered output for the
+// same query, not merely equal world-sets.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	for qi := 0; qi < 40; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		ws := datagen.RandomWorldSet(rng, names, schemas, 3, 4, 3)
+		par := mustPhysical(t, q, ws)
+		relation.ForceParts = 1 // sequential
+		seq := mustPhysical(t, q, ws)
+		relation.ForceParts = 3
+		if par != seq {
+			t.Fatalf("parallel output differs from sequential for %s\nparallel:\n%s\nsequential:\n%s", q, par, seq)
+		}
+	}
+}
+
+func mustPhysical(t *testing.T, q wsa.Expr, ws *worldset.WorldSet) string {
+	t.Helper()
+	results := Run(q, ws)
+	ph := results[2]
+	if ph.Err != nil {
+		t.Fatalf("physical eval failed for %s: %v", q, ph.Err)
+	}
+	return ph.Out.String()
+}

@@ -1,0 +1,43 @@
+package hashkey
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestMatchesStdlibFNV pins the fold functions to the stdlib FNV-1a
+// implementation: Byte/Uint64/String over a byte stream must equal
+// hash/fnv over the same bytes.
+func TestMatchesStdlibFNV(t *testing.T) {
+	ref := func(bs []byte) uint64 {
+		h := fnv.New64a()
+		h.Write(bs)
+		return h.Sum64()
+	}
+	if got, want := String(Offset, "hello"), ref([]byte("hello")); got != want {
+		t.Fatalf("String: got %x want %x", got, want)
+	}
+	h := Offset
+	for _, b := range []byte("hello") {
+		h = Byte(h, b)
+	}
+	if want := ref([]byte("hello")); h != want {
+		t.Fatalf("Byte chain: got %x want %x", h, want)
+	}
+	u := uint64(0x0102030405060708)
+	bs := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if got, want := Uint64(Offset, u), ref(bs); got != want {
+		t.Fatalf("Uint64: got %x want %x", got, want)
+	}
+}
+
+// TestOrderSensitivity: tuples are order-sensitive, so folding "ab" must
+// differ from "ba".
+func TestOrderSensitivity(t *testing.T) {
+	if String(Offset, "ab") == String(Offset, "ba") {
+		t.Fatal("FNV-1a should distinguish element order")
+	}
+	if Mix(Mix(Offset, 1), 2) == Mix(Mix(Offset, 2), 1) {
+		t.Fatal("Mix should distinguish sub-digest order")
+	}
+}

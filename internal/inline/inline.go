@@ -47,10 +47,12 @@ func Encode(ws *worldset.WorldSet) *Repr {
 	world := relation.New(relation.Schema{WorldAttr})
 	for wi, w := range ws.Worlds() {
 		id := value.Int(int64(wi + 1))
-		world.Insert(relation.Tuple{id})
+		world.InsertDistinct(relation.Tuple{id})
 		for ri, r := range w {
+			// Rows are distinct within a world and carry distinct ids
+			// across worlds, so no membership scan is needed.
 			r.Each(func(t relation.Tuple) {
-				tables[ri].Insert(append(t.Clone(), id))
+				tables[ri].InsertDistinct(append(t.Clone(), id))
 			})
 		}
 	}
@@ -62,19 +64,26 @@ func Encode(ws *worldset.WorldSet) *Repr {
 // tuples whose id attributes match the corresponding components of w;
 // tables without id attributes are copied into every world. Several ids
 // may decode to the same world; set semantics collapses them.
+//
+// Each table is bucketed once by its id projection (instead of being
+// rescanned per world, which made decoding quadratic), and the worlds
+// are then assembled in parallel chunks; adding them to the result
+// world-set stays sequential and follows the deterministic world-table
+// order, and the world-set's set semantics collapses duplicates exactly
+// as before.
 func (t *Repr) Decode() (*worldset.WorldSet, error) {
 	wSchema := t.World.Schema()
 	valueSchemas := make([]relation.Schema, len(t.Tables))
-	idIdxTable := make([][]int, len(t.Tables)) // positions of id attrs in table
-	idIdxWorld := make([][]int, len(t.Tables)) // positions of same attrs in W
+	idIdxWorld := make([][]int, len(t.Tables)) // positions of table id attrs in W
 	valIdx := make([][]int, len(t.Tables))
+	perWorld := make([]*relation.GroupMap, len(t.Tables)) // table rows by id projection
 	for i, tbl := range t.Tables {
 		s := tbl.Schema()
 		ids := s.IDAttrs()
 		vals := s.ValueAttrs()
 		valueSchemas[i] = vals
-		var err error
-		if idIdxTable[i], err = s.Indexes(ids); err != nil {
+		idIdxTable, err := s.Indexes(ids)
+		if err != nil {
 			return nil, err
 		}
 		if idIdxWorld[i], err = wSchema.Indexes(ids); err != nil {
@@ -83,26 +92,52 @@ func (t *Repr) Decode() (*worldset.WorldSet, error) {
 		if valIdx[i], err = s.Indexes(vals); err != nil {
 			return nil, err
 		}
+		perWorld[i] = relation.NewGroupMap(idIdxTable, tbl.Len())
+		tbl.Each(func(tup relation.Tuple) { perWorld[i].Add(tup) })
+	}
+	// Build each distinct id-group's decoded relation once, in parallel
+	// chunks, and share the instance across every world that selects it.
+	// A table without id attributes has a single group, so its decoded
+	// relation is built once instead of once per world; relations are
+	// immutable once shared, so the sharing is safe (the reference
+	// evaluator shares instances across worlds the same way).
+	decoded := make([]map[*relation.Group]*relation.Relation, len(t.Tables))
+	empty := make([]*relation.Relation, len(t.Tables))
+	for i := range t.Tables {
+		groups := perWorld[i].Groups()
+		rels := make([]*relation.Relation, len(groups))
+		vIdx := valIdx[i]
+		schema := valueSchemas[i]
+		relation.ParallelChunks(len(groups), relation.NumParts(t.Tables[i].Len()), func(_, lo, hi int) {
+			for g := lo; g < hi; g++ {
+				out := relation.New(schema)
+				// Rows of one group are distinct after dropping the
+				// shared id columns: they differ in value columns.
+				for _, tup := range groups[g].Rows {
+					out.InsertDistinct(tup.Project(vIdx))
+				}
+				// Warm the memoized content hash off the main goroutine:
+				// world deduplication reads it for every world.
+				_ = out.ContentHash()
+				rels[g] = out
+			}
+		})
+		m := make(map[*relation.Group]*relation.Relation, len(groups))
+		for g, grp := range groups {
+			m[grp] = rels[g]
+		}
+		decoded[i] = m
+		empty[i] = relation.New(schema)
 	}
 	ws := worldset.New(t.Names, valueSchemas)
 	for _, w := range t.World.Tuples() {
 		world := make(worldset.World, len(t.Tables))
-		for i, tbl := range t.Tables {
-			out := relation.New(valueSchemas[i])
-			tIdx, wIdx, vIdx := idIdxTable[i], idIdxWorld[i], valIdx[i]
-			tbl.Each(func(tup relation.Tuple) {
-				for p, ti := range tIdx {
-					if !tup[ti].Equal(w[wIdx[p]]) {
-						return
-					}
-				}
-				vt := make(relation.Tuple, len(vIdx))
-				for p, vi := range vIdx {
-					vt[p] = tup[vi]
-				}
-				out.Insert(vt)
-			})
-			world[i] = out
+		for i := range t.Tables {
+			if grp := perWorld[i].Get(w, idIdxWorld[i]); grp != nil {
+				world[i] = decoded[i][grp]
+			} else {
+				world[i] = empty[i]
+			}
 		}
 		ws.Add(world)
 	}

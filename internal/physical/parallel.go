@@ -1,0 +1,73 @@
+package physical
+
+import (
+	"worldsetdb/internal/relation"
+)
+
+// Parallel execution model
+//
+// Every dedicated operator partitions its input tuples by the FNV-1a
+// digest of the tuple's world-id projection, modulo the partition count
+// (a full-tuple digest for plain set operations). Because equal values
+// hash equally, all tuples of one world — and all duplicates of one
+// tuple — land in the same partition, so partitions are processed fully
+// independently: no locks, no shared mutable state. Each worker
+// deduplicates within its partition; the merge then appends partitions
+// back-to-back in partition order 0..P-1 with relation.InsertDistinct
+// (cross-partition duplicates are impossible by construction). The
+// result relation is a set, so its contents — and hence the sorted
+// Tuples()/Render() output — are byte-identical to a sequential run.
+//
+// The pool primitives and their sizing knobs (GOMAXPROCS-sized, capped
+// at relation.MaxFanOut, sequential below relation.SeqThreshold,
+// test-forceable via relation.ForceParts) live in relation/pool.go and
+// are shared with the parallel decoder in package inline.
+
+// numParts picks the partition count for an operator over n input
+// tuples.
+func numParts(n int) int { return relation.NumParts(n) }
+
+// parallelDo runs f(p) for every partition p in [0, parts) and waits.
+func parallelDo(parts int, f func(part int)) { relation.ParallelDo(parts, f) }
+
+// parallelChunks splits [0, n) into parts contiguous chunks and runs
+// f(chunk, lo, hi) for each non-empty chunk on the pool.
+func parallelChunks(n, parts int, f func(chunk, lo, hi int)) {
+	relation.ParallelChunks(n, parts, f)
+}
+
+// partitionBy splits r's tuples into parts slices by the digest of the
+// columns at idx (nil = whole tuple), so tuples agreeing on those
+// columns — in particular, all tuples of one world — land in the same
+// partition.
+func partitionBy(r *relation.Relation, idx []int, parts int) [][]relation.Tuple {
+	out := make([][]relation.Tuple, parts)
+	if parts == 1 {
+		rows := make([]relation.Tuple, 0, r.Len())
+		r.Each(func(t relation.Tuple) { rows = append(rows, t) })
+		out[0] = rows
+		return out
+	}
+	est := r.Len()/parts + 1
+	for i := range out {
+		out[i] = make([]relation.Tuple, 0, est)
+	}
+	r.Each(func(t relation.Tuple) {
+		p := int(t.HashOn(idx) % uint64(parts))
+		out[p] = append(out[p], t)
+	})
+	return out
+}
+
+// mergeDistinct builds a relation over schema from per-partition row
+// slices whose rows are distinct within each partition and, by the
+// partitioning invariant, across partitions.
+func mergeDistinct(schema relation.Schema, parts [][]relation.Tuple) *relation.Relation {
+	out := relation.New(schema)
+	for _, rows := range parts {
+		for _, t := range rows {
+			out.InsertDistinct(t)
+		}
+	}
+	return out
+}

@@ -11,16 +11,33 @@
 //     it appears in (instead of the relational division of Figure 6);
 //   - poss is a duplicate-eliminating projection whose result is stored
 //     id-free ("appears in every world");
-//   - group-worlds-by hashes each world's grouping projection to a
-//     signature and aggregates unions/intersections per group (instead
-//     of the quadratic world-pairing construction of Figure 6);
+//   - group-worlds-by hashes each world's grouping projection to an
+//     interned set signature and aggregates unions/intersections per
+//     group (instead of the quadratic world-pairing construction of
+//     Figure 6);
 //   - choice-of extends the answer and the world table in one pass,
 //     padding empty worlds with the constant c of Remark 5.5.
 //
-// Results agree tuple-for-tuple with the Figure 3 reference semantics
-// (see physical_test.go, which fuzzes random queries) while avoiding
-// both the naive evaluator's world materialization and the translated
-// plans' join/division detours.
+// # Parallel execution
+//
+// Each of these operators is world-partitioned: input tuples are split
+// into P partitions by the FNV-1a digest of their world-id projection
+// (full-tuple digest for plain set operations), so all tuples of one
+// world land in one partition and partitions evaluate independently on
+// a worker pool sized by GOMAXPROCS (capped at 16; inputs below
+// SeqThreshold stay sequential). Workers share only read-only inputs;
+// each deduplicates within its partition, and the merge concatenates
+// partitions deterministically in partition order. Determinism
+// guarantee: equal tuples hash to the same partition, so the merged
+// relation is set-for-set — and after the canonical Tuples() sort,
+// byte-for-byte — identical to a sequential run. See parallel.go.
+//
+// All hash tables key on 64-bit digests (package hashkey) with typed
+// value comparison on collision — no intermediate key strings — so
+// results agree tuple-for-tuple with the Figure 3 reference semantics
+// (see physical_test.go and internal/difftest, which fuzz random
+// queries) while avoiding both the naive evaluator's world
+// materialization and the translated plans' join/division detours.
 package physical
 
 import (
@@ -28,6 +45,7 @@ import (
 	"sort"
 	"strings"
 
+	"worldsetdb/internal/hashkey"
 	"worldsetdb/internal/inline"
 	"worldsetdb/internal/ra"
 	"worldsetdb/internal/relation"
@@ -134,7 +152,10 @@ func (ex *executor) eval(q wsa.Expr, world *relation.Relation) (*relation.Relati
 
 // evalChoice extends the answer with copies of the choice attributes as
 // id attributes and updates the world table in one pass, keeping empty
-// worlds alive under the pad constant.
+// worlds alive under the pad constant. Both passes are partitioned by
+// the answer's world-id projection: a world's answer rows and its world
+// rows land in the same partition, so the distinct chosen B-combinations
+// per world are partition-local state.
 func (ex *executor) evalChoice(n *wsa.Choice, world *relation.Relation) (*relation.Relation, *relation.Relation, error) {
 	res, w, err := ex.eval(n.From, world)
 	if err != nil {
@@ -150,71 +171,80 @@ func (ex *executor) evalChoice(n *wsa.Choice, world *relation.Relation) (*relati
 	if err != nil {
 		return nil, nil, err
 	}
-	vb := make([]string, len(n.Attrs))
-	for i, b := range n.Attrs {
-		vb[i] = ex.freshID(b)
-	}
-
-	// Answer: append the B values as new id columns.
-	outSchema := s.Concat(relation.Schema(vb))
-	out := relation.New(outSchema)
-	// choices: id-combination key → set of chosen B tuples.
-	choices := make(map[string][][]value.Value)
-	chosenSeen := make(map[string]bool)
-	res.Each(func(t relation.Tuple) {
-		nt := make(relation.Tuple, 0, len(t)+len(vb))
-		nt = append(nt, t...)
-		for _, i := range bIdx {
-			nt = append(nt, t[i])
-		}
-		out.Insert(nt)
-
-		idKey := hashKey(t, idIdx)
-		bVals := make([]value.Value, len(bIdx))
-		var ck []byte
-		ck = append(ck, idKey...)
-		ck = append(ck, 0x1e)
-		for p, i := range bIdx {
-			bVals[p] = t[i]
-			ck = value.Value.AppendKey(t[i], ck)
-			ck = append(ck, 0x1f)
-		}
-		if !chosenSeen[string(ck)] {
-			chosenSeen[string(ck)] = true
-			choices[idKey] = append(choices[idKey], bVals)
-		}
-	})
-
-	// World table: every old world row extended with each of its chosen
-	// B combinations, or with pads if the answer was empty there.
 	wIDIdx, err := w.Schema().Indexes(ids)
 	if err != nil {
 		return nil, nil, err
 	}
-	newWorld := relation.New(w.Schema().Concat(relation.Schema(vb)))
-	w.Each(func(t relation.Tuple) {
-		combos := choices[hashKey(t, wIDIdx)]
-		if len(combos) == 0 {
-			nt := make(relation.Tuple, 0, len(t)+len(vb))
+	vb := make([]string, len(n.Attrs))
+	for i, b := range n.Attrs {
+		vb[i] = ex.freshID(b)
+	}
+	outSchema := s.Concat(relation.Schema(vb))
+	newWorldSchema := w.Schema().Concat(relation.Schema(vb))
+
+	parts := numParts(res.Len() + w.Len())
+	resParts := partitionBy(res, idIdx, parts)
+	wParts := partitionBy(w, wIDIdx, parts)
+	outParts := make([][]relation.Tuple, parts)
+	worldParts := make([][]relation.Tuple, parts)
+	parallelDo(parts, func(p int) {
+		// Answer rows: append the B values as new id columns; group the
+		// partition's rows by world id for the world-extension pass.
+		groups := relation.NewGroupMap(idIdx, len(resParts[p]))
+		outRows := make([]relation.Tuple, 0, len(resParts[p]))
+		for _, t := range resParts[p] {
+			nt := make(relation.Tuple, 0, len(t)+len(bIdx))
 			nt = append(nt, t...)
-			for range vb {
-				nt = append(nt, value.Pad())
+			for _, i := range bIdx {
+				nt = append(nt, t[i])
 			}
-			newWorld.Insert(nt)
-			return
+			outRows = append(outRows, nt)
+			groups.Add(t)
 		}
-		for _, c := range combos {
-			nt := make(relation.Tuple, 0, len(t)+len(vb))
-			nt = append(nt, t...)
-			nt = append(nt, c...)
-			newWorld.Insert(nt)
+		outParts[p] = outRows
+
+		// Distinct chosen B-combinations per world id combination.
+		combos := make(map[*relation.Group][]relation.Tuple, groups.Len())
+		for _, grp := range groups.Groups() {
+			seen := relation.NewKeySet(len(grp.Rows))
+			var cs []relation.Tuple
+			for _, t := range grp.Rows {
+				if seen.Add(t, bIdx) {
+					cs = append(cs, t.Project(bIdx))
+				}
+			}
+			combos[grp] = cs
 		}
+
+		// World rows: extend with each chosen combination, or with pads
+		// if the answer was empty in that world.
+		var wRows []relation.Tuple
+		for _, t := range wParts[p] {
+			grp := groups.Get(t, wIDIdx)
+			if grp == nil {
+				nt := make(relation.Tuple, 0, len(t)+len(vb))
+				nt = append(nt, t...)
+				for range vb {
+					nt = append(nt, value.Pad())
+				}
+				wRows = append(wRows, nt)
+				continue
+			}
+			for _, c := range combos[grp] {
+				nt := make(relation.Tuple, 0, len(t)+len(c))
+				nt = append(nt, t...)
+				nt = append(nt, c...)
+				wRows = append(wRows, nt)
+			}
+		}
+		worldParts[p] = wRows
 	})
-	return out, newWorld, nil
+	return mergeDistinct(outSchema, outParts), mergeDistinct(newWorldSchema, worldParts), nil
 }
 
-// evalClose implements poss (distinct projection, stored id-free) and
-// cert (hash world-counting).
+// evalClose implements poss (parallel distinct projection, stored
+// id-free) and cert (parallel hash world-counting partitioned by the
+// answer's value projection).
 func (ex *executor) evalClose(n *wsa.Close, world *relation.Relation) (*relation.Relation, *relation.Relation, error) {
 	res, w, err := ex.eval(n.From, world)
 	if err != nil {
@@ -230,11 +260,25 @@ func (ex *executor) evalClose(n *wsa.Close, world *relation.Relation) (*relation
 	if err != nil {
 		return nil, nil, err
 	}
+	parts := numParts(res.Len())
+	resParts := partitionBy(res, dIdx, parts)
+	outParts := make([][]relation.Tuple, parts)
 	if n.Kind == wsa.ClosePoss {
-		return res.Project(dIdx, d), w, nil
+		parallelDo(parts, func(p int) {
+			seen := relation.NewKeySet(len(resParts[p]))
+			var rows []relation.Tuple
+			for _, t := range resParts[p] {
+				if seen.Add(t, dIdx) {
+					rows = append(rows, t.Project(dIdx))
+				}
+			}
+			outParts[p] = rows
+		})
+		return mergeDistinct(d, outParts), w, nil
 	}
 	// cert: a tuple is certain iff its distinct id combinations cover
-	// every world (projected to the answer's id attributes).
+	// every world (projected to the answer's id attributes). The world
+	// key set is built once and shared read-only across workers.
 	idIdx, err := s.Indexes(ids)
 	if err != nil {
 		return nil, nil, err
@@ -243,42 +287,79 @@ func (ex *executor) evalClose(n *wsa.Close, world *relation.Relation) (*relation
 	if err != nil {
 		return nil, nil, err
 	}
-	worldKeys := make(map[string]bool, w.Len())
-	w.Each(func(t relation.Tuple) { worldKeys[hashKey(t, wIdx)] = true })
+	worldKeys := relation.NewKeySet(w.Len())
+	w.Each(func(t relation.Tuple) { worldKeys.Add(t, wIdx) })
+	nWorlds := worldKeys.Len()
+	if nWorlds == 0 {
+		// No worlds: nothing is certain (avoid the vacuous-truth count
+		// match where 0 covered ids would equal 0 worlds).
+		return relation.New(d), w, nil
+	}
 
-	counts := make(map[string]map[string]bool)
-	reps := make(map[string]relation.Tuple)
-	res.Each(func(t relation.Tuple) {
-		dk := hashKey(t, dIdx)
-		ik := hashKey(t, idIdx)
-		if !worldKeys[ik] {
-			return // stale id not in the world table: cannot count
+	parallelDo(parts, func(p int) {
+		groups := relation.NewGroupMap(dIdx, len(resParts[p]))
+		for _, t := range resParts[p] {
+			groups.Add(t)
 		}
-		m, ok := counts[dk]
-		if !ok {
-			m = make(map[string]bool)
-			counts[dk] = m
-			reps[dk] = t
-		}
-		m[ik] = true
-	})
-	out := relation.New(d)
-	for dk, m := range counts {
-		if len(m) == len(worldKeys) {
-			t := reps[dk]
-			nt := make(relation.Tuple, len(dIdx))
-			for p, i := range dIdx {
-				nt[p] = t[i]
+		var rows []relation.Tuple
+		for _, grp := range groups.Groups() {
+			// Count distinct world ids covering this value tuple,
+			// ignoring stale ids absent from the world table.
+			covered := relation.NewKeySet(len(grp.Rows))
+			cnt := 0
+			for _, t := range grp.Rows {
+				if worldKeys.Contains(t, idIdx) && covered.Add(t, idIdx) {
+					cnt++
+				}
 			}
-			out.Insert(nt)
+			if cnt == nWorlds {
+				rows = append(rows, grp.Key)
+			}
+		}
+		outParts[p] = rows
+	})
+	return mergeDistinct(d, outParts), w, nil
+}
+
+// sigInterner assigns small integer ids to distinct sets of projected
+// tuples, verifying candidate matches element-wise so group signatures
+// are exact even under digest collisions.
+type sigInterner struct {
+	buckets map[uint64][]internEntry
+	next    int
+}
+
+type internEntry struct {
+	rows []relation.Tuple // sorted distinct projections
+	id   int
+}
+
+func (in *sigInterner) intern(rows []relation.Tuple, h uint64) int {
+	for _, e := range in.buckets[h] {
+		if len(e.rows) == len(rows) {
+			same := true
+			for i := range rows {
+				if !e.rows[i].Equal(rows[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				return e.id
+			}
 		}
 	}
-	return out, w, nil
+	id := in.next
+	in.next++
+	in.buckets[h] = append(in.buckets[h], internEntry{rows: rows, id: id})
+	return id
 }
 
 // evalGroup implements pγ/cγ by hashing world signatures: each world's
-// grouping projection determines its group; unions/intersections are
-// aggregated per group and emitted per world.
+// distinct grouping projection — computed in parallel across worlds and
+// interned exactly — determines its group; unions/intersections are
+// aggregated per group (in parallel across groups) and emitted per world
+// (in parallel across worlds).
 func (ex *executor) evalGroup(n *wsa.Group, world *relation.Relation) (*relation.Relation, *relation.Relation, error) {
 	res, w, err := ex.eval(n.From, world)
 	if err != nil {
@@ -304,110 +385,122 @@ func (ex *executor) evalGroup(n *wsa.Group, world *relation.Relation) (*relation
 		return nil, nil, err
 	}
 
-	// Per world (by answer-id projection): the rows.
-	type bucket struct {
-		rows []relation.Tuple
-	}
-	perWorld := make(map[string]*bucket)
-	res.Each(func(t relation.Tuple) {
-		k := hashKey(t, idIdx)
-		b, ok := perWorld[k]
-		if !ok {
-			b = &bucket{}
-			perWorld[k] = b
-		}
-		b.rows = append(b.rows, t)
-	})
+	// Per world (by answer-id projection): the rows. Worlds come from W
+	// projected to the answer ids, so worlds with empty answers are kept.
+	perWorld := relation.NewGroupMap(idIdx, res.Len())
+	res.Each(func(t relation.Tuple) { perWorld.Add(t) })
+	worldIDs := relation.NewGroupMap(wIdx, w.Len())
+	w.Each(func(t relation.Tuple) { worldIDs.Add(t) })
+	worlds := worldIDs.Groups() // distinct id projections, one per world
 
-	// Distinct worlds from W (projected to the answer ids), including
-	// worlds with empty answers.
-	type worldInfo struct {
-		idVals relation.Tuple
-		sig    string
+	// Signature per world: the sorted distinct grouping projection of
+	// its rows, computed in parallel and interned sequentially.
+	type worldSig struct {
+		rows []relation.Tuple // sorted distinct g-projections
+		hash uint64
 	}
-	var worlds []worldInfo
-	seenWorld := map[string]bool{}
-	w.Each(func(t relation.Tuple) {
-		k := hashKey(t, wIdx)
-		if seenWorld[k] {
-			return
-		}
-		seenWorld[k] = true
-		idVals := make(relation.Tuple, len(wIdx))
-		for p, i := range wIdx {
-			idVals[p] = t[i]
-		}
-		worlds = append(worlds, worldInfo{idVals: idVals, sig: ""})
-	})
-	// Signature: the sorted distinct grouping projection of the world's
-	// rows.
-	for i := range worlds {
-		k := hashKey(worlds[i].idVals, identity(len(wIdx)))
-		var keys []string
-		if b, ok := perWorld[k]; ok {
-			seen := map[string]bool{}
-			for _, t := range b.rows {
-				gk := hashKey(t, gIdx)
-				if !seen[gk] {
-					seen[gk] = true
-					keys = append(keys, gk)
+	sigs := make([]worldSig, len(worlds))
+	parts := numParts(res.Len() + len(worlds))
+	parallelChunks(len(worlds), parts, func(_, lo, hi int) {
+		for wi := lo; wi < hi; wi++ {
+			var rows []relation.Tuple
+			if grp := perWorld.Get(worlds[wi].Key, nil); grp != nil {
+				seen := relation.NewKeySet(len(grp.Rows))
+				for _, t := range grp.Rows {
+					if seen.Add(t, gIdx) {
+						rows = append(rows, t.Project(gIdx))
+					}
 				}
 			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].Less(rows[j]) })
+			h := hashkey.Offset
+			for _, t := range rows {
+				h = hashkey.Mix(h, t.Hash())
+			}
+			sigs[wi] = worldSig{rows: rows, hash: h}
 		}
-		sort.Strings(keys)
-		worlds[i].sig = strings.Join(keys, "\x1d")
+	})
+	interner := &sigInterner{buckets: make(map[uint64][]internEntry, len(worlds))}
+	sigOf := make([]int, len(worlds))
+	var sigWorlds [][]int // signature id -> member world indexes
+	for wi := range worlds {
+		id := interner.intern(sigs[wi].rows, sigs[wi].hash)
+		sigOf[wi] = id
+		if id == len(sigWorlds) {
+			sigWorlds = append(sigWorlds, nil)
+		}
+		sigWorlds[id] = append(sigWorlds[id], wi)
 	}
 
-	// Aggregate per group signature.
-	agg := make(map[string]*relation.Relation)
+	// Aggregate per group signature, in parallel across signatures.
 	projSchema := relation.NewSchema(proj...)
-	for _, wi := range worlds {
-		k := hashKey(wi.idVals, identity(len(wIdx)))
+	agg := make([]*relation.Relation, len(sigWorlds))
+	worldProj := func(wi int) *relation.Relation {
 		projected := relation.New(projSchema)
-		if b, ok := perWorld[k]; ok {
-			for _, t := range b.rows {
-				nt := make(relation.Tuple, len(pIdx))
-				for p, i := range pIdx {
-					nt[p] = t[i]
-				}
-				projected.Insert(nt)
+		if grp := perWorld.Get(worlds[wi].Key, nil); grp != nil {
+			for _, t := range grp.Rows {
+				projected.Insert(t.Project(pIdx))
 			}
 		}
-		cur, ok := agg[wi.sig]
-		if !ok {
-			agg[wi.sig] = projected
-			continue
-		}
-		if n.Kind == wsa.GroupPoss {
-			projected.Each(func(t relation.Tuple) { cur.Insert(t) })
-		} else {
-			next := relation.New(projSchema)
-			cur.Each(func(t relation.Tuple) {
-				if projected.Contains(t) {
-					next.Insert(t)
+		return projected
+	}
+	parallelChunks(len(sigWorlds), parts, func(_, lo, hi int) {
+		for sid := lo; sid < hi; sid++ {
+			members := sigWorlds[sid]
+			cur := worldProj(members[0])
+			for _, wi := range members[1:] {
+				if n.Kind == wsa.GroupPoss {
+					if grp := perWorld.Get(worlds[wi].Key, nil); grp != nil {
+						for _, t := range grp.Rows {
+							cur.Insert(t.Project(pIdx))
+						}
+					}
+				} else {
+					other := relation.NewKeySet(16)
+					if grp := perWorld.Get(worlds[wi].Key, nil); grp != nil {
+						for _, t := range grp.Rows {
+							other.Add(t, pIdx)
+						}
+					}
+					next := relation.New(projSchema)
+					cur.Each(func(t relation.Tuple) {
+						if other.Contains(t, nil) {
+							next.Insert(t)
+						}
+					})
+					cur = next
 				}
-			})
-			agg[wi.sig] = next
+			}
+			agg[sid] = cur
 		}
-	}
+	})
 
-	// Emit the group aggregate per world, tagged with the world's ids.
+	// Emit the group aggregate per world, tagged with the world's ids,
+	// in parallel across worlds. Distinct worlds yield distinct tagged
+	// rows, so the merge is duplicate-free by construction.
 	outSchema := projSchema.Concat(ids)
-	out := relation.New(outSchema)
-	for _, wi := range worlds {
-		a := agg[wi.sig]
-		a.Each(func(t relation.Tuple) {
-			nt := make(relation.Tuple, 0, len(t)+len(wi.idVals))
-			nt = append(nt, t...)
-			nt = append(nt, wi.idVals...)
-			out.Insert(nt)
-		})
-	}
-	return out, w, nil
+	emitParts := make([][]relation.Tuple, parts)
+	parallelChunks(len(worlds), parts, func(chunk, lo, hi int) {
+		var rows []relation.Tuple
+		for wi := lo; wi < hi; wi++ {
+			idVals := worlds[wi].Key
+			agg[sigOf[wi]].Each(func(t relation.Tuple) {
+				nt := make(relation.Tuple, 0, len(t)+len(idVals))
+				nt = append(nt, t...)
+				nt = append(nt, idVals...)
+				rows = append(rows, nt)
+			})
+		}
+		emitParts[chunk] = rows
+	})
+	return mergeDistinct(outSchema, emitParts), w, nil
 }
 
 // evalBinary pairs answers on their shared id attributes within the
-// combined world table.
+// combined world table. Products go through the (index-accelerated)
+// natural join; union/intersection/difference run as parallel set
+// operations partitioned by the full tuple digest, so matching rows of
+// both operands meet in the same partition.
 func (ex *executor) evalBinary(kind wsa.BinOpKind, l, r wsa.Expr, joinPred ra.Pred, world *relation.Relation) (*relation.Relation, *relation.Relation, error) {
 	r1, w1, err := ex.eval(l, world)
 	if err != nil {
@@ -449,34 +542,68 @@ func (ex *executor) evalBinary(kind wsa.BinOpKind, l, r wsa.Expr, joinPred ra.Pr
 		cols = append(cols, ra.ProjCol{As: id, Src: id})
 	}
 	rhsE := &ra.Project{Columns: cols, From: &ra.NaturalJoin{L: &ra.Lit{Rel: r2}, R: &ra.Lit{Rel: w0}}}
-	var op ra.Expr
-	switch kind {
-	case wsa.OpUnion:
-		op = &ra.Union{L: lhsE, R: rhsE}
-	case wsa.OpIntersect:
-		op = &ra.Intersect{L: lhsE, R: rhsE}
-	case wsa.OpDiff:
-		op = &ra.Diff{L: lhsE, R: rhsE}
-	default:
-		return nil, nil, fmt.Errorf("physical: unknown binary kind %v", kind)
+	lhs, err := lhsE.Eval(nil)
+	if err != nil {
+		return nil, nil, err
 	}
-	out, err := op.Eval(nil)
+	rhs, err := rhsE.Eval(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := parallelSetOp(kind, lhs, rhs)
 	return out, w0, err
 }
 
-func hashKey(t relation.Tuple, idx []int) string {
-	var k []byte
-	for _, i := range idx {
-		k = t[i].AppendKey(k)
-		k = append(k, 0x1f)
+// parallelSetOp computes l ∪/∩/− r partitioned by the full tuple digest.
+// Both operands are relations (rows already distinct within each), so
+// workers only deduplicate across the two inputs.
+func parallelSetOp(kind wsa.BinOpKind, l, r *relation.Relation) (*relation.Relation, error) {
+	parts := numParts(l.Len() + r.Len())
+	lp := partitionBy(l, nil, parts)
+	rp := partitionBy(r, nil, parts)
+	outParts := make([][]relation.Tuple, parts)
+	var opErr error
+	parallelDo(parts, func(p int) {
+		var rows []relation.Tuple
+		switch kind {
+		case wsa.OpUnion:
+			seen := relation.NewKeySet(len(lp[p]) + len(rp[p]))
+			for _, t := range lp[p] {
+				seen.Add(t, nil)
+				rows = append(rows, t)
+			}
+			for _, t := range rp[p] {
+				if seen.Add(t, nil) {
+					rows = append(rows, t)
+				}
+			}
+		case wsa.OpIntersect:
+			rset := relation.NewKeySet(len(rp[p]))
+			for _, t := range rp[p] {
+				rset.Add(t, nil)
+			}
+			for _, t := range lp[p] {
+				if rset.Contains(t, nil) {
+					rows = append(rows, t)
+				}
+			}
+		case wsa.OpDiff:
+			rset := relation.NewKeySet(len(rp[p]))
+			for _, t := range rp[p] {
+				rset.Add(t, nil)
+			}
+			for _, t := range lp[p] {
+				if !rset.Contains(t, nil) {
+					rows = append(rows, t)
+				}
+			}
+		default:
+			opErr = fmt.Errorf("physical: unknown binary kind %v", kind)
+		}
+		outParts[p] = rows
+	})
+	if opErr != nil {
+		return nil, opErr
 	}
-	return string(k)
-}
-
-func identity(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	return mergeDistinct(l.Schema(), outParts), nil
 }

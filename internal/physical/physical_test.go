@@ -2,6 +2,7 @@ package physical
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"worldsetdb/internal/datagen"
@@ -10,6 +11,15 @@ import (
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
 )
+
+// TestMain forces every operator through the partitioned parallel code
+// paths regardless of input size and core count, so the fuzzers (and the
+// race detector) exercise the worker fan-out and the deterministic merge
+// even on small fixtures and single-core machines.
+func TestMain(m *testing.M) {
+	relation.ForceParts = 3
+	os.Exit(m.Run())
+}
 
 var (
 	names   = []string{"R", "S"}

@@ -125,23 +125,17 @@ func (j *Join) Eval(db DB) (*relation.Relation, error) {
 		})
 		return out, nil
 	}
-	// Hash join: build on the right operand.
-	build := make(map[string][]relation.Tuple, r.Len())
-	r.Each(func(rt relation.Tuple) {
-		var k []byte
-		for _, pr := range pairs {
-			k = rt[pr[1]].AppendKey(k)
-			k = append(k, 0x1f)
-		}
-		build[string(k)] = append(build[string(k)], rt)
-	})
+	// Hash-join fast path: probe a (cached) index on the right operand's
+	// equi-join columns. No key strings are built; collisions are
+	// resolved inside Index.Lookup by typed comparison.
+	lCols := make([]int, len(pairs))
+	rCols := make([]int, len(pairs))
+	for i, pr := range pairs {
+		lCols[i], rCols[i] = pr[0], pr[1]
+	}
+	build := r.IndexOn(rCols)
 	l.Each(func(lt relation.Tuple) {
-		var k []byte
-		for _, pr := range pairs {
-			k = lt[pr[0]].AppendKey(k)
-			k = append(k, 0x1f)
-		}
-		for _, rt := range build[string(k)] {
+		for _, rt := range build.Lookup(lt, lCols) {
 			emit(lt, rt)
 		}
 	})
@@ -179,15 +173,6 @@ func planNatural(l, r *relation.Relation) (naturalPlan, error) {
 	return p, nil
 }
 
-func hashKey(t relation.Tuple, idx []int) string {
-	var k []byte
-	for _, i := range idx {
-		k = t[i].AppendKey(k)
-		k = append(k, 0x1f)
-	}
-	return string(k)
-}
-
 // Eval implements Expr.
 func (j *NaturalJoin) Eval(db DB) (*relation.Relation, error) {
 	l, err := j.L.Eval(db)
@@ -203,13 +188,9 @@ func (j *NaturalJoin) Eval(db DB) (*relation.Relation, error) {
 		return nil, err
 	}
 	out := relation.New(p.outSchema)
-	build := make(map[string][]relation.Tuple, r.Len())
-	r.Each(func(rt relation.Tuple) {
-		k := hashKey(rt, p.rIdx)
-		build[k] = append(build[k], rt)
-	})
+	build := r.IndexOn(p.rIdx)
 	l.Each(func(lt relation.Tuple) {
-		for _, rt := range build[hashKey(lt, p.lIdx)] {
+		for _, rt := range build.Lookup(lt, p.lIdx) {
 			t := make(relation.Tuple, 0, len(p.outSchema))
 			t = append(t, lt...)
 			for _, i := range p.rRestIdx {
@@ -237,14 +218,10 @@ func (j *LeftOuterPad) Eval(db DB) (*relation.Relation, error) {
 		return nil, err
 	}
 	out := relation.New(p.outSchema)
-	build := make(map[string][]relation.Tuple, r.Len())
-	r.Each(func(rt relation.Tuple) {
-		k := hashKey(rt, p.rIdx)
-		build[k] = append(build[k], rt)
-	})
+	build := r.IndexOn(p.rIdx)
 	nPad := len(p.rRestIdx)
 	l.Each(func(lt relation.Tuple) {
-		matches := build[hashKey(lt, p.lIdx)]
+		matches := build.Lookup(lt, p.lIdx)
 		if len(matches) == 0 {
 			t := make(relation.Tuple, 0, len(p.outSchema))
 			t = append(t, lt...)
@@ -350,40 +327,25 @@ func (d *Divide) Eval(db DB) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	divisor := make(map[string]bool, r.Len())
-	r.Each(func(t relation.Tuple) { divisor[hashKey(t, rShared)] = true })
+	divisor := relation.NewKeySet(r.Len())
+	r.Each(func(t relation.Tuple) { divisor.Add(t, rShared) })
 
-	covered := make(map[string]map[string]bool)
-	rep := make(map[string]relation.Tuple)
-	l.Each(func(t relation.Tuple) {
-		dk := hashKey(t, dIdx)
-		sk := hashKey(t, lShared)
-		if !divisor[sk] {
-			// Tuples pairing d with non-divisor values do not help
-			// coverage; standard division ignores them.
-			if _, ok := covered[dk]; !ok {
-				covered[dk] = make(map[string]bool)
-				rep[dk] = t
-			}
-			return
-		}
-		m, ok := covered[dk]
-		if !ok {
-			m = make(map[string]bool)
-			covered[dk] = m
-			rep[dk] = t
-		}
-		m[sk] = true
-	})
+	groups := relation.NewGroupMap(dIdx, l.Len())
+	l.Each(func(t relation.Tuple) { groups.Add(t) })
 	out := relation.New(dAttrs)
-	for dk, m := range covered {
-		if len(m) == len(divisor) {
-			t := rep[dk]
-			p := make(relation.Tuple, len(dIdx))
-			for i, j := range dIdx {
-				p[i] = t[j]
+	for _, grp := range groups.Groups() {
+		// Count the distinct divisor values covered by this group;
+		// tuples pairing d with non-divisor values do not help coverage
+		// (standard division ignores them).
+		seen := relation.NewKeySet(len(grp.Rows))
+		n := 0
+		for _, t := range grp.Rows {
+			if divisor.Contains(t, lShared) && seen.Add(t, lShared) {
+				n++
 			}
-			out.Insert(p)
+		}
+		if n == divisor.Len() {
+			out.Insert(grp.Key)
 		}
 	}
 	return out, nil

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"worldsetdb/internal/hashkey"
 	"worldsetdb/internal/value"
 )
 
@@ -12,6 +14,9 @@ import (
 type Tuple []value.Value
 
 // Key returns an injective encoding of the tuple, usable as a map key.
+// Hot paths should prefer Hash plus Equal verification; Key is kept for
+// the places that need injectivity (ContentKey, deterministic ordering
+// of world enumerations).
 func (t Tuple) Key() string {
 	var b []byte
 	for _, v := range t {
@@ -19,6 +24,81 @@ func (t Tuple) Key() string {
 		b = append(b, 0x1f) // field separator; never produced by AppendKey payloads of equal length ambiguity
 	}
 	return string(b)
+}
+
+// Hash returns the FNV-1a digest of the whole tuple, allocation-free.
+// Equal tuples (per value.Compare) hash identically; unequal tuples may
+// collide, so callers must verify candidates with Equal.
+func (t Tuple) Hash() uint64 {
+	h := hashkey.Offset
+	for _, v := range t {
+		h = v.Hash(h)
+		h = hashkey.Byte(h, 0x1f)
+	}
+	return h
+}
+
+// HashOn returns the FNV-1a digest of the columns at idx, in that order.
+// A nil idx means all columns (identity projection).
+func (t Tuple) HashOn(idx []int) uint64 {
+	if idx == nil {
+		return t.Hash()
+	}
+	h := hashkey.Offset
+	for _, i := range idx {
+		h = t[i].Hash(h)
+		h = hashkey.Byte(h, 0x1f)
+	}
+	return h
+}
+
+// Equal reports value-wise equality (value.Compare == 0 per field).
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i].Compare(u[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualOn reports whether t's columns at tIdx equal u's columns at uIdx.
+// A nil index list means all columns of the respective tuple. The two
+// lists must have the same effective length.
+func (t Tuple) EqualOn(u Tuple, tIdx, uIdx []int) bool {
+	if tIdx == nil && uIdx == nil {
+		return t.Equal(u)
+	}
+	n := len(tIdx)
+	if tIdx == nil {
+		n = len(t)
+	}
+	for p := 0; p < n; p++ {
+		ti, ui := p, p
+		if tIdx != nil {
+			ti = tIdx[p]
+		}
+		if uIdx != nil {
+			ui = uIdx[p]
+		}
+		if t[ti].Compare(u[ui]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the tuple's columns at idx, in that order, as a new
+// tuple.
+func (t Tuple) Project(idx []int) Tuple {
+	p := make(Tuple, len(idx))
+	for i, j := range idx {
+		p[i] = t[j]
+	}
+	return p
 }
 
 // Clone returns a copy of the tuple.
@@ -48,15 +128,33 @@ func (t Tuple) String() string {
 
 // Relation is a set of tuples over a schema. The zero Relation is not
 // usable; construct with New. Relations are mutable until shared; all
-// algebra operators in package ra allocate fresh results.
+// algebra operators in package ra allocate fresh results. Once a
+// relation is shared (stored in a world-set, passed to a parallel
+// operator) it must not be mutated: concurrent readers rely on it, and
+// sibling relations created by WithSchema share the row storage.
+//
+// Rows are stored in hash buckets keyed by the tuples' FNV-1a digest
+// with exact value comparison on collision, so membership tests and
+// inserts allocate no key strings.
 type Relation struct {
 	schema Schema
-	rows   map[string]Tuple
+	rows   map[uint64][]Tuple
+	n      int
+
+	// mu guards the lazily computed caches below. The row storage itself
+	// is not guarded: mutation is only legal before the relation is
+	// shared.
+	mu      sync.Mutex
+	ck      string
+	ckValid bool
+	chash   uint64
+	chValid bool
+	indexes map[string]*Index
 }
 
 // New returns an empty relation over the given schema.
 func New(schema Schema) *Relation {
-	return &Relation{schema: schema, rows: make(map[string]Tuple)}
+	return &Relation{schema: schema, rows: make(map[uint64][]Tuple)}
 }
 
 // FromRows builds a relation over schema containing the given tuples.
@@ -73,10 +171,21 @@ func FromRows(schema Schema, rows ...Tuple) *Relation {
 func (r *Relation) Schema() Schema { return r.schema }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+func (r *Relation) Empty() bool { return r.n == 0 }
+
+// invalidate drops memoized caches after a mutation.
+func (r *Relation) invalidate() {
+	if r.ckValid || r.chValid || r.indexes != nil {
+		r.mu.Lock()
+		r.ck, r.ckValid = "", false
+		r.chash, r.chValid = 0, false
+		r.indexes = nil
+		r.mu.Unlock()
+	}
+}
 
 // Insert adds a tuple, reporting whether it was new. It panics if the
 // arity does not match the schema: arity mismatches are program bugs, not
@@ -85,12 +194,32 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != len(r.schema) {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into schema %v", len(t), r.schema))
 	}
-	k := t.Key()
-	if _, ok := r.rows[k]; ok {
-		return false
+	h := t.Hash()
+	for _, u := range r.rows[h] {
+		if t.Equal(u) {
+			return false
+		}
 	}
-	r.rows[k] = t
+	r.rows[h] = append(r.rows[h], t)
+	r.n++
+	r.invalidate()
 	return true
+}
+
+// InsertDistinct adds a tuple the caller guarantees is not already
+// present, skipping the membership scan. The parallel operator merges in
+// package physical use it: their partitioning schemes hash equal tuples
+// to the same partition and deduplicate within partitions, so
+// cross-partition duplicates cannot occur. Anywhere that guarantee does
+// not hold, use Insert.
+func (r *Relation) InsertDistinct(t Tuple) {
+	if len(t) != len(r.schema) {
+		panic(fmt.Sprintf("relation: inserting arity-%d tuple into schema %v", len(t), r.schema))
+	}
+	h := t.Hash()
+	r.rows[h] = append(r.rows[h], t)
+	r.n++
+	r.invalidate()
 }
 
 // InsertValues is Insert with a variadic convenience signature.
@@ -98,40 +227,64 @@ func (r *Relation) InsertValues(vs ...value.Value) bool { return r.Insert(Tuple(
 
 // Delete removes a tuple if present, reporting whether it was there.
 func (r *Relation) Delete(t Tuple) bool {
-	k := t.Key()
-	if _, ok := r.rows[k]; !ok {
-		return false
+	h := t.Hash()
+	bucket := r.rows[h]
+	for i, u := range bucket {
+		if t.Equal(u) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(r.rows, h)
+			} else {
+				r.rows[h] = bucket
+			}
+			r.n--
+			r.invalidate()
+			return true
+		}
 	}
-	delete(r.rows, k)
-	return true
+	return false
 }
 
 // Contains reports tuple membership.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.rows[t.Key()]
-	return ok
+	for _, u := range r.rows[t.Hash()] {
+		if t.Equal(u) {
+			return true
+		}
+	}
+	return false
 }
 
-// ContainsKey reports membership by precomputed key.
-func (r *Relation) ContainsKey(k string) bool {
-	_, ok := r.rows[k]
-	return ok
+// ContainsProj reports whether some tuple of r equals t's columns at
+// idx. r's tuples are compared in full, so idx must have length
+// len(r.Schema()). Used to probe set membership with a projection of a
+// wider tuple without materializing it.
+func (r *Relation) ContainsProj(t Tuple, idx []int) bool {
+	for _, u := range r.rows[t.HashOn(idx)] {
+		if u.EqualOn(t, nil, idx) {
+			return true
+		}
+	}
+	return false
 }
 
 // Each calls f for every tuple in unspecified order. f must not mutate
 // the relation.
 func (r *Relation) Each(f func(Tuple)) {
-	for _, t := range r.rows {
-		f(t)
+	for _, bucket := range r.rows {
+		for _, t := range bucket {
+			f(t)
+		}
 	}
 }
 
 // Tuples returns the tuples sorted lexicographically, for deterministic
 // printing and comparison in tests.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.rows))
-	for _, t := range r.rows {
-		out = append(out, t)
+	out := make([]Tuple, 0, r.n)
+	for _, bucket := range r.rows {
+		out = append(out, bucket...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
@@ -139,31 +292,34 @@ func (r *Relation) Tuples() []Tuple {
 
 // Clone returns a deep-enough copy (tuples are immutable by convention).
 func (r *Relation) Clone() *Relation {
-	c := &Relation{schema: r.schema.Clone(), rows: make(map[string]Tuple, len(r.rows))}
-	for k, t := range r.rows {
-		c.rows[k] = t
+	c := &Relation{schema: r.schema.Clone(), rows: make(map[uint64][]Tuple, len(r.rows)), n: r.n}
+	for h, bucket := range r.rows {
+		c.rows[h] = append([]Tuple(nil), bucket...)
 	}
 	return c
 }
 
 // WithSchema returns a relation with the same rows but attribute names
-// replaced by the given schema (same arity). Used for renaming.
+// replaced by the given schema (same arity). Used for renaming. The
+// result shares row storage with r; neither may be mutated afterwards.
 func (r *Relation) WithSchema(s Schema) *Relation {
 	if len(s) != len(r.schema) {
 		panic("relation: WithSchema arity mismatch")
 	}
-	return &Relation{schema: s, rows: r.rows}
+	return &Relation{schema: s, rows: r.rows, n: r.n}
 }
 
 // Equal reports set equality of tuples and order-sensitive schema
 // equality.
 func (r *Relation) Equal(o *Relation) bool {
-	if !r.schema.Equal(o.schema) || len(r.rows) != len(o.rows) {
+	if !r.schema.Equal(o.schema) || r.n != o.n {
 		return false
 	}
-	for k := range r.rows {
-		if _, ok := o.rows[k]; !ok {
-			return false
+	for _, bucket := range r.rows {
+		for _, t := range bucket {
+			if !o.Contains(t) {
+				return false
+			}
 		}
 	}
 	return true
@@ -172,42 +328,80 @@ func (r *Relation) Equal(o *Relation) bool {
 // EqualContents reports set equality of tuples after aligning o's columns
 // to r's schema by name. Schemas must contain the same attribute names.
 func (r *Relation) EqualContents(o *Relation) bool {
-	if len(r.schema) != len(o.schema) || len(r.rows) != len(o.rows) {
+	if len(r.schema) != len(o.schema) || r.n != o.n {
 		return false
 	}
 	perm, err := o.schema.Indexes(r.schema)
 	if err != nil {
 		return false
 	}
-	for _, t := range o.rows {
-		aligned := make(Tuple, len(perm))
-		for i, j := range perm {
-			aligned[i] = t[j]
+	equal := true
+	o.Each(func(t Tuple) {
+		if equal && !r.ContainsProj(t, perm) {
+			equal = false
 		}
-		if !r.Contains(aligned) {
-			return false
-		}
-	}
-	return true
+	})
+	return equal
 }
 
 // ContentKey returns an injective encoding of the relation's contents
 // (schema + sorted tuple keys), suitable for hashing whole relations, and
-// hence worlds, and hence world-sets.
+// hence worlds, and hence world-sets. The key is memoized: world-set
+// deduplication calls ContentKey once per world per relation instance,
+// and instances are routinely shared across many worlds. The memo is
+// invalidated by Insert/Delete and safe under concurrent readers.
 func (r *Relation) ContentKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ckValid {
+		return r.ck
+	}
 	var b strings.Builder
 	b.WriteString(strings.Join(r.schema, ","))
 	b.WriteByte('|')
-	keys := make([]string, 0, len(r.rows))
-	for k := range r.rows {
-		keys = append(keys, k)
+	keys := make([]string, 0, r.n)
+	for _, bucket := range r.rows {
+		for _, t := range bucket {
+			keys = append(keys, t.Key())
+		}
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
 		b.WriteString(k)
 		b.WriteByte(0x1e)
 	}
-	return b.String()
+	r.ck, r.ckValid = b.String(), true
+	return r.ck
+}
+
+// ContentHash returns a digest of the relation's contents (schema plus
+// the set of tuples), memoized like ContentKey. Equal relations hash
+// equally; unequal relations may collide, so consumers (world-set
+// deduplication) must verify candidates with Equal. Tuple digests are
+// avalanched and combined with XOR, so the digest is independent of
+// iteration order without sorting — unlike ContentKey, computing it
+// allocates nothing.
+func (r *Relation) ContentHash() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.chValid {
+		return r.chash
+	}
+	h := hashkey.Offset
+	for _, name := range r.schema {
+		h = hashkey.String(h, name)
+		h = hashkey.Byte(h, ',')
+	}
+	var set uint64
+	for _, bucket := range r.rows {
+		for _, t := range bucket {
+			set ^= hashkey.Finalize(t.Hash())
+		}
+	}
+	h = hashkey.Mix(h, set)
+	h = hashkey.Uint64(h, uint64(r.n))
+	r.chash, r.chValid = h, true
+	return h
 }
 
 // Project returns a new relation keeping the columns at the given
@@ -215,12 +409,10 @@ func (r *Relation) ContentKey() string {
 // collapse (set semantics).
 func (r *Relation) Project(idx []int, names Schema) *Relation {
 	out := New(names)
-	for _, t := range r.rows {
-		p := make(Tuple, len(idx))
-		for i, j := range idx {
-			p[i] = t[j]
+	for _, bucket := range r.rows {
+		for _, t := range bucket {
+			out.Insert(t.Project(idx))
 		}
-		out.Insert(p)
 	}
 	return out
 }

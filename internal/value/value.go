@@ -12,6 +12,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"worldsetdb/internal/hashkey"
 )
 
 // Kind enumerates the dynamic type of a Value.
@@ -285,6 +287,39 @@ func appendUint64(dst []byte, u uint64) []byte {
 // Key returns the injective encoding of v as a string, suitable as a map
 // key.
 func (v Value) Key() string { return string(v.AppendKey(nil)) }
+
+// Hash folds v into a running FNV-1a digest without allocating. The
+// bytes folded are exactly the bytes AppendKey would produce, so two
+// values hash identically iff they encode identically, which holds iff
+// Compare reports 0 (in particular Int(2) and Float(2.0) share a
+// digest). Hash digests are not injective: callers must confirm
+// candidate matches with Compare or Equal.
+func (v Value) Hash(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		return hashkey.Byte(h, 'n')
+	case KindBool:
+		if v.i != 0 {
+			return hashkey.Byte(hashkey.Byte(h, 'b'), 1)
+		}
+		return hashkey.Byte(hashkey.Byte(h, 'b'), 0)
+	case KindInt:
+		f := float64(v.i)
+		if int64(f) == v.i {
+			return hashkey.Uint64(hashkey.Byte(h, 'f'), math.Float64bits(f))
+		}
+		return hashkey.Uint64(hashkey.Byte(h, 'i'), uint64(v.i))
+	case KindFloat:
+		return hashkey.Uint64(hashkey.Byte(h, 'f'), math.Float64bits(v.f))
+	case KindString:
+		h = hashkey.Byte(h, 's')
+		h = hashkey.Uint64(h, uint64(len(v.s)))
+		return hashkey.String(h, v.s)
+	case KindPad:
+		return hashkey.Byte(h, 'p')
+	}
+	return h
+}
 
 // Parse converts a literal into a Value: quoted strings, integers,
 // floats, true/false, null. Unquoted non-numeric text parses as a string.

@@ -11,7 +11,7 @@ import (
 // any world of ws (the active domain dom A of Definition 4.3).
 func (ws *WorldSet) Domain() []value.Value {
 	seen := make(map[string]value.Value)
-	for _, w := range ws.worlds {
+	ws.Each(func(w World) {
 		for _, r := range w {
 			r.Each(func(t relation.Tuple) {
 				for _, v := range t {
@@ -19,7 +19,7 @@ func (ws *WorldSet) Domain() []value.Value {
 				}
 			})
 		}
-	}
+	})
 	out := make([]value.Value, 0, len(seen))
 	for _, v := range seen {
 		out = append(out, v)
@@ -57,7 +57,7 @@ func (b Bijection) Apply(v value.Value) value.Value {
 // condition q(A) θ≅ q(θ(A)) of Definition 4.4.
 func (ws *WorldSet) ApplyBijection(b Bijection) *WorldSet {
 	out := New(ws.names, ws.schemas)
-	for _, w := range ws.worlds {
+	ws.Each(func(w World) {
 		nw := make(World, len(w))
 		for i, r := range w {
 			nr := relation.New(r.Schema())
@@ -71,7 +71,7 @@ func (ws *WorldSet) ApplyBijection(b Bijection) *WorldSet {
 			nw[i] = nr
 		}
 		out.Add(nw)
-	}
+	})
 	return out
 }
 

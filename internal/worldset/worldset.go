@@ -10,13 +10,16 @@ import (
 	"sort"
 	"strings"
 
+	"worldsetdb/internal/hashkey"
 	"worldsetdb/internal/relation"
 )
 
 // World is an ordered tuple of relation instances ⟨R1, …, Rk⟩.
 type World []*relation.Relation
 
-// Key returns an injective encoding of the world's contents.
+// Key returns an injective encoding of the world's contents. It is used
+// for deterministic world enumeration; set membership goes through the
+// cheaper Hash plus Equal verification.
 func (w World) Key() string {
 	var b strings.Builder
 	for _, r := range w {
@@ -24,6 +27,18 @@ func (w World) Key() string {
 		b.WriteByte(0x1d)
 	}
 	return b.String()
+}
+
+// Hash returns a digest of the world's contents, built from the
+// relations' memoized content hashes without allocating. Equal worlds
+// hash equally; collisions are possible, so membership checks verify
+// with Equal.
+func (w World) Hash() uint64 {
+	h := hashkey.Offset
+	for _, r := range w {
+		h = hashkey.Mix(h, r.ContentHash())
+	}
+	return h
 }
 
 // Clone returns a world with cloned relation instances.
@@ -66,7 +81,10 @@ func (w World) PrefixKey(k int) string {
 type WorldSet struct {
 	names   []string
 	schemas []relation.Schema
-	worlds  map[string]World
+	// worlds buckets the distinct worlds by their content hash; buckets
+	// hold the (rare) colliding worlds, verified by World.Equal.
+	worlds map[uint64][]World
+	n      int
 }
 
 // New returns an empty world-set over the given relational schema.
@@ -77,7 +95,7 @@ func New(names []string, schemas []relation.Schema) *WorldSet {
 	return &WorldSet{
 		names:   append([]string{}, names...),
 		schemas: append([]relation.Schema{}, schemas...),
-		worlds:  make(map[string]World),
+		worlds:  make(map[uint64][]World),
 	}
 }
 
@@ -113,7 +131,17 @@ func (ws *WorldSet) IndexOf(name string) int {
 }
 
 // Len returns the number of (distinct) worlds.
-func (ws *WorldSet) Len() int { return len(ws.worlds) }
+func (ws *WorldSet) Len() int { return ws.n }
+
+// contains reports whether an equal world is already in the set.
+func (ws *WorldSet) contains(w World) bool {
+	for _, u := range ws.worlds[w.Hash()] {
+		if w.Equal(u) {
+			return true
+		}
+	}
+	return false
+}
 
 // Add inserts a world, collapsing duplicates. It panics on schema-arity
 // mismatch, which indicates a bug in an operator implementation.
@@ -127,39 +155,50 @@ func (ws *WorldSet) Add(w World) bool {
 				ws.names[i], r.Schema(), ws.schemas[i]))
 		}
 	}
-	k := w.Key()
-	if _, ok := ws.worlds[k]; ok {
-		return false
+	h := w.Hash()
+	for _, u := range ws.worlds[h] {
+		if w.Equal(u) {
+			return false
+		}
 	}
-	ws.worlds[k] = w
+	ws.worlds[h] = append(ws.worlds[h], w)
+	ws.n++
 	return true
 }
 
 // Worlds returns the worlds in a deterministic (key-sorted) order.
 func (ws *WorldSet) Worlds() []World {
-	keys := make([]string, 0, len(ws.worlds))
-	for k := range ws.worlds {
-		keys = append(keys, k)
+	type keyed struct {
+		key string
+		w   World
 	}
-	sort.Strings(keys)
-	out := make([]World, len(keys))
-	for i, k := range keys {
-		out[i] = ws.worlds[k]
+	ks := make([]keyed, 0, ws.n)
+	for _, bucket := range ws.worlds {
+		for _, w := range bucket {
+			ks = append(ks, keyed{w.Key(), w})
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]World, len(ks))
+	for i, k := range ks {
+		out[i] = k.w
 	}
 	return out
 }
 
 // Each calls f for every world in unspecified order.
 func (ws *WorldSet) Each(f func(World)) {
-	for _, w := range ws.worlds {
-		f(w)
+	for _, bucket := range ws.worlds {
+		for _, w := range bucket {
+			f(w)
+		}
 	}
 }
 
 // Equal reports whether two world-sets have the same schema and the same
 // set of worlds.
 func (ws *WorldSet) Equal(other *WorldSet) bool {
-	if len(ws.names) != len(other.names) || len(ws.worlds) != len(other.worlds) {
+	if len(ws.names) != len(other.names) || ws.n != other.n {
 		return false
 	}
 	for i := range ws.names {
@@ -167,27 +206,29 @@ func (ws *WorldSet) Equal(other *WorldSet) bool {
 			return false
 		}
 	}
-	for k := range ws.worlds {
-		if _, ok := other.worlds[k]; !ok {
-			return false
+	equal := true
+	ws.Each(func(w World) {
+		if equal && !other.contains(w) {
+			equal = false
 		}
-	}
-	return true
+	})
+	return equal
 }
 
 // EqualWorlds reports whether the sets of worlds coincide, ignoring
 // relation names (but not schemas): useful when comparing results
 // produced under different result-relation names.
 func (ws *WorldSet) EqualWorlds(other *WorldSet) bool {
-	if len(ws.worlds) != len(other.worlds) {
+	if ws.n != other.n {
 		return false
 	}
-	for k := range ws.worlds {
-		if _, ok := other.worlds[k]; !ok {
-			return false
+	equal := true
+	ws.Each(func(w World) {
+		if equal && !other.contains(w) {
+			equal = false
 		}
-	}
-	return true
+	})
+	return equal
 }
 
 // Extend returns a new world-set whose schema appends the named relation,
@@ -196,12 +237,12 @@ func (ws *WorldSet) EqualWorlds(other *WorldSet) bool {
 func (ws *WorldSet) Extend(name string, schema relation.Schema, f func(World) *relation.Relation) *WorldSet {
 	out := New(append(append([]string{}, ws.names...), name),
 		append(append([]relation.Schema{}, ws.schemas...), schema))
-	for _, w := range ws.worlds {
+	ws.Each(func(w World) {
 		nw := make(World, len(w)+1)
 		copy(nw, w)
 		nw[len(w)] = f(w)
 		out.Add(nw)
-	}
+	})
 	return out
 }
 
@@ -209,9 +250,9 @@ func (ws *WorldSet) Extend(name string, schema relation.Schema, f func(World) *r
 func (ws *WorldSet) DropLast() *WorldSet {
 	k := len(ws.names) - 1
 	out := New(ws.names[:k], ws.schemas[:k])
-	for _, w := range ws.worlds {
+	ws.Each(func(w World) {
 		out.Add(append(World{}, w[:k]...))
-	}
+	})
 	return out
 }
 

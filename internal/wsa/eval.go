@@ -290,21 +290,16 @@ func evalChoice(n *Choice, a *worldset.WorldSet, opt *Options, outSchema relatio
 			evalErr = err
 			return
 		}
-		parts := make(map[string]*relation.Relation)
-		r.Each(func(t relation.Tuple) {
-			var key []byte
-			for _, i := range idx {
-				key = t[i].AppendKey(key)
-				key = append(key, 0x1f)
+		// Partition the answer by the chosen attributes through the
+		// shared hash grouping (no key strings); rows within a group are
+		// distinct because the source relation is a set.
+		parts := relation.NewGroupMap(idx, r.Len())
+		r.Each(func(t relation.Tuple) { parts.Add(t) })
+		for _, grp := range parts.Groups() {
+			p := relation.New(r.Schema())
+			for _, t := range grp.Rows {
+				p.InsertDistinct(t)
 			}
-			p, ok := parts[string(key)]
-			if !ok {
-				p = relation.New(r.Schema())
-				parts[string(key)] = p
-			}
-			p.Insert(t)
-		})
-		for _, p := range parts {
 			nw := make(worldset.World, k+1)
 			copy(nw, w[:k])
 			nw[k] = p
