@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/inline"
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/physical"
 	"worldsetdb/internal/ra"
@@ -21,6 +22,7 @@ import (
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
 	"worldsetdb/internal/wsd"
+	"worldsetdb/internal/wsdexec"
 )
 
 // tripQuery is cert(π_Arr(χ_Dep(HFlights))) — Examples 5.6/5.8.
@@ -338,6 +340,55 @@ func BenchmarkWSDRepair(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWSDX is the PR 2 tentpole ablation: certain answers over the
+// census-repair view, evaluated by the factorized engine directly on
+// the decomposition (cost linear in the input, independent of the world
+// count — the dups=40 case covers 2^40 worlds) versus the physical
+// engine over the pre-encoded inlined repair at the largest world count
+// it can still enumerate. The encode happens outside the timer, so the
+// physical engine is charged only for its certain-answer pass.
+func BenchmarkWSDX(b *testing.B) {
+	certQ := wsa.NewCert(&wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}})
+	for _, dups := range []int{12, 40} {
+		census := datagen.Census(200, dups, 3)
+		db := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
+		b.Run(fmt.Sprintf("wsdexec/dups=%d", dups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, plan, err := wsdexec.EvalOpts(certQ, db, &wsdexec.Options{NoFallback: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !plan.Native {
+					b.Fatalf("plan not native: %v", plan)
+				}
+			}
+		})
+	}
+	census := datagen.Census(50, 12, 3)
+	ws := worldset.FromDB([]string{"Census"}, []*relation.Relation{census})
+	clean, err := wsa.Run(&wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}}, ws, "Clean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	repr := inline.Encode(clean)
+	certClean := wsa.NewCert(&wsa.Rel{Name: "Clean"})
+	b.Run("physical/dups=12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := physical.Eval(certClean, repr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	smallDB := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
+	b.Run("wsdexecSmall/dups=12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := wsdexec.EvalOpts(certQ, smallDB, &wsdexec.Options{NoFallback: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkInlineRoundTrip measures encode/decode of the inlined

@@ -2,13 +2,21 @@
 //
 // Usage:
 //
-//	isql [-demo name] [-worlds] [script.isql]
+//	isql [-demo name] [-engine name] [-worlds] [script.isql]
 //
 // Without a script argument, statements are read from standard input.
 // The -demo flag preloads one of the paper's datasets: flights,
 // acquisition, census or lineitem. After every select, the distinct
 // answers across worlds are printed; -worlds additionally prints the
 // whole world-set after each statement.
+//
+// The -engine flag routes select statements through one of the four
+// registered evaluation engines (reference | translated | physical |
+// wsdexec) instead of the session's own evaluator: the statement is
+// compiled to World-set Algebra and dispatched via the engine registry
+// in internal/wsa. Statements outside the clean WSA fragment
+// (aggregates, correlated subqueries, updates) fall back to the session
+// evaluator with a notice.
 package main
 
 import (
@@ -21,10 +29,20 @@ import (
 	"worldsetdb/internal/datagen"
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsa"
+
+	// Register the translated, physical and factorized engines with the
+	// wsa engine registry (the reference engine registers itself).
+	_ "worldsetdb/internal/physical"
+	_ "worldsetdb/internal/translate"
+	_ "worldsetdb/internal/wsdexec"
 )
 
 func main() {
 	demo := flag.String("demo", "", "preload a demo database: flights | acquisition | census | lineitem")
+	engine := flag.String("engine", "",
+		fmt.Sprintf("evaluate selects through a registered WSA engine (%s); default: the session evaluator",
+			strings.Join(wsa.EngineNames(), " | ")))
 	showWorlds := flag.Bool("worlds", false, "print the full world-set after every statement")
 	flag.Parse()
 
@@ -62,6 +80,19 @@ func main() {
 	}
 	for _, st := range stmts {
 		fmt.Printf("isql> %s\n", st)
+		if *engine != "" {
+			if sel, ok := st.(*isql.SelectStmt); ok {
+				if done := execViaEngine(session, sel, *engine); done {
+					// Selects leave the session's world-set unchanged,
+					// so -worlds prints the same state the session
+					// evaluator would.
+					if *showWorlds {
+						fmt.Println(session.WorldSet())
+					}
+					continue
+				}
+			}
+		}
 		res, err := session.Exec(st)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -86,6 +117,33 @@ func main() {
 			fmt.Println(session.WorldSet())
 		}
 	}
+}
+
+// execViaEngine compiles a select to World-set Algebra and dispatches
+// it through the named engine from the wsa registry, printing the
+// distinct answers across worlds. It reports false (fall back to the
+// session evaluator) when the statement lies outside the clean WSA
+// fragment, and exits on engine errors like the main loop does.
+func execViaEngine(session *isql.Session, sel *isql.SelectStmt, engine string) bool {
+	q, err := session.Compile(sel)
+	if err != nil {
+		fmt.Printf("(outside the clean WSA fragment, using the session evaluator: %v)\n", err)
+		return false
+	}
+	out, err := wsa.EvalWith(engine, q, session.WorldSet())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	answers := isql.DistinctAnswers(out)
+	for i, a := range answers {
+		caption := fmt.Sprintf("answer (%s engine)", engine)
+		if len(answers) > 1 {
+			caption = fmt.Sprintf("answer variant %d of %d (%s engine)", i+1, len(answers), engine)
+		}
+		fmt.Println(a.Render(caption))
+	}
+	return true
 }
 
 func newSession(demo string) (*isql.Session, error) {

@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
+//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
+//
+// After a run, the fresh measurements are diffed against the committed
+// baseline (-prev, by default the same BENCH_results.json this run
+// overwrites, read before writing): per-op ns/op deltas are printed and
+// any op slower than -regress times its baseline is flagged with a
+// WARNING line. CI runs this non-blocking and uploads the fresh file as
+// an artifact.
 package main
 
 import (
@@ -15,10 +22,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/inline"
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/physical"
 	"worldsetdb/internal/ra"
@@ -30,12 +39,17 @@ import (
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
 	"worldsetdb/internal/wsd"
+	"worldsetdb/internal/wsdexec"
 )
 
 var (
 	scale    = flag.Int("scale", 1, "multiply workload sizes")
 	jsonPath = flag.String("json", "BENCH_results.json",
 		"write measured rows as JSON to this file ('' disables); future PRs diff these for perf regressions")
+	prevPath = flag.String("prev", "BENCH_results.json",
+		"baseline JSON to diff the fresh measurements against ('' disables the diff)")
+	regress = flag.Float64("regress", 2.0,
+		"flag ops whose ns/op exceeds this multiple of the baseline")
 )
 
 // benchRow is one measured operation in the JSON report.
@@ -80,6 +94,77 @@ func writeJSON(path string) {
 	fmt.Printf("wrote %d measured rows to %s\n", len(benchRows), path)
 }
 
+// loadBaseline reads a previous BENCH_results.json; a missing or
+// unreadable baseline just disables the diff (first run, renamed ops).
+func loadBaseline(path string) map[string]benchRow {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "no baseline to diff against (%v); the regression check is skipped\n", err)
+		return nil
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		fmt.Fprintf(os.Stderr, "ignoring unparsable baseline %s: %v\n", path, err)
+		return nil
+	}
+	out := make(map[string]benchRow, len(rows))
+	for _, r := range rows {
+		out[r.Op] = r
+	}
+	return out
+}
+
+// diffBaseline prints per-op ns/op deltas between the fresh rows and
+// the baseline, flagging ops slower than factor× their baseline with
+// WARNING lines (the CI step surfaces those as annotations). Returns
+// the number of flagged regressions.
+func diffBaseline(baseline map[string]benchRow, factor float64) int {
+	if len(baseline) == 0 || len(benchRows) == 0 {
+		return 0
+	}
+	type delta struct {
+		op         string
+		prev, cur  int64
+		ratio      float64
+		regression bool
+	}
+	var ds []delta
+	for _, r := range benchRows {
+		p, ok := baseline[r.Op]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(p.NsPerOp)
+		ds = append(ds, delta{r.Op, p.NsPerOp, r.NsPerOp, ratio, ratio > factor})
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].ratio > ds[j].ratio })
+	fmt.Printf("\n==================== baseline diff (%d ops, sorted by ratio) ====================\n", len(ds))
+	fmt.Printf("%-40s %14s %14s %8s\n", "op", "prev ns/op", "ns/op", "ratio")
+	regressions := 0
+	for _, d := range ds {
+		fmt.Printf("%-40s %14d %14d %7.2fx\n", d.op, d.prev, d.cur, d.ratio)
+		if d.regression {
+			regressions++
+		}
+	}
+	for _, d := range ds {
+		if d.regression {
+			fmt.Printf("WARNING: %s regressed %.2fx (%d -> %d ns/op, threshold %.1fx)\n",
+				d.op, d.ratio, d.prev, d.cur, factor)
+		}
+	}
+	if regressions == 0 {
+		fmt.Printf("no op regressed beyond %.1fx of the baseline\n", factor)
+	}
+	return regressions
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md) or 'all'")
 	flag.Parse()
@@ -94,6 +179,7 @@ func main() {
 		{"TPCH", "§2 TPC-H what-if (EXP-S2-TPCH)", expTPCH},
 		{"CENSUS", "§2 repair-by-key blowup (EXP-S2-CENSUS)", expCensus},
 		{"WSD", "world-set decompositions: repair without enumeration (conclusion/future work)", expWSD},
+		{"WSDX", "factorized WSD-native query engine: world-set algebra without enumerating worlds (PR 2 tentpole)", expWSDX},
 		{"SQL3", "§2 I-SQL vs division vs double-not-exists (EXP-S2-SQL)", expThreeWays},
 		{"E56", "Examples 5.6/5.8: naive vs general vs optimized evaluation", expTranslations},
 		{"F8F9", "Figures 8/9: rewriting ablation q1→q1′, q2→q2′", expRewriting},
@@ -116,7 +202,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	// Read the baseline before writeJSON possibly overwrites it.
+	baseline := loadBaseline(*prevPath)
 	writeJSON(*jsonPath)
+	diffBaseline(baseline, *regress)
 }
 
 // timed reports the wall-clock time of f, repeated until 50ms or 5 runs
@@ -286,6 +375,68 @@ func expWSD() {
 		}
 		fmt.Printf("%-10d %-14s %-14s %-16s %-14d %-14s (%d certain tuples)\n",
 			dups, worlds, enumTime, dDecomp, dec.Size(), dCert, certLen)
+	}
+}
+
+// expWSDX is the tentpole ablation for the factorized engine: the
+// census-repair view queried for certain/possible answers, swept from
+// 2^10 to 2^40 worlds. wsdexec evaluates cert(repair(Census)) and
+// poss(repair(Census)) natively on the decomposition — cost linear in
+// the input, independent of the world count — while every other engine
+// must enumerate. At the largest world count the physical engine can
+// still enumerate, the same certain-answer question is timed over the
+// pre-encoded inlined repair so the speedup is measured head to head.
+func expWSDX() {
+	certQ := wsa.NewCert(&wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}})
+	possQ := wsa.NewPoss(&wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}})
+
+	fmt.Printf("%-10s %-10s %-14s %-14s %-14s %-10s\n",
+		"dup SSNs", "rows", "worlds", "wsdx cert", "wsdx poss", "certain")
+	for _, dups := range []int{10, 20, 30, 40} {
+		census := datagen.Census(1000**scale, dups, 3)
+		db := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
+		var certLen int
+		dCert := bench(fmt.Sprintf("WSDX/cert-wsdx/dups=%d", dups), nil, func() {
+			out, plan, err := wsdexec.EvalOpts(certQ, db, &wsdexec.Options{NoFallback: true})
+			must(err)
+			if !plan.Native {
+				must(fmt.Errorf("WSDX cert plan not native: %v", plan))
+			}
+			certLen = out.Certain[1].Len()
+		})
+		dPoss := bench(fmt.Sprintf("WSDX/poss-wsdx/dups=%d", dups), nil, func() {
+			_, _, err := wsdexec.EvalOpts(possQ, db, &wsdexec.Options{NoFallback: true})
+			must(err)
+		})
+		fmt.Printf("%-10d %-10d 2^%-12d %-14s %-14s %-10d\n",
+			dups, census.Len(), dups, dCert, dPoss, certLen)
+	}
+
+	// Head-to-head against the physical engine at enumerable scale: the
+	// repaired world-set is materialized and inlined once, outside the
+	// timer, so the physical engine is charged only for its certain-
+	// answer pass — the representation every current engine needs.
+	fmt.Printf("\n%-10s %-10s %-16s %-14s %-10s\n",
+		"dup SSNs", "worlds", "physical cert", "wsdx cert", "speedup")
+	certClean := wsa.NewCert(&wsa.Rel{Name: "Clean"})
+	for _, dups := range []int{8, 10, 12} {
+		census := datagen.Census(50**scale, dups, 3)
+		ws := worldset.FromDB([]string{"Census"}, []*relation.Relation{census})
+		clean, err := wsa.Run(&wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}}, ws, "Clean")
+		must(err)
+		repr := inline.Encode(clean)
+		worlds := clean.Len()
+		dPhys := bench(fmt.Sprintf("WSDX/cert-physical/dups=%d", dups), &worlds, func() {
+			_, err := physical.Eval(certClean, repr)
+			must(err)
+		})
+		db := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
+		dWsdx := bench(fmt.Sprintf("WSDX/cert-wsdx-vs-physical/dups=%d", dups), &worlds, func() {
+			_, _, err := wsdexec.EvalOpts(certQ, db, &wsdexec.Options{NoFallback: true})
+			must(err)
+		})
+		fmt.Printf("%-10d %-10d %-16s %-14s %.0fx\n",
+			dups, worlds, dPhys, dWsdx, float64(dPhys)/float64(dWsdx))
 	}
 }
 

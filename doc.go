@@ -12,27 +12,54 @@
 // performance-relevant artifacts (EXPERIMENTS.md records a captured
 // run).
 //
-// # Execution engine
+// # Execution engines
 //
-// All evaluators share an allocation-lean hashing core: tuples, column
+// The system has four evaluation engines for the same World-set
+// Algebra semantics, registered by name in package wsa's engine
+// registry and selectable from cmd/isql via -engine:
+//
+//   - "reference" (internal/wsa) — the Figure 3 compositional semantics
+//     over explicit world-sets; the semantic ground truth every other
+//     engine is differentially tested against, and the only engine for
+//     operators that inherently enumerate (repair-by-key on entangled
+//     inputs).
+//   - "translated" (internal/translate) — the Figure 6 translation to
+//     relational algebra over the inlined representation of §5,
+//     demonstrating Theorem 5.7.
+//   - "physical" (internal/physical) — dedicated world-partitioned
+//     parallel operators over the inlined representation, the fastest
+//     engine that still materializes worlds.
+//   - "wsdexec" (internal/wsdexec) — the factorized engine: it
+//     evaluates queries directly over a multi-relation world-set
+//     decomposition (wsd.DecompDB), never expanding to worlds, so cost
+//     is polynomial in the decomposition size and independent of the
+//     world count (census repair with 2^40 worlds answers cert/poss in
+//     about a millisecond). Operators that would couple independent
+//     components fall back — recorded in the returned Plan — to the
+//     physical or reference engine over a budget-guarded enumeration.
+//
+// All engines share an allocation-lean hashing core: tuples, column
 // projections and whole relations hash through 64-bit FNV-1a digests
 // (internal/hashkey) with typed-value verification on collision, never
 // through intermediate key strings. Relations store rows in hash
 // buckets and memoize their content digests (internal/relation), the
 // relational operators join through cached per-column hash indexes
-// (internal/ra), and the dedicated executor for the paper's conclusion
-// (internal/physical) partitions every operator by world and fans the
-// partitions out across a GOMAXPROCS-sized worker pool with a
-// deterministic merge — see internal/physical's package comment for the
-// partitioning scheme and determinism guarantee.
+// (internal/ra), and both the physical and factorized executors fan
+// work out across a GOMAXPROCS-sized worker pool (relation/pool.go)
+// with deterministic merges — by world partition in internal/physical,
+// by decomposition component in internal/wsdexec.
 //
 // # Correctness harnesses
 //
-// internal/difftest runs every query through the three evaluators
-// (Figure 3 reference, Figure 6 translation, physical operators) on
-// randomized world-sets and requires world-set-identical answers,
-// including under the race detector with partitioning forced on.
-// golden_test.go pins the paper's running examples (Figure 2 pipeline,
-// the Figure 8/9 rewrite pairs, census repair, trip planning) to
-// committed outputs under testdata/.
+// internal/difftest runs every query through all four engines on
+// randomized world-sets — and through wsdexec natively on randomized
+// decompositions via CheckDecomp — requiring world-set-identical
+// (byte-identical, for decomposed inputs) answers, including under the
+// race detector with partitioning forced on. golden_test.go pins the
+// paper's running examples (Figure 2 pipeline, the Figure 8/9 rewrite
+// pairs, census repair — both enumerated at small scale and factorized
+// at 2^40 — and trip planning) to committed outputs under testdata/.
+// cmd/wsabench diffs every run's measurements against the committed
+// BENCH_results.json baseline and flags >2x per-op regressions; CI runs
+// that non-blocking and uploads the fresh results.
 package worldsetdb

@@ -25,6 +25,8 @@ import (
 	"worldsetdb/internal/rewrite"
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
+	"worldsetdb/internal/wsdexec"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
@@ -129,6 +131,39 @@ func TestGoldenCensusRepair(t *testing.T) {
 		b.WriteString(a.Render("CertainNames"))
 	}
 	checkGolden(t, "census_repair", b.String())
+}
+
+// TestGoldenCensusRepairWSDX pins the factorized engine's answers on
+// the census-repair view at a scale no enumerating engine can touch:
+// 40 duplicated SSNs mean 2^40 repairs, yet cert and poss come out of
+// internal/wsdexec directly on the decomposition — the plans are
+// asserted native, so any regression that silently reintroduces
+// enumeration fails here before it fails a benchmark. The small-scale
+// enumerating golden (TestGoldenCensusRepair) stays alongside.
+func TestGoldenCensusRepairWSDX(t *testing.T) {
+	census := datagen.Census(50, 40, 7)
+	db := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
+	repair := &wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}}
+	outC, planC, err := wsdexec.EvalOpts(wsa.NewCert(repair), db, &wsdexec.Options{NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outP, planP, err := wsdexec.EvalOpts(wsa.NewPoss(repair), db, &wsdexec.Options{NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planC.Native || !planP.Native {
+		t.Fatalf("plans must be native: cert=%v poss=%v", planC, planP)
+	}
+	ansC, ansP := outC.Certain[1], outP.Certain[1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "== census repair by key SSN: %s worlds (2^40), decomposition size %d ==\n\n",
+		outC.Worlds(), outC.Size())
+	b.WriteString("== certain persons across all repairs (wsdexec, no enumeration) ==\n")
+	b.WriteString(ansC.Render("CertainCensus"))
+	b.WriteString("\n== possible persons across all repairs (wsdexec, no enumeration) ==\n")
+	b.WriteString(ansP.Render("PossibleCensus"))
+	checkGolden(t, "census_repair_wsdx", b.String())
 }
 
 // TestGoldenTripPlanning records the §2 I-SQL trip-planning question:

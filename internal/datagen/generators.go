@@ -7,6 +7,7 @@ import (
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/value"
 	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsd"
 )
 
 // Flights generates a Flights(Dep, Arr) relation with nDep departure
@@ -146,6 +147,43 @@ func RandomRelation(rng *rand.Rand, schema relation.Schema, domain, maxTuples in
 		r.Insert(t)
 	}
 	return r
+}
+
+// RandomDecompDB generates a multi-relation world-set decomposition
+// over the given named schemas: random certain relations plus up to
+// maxComponents independent components, each with 1..maxAlternatives
+// alternatives contributing random (possibly empty) tuple sets to a
+// random subset of the relations. The represented world count is at
+// most maxAlternatives^maxComponents, so differential tests can keep
+// inputs expandable while still exercising genuinely factored
+// structure (components spanning several relations, empty alternatives,
+// shared tuples between certain and alternative partitions).
+func RandomDecompDB(rng *rand.Rand, names []string, schemas []relation.Schema,
+	domain, maxCertain, maxComponents, maxAlternatives, maxTuples int) *wsd.DecompDB {
+	db := wsd.NewDecompDB(names, schemas)
+	for i, s := range schemas {
+		db.Certain[i] = RandomRelation(rng, s, domain, maxCertain)
+	}
+	nComp := rng.Intn(maxComponents + 1)
+	for c := 0; c < nComp; c++ {
+		comp := wsd.DBComponent{}
+		nAlt := 1 + rng.Intn(maxAlternatives)
+		for a := 0; a < nAlt; a++ {
+			alt := wsd.DBAlternative{Rels: map[int]*relation.Relation{}}
+			for i, s := range schemas {
+				if rng.Intn(3) == 0 {
+					continue // this alternative leaves relation i alone
+				}
+				r := RandomRelation(rng, s, domain, maxTuples)
+				if r.Len() > 0 {
+					alt.Rels[i] = r
+				}
+			}
+			comp.Alternatives = append(comp.Alternatives, alt)
+		}
+		db.Components = append(db.Components, comp)
+	}
+	return db
 }
 
 // RandomWorldSet generates a world-set with up to maxWorlds worlds over

@@ -1,16 +1,21 @@
 // Package difftest is the cross-evaluator differential harness: it runs
-// the same World-set Algebra query through every evaluator the engine
-// has — the Figure 3 reference semantics over explicit world-sets
-// (wsa.Eval), the Figure 6 translation to relational algebra over the
-// inlined representation (translate.EvalWorldSet), and the dedicated
-// physical operators (physical.EvalWorldSet) — and asserts that the
+// the same World-set Algebra query through every evaluation engine the
+// system has — the Figure 3 reference semantics over explicit
+// world-sets (wsa.Eval), the Figure 6 translation to relational algebra
+// over the inlined representation (translate.EvalWorldSet), the
+// dedicated physical operators (physical.EvalWorldSet), and the
+// factorized decomposition engine (wsdexec) — and asserts that the
 // resulting world-sets coincide.
 //
 // The harness is how engine refactors stay honest: the parallel
-// world-partitioned executor, the hash-join fast paths and the bucketed
-// decoder all ship with "all three evaluators agree on hundreds of
-// randomized queries" as the acceptance bar, including under the race
-// detector with partitioning forced on (see difftest_test.go).
+// world-partitioned executor, the hash-join fast paths, the bucketed
+// decoder and now the factorized WSD-native engine all ship with "all
+// evaluators agree on hundreds of randomized queries" as the acceptance
+// bar, including under the race detector with partitioning forced on
+// (see difftest_test.go). Decomposed inputs get their own entry point,
+// CheckDecomp, which runs wsdexec natively on the decomposition and the
+// other three on its (expandable) enumeration, requiring byte-identical
+// rendered world-sets.
 package difftest
 
 import (
@@ -20,6 +25,8 @@ import (
 	"worldsetdb/internal/translate"
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
+	"worldsetdb/internal/wsdexec"
 )
 
 // Result reports one evaluator's output for a query.
@@ -29,41 +36,81 @@ type Result struct {
 	Err  error
 }
 
-// Run evaluates q on ws with all three evaluators and returns their
-// results in a fixed order: reference, translated, physical.
+// Run evaluates q on ws with all four evaluators and returns their
+// results in a fixed order: reference, translated, physical, wsdexec.
 func Run(q wsa.Expr, ws *worldset.WorldSet) []Result {
 	ref, refErr := wsa.Eval(q, ws)
 	tr, trErr := translate.EvalWorldSet(q, ws)
 	ph, phErr := physical.EvalWorldSet(q, ws)
+	wx, wxErr := wsdexec.EvalWorldSet(q, ws)
 	return []Result{
 		{Name: "reference", Out: ref, Err: refErr},
 		{Name: "translated", Out: tr, Err: trErr},
 		{Name: "physical", Out: ph, Err: phErr},
+		{Name: "wsdexec", Out: wx, Err: wxErr},
 	}
 }
 
-// Check runs q through all three evaluators and returns an error
+// Check runs q through all four evaluators and returns an error
 // describing the first disagreement: an evaluator failing where the
 // reference succeeds (or vice versa), or a world-set differing from the
 // reference output. Relation names may differ across evaluators (the
 // answer-table naming is an artifact), so world-sets are compared with
 // EqualWorlds.
 func Check(q wsa.Expr, ws *worldset.WorldSet) error {
-	results := Run(q, ws)
+	_, err := checkResults(q, ws, Run(q, ws))
+	return err
+}
+
+// checkResults compares a Run's results against the reference entry,
+// returning the reference result for reuse.
+func checkResults(q wsa.Expr, ws *worldset.WorldSet, results []Result) (Result, error) {
 	ref := results[0]
 	if ref.Err != nil {
 		// The generators only produce well-typed queries, so a reference
 		// failure is itself a bug worth surfacing.
-		return fmt.Errorf("reference evaluator failed for %s: %w", q, ref.Err)
+		return ref, fmt.Errorf("reference evaluator failed for %s: %w", q, ref.Err)
 	}
 	for _, r := range results[1:] {
 		if r.Err != nil {
-			return fmt.Errorf("%s evaluator failed for %s where the reference succeeded: %w", r.Name, q, r.Err)
+			return ref, fmt.Errorf("%s evaluator failed for %s where the reference succeeded: %w", r.Name, q, r.Err)
 		}
 		if !r.Out.EqualWorlds(ref.Out) {
-			return fmt.Errorf("%s evaluator disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\n%s:\n%s",
+			return ref, fmt.Errorf("%s evaluator disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\n%s:\n%s",
 				r.Name, q, ws, ref.Out, r.Name, r.Out)
 		}
+	}
+	return ref, nil
+}
+
+// CheckDecomp is the decomposition-level differential check: the
+// factorized engine evaluates q directly on db while the reference,
+// translated and physical engines run on db's enumeration (which must
+// fit the default expansion budget — callers keep generated inputs
+// expandable). Because the expanded wsdexec result and the reference
+// result share names, schemas and the deterministic world ordering,
+// they are required to render byte-identically, not merely compare
+// equal.
+func CheckDecomp(q wsa.Expr, db *wsd.DecompDB) error {
+	ws, err := db.Expand(0)
+	if err != nil {
+		return fmt.Errorf("input decomposition not expandable: %w", err)
+	}
+	ref, err := checkResults(q, ws, Run(q, ws))
+	if err != nil {
+		return err
+	}
+	out, plan, err := wsdexec.Eval(q, db)
+	if err != nil {
+		return fmt.Errorf("wsdexec failed for %s on the decomposition where the reference succeeded: %w", q, err)
+	}
+	got, err := out.Expand(0)
+	if err != nil {
+		return fmt.Errorf("wsdexec result of %s not expandable (plan %v): %w", q, plan, err)
+	}
+	if g, w := got.String(), ref.Out.String(); g != w {
+		return fmt.Errorf("wsdexec (plan %v) disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\nwsdexec:\n%s",
+			plan, q, db, w, g)
 	}
 	return nil
 }

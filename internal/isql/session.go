@@ -165,6 +165,14 @@ func (s *Session) Exec(st Statement) (*Result, error) {
 	return nil, fmt.Errorf("isql: unsupported statement %T", st)
 }
 
+// DistinctAnswers extracts the deduplicated answer relations (the last
+// relation of every world) of an evaluated select, in deterministic
+// order — the same extraction that fills Result.Answers. Exported so
+// callers evaluating compiled statements through other engines (the
+// -engine path of cmd/isql) print answers identically to the session
+// evaluator.
+func DistinctAnswers(ws *worldset.WorldSet) []*relation.Relation { return distinctAnswers(ws) }
+
 // distinctAnswers extracts the deduplicated answer relations of an
 // evaluated select, in deterministic order.
 func distinctAnswers(ws *worldset.WorldSet) []*relation.Relation {

@@ -182,6 +182,20 @@ func Optimize(q wsa.Expr, env *wsa.Env, completeInput bool) (wsa.Expr, []Step) {
 	return OptimizeOpts(q, env, completeInput, nil)
 }
 
+// Prelower normalizes q for engines that evaluate over factored
+// world-set representations (internal/wsdexec): it runs the cost-based
+// search restricted to the equivalences sound on arbitrary world-sets,
+// with tight bounds suitable for per-query use. The rules that matter
+// most here are the group-worlds-by reductions ((12)–(14)), the
+// poss/choice-of absorption (11) and the poss/cert fusions ((15), (16),
+// (22), (23)): every group-worlds-by or choice-of they eliminate is one
+// less operator that can entangle decomposition components and force
+// the factorized engine to enumerate worlds.
+func Prelower(q wsa.Expr, env *wsa.Env) wsa.Expr {
+	out, _ := OptimizeOpts(q, env, false, &Options{MaxExpansions: 200, MaxSize: 60})
+	return out
+}
+
 // OptimizeOpts is Optimize with explicit search bounds.
 func OptimizeOpts(q wsa.Expr, env *wsa.Env, completeInput bool, opt *Options) (wsa.Expr, []Step) {
 	ctx := &Context{Env: env}

@@ -1,0 +1,9 @@
+package translate
+
+import "worldsetdb/internal/wsa"
+
+func init() {
+	// The Figure 6 translation is one of the four evaluation engines;
+	// see the engine registry in package wsa.
+	wsa.RegisterEngine("translated", EvalWorldSet)
+}

@@ -22,18 +22,51 @@
 // repairs without enumeration), possible/certain answers computed
 // directly on the decomposition in polynomial time, a best-effort
 // factorization of explicit world-sets, and the expansion back to
-// worlds (guarded, for testing).
+// worlds (budget-guarded via a typed BudgetError, for testing and for
+// the factorized engine's fallback decision).
+//
+// DecompDB (decompdb.go) extends the representation from a single
+// relation to whole databases — certain tuples per relation plus
+// components whose alternatives may span several relations — and is
+// the input and output representation of internal/wsdexec, the engine
+// that evaluates World-set Algebra on decompositions without ever
+// enumerating rep(D).
 package wsd
 
 import (
 	"fmt"
 	"math"
+	"math/big"
 	"sort"
 	"strings"
 
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/worldset"
 )
+
+// DefaultExpandBudget is the world budget applied by Rep and
+// DecompDB.Expand when the caller passes 0: the whole point of the
+// representation is that expansion is usually infeasible, so
+// enumeration is refused beyond this many worlds unless the caller
+// explicitly raises the budget.
+const DefaultExpandBudget = 1 << 20
+
+// BudgetError reports that an expansion was refused because the
+// decomposition represents more worlds than the caller's budget. It is
+// a dedicated type so callers can tell "too big to enumerate" apart
+// from genuine failures (schema mismatches, empty world-sets): the
+// factorized engine in internal/wsdexec keys its fallback decision on
+// it, and benchmarks use it to assert that no enumeration happened.
+type BudgetError struct {
+	// Worlds is the exact represented world count.
+	Worlds *big.Int
+	// Budget is the limit that was exceeded.
+	Budget int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("wsd: %s worlds exceed the expansion budget %d", e.Worlds, e.Budget)
+}
 
 // Alternative is one choice of a component: a set of tuples that appear
 // together.
@@ -76,21 +109,27 @@ func New(name string, schema relation.Schema) *WSD {
 	return &WSD{Name: name, Schema: schema, Certain: relation.New(schema)}
 }
 
-// NumWorlds returns the number of represented worlds, saturating at
-// math.MaxUint64 (repair decompositions easily exceed 2^64).
-func (d *WSD) NumWorlds() uint64 {
-	n := uint64(1)
+// Worlds returns the exact number of represented worlds,
+// ∏ |Components[i]|, as a big integer: repair decompositions routinely
+// exceed 2^64, and engines decide whether enumeration is feasible by
+// comparing this count against an explicit budget.
+func (d *WSD) Worlds() *big.Int {
+	n := big.NewInt(1)
+	var m big.Int
 	for _, c := range d.Components {
-		m := uint64(len(c.Alternatives))
-		if m == 0 {
-			return 0
-		}
-		if n > math.MaxUint64/m {
-			return math.MaxUint64
-		}
-		n *= m
+		n.Mul(n, m.SetInt64(int64(len(c.Alternatives))))
 	}
 	return n
+}
+
+// NumWorlds returns the number of represented worlds, saturating at
+// math.MaxUint64. Prefer Worlds where the exact count matters.
+func (d *WSD) NumWorlds() uint64 {
+	n := d.Worlds()
+	if !n.IsUint64() {
+		return math.MaxUint64
+	}
+	return n.Uint64()
 }
 
 // Size returns the representation size: the total number of stored
@@ -138,18 +177,23 @@ func (d *WSD) Cert() *relation.Relation {
 	return out
 }
 
-// Rep expands the decomposition into the explicit world-set. It refuses
-// decompositions with more than maxWorlds worlds (0 means 1<<20): the
-// whole point of the representation is that expansion is usually
-// infeasible.
+// Rep expands the decomposition into the explicit world-set. It
+// refuses decompositions with more than maxWorlds worlds (0 means
+// DefaultExpandBudget), returning a *BudgetError so callers can
+// distinguish "too big to enumerate" from other failures. A component
+// with no alternatives represents the empty world-set.
 func (d *WSD) Rep(maxWorlds int) (*worldset.WorldSet, error) {
 	if maxWorlds == 0 {
-		maxWorlds = 1 << 20
+		maxWorlds = DefaultExpandBudget
 	}
-	if n := d.NumWorlds(); n > uint64(maxWorlds) {
-		return nil, fmt.Errorf("wsd: %d worlds exceed the expansion limit %d", n, maxWorlds)
+	n := d.Worlds()
+	if !n.IsInt64() || n.Int64() > int64(maxWorlds) {
+		return nil, &BudgetError{Worlds: n, Budget: maxWorlds}
 	}
 	ws := worldset.New([]string{d.Name}, []relation.Schema{d.Schema})
+	if n.Sign() == 0 {
+		return ws, nil
+	}
 	choice := make([]int, len(d.Components))
 	for {
 		w := d.Certain.Clone()

@@ -1,4 +1,4 @@
-package wsd
+package wsd_test
 
 import (
 	"math"
@@ -11,12 +11,13 @@ import (
 	"worldsetdb/internal/value"
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
 )
 
 // TestRepairByKeyCensus: the paper's 5-row census decomposes into 1
 // certain tuple and two 2-alternative components — 4 worlds in size 5.
 func TestRepairByKeyCensus(t *testing.T) {
-	d, err := RepairByKey("Census", datagen.PaperCensus(), []string{"SSN"})
+	d, err := wsd.RepairByKey("Census", datagen.PaperCensus(), []string{"SSN"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,11 +35,11 @@ func TestRepairByKeyCensus(t *testing.T) {
 	}
 }
 
-// TestRepairDecompositionMatchesEnumeration: Rep(RepairByKey(R)) equals
+// TestRepairDecompositionMatchesEnumeration: Rep(wsd.RepairByKey(R)) equals
 // the reference repair-by-key world enumeration.
 func TestRepairDecompositionMatchesEnumeration(t *testing.T) {
 	census := datagen.PaperCensus()
-	d, err := RepairByKey("Census", census, []string{"SSN"})
+	d, err := wsd.RepairByKey("Census", census, []string{"SSN"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestRepairDecompositionMatchesEnumeration(t *testing.T) {
 // decomposition.
 func TestHugeRepairWithoutEnumeration(t *testing.T) {
 	census := datagen.Census(10000, 40, 7)
-	d, err := RepairByKey("Census", census, []string{"SSN"})
+	d, err := wsd.RepairByKey("Census", census, []string{"SSN"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestPossCertAgainstExpansion(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		census := datagen.Census(6+rng.Intn(6), 1+rng.Intn(3), seed)
-		d, err := RepairByKey("R", census, []string{"SSN"})
+		d, err := wsd.RepairByKey("R", census, []string{"SSN"})
 		if err != nil {
 			return false
 		}
@@ -131,7 +132,7 @@ func TestDecomposeRoundTrip(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		ws := datagen.RandomWorldSet(rng, []string{"R"},
 			[]relation.Schema{relation.NewSchema("A", "B")}, 3, 4, 6)
-		d, err := Decompose("R", ws)
+		d, err := wsd.Decompose("R", ws)
 		if err != nil {
 			return false
 		}
@@ -165,7 +166,7 @@ func TestDecomposeFactorsProducts(t *testing.T) {
 			ws.Add(worldset.World{mk(a, b)})
 		}
 	}
-	d, err := Decompose("R", ws)
+	d, err := wsd.Decompose("R", ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestDecomposeCorrelatedFallsBack(t *testing.T) {
 	ws := worldset.New([]string{"R"}, []relation.Schema{schema})
 	ws.Add(worldset.World{mk(1)})
 	ws.Add(worldset.World{mk(2)})
-	d, err := Decompose("R", ws)
+	d, err := wsd.Decompose("R", ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,9 +220,9 @@ func TestDecomposeCorrelatedFallsBack(t *testing.T) {
 
 // TestNumWorldsSaturates: overflow saturates instead of wrapping.
 func TestNumWorldsSaturates(t *testing.T) {
-	d := New("R", relation.NewSchema("A"))
-	alt := NewAlternative(d.Schema)
-	comp := Component{Alternatives: []Alternative{alt, alt, alt, alt}}
+	d := wsd.New("R", relation.NewSchema("A"))
+	alt := wsd.NewAlternative(d.Schema)
+	comp := wsd.Component{Alternatives: []wsd.Alternative{alt, alt, alt, alt}}
 	for i := 0; i < 40; i++ { // 4^40 = 2^80 > 2^64
 		d.Components = append(d.Components, comp)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package wsdexec
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package wsdexec
+
+// raceEnabled relaxes wall-clock assertions when the race detector (and
+// its order-of-magnitude slowdown) is on.
+const raceEnabled = true

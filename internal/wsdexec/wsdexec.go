@@ -1,0 +1,863 @@
+// Package wsdexec is the factorized evaluation engine: it evaluates
+// World-set Algebra queries directly over a multi-relation world-set
+// decomposition (wsd.DecompDB) without ever enumerating the represented
+// worlds, making query cost polynomial in the decomposition size —
+// independent of the world count. This is the implementation substrate
+// the paper's conclusion proposes for I-SQL ("implement I-SQL on top of
+// an existing representation system for finite world-sets, like ...
+// world-set decompositions"): the §2 census-repair view with 2^40
+// repairs answers cert/poss in milliseconds here, where the reference,
+// translated and physical engines all pay Ω(#worlds).
+//
+// # Evaluation
+//
+// Every subquery evaluates to a factored relation (see frel): certain
+// tuples plus per-component, per-alternative extras. Selections,
+// projections and renames map over the pieces (component-parallel on
+// the worker pool of relation/pool.go, with a slot-deterministic
+// merge); unions merge pieces; products hash-join certain and
+// alternative partitions through the cached indexes of
+// relation.IndexOn; intersections and differences combine per-tuple
+// presence conditions; poss and cert are component-local scans;
+// choice-of and repair-by-key on certain inputs split fresh components;
+// group-worlds-by aggregates per alternative when the answer depends on
+// a single component. Before lowering, rewrite.Prelower applies the
+// Figure 7 equivalences that are sound on arbitrary world-sets, which
+// eliminates many group-worlds-by/choice-of operators outright.
+//
+// # Fallback
+//
+// Operators whose result would couple the choices of two distinct
+// components — a product of two uncertain subqueries living in
+// different components, choice-of over an uncertain answer — cannot be
+// expressed in the additive factored form. For those the engine
+// enumerates the input through the guarded wsd Expand (refusing via
+// *wsd.BudgetError beyond the budget) and delegates the query to the
+// physical engine (or the reference evaluator when the query contains
+// repair-by-key, which physical cannot run). Every evaluation returns a
+// Plan recording whether it stayed native and, if not, which operator
+// forced the fallback — benchmarks count those.
+package wsdexec
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"worldsetdb/internal/physical"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/rewrite"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
+)
+
+func init() {
+	wsa.RegisterEngine("wsdexec", EvalWorldSet)
+}
+
+// Options tune the factorized engine.
+type Options struct {
+	// ExpandBudget caps world enumeration during fallback (and when
+	// expanding world-set-level results); 0 means
+	// wsd.DefaultExpandBudget.
+	ExpandBudget int
+	// NoRewrite disables the pre-lowering rewrite pass
+	// (rewrite.Prelower).
+	NoRewrite bool
+	// NoFallback turns entangling operators into errors instead of
+	// enumerating; tests and benchmarks use it to prove evaluations
+	// stayed native.
+	NoFallback bool
+}
+
+func (o *Options) budget() int {
+	if o == nil || o.ExpandBudget == 0 {
+		return wsd.DefaultExpandBudget
+	}
+	return o.ExpandBudget
+}
+
+// Plan records how a query was evaluated.
+type Plan struct {
+	// Native reports that the query ran entirely on the decomposition,
+	// with no world enumeration.
+	Native bool
+	// FallbackOp names the operator that entangled components and
+	// forced enumeration ("" when Native).
+	FallbackOp string
+	// FallbackEngine is the engine the query was delegated to
+	// ("physical" or "reference"; "" when Native).
+	FallbackEngine string
+	// InputWorlds is the exact world count of the input decomposition.
+	InputWorlds *big.Int
+	// NewComponents counts components created by choice-of and
+	// repair-by-key during native evaluation.
+	NewComponents int
+	// Rewritten reports that rewrite.Prelower changed the query before
+	// lowering.
+	Rewritten bool
+}
+
+func (p *Plan) String() string {
+	if p.Native {
+		return fmt.Sprintf("native (worlds=%s, new components=%d, rewritten=%v)",
+			p.InputWorlds, p.NewComponents, p.Rewritten)
+	}
+	return fmt.Sprintf("fallback at %s via %s engine (worlds=%s)",
+		p.FallbackOp, p.FallbackEngine, p.InputWorlds)
+}
+
+// entangleError is the internal signal that an operator's result cannot
+// be expressed in the additive factored form.
+type entangleError struct{ op string }
+
+func (e *entangleError) Error() string {
+	return fmt.Sprintf("wsdexec: %s entangles decomposition components", e.op)
+}
+
+// Eval evaluates q over the decomposition and returns the decomposition
+// extended with the answer relation (named "$ans", like the other
+// engines), plus the Plan describing how it ran.
+func Eval(q wsa.Expr, db *wsd.DecompDB) (*wsd.DecompDB, *Plan, error) {
+	return EvalOpts(q, db, nil)
+}
+
+// EvalOpts is Eval with explicit options.
+func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan, error) {
+	env := wsa.NewEnv(db.Names, db.Schemas)
+	if _, err := q.Schema(env); err != nil {
+		return nil, nil, err
+	}
+	plan := &Plan{InputWorlds: db.Worlds()}
+	run := q
+	if opt == nil || !opt.NoRewrite {
+		if r := rewrite.Prelower(q, env); !wsa.Equal(r, q) {
+			run, plan.Rewritten = r, true
+		}
+	}
+	e := &engine{db: db, env: env}
+	for _, c := range db.Components {
+		e.arity = append(e.arity, len(c.Alternatives))
+	}
+	ans, err := e.eval(run)
+	if err == nil {
+		plan.Native = true
+		plan.NewComponents = len(e.arity) - len(db.Components)
+		return e.buildOutput(ans), plan, nil
+	}
+	var ent *entangleError
+	if !errors.As(err, &ent) {
+		return nil, nil, err
+	}
+	if opt != nil && opt.NoFallback {
+		return nil, nil, fmt.Errorf("wsdexec: fallback disabled: %w", err)
+	}
+	// Fallback: enumerate within budget and delegate to the fastest
+	// engine that can run the query.
+	ws, xerr := db.Expand(opt.budget())
+	if xerr != nil {
+		return nil, nil, fmt.Errorf("wsdexec: %s and the input is not enumerable: %w", ent.op, xerr)
+	}
+	// The rewritten form is equivalent and often cheaper (Prelower may
+	// have eliminated the very repair-by-key that would force the
+	// reference engine), so the fallback evaluates it, not q.
+	plan.FallbackOp = ent.op
+	var out *worldset.WorldSet
+	if physical.CanEval(run) {
+		plan.FallbackEngine = "physical"
+		out, err = physical.EvalWorldSet(run, ws)
+	} else {
+		plan.FallbackEngine = "reference"
+		out, err = wsa.Eval(run, ws)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return wsd.FromWorldSet(out), plan, nil
+}
+
+// EvalWorldSet is the world-set-level entry point registered as the
+// "wsdexec" engine: it lifts the world-set into decomposition space
+// (all-certain for complete databases, the trivial one-component form
+// otherwise), evaluates, and expands the result. It is directly
+// comparable with wsa.Eval.
+func EvalWorldSet(q wsa.Expr, ws *worldset.WorldSet) (*worldset.WorldSet, error) {
+	out, _, err := Eval(q, wsd.FromWorldSet(ws))
+	if err != nil {
+		return nil, err
+	}
+	return out.Expand(0)
+}
+
+// engine carries the evaluation state: the input decomposition and the
+// component universe (the input's components plus those created by
+// choice-of and repair-by-key, identified by index into arity).
+type engine struct {
+	db    *wsd.DecompDB
+	env   *wsa.Env
+	arity []int
+}
+
+// addComponent registers a fresh component with n alternatives and
+// returns its id.
+func (e *engine) addComponent(n int) int {
+	e.arity = append(e.arity, n)
+	return len(e.arity) - 1
+}
+
+// buildOutput assembles the extended decomposition ⟨R1, …, Rk, $ans⟩
+// from the input and the answer's factored form.
+func (e *engine) buildOutput(ans *frel) *wsd.DecompDB {
+	k := len(e.db.Names)
+	out := &wsd.DecompDB{
+		Names:   append(append([]string{}, e.db.Names...), wsa.AnswerName),
+		Schemas: append(append([]relation.Schema{}, e.db.Schemas...), ans.schema),
+		Certain: append(append([]*relation.Relation{}, e.db.Certain...), ans.cert),
+	}
+	for ci, m := range e.arity {
+		comp := wsd.DBComponent{Alternatives: make([]wsd.DBAlternative, m)}
+		for a := 0; a < m; a++ {
+			alt := wsd.DBAlternative{Rels: map[int]*relation.Relation{}}
+			if ci < len(e.db.Components) {
+				for ri, r := range e.db.Components[ci].Alternatives[a].Rels {
+					alt.Rels[ri] = r
+				}
+			}
+			if p := ans.part(ci, a); p != nil && p.Len() > 0 {
+				alt.Rels[k] = p
+			}
+			comp.Alternatives[a] = alt
+		}
+		out.Components = append(out.Components, comp)
+	}
+	return out
+}
+
+// eval is the recursive factored evaluator; every case returns the
+// answer as an frel over the engine's component universe.
+func (e *engine) eval(q wsa.Expr) (*frel, error) {
+	outSchema, err := q.Schema(e.env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n := q.(type) {
+	case *wsa.Rel:
+		i := e.db.IndexOf(n.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("wsdexec: unknown relation %q", n.Name)
+		}
+		out := &frel{schema: outSchema, cert: e.db.Certain[i], parts: map[int][]*relation.Relation{}}
+		for ci, c := range e.db.Components {
+			for a, alt := range c.Alternatives {
+				if r := alt.Rel(i); r != nil && r.Len() > 0 {
+					out.setPart(ci, e.arity[ci], a, r)
+				}
+			}
+		}
+		return out, nil
+
+	case *wsa.Select:
+		return e.mapUnary(n.From, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
+			return (&ra.Select{Pred: n.Pred, From: &ra.Lit{Rel: r}}).Eval(nil)
+		})
+
+	case *wsa.Project:
+		return e.mapUnary(n.From, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
+			return ra.ProjectNames(&ra.Lit{Rel: r}, n.Columns...).Eval(nil)
+		})
+
+	case *wsa.Rename:
+		return e.mapUnary(n.From, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
+			return (&ra.Rename{Pairs: n.Pairs, From: &ra.Lit{Rel: r}}).Eval(nil)
+		})
+
+	case *wsa.BinOp:
+		switch n.Kind {
+		case wsa.OpProduct:
+			return e.evalProduct(n.L, n.R, ra.True{}, outSchema)
+		case wsa.OpUnion:
+			return e.evalUnion(n.L, n.R, outSchema)
+		case wsa.OpIntersect, wsa.OpDiff:
+			return e.evalSetOp(n.Kind, n.L, n.R, outSchema)
+		}
+		return nil, fmt.Errorf("wsdexec: unknown binary operator %v", n.Kind)
+
+	case *wsa.Join:
+		return e.evalProduct(n.L, n.R, n.Pred, outSchema)
+
+	case *wsa.Choice:
+		return e.evalChoice(n, outSchema)
+
+	case *wsa.Close:
+		return e.evalClose(n, outSchema)
+
+	case *wsa.Group:
+		return e.evalGroup(n, outSchema)
+
+	case *wsa.RepairKey:
+		return e.evalRepair(n, outSchema)
+	}
+	return nil, fmt.Errorf("wsdexec: unknown operator %T", q)
+}
+
+// mapUnary evaluates the subquery and maps fn over every piece of its
+// factored form — selections, projections and renames distribute over
+// the union defining the represented instances. Pieces map in parallel
+// on the shared worker pool; results land in per-slot output cells, so
+// the merge is deterministic regardless of scheduling.
+func (e *engine) mapUnary(from wsa.Expr, outSchema relation.Schema,
+	fn func(*relation.Relation) (*relation.Relation, error)) (*frel, error) {
+	sub, err := e.eval(from)
+	if err != nil {
+		return nil, err
+	}
+	type slot struct {
+		c, a int
+		in   *relation.Relation
+	}
+	slots := []slot{{-1, -1, sub.cert}}
+	for _, c := range sub.compIDs() {
+		for a, p := range sub.parts[c] {
+			if p != nil && p.Len() > 0 {
+				slots = append(slots, slot{c, a, p})
+			}
+		}
+	}
+	results := make([]*relation.Relation, len(slots))
+	errs := make([]error, len(slots))
+	relation.ParallelChunks(len(slots), relation.NumParts(sub.size()), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i], errs[i] = fn(slots[i].in)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &frel{schema: outSchema, cert: results[0], parts: map[int][]*relation.Relation{}}
+	for i := 1; i < len(slots); i++ {
+		out.setPart(slots[i].c, e.arity[slots[i].c], slots[i].a, results[i])
+	}
+	return out, nil
+}
+
+// evalUnion merges the factored forms piecewise: the union of two
+// additive representations is additive.
+func (e *engine) evalUnion(lq, rq wsa.Expr, outSchema relation.Schema) (*frel, error) {
+	lf, err := e.eval(lq)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := e.eval(rq)
+	if err != nil {
+		return nil, err
+	}
+	out := newFrel(outSchema)
+	insertAll := func(dst, src *relation.Relation) {
+		if src != nil {
+			src.Each(func(t relation.Tuple) { dst.Insert(t) })
+		}
+	}
+	insertAll(out.cert, lf.cert)
+	insertAll(out.cert, rf.cert)
+	for _, f := range []*frel{lf, rf} {
+		for _, c := range f.compIDs() {
+			for a, p := range f.parts[c] {
+				if p != nil && p.Len() > 0 {
+					insertAll(out.slot(c, e.arity[c], a), p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalProduct distributes the product over the factored forms:
+//
+//	(C₁ ∪ U₁) × (C₂ ∪ U₂) = C₁×C₂ ∪ C₁×U₂ ∪ U₁×C₂ ∪ U₁×U₂
+//
+// The first three terms stay additive (certain×part attaches to the
+// part's alternative); the U₁×U₂ cross term is additive only when both
+// sides' uncertainty lives in the same component (the alternatives'
+// contributions pair up choice-for-choice). Parts in distinct
+// components would couple two independent choices — entangled. All
+// pairings go through the ra join machinery, so equality predicates use
+// the cached hash indexes of relation.IndexOn.
+func (e *engine) evalProduct(lq, rq wsa.Expr, pred ra.Pred, outSchema relation.Schema) (*frel, error) {
+	lf, err := e.eval(lq)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := e.eval(rq)
+	if err != nil {
+		return nil, err
+	}
+	lu, ru := lf.uncertainComps(), rf.uncertainComps()
+	if len(lu) > 0 && len(ru) > 0 && !(len(lu) == 1 && len(ru) == 1 && lu[0] == ru[0]) {
+		return nil, &entangleError{op: "product of subqueries uncertain in distinct components"}
+	}
+	combine := func(a, b *relation.Relation) (*relation.Relation, error) {
+		if a == nil || b == nil || a.Len() == 0 || b.Len() == 0 {
+			return nil, nil
+		}
+		le, re := &ra.Lit{Rel: a}, &ra.Lit{Rel: b}
+		if _, isTrue := pred.(ra.True); isTrue {
+			return (&ra.Product{L: le, R: re}).Eval(nil)
+		}
+		return (&ra.Join{L: le, R: re, Pred: pred}).Eval(nil)
+	}
+	out := newFrel(outSchema)
+	cert, err := combine(lf.cert, rf.cert)
+	if err != nil {
+		return nil, err
+	}
+	if cert != nil {
+		out.cert = cert
+	}
+	// Per (component, alternative): certL×partR ∪ partL×certR ∪
+	// partL×partR, computed in parallel across slots.
+	comps := append(append([]int{}, lu...), ru...)
+	sort.Ints(comps)
+	comps = dedupInts(comps)
+	type slot struct{ c, a int }
+	var slots []slot
+	for _, c := range comps {
+		for a := 0; a < e.arity[c]; a++ {
+			slots = append(slots, slot{c, a})
+		}
+	}
+	results := make([]*relation.Relation, len(slots))
+	errs := make([]error, len(slots))
+	relation.ParallelChunks(len(slots), relation.NumParts(lf.size()+rf.size()), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c, a := slots[i].c, slots[i].a
+			acc := relation.New(outSchema)
+			for _, pair := range [][2]*relation.Relation{
+				{lf.part(c, a), rf.cert},
+				{lf.cert, rf.part(c, a)},
+				{lf.part(c, a), rf.part(c, a)},
+			} {
+				r, err := combine(pair[0], pair[1])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if r != nil {
+					r.Each(func(t relation.Tuple) { acc.Insert(t) })
+				}
+			}
+			results[i] = acc
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, s := range slots {
+		if results[i] != nil && results[i].Len() > 0 {
+			out.setPart(s.c, e.arity[s.c], s.a, results[i])
+		}
+	}
+	return out, nil
+}
+
+// cond accumulates one tuple's presence conditions on both operands of
+// a set operation: certain membership plus, per side, the set of
+// (component, alternative) choices that contribute it.
+type cond struct {
+	t     relation.Tuple
+	cert  [2]bool
+	comps [2]map[int]map[int]bool
+}
+
+// evalSetOp implements intersection and difference by combining
+// per-tuple presence conditions. A condition is TRUE (certain, or
+// covered by every alternative of some component) or a disjunction of
+// choices within components. Conjunctions — t ∈ L ∧ t ∈ R for
+// intersection, t ∈ L ∧ t ∉ R for difference — stay additive when at
+// most one side is uncertain for the tuple, or both sides' conditions
+// live in the same single component; otherwise the tuple's presence
+// couples two independent choices and the operator entangles.
+func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relation.Schema) (*frel, error) {
+	lf, err := e.eval(lq)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := e.eval(rq)
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate conditions per distinct tuple (positional comparison,
+	// like ra's set operators), collision-verified.
+	buckets := map[uint64][]*cond{}
+	get := func(t relation.Tuple) *cond {
+		h := t.Hash()
+		for _, c := range buckets[h] {
+			if c.t.Equal(t) {
+				return c
+			}
+		}
+		c := &cond{t: t}
+		buckets[h] = append(buckets[h], c)
+		return c
+	}
+	for side, f := range []*frel{lf, rf} {
+		side := side
+		f.cert.Each(func(t relation.Tuple) { get(t).cert[side] = true })
+		for _, ci := range f.compIDs() {
+			for a, p := range f.parts[ci] {
+				if p == nil {
+					continue
+				}
+				a := a
+				p.Each(func(t relation.Tuple) {
+					c := get(t)
+					if c.comps[side] == nil {
+						c.comps[side] = map[int]map[int]bool{}
+					}
+					if c.comps[side][ci] == nil {
+						c.comps[side][ci] = map[int]bool{}
+					}
+					c.comps[side][ci][a] = true
+				})
+			}
+		}
+	}
+	// isTrue reports a condition equivalent to TRUE: certain, or some
+	// component contributes the tuple under every alternative.
+	isTrue := func(c *cond, side int) bool {
+		if c.cert[side] {
+			return true
+		}
+		for ci, alts := range c.comps[side] {
+			if len(alts) == e.arity[ci] && e.arity[ci] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	singleComp := func(c *cond, side int) (int, bool) {
+		if len(c.comps[side]) != 1 {
+			return 0, false
+		}
+		for ci := range c.comps[side] {
+			return ci, true
+		}
+		return 0, false
+	}
+	out := newFrel(outSchema)
+	copyMemberships := func(t relation.Tuple, m map[int]map[int]bool) {
+		for ci, alts := range m {
+			for a := range alts {
+				out.slot(ci, e.arity[ci], a).Insert(t)
+			}
+		}
+	}
+	var entangled error
+	for _, bucket := range buckets {
+		for _, c := range bucket {
+			if entangled != nil {
+				break
+			}
+			presentL := c.cert[0] || len(c.comps[0]) > 0
+			presentR := c.cert[1] || len(c.comps[1]) > 0
+			if kind == wsa.OpIntersect {
+				if !presentL || !presentR {
+					continue
+				}
+				lTrue, rTrue := isTrue(c, 0), isTrue(c, 1)
+				switch {
+				case lTrue && rTrue:
+					out.cert.Insert(c.t)
+				case lTrue:
+					copyMemberships(c.t, c.comps[1])
+				case rTrue:
+					copyMemberships(c.t, c.comps[0])
+				default:
+					lc, lok := singleComp(c, 0)
+					rc, rok := singleComp(c, 1)
+					if !lok || !rok || lc != rc {
+						entangled = &entangleError{op: "intersection of subqueries uncertain in distinct components"}
+						break
+					}
+					for a := range c.comps[0][lc] {
+						if c.comps[1][rc][a] {
+							out.slot(lc, e.arity[lc], a).Insert(c.t)
+						}
+					}
+				}
+				continue
+			}
+			// Difference L − R.
+			if !presentL {
+				continue
+			}
+			if isTrue(c, 1) {
+				continue // always in R, never in the difference
+			}
+			if !presentR {
+				if isTrue(c, 0) {
+					out.cert.Insert(c.t)
+				} else {
+					copyMemberships(c.t, c.comps[0])
+				}
+				continue
+			}
+			// R is strictly uncertain: ¬R is a conjunction across R's
+			// components, additive only within a single one.
+			rc, rok := singleComp(c, 1)
+			if !rok {
+				entangled = &entangleError{op: "difference against a subquery uncertain in several components"}
+				break
+			}
+			switch {
+			case isTrue(c, 0):
+				for a := 0; a < e.arity[rc]; a++ {
+					if !c.comps[1][rc][a] {
+						out.slot(rc, e.arity[rc], a).Insert(c.t)
+					}
+				}
+			default:
+				lc, lok := singleComp(c, 0)
+				if !lok || lc != rc {
+					entangled = &entangleError{op: "difference of subqueries uncertain in distinct components"}
+				} else {
+					for a := range c.comps[0][lc] {
+						if !c.comps[1][rc][a] {
+							out.slot(lc, e.arity[lc], a).Insert(c.t)
+						}
+					}
+				}
+			}
+		}
+		if entangled != nil {
+			break
+		}
+	}
+	if entangled != nil {
+		return nil, entangled
+	}
+	return out, nil
+}
+
+// evalChoice implements χ_U. On a certain answer — identical in every
+// world — each world branches into one world per distinct U-group:
+// exactly a fresh independent component whose alternatives are the
+// groups. An uncertain answer would need the new component's refinement
+// to stay correlated with existing choices, which the independent
+// product cannot express — entangled.
+func (e *engine) evalChoice(n *wsa.Choice, outSchema relation.Schema) (*frel, error) {
+	sub, err := e.eval(n.From)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.uncertainComps()) > 0 {
+		return nil, &entangleError{op: "choice-of over an uncertain answer"}
+	}
+	if sub.cert.Empty() {
+		// Empty answer: every world survives with the empty answer.
+		return newFrel(outSchema), nil
+	}
+	idx, err := sub.schema.Indexes(n.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	groups := relation.NewGroupMap(idx, sub.cert.Len())
+	sub.cert.Each(func(t relation.Tuple) { groups.Add(t) })
+	gs := append([]*relation.Group{}, groups.Groups()...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Key.Less(gs[j].Key) })
+	c := e.addComponent(len(gs))
+	out := newFrel(outSchema)
+	for a, g := range gs {
+		p := relation.New(outSchema)
+		for _, t := range g.Rows {
+			p.InsertDistinct(t)
+		}
+		out.setPart(c, len(gs), a, p)
+	}
+	return out, nil
+}
+
+// evalClose implements poss and cert as component-local scans, in
+// O(size) regardless of the world count: poss is the union of all
+// pieces; a tuple is certain iff it is certain already or some
+// component contributes it under every alternative. Components scan in
+// parallel into per-component cells; the merge walks them in component
+// order.
+func (e *engine) evalClose(n *wsa.Close, outSchema relation.Schema) (*frel, error) {
+	sub, err := e.eval(n.From)
+	if err != nil {
+		return nil, err
+	}
+	comps := sub.compIDs()
+	partial := make([]*relation.Relation, len(comps))
+	relation.ParallelChunks(len(comps), relation.NumParts(sub.size()), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := comps[i]
+			acc := relation.New(outSchema)
+			if n.Kind == wsa.ClosePoss {
+				for _, p := range sub.parts[c] {
+					if p != nil {
+						p.Each(func(t relation.Tuple) { acc.Insert(t) })
+					}
+				}
+			} else {
+				// Tuples contributed by every alternative of c.
+				alts := sub.parts[c]
+				covered := e.arity[c] > 0
+				for _, p := range alts {
+					if p == nil || p.Len() == 0 {
+						covered = false
+						break
+					}
+				}
+				if covered {
+					alts[0].Each(func(t relation.Tuple) {
+						for _, p := range alts[1:] {
+							if !p.Contains(t) {
+								return
+							}
+						}
+						acc.Insert(t)
+					})
+				}
+			}
+			partial[i] = acc
+		}
+	})
+	out := newFrel(outSchema)
+	sub.cert.Each(func(t relation.Tuple) { out.cert.Insert(t) })
+	for _, acc := range partial {
+		acc.Each(func(t relation.Tuple) { out.cert.Insert(t) })
+	}
+	return out, nil
+}
+
+// evalGroup implements pγ^V_U and cγ^V_U. A certain answer puts every
+// world in one group whose aggregate is the answer's projection. When
+// the answer depends on exactly one component, both the group signature
+// and the aggregate are functions of that component's choice: compute
+// the signature per alternative, aggregate per signature class, and
+// emit the class aggregate as the alternative's part. Answers depending
+// on several components entangle.
+func (e *engine) evalGroup(n *wsa.Group, outSchema relation.Schema) (*frel, error) {
+	sub, err := e.eval(n.From)
+	if err != nil {
+		return nil, err
+	}
+	gIdx, err := sub.schema.Indexes(n.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	proj := n.ProjOrAll(sub.schema)
+	pIdx, err := sub.schema.Indexes(proj)
+	if err != nil {
+		return nil, err
+	}
+	uc := sub.uncertainComps()
+	if len(uc) == 0 {
+		out := newFrel(outSchema)
+		out.cert = sub.cert.Project(pIdx, outSchema)
+		return out, nil
+	}
+	if len(uc) > 1 {
+		return nil, &entangleError{op: "group-worlds-by over an answer uncertain in several components"}
+	}
+	c := uc[0]
+	m := e.arity[c]
+	gSchema := relation.NewSchema(n.GroupBy...)
+	sigs := make([]string, m)
+	projs := make([]*relation.Relation, m)
+	relation.ParallelChunks(m, relation.NumParts(sub.size()), func(_, lo, hi int) {
+		for a := lo; a < hi; a++ {
+			w := sub.cert.Clone()
+			if p := sub.part(c, a); p != nil {
+				p.Each(func(t relation.Tuple) { w.Insert(t) })
+			}
+			sigs[a] = w.Project(gIdx, gSchema).ContentKey()
+			projs[a] = w.Project(pIdx, outSchema)
+		}
+	})
+	// Aggregate per signature class, in first-alternative order.
+	agg := map[string]*relation.Relation{}
+	for a := 0; a < m; a++ {
+		cur, ok := agg[sigs[a]]
+		if !ok {
+			agg[sigs[a]] = projs[a]
+			continue
+		}
+		if n.Kind == wsa.GroupPoss {
+			projs[a].Each(func(t relation.Tuple) { cur.Insert(t) })
+		} else {
+			next := relation.New(outSchema)
+			cur.Each(func(t relation.Tuple) {
+				if projs[a].Contains(t) {
+					next.Insert(t)
+				}
+			})
+			agg[sigs[a]] = next
+		}
+	}
+	out := newFrel(outSchema)
+	for a := 0; a < m; a++ {
+		out.setPart(c, m, a, agg[sigs[a]])
+	}
+	return out, nil
+}
+
+// evalRepair implements repair-by-key on a certain answer — the §2
+// census view: every key group with several candidate tuples becomes a
+// fresh independent component with one single-tuple alternative per
+// candidate; singleton groups stay certain. The construction is linear
+// in the answer and represents ∏ |group| worlds. Uncertain answers
+// would need per-world key groups — entangled (the fallback runs the
+// reference evaluator, since the physical engine cannot repair).
+func (e *engine) evalRepair(n *wsa.RepairKey, outSchema relation.Schema) (*frel, error) {
+	sub, err := e.eval(n.From)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.uncertainComps()) > 0 {
+		return nil, &entangleError{op: "repair-by-key over an uncertain answer"}
+	}
+	idx, err := sub.schema.Indexes(n.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	groups := relation.NewGroupMap(idx, sub.cert.Len())
+	sub.cert.Each(func(t relation.Tuple) { groups.Add(t) })
+	gs := append([]*relation.Group{}, groups.Groups()...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Key.Less(gs[j].Key) })
+	out := newFrel(outSchema)
+	for _, g := range gs {
+		if len(g.Rows) == 1 {
+			out.cert.Insert(g.Rows[0])
+			continue
+		}
+		rows := append([]relation.Tuple{}, g.Rows...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Less(rows[j]) })
+		c := e.addComponent(len(rows))
+		for a, t := range rows {
+			p := relation.New(outSchema)
+			p.InsertDistinct(t)
+			out.setPart(c, len(rows), a, p)
+		}
+	}
+	return out, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
