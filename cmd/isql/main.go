@@ -1,22 +1,29 @@
-// Command isql executes I-SQL scripts over world-sets.
+// Command isql executes I-SQL scripts over world-sets backed by the
+// decomposition-native store.
 //
 // Usage:
 //
-//	isql [-demo name] [-engine name] [-worlds] [script.isql]
+//	isql [-demo name] [-engine name] [-load file.wsd] [-save file.wsd] [-worlds] [script.isql]
 //
 // Without a script argument, statements are read from standard input.
 // The -demo flag preloads one of the paper's datasets: flights,
-// acquisition, census or lineitem. After every select, the distinct
-// answers across worlds are printed; -worlds additionally prints the
-// whole world-set after each statement.
+// acquisition, census or lineitem; -load instead opens a catalog
+// persisted as a .wsd JSON file, and -save writes the catalog back
+// after the script ran — the decomposition round-trips in space linear
+// in its size whatever the world count. After every select, the
+// distinct answers across worlds are printed; -worlds additionally
+// prints the whole world-set after each statement (or the
+// decomposition summary when the world count exceeds the expansion
+// budget).
 //
-// The -engine flag routes select statements through one of the four
-// registered evaluation engines (reference | translated | physical |
-// wsdexec) instead of the session's own evaluator: the statement is
-// compiled to World-set Algebra and dispatched via the engine registry
-// in internal/wsa. Statements outside the clean WSA fragment
-// (aggregates, correlated subqueries, updates) fall back to the session
-// evaluator with a notice.
+// The -engine flag routes statements in the clean World-set Algebra
+// fragment through one of the registered evaluation engines (reference
+// | translated | physical | wsdexec, the default), all running against
+// the session's catalog snapshot; the special name "legacy" forces the
+// explicit world-set evaluator everywhere. Statements outside the
+// fragment (aggregates, correlated subqueries) always use the explicit
+// evaluator over a budget-guarded expansion, with results re-factorized
+// into the catalog.
 package main
 
 import (
@@ -28,7 +35,6 @@ import (
 
 	"worldsetdb/internal/datagen"
 	"worldsetdb/internal/isql"
-	"worldsetdb/internal/relation"
 	"worldsetdb/internal/wsa"
 
 	// Register the translated, physical and factorized engines with the
@@ -40,17 +46,20 @@ import (
 
 func main() {
 	demo := flag.String("demo", "", "preload a demo database: flights | acquisition | census | lineitem")
+	load := flag.String("load", "", "open a catalog persisted as a .wsd JSON file")
+	save := flag.String("save", "", "persist the catalog to a .wsd JSON file after the script ran")
 	engine := flag.String("engine", "",
-		fmt.Sprintf("evaluate selects through a registered WSA engine (%s); default: the session evaluator",
+		fmt.Sprintf("evaluate fragment statements through a registered WSA engine (%s) or 'legacy'; default: wsdexec on the decomposition",
 			strings.Join(wsa.EngineNames(), " | ")))
-	showWorlds := flag.Bool("worlds", false, "print the full world-set after every statement")
+	showWorlds := flag.Bool("worlds", false, "print the full world-set (or decomposition summary) after every statement")
 	flag.Parse()
 
-	session, err := newSession(*demo)
+	session, err := newSession(*demo, *load)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	session.Engine = *engine
 
 	var input string
 	switch flag.NArg() {
@@ -69,7 +78,7 @@ func main() {
 		}
 		input = string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: isql [-demo name] [-worlds] [script.isql]")
+		fmt.Fprintln(os.Stderr, "usage: isql [-demo name] [-load file.wsd] [-save file.wsd] [-worlds] [script.isql]")
 		os.Exit(2)
 	}
 
@@ -80,19 +89,6 @@ func main() {
 	}
 	for _, st := range stmts {
 		fmt.Printf("isql> %s\n", st)
-		if *engine != "" {
-			if sel, ok := st.(*isql.SelectStmt); ok {
-				if done := execViaEngine(session, sel, *engine); done {
-					// Selects leave the session's world-set unchanged,
-					// so -worlds prints the same state the session
-					// evaluator would.
-					if *showWorlds {
-						fmt.Println(session.WorldSet())
-					}
-					continue
-				}
-			}
-		}
 		res, err := session.Exec(st)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -108,62 +104,43 @@ func main() {
 				fmt.Println(a.Render(caption))
 			}
 		case res.Affected > 0:
-			fmt.Printf("%d tuple(s) affected across %d world(s)\n\n",
-				res.Affected, session.WorldSet().Len())
+			fmt.Printf("%d tuple(s) affected across %s world(s)\n\n", res.Affected, session.Worlds())
 		default:
-			fmt.Printf("ok; %d world(s)\n\n", session.WorldSet().Len())
+			fmt.Printf("ok; %s world(s)\n\n", session.Worlds())
 		}
 		if *showWorlds {
-			fmt.Println(session.WorldSet())
+			if ws := session.WorldSet(); ws != nil {
+				fmt.Println(ws)
+			} else {
+				fmt.Println(session.Catalog().Snapshot().DB)
+			}
 		}
+	}
+
+	if *save != "" {
+		if err := isql.SaveCatalog(*save, session); err != nil {
+			fmt.Fprintln(os.Stderr, "error saving catalog:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("catalog saved to %s\n", *save)
 	}
 }
 
-// execViaEngine compiles a select to World-set Algebra and dispatches
-// it through the named engine from the wsa registry, printing the
-// distinct answers across worlds. It reports false (fall back to the
-// session evaluator) when the statement lies outside the clean WSA
-// fragment, and exits on engine errors like the main loop does.
-func execViaEngine(session *isql.Session, sel *isql.SelectStmt, engine string) bool {
-	q, err := session.Compile(sel)
-	if err != nil {
-		fmt.Printf("(outside the clean WSA fragment, using the session evaluator: %v)\n", err)
-		return false
-	}
-	out, err := wsa.EvalWith(engine, q, session.WorldSet())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	answers := isql.DistinctAnswers(out)
-	for i, a := range answers {
-		caption := fmt.Sprintf("answer (%s engine)", engine)
-		if len(answers) > 1 {
-			caption = fmt.Sprintf("answer variant %d of %d (%s engine)", i+1, len(answers), engine)
+func newSession(demo, load string) (*isql.Session, error) {
+	if load != "" {
+		if demo != "" {
+			return nil, fmt.Errorf("isql: -demo and -load are mutually exclusive")
 		}
-		fmt.Println(a.Render(caption))
+		return isql.LoadCatalog(load)
 	}
-	return true
-}
-
-func newSession(demo string) (*isql.Session, error) {
-	switch demo {
-	case "":
+	if demo == "" {
 		return isql.NewSession(), nil
-	case "flights":
-		return isql.FromDB([]string{"HFlights"},
-			[]*relation.Relation{datagen.PaperFlights()}), nil
-	case "acquisition":
-		return isql.FromDB([]string{"Company_Emp", "Emp_Skills"},
-			[]*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()}), nil
-	case "census":
-		return isql.FromDB([]string{"Census"},
-			[]*relation.Relation{datagen.PaperCensus()}), nil
-	case "lineitem":
-		return isql.FromDB([]string{"Lineitem"},
-			[]*relation.Relation{datagen.Lineitem(60, 3, 4, 42)}), nil
 	}
-	return nil, fmt.Errorf("unknown demo %q (want flights, acquisition, census or lineitem)", demo)
+	names, rels, err := datagen.DemoDB(demo)
+	if err != nil {
+		return nil, err
+	}
+	return isql.FromDB(names, rels), nil
 }
 
 func readAll(f *os.File) (string, error) {

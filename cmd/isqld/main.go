@@ -1,0 +1,89 @@
+// Command isqld serves I-SQL sessions concurrently over a shared
+// decomposition-native catalog (see internal/isqld for the protocol).
+//
+// Usage:
+//
+//	isqld [-addr host:port] [-demo name] [-load file.wsd] [-save file.wsd] [-engine name]
+//
+// The catalog starts empty, from one of the paper's demo datasets
+// (-demo flights | acquisition | census | lineitem), or from a .wsd
+// catalog file (-load). With -save, the catalog is persisted on
+// graceful shutdown (SIGINT/SIGTERM). Clients POST I-SQL scripts to
+// /exec and read catalog statistics from /stats:
+//
+//	curl --data-binary 'select certain Name from Clean;' http://localhost:8486/exec
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isqld"
+	"worldsetdb/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8486", "listen address")
+	demo := flag.String("demo", "", "preload a demo database: flights | acquisition | census | lineitem")
+	load := flag.String("load", "", "open a catalog persisted as a .wsd JSON file")
+	save := flag.String("save", "", "persist the catalog to a .wsd JSON file on graceful shutdown")
+	engine := flag.String("engine", "", "evaluation engine for fragment statements (default: wsdexec)")
+	flag.Parse()
+
+	cat, err := newCatalog(*demo, *load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := isqld.New(cat, isqld.WithEngine(*engine))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		snap := cat.Snapshot()
+		log.Printf("isqld: serving on http://%s — %d relation(s), %s world(s), size %d",
+			*addr, len(snap.DB.Names), snap.DB.Worlds(), snap.DB.Size())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("isqld: shutdown: %v", err)
+	}
+	if *save != "" {
+		if err := store.SaveFile(*save, cat.Snapshot()); err != nil {
+			log.Fatalf("isqld: saving catalog: %v", err)
+		}
+		log.Printf("isqld: catalog saved to %s", *save)
+	}
+}
+
+func newCatalog(demo, load string) (*store.Catalog, error) {
+	if load != "" {
+		if demo != "" {
+			return nil, fmt.Errorf("isqld: -demo and -load are mutually exclusive")
+		}
+		return store.LoadFile(load)
+	}
+	if demo == "" {
+		return store.New(nil), nil
+	}
+	names, rels, err := datagen.DemoDB(demo)
+	if err != nil {
+		return nil, err
+	}
+	return store.FromComplete(names, rels), nil
+}

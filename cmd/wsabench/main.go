@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
+//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
 //
 // After a run, the fresh measurements are diffed against the committed
 // baseline (-prev, by default the same BENCH_results.json this run
@@ -21,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"worldsetdb/internal/datagen"
@@ -180,6 +182,7 @@ func main() {
 		{"CENSUS", "§2 repair-by-key blowup (EXP-S2-CENSUS)", expCensus},
 		{"WSD", "world-set decompositions: repair without enumeration (conclusion/future work)", expWSD},
 		{"WSDX", "factorized WSD-native query engine: world-set algebra without enumerating worlds (PR 2 tentpole)", expWSDX},
+		{"STORE", "decomposition-native catalog: factored pipelines, re-factorization, snapshot readers (PR 3 tentpole)", expStore},
 		{"SQL3", "§2 I-SQL vs division vs double-not-exists (EXP-S2-SQL)", expThreeWays},
 		{"E56", "Examples 5.6/5.8: naive vs general vs optimized evaluation", expTranslations},
 		{"F8F9", "Figures 8/9: rewriting ablation q1→q1′, q2→q2′", expRewriting},
@@ -247,6 +250,18 @@ func must(err error) {
 	}
 }
 
+// sessionWorlds reads the session's world count off the decomposition
+// (never expanding), saturating to int for the report columns — at
+// -scale settings where the count exceeds the expansion budget,
+// Session.WorldSet would return nil.
+func sessionWorlds(s *isql.Session) int {
+	w := s.Worlds()
+	if w.IsInt64() && w.Int64() < int64(^uint(0)>>1) {
+		return int(w.Int64())
+	}
+	return int(^uint(0) >> 1)
+}
+
 // expF2 scales the Figure 2 pipeline: χ_Dep world creation and certain
 // arrivals.
 func expF2() {
@@ -293,7 +308,7 @@ func expAcquisition() {
 				  where V.EID = Emp_Skills.EID
 				  group worlds by (select CID from V);`)
 			must(err)
-			worlds = s.WorldSet().Len()
+			worlds = sessionWorlds(s)
 			res, err := s.ExecString("select possible CID from W where Skill = 'S0';")
 			must(err)
 			targets = res.Answers[0].Len()
@@ -317,7 +332,7 @@ func expTPCH() {
 				where Quantity not in (select * from Lineitem choice of Quantity)
 				group by A.Year;`)
 			must(err)
-			worlds = s.WorldSet().Len()
+			worlds = sessionWorlds(s)
 			res, err := s.ExecString(`select possible Year from YearQuantity as Y
 				where (select sum(Price) from Lineitem where Lineitem.Year = Y.Year) - Y.Revenue > 100000;`)
 			must(err)
@@ -336,7 +351,7 @@ func expCensus() {
 			s := isql.FromDB([]string{"Census"}, []*relation.Relation{census})
 			_, err := s.ExecString("create table Clean as select * from Census repair by key SSN;")
 			must(err)
-			repairs = s.WorldSet().Len()
+			repairs = sessionWorlds(s)
 		})
 		fmt.Printf("%-10d %-10d %-12d %-14s  (expected 2^%d = %d)\n",
 			d, census.Len(), repairs, dt, d, 1<<d)
@@ -438,6 +453,122 @@ func expWSDX() {
 		fmt.Printf("%-10d %-10d %-16s %-14s %.0fx\n",
 			dups, worlds, dPhys, dWsdx, float64(dPhys)/float64(dWsdx))
 	}
+}
+
+// expStore is the tentpole ablation for the decomposition-native
+// catalog: the census-repair pipeline (repair → select → aggregate)
+// executes statement by statement through the store-backed I-SQL
+// session, staying factored end to end — wall-clock stays in
+// milliseconds as the world count sweeps 2^10 → 2^40, where the
+// explicit world-set session path stops being able to finish at all.
+// Alongside: wsd.Refactor compressing enumerated world-sets back into
+// components, catalog persistence, and the concurrent snapshot-reader
+// fan-out that cmd/isqld serves from.
+func expStore() {
+	pipeline := `
+		create table Clean as select * from Census repair by key SSN;
+		create table Suspects as select SSN, Name from Clean where POB = 'NYC';
+		select certain Name from Suspects;
+		select possible Name from Suspects;`
+
+	fmt.Printf("%-10s %-10s %-14s %-16s %-16s\n",
+		"dup SSNs", "rows", "worlds", "store pipeline", "legacy pipeline")
+	for _, dups := range []int{10, 20, 40} {
+		census := datagen.Census(1000**scale, dups, 7)
+		var worlds string
+		dStore := bench(fmt.Sprintf("STORE/pipeline/dups=%d", dups), nil, func() {
+			s := isql.FromDB([]string{"Census"}, []*relation.Relation{census})
+			res, err := s.ExecScript(pipeline)
+			must(err)
+			if res.Plan == nil || !res.Plan.Native {
+				must(fmt.Errorf("STORE pipeline left the decomposition (plan %v)", res.Plan))
+			}
+			worlds = s.Worlds().String()
+		})
+		legacy := "(refused: BudgetError)"
+		if dups <= 10 {
+			d := bench(fmt.Sprintf("STORE/pipeline-legacy/dups=%d", dups), nil, func() {
+				s := isql.FromDB([]string{"Census"}, []*relation.Relation{census})
+				s.Engine = "legacy"
+				_, err := s.ExecScript(pipeline)
+				must(err)
+			})
+			legacy = d.String()
+		}
+		fmt.Printf("%-10d %-10d %-14s %-16s %-16s\n", dups, census.Len(), worlds, dStore, legacy)
+	}
+
+	// Re-factorization: enumerated world-sets of 2^d worlds compress
+	// back into d binary components (verified), the operation that keeps
+	// pipelines factored after an entangled fallback.
+	fmt.Printf("\n%-10s %-10s %-14s %-14s\n", "worlds", "size in", "size out", "refactor")
+	for _, dups := range []int{4, 8, 12} {
+		db := datagen.CensusRepairDecomp(60**scale, dups, 7)
+		ws, err := db.Expand(0)
+		must(err)
+		var out *wsd.DecompDB
+		d := bench(fmt.Sprintf("STORE/refactor/worlds=%d", 1<<dups), nil, func() {
+			out, err = wsd.Refactor(ws)
+			must(err)
+		})
+		if len(out.Components) != dups {
+			must(fmt.Errorf("refactor found %d components, want %d", len(out.Components), dups))
+		}
+		sizeIn := 0
+		for _, w := range ws.Worlds() {
+			for _, r := range w {
+				sizeIn += r.Len()
+			}
+		}
+		fmt.Printf("%-10d %-10d %-14d %-14s\n", ws.Len(), sizeIn, out.Size(), d)
+	}
+
+	// Snapshot-reader fan-out over a shared 2^40-world catalog: 16
+	// concurrent sessions, 4 certain-answer queries each — the isqld
+	// serving path without the HTTP layer.
+	seedSession := isql.FromDB([]string{"Census"}, []*relation.Relation{datagen.Census(1000**scale, 40, 7)})
+	_, err := seedSession.ExecScript(pipeline)
+	must(err)
+	shared := seedSession.Catalog()
+	const readers, queriesPer = 16, 4
+	dReaders := bench("STORE/readers16x4/dups=40", nil, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess := isql.FromCatalog(shared)
+				for i := 0; i < queriesPer; i++ {
+					res, err := sess.ExecString("select certain Name from Suspects;")
+					must(err)
+					if len(res.Answers) != 1 {
+						must(fmt.Errorf("reader got %d answers", len(res.Answers)))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	fmt.Printf("\n%d readers x %d certain-queries over one 2^40 catalog: %s (%.0f queries/s)\n",
+		readers, queriesPer, dReaders, float64(readers*queriesPer)/dReaders.Seconds())
+
+	// Persistence round trip of the factored 2^40 catalog.
+	path := filepath.Join(os.TempDir(), "wsabench_store.wsd")
+	defer os.Remove(path)
+	dSave := bench("STORE/save/dups=40", nil, func() { must(isql.SaveCatalog(path, seedSession)) })
+	var loaded *isql.Session
+	dLoad := bench("STORE/load/dups=40", nil, func() {
+		var err error
+		loaded, err = isql.LoadCatalog(path)
+		must(err)
+	})
+	if loaded.Worlds().Cmp(seedSession.Worlds()) != 0 {
+		must(fmt.Errorf("persistence changed the world count"))
+	}
+	info, err := os.Stat(path)
+	must(err)
+	fmt.Printf("catalog persistence: save %s, load %s, %d bytes for %s worlds\n",
+		dSave, dLoad, info.Size(), seedSession.Worlds())
 }
 
 func expThreeWays() {
@@ -652,7 +783,7 @@ func expThreeColor() {
 				[]*relation.Relation{vert, edge, palette})
 			_, err := s.ExecString("create table Coloring as select V, Col from Vert, Palette repair by key V;")
 			must(err)
-			worlds = s.WorldSet().Len()
+			worlds = sessionWorlds(s)
 			res, err := s.ExecString(`select C1.V from Edge, Coloring C1, Coloring C2
 				where Edge.U = C1.V and Edge.W = C2.V and C1.Col = C2.Col;`)
 			must(err)

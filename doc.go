@@ -6,11 +6,48 @@
 // algebraic equivalences and rewriting of §6.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); runnable entry points are cmd/isql, cmd/wsatrans and
-// cmd/wsabench, and the examples/ directory walks through the paper's
-// application scenarios. The benchmarks in bench_test.go regenerate the
-// performance-relevant artifacts (EXPERIMENTS.md records a captured
-// run).
+// inventory); runnable entry points are cmd/isql, cmd/isqld (the
+// concurrent I-SQL server), cmd/wsatrans and cmd/wsabench, and the
+// examples/ directory walks through the paper's application scenarios.
+// The benchmarks in bench_test.go regenerate the performance-relevant
+// artifacts (EXPERIMENTS.md records a captured run).
+//
+// # The decomposition-native store
+//
+// Session state lives in internal/store: a catalog of named tables
+// backed by a multi-relation world-set decomposition (wsd.DecompDB)
+// under MVCC-style versioning. Readers take an immutable snapshot with
+// one atomic pointer load and evaluate against it wait-free; writers
+// serialize through a single-writer transaction that publishes a new
+// catalog version (copy-on-write down to individual relations). I-SQL
+// sessions (internal/isql) run on the catalog: statements in the clean
+// World-set Algebra fragment compile and evaluate through any
+// registered engine — by default wsdexec, natively on the decomposition
+// — while statements outside the fragment fall back to the explicit
+// world-set evaluator over a budget-guarded expansion.
+//
+// Re-factorization (wsd.Refactor, the multi-relation generalization of
+// wsd.Decompose) closes the loop: any enumerated world-set — a fallback
+// output, a legacy-path result, a FromWorldSet seed — is factorized
+// back into certain tuples plus independent components (verified
+// blocks of pairwise-dependent tuples, spanning relations when the
+// dependency does), so one entangled step never permanently
+// de-factorizes a pipeline. A census-repair pipeline at 2^40 worlds
+// (repair → select → certain/possible aggregation) runs each statement
+// in milliseconds with the catalog staying linear-size throughout,
+// while the same script on the explicit world-set path refuses with a
+// typed wsd.BudgetError — the one error shape shared by wsd's Expand,
+// the store, and the session's world budget.
+//
+// Catalogs persist as .wsd JSON documents (store.Save/Load, wired to
+// cmd/isql's -load/-save flags): the factored form serializes in space
+// linear in the decomposition regardless of the world count. cmd/isqld
+// serves I-SQL sessions concurrently over one shared catalog through a
+// line-oriented HTTP protocol (POST /exec, GET /stats): each request
+// gets its own session, selects run on snapshots (readers never block),
+// and DML serializes through the catalog writer — the serving path for
+// many concurrent certain/possible queries against one factored
+// world-set.
 //
 // # Execution engines
 //
@@ -52,13 +89,16 @@
 // # Correctness harnesses
 //
 // internal/difftest runs every query through all four engines on
-// randomized world-sets — and through wsdexec natively on randomized
-// decompositions via CheckDecomp — requiring world-set-identical
-// (byte-identical, for decomposed inputs) answers, including under the
-// race detector with partitioning forced on. golden_test.go pins the
-// paper's running examples (Figure 2 pipeline, the Figure 8/9 rewrite
-// pairs, census repair — both enumerated at small scale and factorized
-// at 2^40 — and trip planning) to committed outputs under testdata/.
+// randomized world-sets — through wsdexec natively on randomized
+// decompositions via CheckDecomp, and through the store/session path
+// (snapshot + re-factorized fallbacks) via CheckStore — requiring
+// world-set-identical (byte-identical, for decomposed inputs) answers,
+// including under the race detector with partitioning forced on.
+// golden_test.go pins the paper's running examples (Figure 2 pipeline,
+// the Figure 8/9 rewrite pairs, census repair — both enumerated at
+// small scale and factorized at 2^40 — and trip planning) to committed
+// outputs under testdata/; internal/isql pins the 2^40 store pipeline
+// and internal/isqld the server protocol the CI smoke job replays.
 // cmd/wsabench diffs every run's measurements against the committed
 // BENCH_results.json baseline and flags >2x per-op regressions; CI runs
 // that non-blocking and uploads the fresh results.

@@ -23,6 +23,9 @@ func step(s *isql.Session, title, sql string) {
 
 func printRelationAcrossWorlds(s *isql.Session, name string) {
 	ws := s.WorldSet()
+	if ws == nil {
+		log.Fatalf("%s worlds exceed the expansion budget; cannot print them", s.Worlds())
+	}
 	idx := ws.IndexOf(name)
 	seen := map[string]bool{}
 	n := 0

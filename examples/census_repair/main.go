@@ -23,9 +23,13 @@ func main() {
 	if _, err := s.ExecString("create table Clean as select * from Census repair by key SSN;"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("repair by key SSN creates %d possible worlds:\n\n", s.WorldSet().Len())
-	idx := s.WorldSet().IndexOf("Clean")
-	for i, w := range s.WorldSet().Worlds() {
+	ws := s.WorldSet()
+	if ws == nil {
+		log.Fatalf("%s worlds exceed the expansion budget", s.Worlds())
+	}
+	fmt.Printf("repair by key SSN creates %d possible worlds:\n\n", ws.Len())
+	idx := ws.IndexOf("Clean")
+	for i, w := range ws.Worlds() {
 		fmt.Println(w[idx].Render(fmt.Sprintf("repair %d", i+1)))
 	}
 
@@ -50,6 +54,6 @@ func main() {
 		if _, err := s2.ExecString("create table Clean as select * from Census repair by key SSN;"); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%d duplicated SSNs → %d repairs (2^%d)\n", dups, s2.WorldSet().Len(), dups)
+		fmt.Printf("%d duplicated SSNs → %d repairs (2^%d)\n", dups, s2.Worlds(), dups)
 	}
 }

@@ -29,10 +29,13 @@ func figure2() {
 	if _, err := s.ExecString("create table FlightsW as select * from Flights choice of Dep;"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("(b) choice-of on Dep creates %d worlds\n\n", s.WorldSet().Len())
-	for i, w := range s.WorldSet().Worlds() {
-		idx := s.WorldSet().IndexOf("FlightsW")
-		fmt.Println(w[idx].Render(fmt.Sprintf("Flights world %c", 'A'+i)))
+	ws := s.WorldSet()
+	if ws == nil {
+		log.Fatalf("%s worlds exceed the expansion budget", s.Worlds())
+	}
+	fmt.Printf("(b) choice-of on Dep creates %d worlds\n\n", ws.Len())
+	for i, w := range ws.Worlds() {
+		fmt.Println(w[ws.IndexOf("FlightsW")].Render(fmt.Sprintf("Flights world %c", 'A'+i)))
 	}
 
 	res, err := s.ExecString("delete from FlightsW where Arr = 'ATL';")
@@ -40,7 +43,7 @@ func figure2() {
 		log.Fatal(err)
 	}
 	fmt.Printf("(c) deleted %d ATL tuples across worlds; %d worlds remain\n\n",
-		res.Affected, s.WorldSet().Len())
+		res.Affected, s.Worlds())
 
 	res, err = s.ExecString("select certain Arr from Flights;")
 	if err != nil {

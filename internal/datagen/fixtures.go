@@ -4,9 +4,29 @@
 package datagen
 
 import (
+	"fmt"
+
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/value"
 )
+
+// DemoDB returns the named demo database the CLI tools preload —
+// relation names plus instances — so cmd/isql and cmd/isqld serve
+// identical data for the same -demo flag.
+func DemoDB(name string) ([]string, []*relation.Relation, error) {
+	switch name {
+	case "flights":
+		return []string{"HFlights"}, []*relation.Relation{PaperFlights()}, nil
+	case "acquisition":
+		return []string{"Company_Emp", "Emp_Skills"},
+			[]*relation.Relation{PaperCompanyEmp(), PaperEmpSkills()}, nil
+	case "census":
+		return []string{"Census"}, []*relation.Relation{PaperCensus()}, nil
+	case "lineitem":
+		return []string{"Lineitem"}, []*relation.Relation{Lineitem(60, 3, 4, 42)}, nil
+	}
+	return nil, nil, fmt.Errorf("unknown demo %q (want flights, acquisition, census or lineitem)", name)
+}
 
 func strTuple(vals ...string) relation.Tuple {
 	t := make(relation.Tuple, len(vals))

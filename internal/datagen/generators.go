@@ -134,6 +134,22 @@ func Census(n, nDup int, seed int64) *relation.Relation {
 	return r
 }
 
+// CensusRepairDecomp builds the repaired census catalog decomposition
+// directly: ⟨Clean, Census⟩ where Census is the generated relation
+// (certain) and Clean its repair-by-key view — one independent
+// component per duplicated SSN, 2^nDup represented worlds in linear
+// space. This is the canonical store/serving workload: benchmarks and
+// server tests seed catalogs from it without running the I-SQL
+// pipeline first.
+func CensusRepairDecomp(n, nDup int, seed int64) *wsd.DecompDB {
+	census := Census(n, nDup, seed)
+	repair, err := wsd.RepairByKey("Clean", census, []string{"SSN"})
+	if err != nil {
+		panic(err) // generated input always has the SSN column
+	}
+	return wsd.FromWSD(repair).WithRelation("Census", census.Schema(), census)
+}
+
 // RandomRelation generates a relation over the given schema with up to
 // maxTuples tuples drawn from an integer domain of the given size.
 func RandomRelation(rng *rand.Rand, schema relation.Schema, domain, maxTuples int) *relation.Relation {

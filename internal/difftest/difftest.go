@@ -15,13 +15,16 @@
 // (see difftest_test.go). Decomposed inputs get their own entry point,
 // CheckDecomp, which runs wsdexec natively on the decomposition and the
 // other three on its (expandable) enumeration, requiring byte-identical
-// rendered world-sets.
+// rendered world-sets; CheckStore runs the same queries the way an
+// I-SQL session select does — through the store.Query snapshot path
+// with re-factorized fallbacks — against the reference engine.
 package difftest
 
 import (
 	"fmt"
 
 	"worldsetdb/internal/physical"
+	"worldsetdb/internal/store"
 	"worldsetdb/internal/translate"
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
@@ -110,6 +113,39 @@ func CheckDecomp(q wsa.Expr, db *wsd.DecompDB) error {
 	}
 	if g, w := got.String(), ref.Out.String(); g != w {
 		return fmt.Errorf("wsdexec (plan %v) disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\nwsdexec:\n%s",
+			plan, q, db, w, g)
+	}
+	return nil
+}
+
+// CheckStore is the store-path differential check: the query runs the
+// way an I-SQL session select does — through store.Query against a
+// catalog snapshot holding the decomposition, with entangled fallbacks
+// re-factorized by wsd.Refactor — and the expanded result must render
+// byte-identically to the reference evaluation of the enumeration.
+// Where CheckDecomp pins the factorized engine, CheckStore additionally
+// pins the snapshot plumbing and the re-factorization of fallback
+// outputs (every entangling query exercises Refactor here).
+func CheckStore(q wsa.Expr, db *wsd.DecompDB) error {
+	ws, err := db.Expand(0)
+	if err != nil {
+		return fmt.Errorf("input decomposition not expandable: %w", err)
+	}
+	ref, err := wsa.Eval(q, ws)
+	if err != nil {
+		return fmt.Errorf("reference evaluator failed for %s: %w", q, err)
+	}
+	snap := store.New(db).Snapshot()
+	out, plan, err := store.Query(snap, "", q, 0)
+	if err != nil {
+		return fmt.Errorf("store path failed for %s where the reference succeeded: %w", q, err)
+	}
+	got, err := out.Expand(0)
+	if err != nil {
+		return fmt.Errorf("store result of %s not expandable (plan %v): %w", q, plan, err)
+	}
+	if g, w := got.String(), ref.String(); g != w {
+		return fmt.Errorf("store path (plan %v) disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\nstore:\n%s",
 			plan, q, db, w, g)
 	}
 	return nil

@@ -139,6 +139,37 @@ func TestRandomizedDecompAgreement(t *testing.T) {
 	}
 }
 
+// TestRandomizedStoreAgreement is the store-path differential sweep:
+// the same scale as the decomposition sweep (500+ query/input pairs),
+// but through store.Query — the exact path I-SQL session selects take —
+// so the catalog snapshot plumbing and the wsd.Refactor re-factorization
+// of every fallback output are held to the byte-identity bar too.
+func TestRandomizedStoreAgreement(t *testing.T) {
+	queries, inputs := 250, 2
+	if testing.Short() {
+		queries = 40
+	}
+	rng := rand.New(rand.NewSource(20070614))
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	checked := 0
+	for qi := 0; qi < queries; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		for wi := 0; wi < inputs; wi++ {
+			db := datagen.RandomDecompDB(rng, names, schemas, 3, 3, 2, 3, 2)
+			if err := CheckStore(q, db); err != nil {
+				t.Fatalf("query %d input %d: %v", qi, wi, err)
+			}
+			checked++
+		}
+	}
+	if want := queries * inputs; checked != want {
+		t.Fatalf("checked %d query/input pairs, want %d", checked, want)
+	}
+	if !testing.Short() && checked < 500 {
+		t.Fatalf("store differential sweep too small: %d < 500", checked)
+	}
+}
+
 // TestWSDXParallelMatchesSequential pins the determinism guarantee of
 // the factorized engine's component-parallel fan-out: with partitioning
 // forced on (TestMain) and off, evaluating the same query on the same

@@ -116,7 +116,52 @@ func (e *LitExpr) String() string {
 	}
 	return e.Val.String()
 }
-func (e *BinExpr) String() string   { return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R) }
+
+// exprPrec returns the rendering precedence of an expression (higher
+// binds tighter), mirroring the parser's grammar so that String output
+// re-parses to the same tree: or < and < not < comparisons < additive
+// < multiplicative < atoms.
+func exprPrec(e Expr) int {
+	switch n := e.(type) {
+	case *LogicExpr:
+		if n.Op == "or" {
+			return 1
+		}
+		return 2
+	case *NotExpr:
+		return 3
+	case *BinExpr:
+		switch n.Op {
+		case "+", "-":
+			return 5
+		case "*", "/":
+			return 6
+		}
+		return 4 // comparisons
+	case *InExpr, *ExistsExpr:
+		return 4 // condition-level: needs parens as a comparison operand
+	}
+	return 7 // atoms: columns, literals, aggregates, subqueries
+}
+
+func (e *BinExpr) String() string {
+	p := exprPrec(e)
+	l := e.L.String()
+	// The grammar parses one comparison per level, so a comparison (or
+	// in/exists) operand of a comparison needs parentheses on either
+	// side; arithmetic needs them only for looser operands on the left
+	// (left-associative re-parse keeps `A - B - C` as written).
+	if lp := exprPrec(e.L); lp < p || (lp == p && p == 4) {
+		l = "(" + l + ")"
+	}
+	r := e.R.String()
+	// A right operand binding no tighter than the operator needs
+	// parentheses: `X * (0 - 2)`, `A - (B - C)`, `X = (Y = Z)`.
+	if rp := exprPrec(e.R); rp <= p {
+		r = "(" + r + ")"
+	}
+	return fmt.Sprintf("%s %s %s", l, e.Op, r)
+}
 func (e *LogicExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
 func (e *NotExpr) String() string   { return fmt.Sprintf("not (%s)", e.E) }
 func (e *InExpr) String() string {

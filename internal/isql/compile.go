@@ -8,6 +8,20 @@ import (
 	"worldsetdb/internal/wsa"
 )
 
+// fragmentError marks a statement as lying outside the clean World-set
+// Algebra fragment — a capability limit of compilation, not a mistake
+// in the statement. The session falls back to the explicit world-set
+// evaluator exactly on this error type; genuine errors (unknown
+// relations or columns, ambiguity) surface directly.
+type fragmentError struct{ msg string }
+
+func (e *fragmentError) Error() string { return e.msg }
+
+// outsideFragment builds a fragmentError.
+func outsideFragment(format string, args ...any) error {
+	return &fragmentError{msg: fmt.Sprintf(format, args...)}
+}
+
 // Compile translates the clean I-SQL fragment of §4 — no aggregation,
 // no expression subqueries, no divide-by — into World-set Algebra. The
 // resulting expression can be fed to the reference evaluator, the
@@ -18,24 +32,34 @@ import (
 // group-worlds-by compiles to pγ/cγ whose grouping attributes refer to
 // the pre-projection join.
 func (s *Session) Compile(sel *SelectStmt) (wsa.Expr, error) {
-	info, err := s.analyzeSelect(sel, s.ws.Names(), s.ws.Schemas(), nil)
+	snap, err := s.snapshotForRead()
+	if err != nil {
+		return nil, err
+	}
+	return s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
+}
+
+// compileOn compiles against an explicit relational schema (the names
+// and per-relation schemas of a catalog snapshot).
+func (s *Session) compileOn(names []string, schemas []relation.Schema, sel *SelectStmt) (wsa.Expr, error) {
+	info, err := s.analyzeSelect(sel, names, schemas, nil)
 	if err != nil {
 		return nil, err
 	}
 	if info.aggregated {
-		return nil, fmt.Errorf("isql: aggregation is outside the World-set Algebra fragment")
+		return nil, outsideFragment("isql: aggregation is outside the World-set Algebra fragment")
 	}
 	if sel.Divide != nil {
-		return nil, fmt.Errorf("isql: divide-by is outside the World-set Algebra fragment")
+		return nil, outsideFragment("isql: divide-by is outside the World-set Algebra fragment")
 	}
 	if len(info.correlated) > 0 || len(info.uncorrelated) > 0 {
-		return nil, fmt.Errorf("isql: expression subqueries are outside the World-set Algebra fragment")
+		return nil, outsideFragment("isql: expression subqueries are outside the World-set Algebra fragment")
 	}
 
 	// FROM: product of the (alias-renamed) items.
 	var joined wsa.Expr
 	for i, item := range sel.From {
-		e, err := s.compileFromItem(item, info.fromSchemas[i])
+		e, err := s.compileFromItem(item, info.fromSchemas[i], names, schemas)
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +70,7 @@ func (s *Session) Compile(sel *SelectStmt) (wsa.Expr, error) {
 		}
 	}
 	if joined == nil {
-		return nil, fmt.Errorf("isql: select without from is not supported")
+		return nil, outsideFragment("isql: select without from is not supported")
 	}
 
 	q := joined
@@ -75,7 +99,7 @@ func (s *Session) Compile(sel *SelectStmt) (wsa.Expr, error) {
 		for i, it := range sel.Items {
 			col, ok := it.Expr.(*ColExpr)
 			if !ok {
-				return nil, fmt.Errorf("isql: select item %s is outside the World-set Algebra fragment (plain columns only)", it.Expr)
+				return nil, outsideFragment("isql: select item %s is outside the World-set Algebra fragment (plain columns only)", it.Expr)
 			}
 			j := info.joined.Index(col.Ref.Full())
 			if j < 0 {
@@ -88,7 +112,7 @@ func (s *Session) Compile(sel *SelectStmt) (wsa.Expr, error) {
 
 	if sel.GroupWorlds != nil {
 		if sel.GroupWorlds.Query != nil {
-			return nil, fmt.Errorf("isql: query-form group-worlds-by is outside the World-set Algebra fragment (use the attribute form)")
+			return nil, outsideFragment("isql: query-form group-worlds-by is outside the World-set Algebra fragment (use the attribute form)")
 		}
 		groupBy := resolveRefs(sel.GroupWorlds.Attrs, info.joined)
 		g := &wsa.Group{GroupBy: groupBy, Proj: srcCols, From: q}
@@ -125,37 +149,43 @@ func (s *Session) CompileString(sql string) (wsa.Expr, error) {
 
 // compileFromItem compiles a base table, view or derived table and
 // renames its attributes to the alias-qualified names of the analysis.
-func (s *Session) compileFromItem(item FromItem, qualified relation.Schema) (wsa.Expr, error) {
+func (s *Session) compileFromItem(item FromItem, qualified relation.Schema, names []string, schemas []relation.Schema) (wsa.Expr, error) {
 	var inner wsa.Expr
 	var innerSchema relation.Schema
 	switch {
 	case item.Sub != nil:
-		sub, err := s.Compile(item.Sub)
+		sub, err := s.compileOn(names, schemas, item.Sub)
 		if err != nil {
 			return nil, err
 		}
-		si, err := s.analyzeSelect(item.Sub, s.ws.Names(), s.ws.Schemas(), nil)
+		si, err := s.analyzeSelect(item.Sub, names, schemas, nil)
 		if err != nil {
 			return nil, err
 		}
 		inner, innerSchema = sub, si.out
 	default:
 		if view, ok := s.views[item.Table]; ok {
-			sub, err := s.Compile(view)
+			sub, err := s.compileOn(names, schemas, view)
 			if err != nil {
 				return nil, err
 			}
-			si, err := s.analyzeSelect(view, s.ws.Names(), s.ws.Schemas(), nil)
+			si, err := s.analyzeSelect(view, names, schemas, nil)
 			if err != nil {
 				return nil, err
 			}
 			inner, innerSchema = sub, si.out
 		} else {
-			idx := s.ws.IndexOf(item.Table)
+			idx := -1
+			for i, n := range names {
+				if n == item.Table {
+					idx = i
+					break
+				}
+			}
 			if idx < 0 {
 				return nil, fmt.Errorf("isql: unknown relation %q", item.Table)
 			}
-			inner, innerSchema = &wsa.Rel{Name: item.Table}, s.ws.Schemas()[idx]
+			inner, innerSchema = &wsa.Rel{Name: item.Table}, schemas[idx]
 		}
 	}
 	pairs := make([]ra.RenamePair, len(innerSchema))
@@ -223,7 +253,7 @@ func compilePred(e Expr) (ra.Pred, error) {
 		case ">=":
 			op = ra.OpGe
 		default:
-			return nil, fmt.Errorf("isql: operator %q is outside the World-set Algebra fragment", n.Op)
+			return nil, outsideFragment("isql: operator %q is outside the World-set Algebra fragment", n.Op)
 		}
 		l, err := compileOperand(n.L)
 		if err != nil {
@@ -235,7 +265,7 @@ func compilePred(e Expr) (ra.Pred, error) {
 		}
 		return ra.Cmp{Left: l, Op: op, Right: r}, nil
 	}
-	return nil, fmt.Errorf("isql: condition %s is outside the World-set Algebra fragment", e)
+	return nil, outsideFragment("isql: condition %s is outside the World-set Algebra fragment", e)
 }
 
 func compileOperand(e Expr) (ra.Operand, error) {
@@ -245,7 +275,7 @@ func compileOperand(e Expr) (ra.Operand, error) {
 	case *LitExpr:
 		return ra.Const(n.Val), nil
 	}
-	return ra.Operand{}, fmt.Errorf("isql: operand %s is outside the World-set Algebra fragment", e)
+	return ra.Operand{}, outsideFragment("isql: operand %s is outside the World-set Algebra fragment", e)
 }
 
 // resolveRefs maps written column references to the joined-schema names

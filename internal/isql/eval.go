@@ -2,9 +2,11 @@ package isql
 
 import (
 	"fmt"
+	"math/big"
 
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsd"
 )
 
 // preAnswerName carries the where-filtered join during select
@@ -503,13 +505,17 @@ func splitRepair(ws *worldset.WorldSet, attrs []string, maxWorlds int) (*worldse
 			}
 			groups[string(key)] = append(groups[string(key)], t)
 		}
-		total := 1
+		// Guard with the same typed budget error wsd's Expand and the
+		// store report, so every layer refuses runaway enumeration with
+		// one shape.
+		total := big.NewInt(1)
+		var m big.Int
 		for _, key := range order {
-			total *= len(groups[key])
-			if total > maxWorlds {
-				evalErr = fmt.Errorf("isql: repair-by-key would create more than %d worlds", maxWorlds)
-				return
-			}
+			total.Mul(total, m.SetInt64(int64(len(groups[key]))))
+		}
+		if !total.IsInt64() || total.Int64() > int64(maxWorlds) {
+			evalErr = &wsd.BudgetError{Worlds: total, Budget: maxWorlds}
+			return
 		}
 		choice := make([]int, len(order))
 		for {
@@ -521,7 +527,7 @@ func splitRepair(ws *worldset.WorldSet, attrs []string, maxWorlds int) (*worldse
 			nw[k] = rep
 			out.Add(nw)
 			if out.Len() > maxWorlds {
-				evalErr = fmt.Errorf("isql: repair-by-key exceeds the %d world limit", maxWorlds)
+				evalErr = &wsd.BudgetError{Worlds: big.NewInt(int64(out.Len())), Budget: maxWorlds}
 				return
 			}
 			i := 0

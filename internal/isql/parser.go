@@ -562,7 +562,17 @@ func (p *parser) parseFactor() (Expr, error) {
 				}
 				return &SubqueryExpr{Sub: sub}, nil
 			}
-			e, err := p.parseCondition()
+			// A parenthesized operand is either a boolean condition or a
+			// plain arithmetic expression (`X * (0 - 2)`); try the wider
+			// condition grammar first and fall back.
+			mark := p.save()
+			if e, err := p.parseCondition(); err == nil {
+				if err := p.expect(")"); err == nil {
+					return e, nil
+				}
+			}
+			p.restore(mark)
+			e, err := p.parseExpr()
 			if err != nil {
 				return nil, err
 			}

@@ -1,50 +1,139 @@
 package isql
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"math/big"
 	"sort"
 
 	"worldsetdb/internal/relation"
+	"worldsetdb/internal/store"
 	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsd"
+	"worldsetdb/internal/wsdexec"
 )
 
-// Session is an I-SQL database: a world-set of named relations plus a
-// view catalog. The zero value is not usable; construct with NewSession
-// or FromDB.
+// Session is an I-SQL database: named tables backed by a world-set
+// decomposition in a store.Catalog, plus a view catalog. State stays
+// factored across statements — the decompose → query → recompose loop
+// of §5–7 — so a census-repair pipeline over 2^40 worlds executes each
+// statement in time polynomial in the decomposition size.
+//
+// Statements in the clean World-set Algebra fragment compile and run
+// through a registered engine directly on the catalog snapshot
+// (wsdexec, the factorized engine, by default). Statements outside the
+// fragment (aggregation, expression subqueries, divide-by, query-form
+// group-worlds-by) fall back to the session's own explicit world-set
+// evaluator over a budget-guarded expansion, and any state they produce
+// is re-factorized with wsd.Refactor before it is committed — one
+// entangled step never permanently de-factorizes the catalog.
+//
+// A Session is a single-goroutine view of a catalog; any number of
+// sessions may share one Catalog concurrently (see cmd/isqld). Selects
+// run against an immutable snapshot; DML and DDL serialize through the
+// catalog's single-writer transaction.
+//
+// The zero value is not usable; construct with NewSession, FromDB,
+// FromWorldSet or FromCatalog.
 type Session struct {
-	ws    *worldset.WorldSet
-	views map[string]*SelectStmt
-	// MaxWorlds bounds world-set growth (repair-by-key is exponential);
-	// 0 means the package default of 1<<20.
+	cat *store.Catalog
+
+	// views caches the parsed view definitions of the snapshot version
+	// viewsVersion; refreshed whenever the catalog moves.
+	views        map[string]*SelectStmt
+	viewsVersion uint64
+
+	// MaxWorlds bounds explicit world materialization: the expansion
+	// budget for fallback evaluation, repair-by-key in the legacy
+	// evaluator, and distinct-answer enumeration. 0 means the package
+	// default of 1<<20. Violations surface as *wsd.BudgetError — the
+	// same error shape wsd's Expand and the store report.
 	MaxWorlds int
+
+	// Engine picks the engine for statements in the clean WSA fragment:
+	// "" or "wsdexec" evaluate natively on the decomposition; any other
+	// name in the wsa registry ("reference", "translated", "physical")
+	// evaluates on the budget-guarded expansion with the output
+	// re-factorized; the special name "legacy" bypasses compilation and
+	// runs every statement through the explicit world-set evaluator —
+	// the pre-store execution path, kept for comparison.
+	Engine string
 }
+
+// legacyEngine routes every statement through the explicit world-set
+// evaluator.
+const legacyEngine = "legacy"
 
 // NewSession returns a session over the empty complete database: one
 // world with no relations.
 func NewSession() *Session {
-	ws := worldset.New(nil, nil)
-	ws.Add(worldset.World{})
-	return &Session{ws: ws, views: map[string]*SelectStmt{}}
+	return FromCatalog(store.New(nil))
 }
 
 // FromDB returns a session whose world-set is the singleton {A} for the
 // given complete database.
 func FromDB(names []string, rels []*relation.Relation) *Session {
-	return &Session{ws: worldset.FromDB(names, rels), views: map[string]*SelectStmt{}}
+	return FromCatalog(store.FromComplete(names, rels))
 }
 
-// FromWorldSet returns a session over an existing world-set.
+// FromWorldSet returns a session over an existing world-set, factorized
+// into the catalog decomposition by wsd.Refactor.
 func FromWorldSet(ws *worldset.WorldSet) *Session {
-	return &Session{ws: ws, views: map[string]*SelectStmt{}}
+	db, err := wsd.Refactor(ws)
+	if err != nil {
+		panic(fmt.Sprintf("isql: refactoring the initial world-set: %v", err))
+	}
+	return FromCatalog(store.New(db))
 }
 
-// WorldSet returns the session's current world-set.
-func (s *Session) WorldSet() *worldset.WorldSet { return s.ws }
+// FromCatalog returns a session over a shared store catalog. Sessions
+// are cheap: a server creates one per connection over one catalog.
+func FromCatalog(cat *store.Catalog) *Session {
+	return &Session{cat: cat, views: map[string]*SelectStmt{}}
+}
+
+// Catalog returns the session's backing catalog.
+func (s *Session) Catalog() *store.Catalog { return s.cat }
+
+// SaveCatalog persists the session's current catalog snapshot — the
+// factored tables plus the view definitions — as a .wsd JSON file
+// (space linear in the decomposition, whatever the world count).
+func SaveCatalog(path string, s *Session) error {
+	return store.SaveFile(path, s.cat.Snapshot())
+}
+
+// LoadCatalog opens a session over a catalog persisted with
+// SaveCatalog.
+func LoadCatalog(path string) (*Session, error) {
+	cat, err := store.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromCatalog(cat), nil
+}
+
+// Worlds returns the exact number of worlds the session state
+// represents, straight off the decomposition.
+func (s *Session) Worlds() *big.Int { return s.cat.Snapshot().DB.Worlds() }
+
+// WorldSet returns the session's current state as an explicit
+// world-set, expanded from the catalog decomposition within the session
+// budget. It returns nil when the represented world count exceeds the
+// budget — at that scale use Catalog and the decomposition directly.
+func (s *Session) WorldSet() *worldset.WorldSet {
+	ws, err := s.cat.Snapshot().DB.Expand(s.maxWorlds())
+	if err != nil {
+		return nil
+	}
+	return ws
+}
 
 // Views returns the names of registered views, sorted.
 func (s *Session) Views() []string {
-	out := make([]string, 0, len(s.views))
-	for n := range s.views {
+	snap := s.cat.Snapshot()
+	out := make([]string, 0, len(snap.Views))
+	for n := range snap.Views {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -58,20 +147,73 @@ func (s *Session) maxWorlds() int {
 	return s.MaxWorlds
 }
 
+// engineName maps the session Engine field to a store engine name.
+func (s *Session) engineName() string {
+	if s.Engine == legacyEngine {
+		return ""
+	}
+	return s.Engine
+}
+
+// snapshotForRead loads the current catalog snapshot and synchronizes
+// the view parse cache to exactly that version, so a statement never
+// compiles against a newer snapshot with an older view set (or vice
+// versa) when other sessions commit concurrently.
+func (s *Session) snapshotForRead() (*store.Snapshot, error) {
+	snap := s.cat.Snapshot()
+	if err := s.refreshViewsFrom(snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// refreshViewsFrom re-parses the given snapshot's view definitions when
+// the cached version differs.
+func (s *Session) refreshViewsFrom(snap *store.Snapshot) error {
+	if s.viewsVersion == snap.Version && s.views != nil {
+		return nil
+	}
+	views := make(map[string]*SelectStmt, len(snap.Views))
+	for name, sql := range snap.Views {
+		st, err := Parse(sql)
+		if err != nil {
+			return fmt.Errorf("isql: stored view %q does not parse: %w", name, err)
+		}
+		sel, ok := st.(*SelectStmt)
+		if !ok {
+			return fmt.Errorf("isql: stored view %q is not a select", name)
+		}
+		views[name] = sel
+	}
+	s.views = views
+	s.viewsVersion = snap.Version
+	return nil
+}
+
 // Result reports the outcome of executing a statement.
 type Result struct {
 	// Answers holds, for a select, the distinct answer relations across
 	// worlds in deterministic order (a 1↦1 query yields exactly one).
 	Answers []*relation.Relation
-	// WorldSet is the world-set after the statement, extended with the
-	// answer relation for a select (named Answer).
+	// WorldSet is the explicit world-set after the statement (extended
+	// with the answer relation for a select, named $ans), populated only
+	// on the legacy evaluation paths, which materialized it anyway. The
+	// native decomposition paths leave it nil — Decomp always holds the
+	// factored result; expand it (or call Session.WorldSet) on demand.
 	WorldSet *worldset.WorldSet
-	// Affected counts modified tuples per world summed over worlds, for
-	// DML statements.
+	// Decomp is the factored form of the same state or query result.
+	Decomp *wsd.DecompDB
+	// Affected counts modified tuples per world summed over worlds for
+	// DML statements, saturating at the integer limit (the catalog can
+	// represent more worlds than fit an int).
 	Affected int
+	// Plan records how a compiled statement was evaluated (nil when the
+	// statement ran through the legacy explicit world-set evaluator).
+	Plan *wsdexec.Plan
 }
 
-// answerName is the name of a select's answer relation in Result.WorldSet.
+// answerName is the name of a select's answer relation in Result
+// world-sets (shared with the wsa engines' convention).
 const answerName = "$ans"
 
 // ExecString parses and executes one statement.
@@ -100,61 +242,22 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 }
 
 // Exec executes a statement against the session. Select statements do
-// not modify the session; DML, create and drop statements do.
+// not modify the session; DML, create and drop statements commit a new
+// catalog version. Each execution path synchronizes the view cache to
+// the exact snapshot it evaluates against (the latest committed version
+// under the writer lock, for statements that write).
 func (s *Session) Exec(st Statement) (*Result, error) {
 	switch n := st.(type) {
 	case *SelectStmt:
-		out, err := s.evalSelect(n, s.ws, nil)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Answers: distinctAnswers(out), WorldSet: out}, nil
-
+		return s.execSelect(n)
 	case *CreateTableAsStmt:
-		if s.ws.IndexOf(n.Name) >= 0 || s.views[n.Name] != nil {
-			return nil, fmt.Errorf("isql: relation %q already exists", n.Name)
-		}
-		out, err := s.evalSelect(n.Query, s.ws, nil)
-		if err != nil {
-			return nil, err
-		}
-		s.ws = renameLastRelation(out, n.Name)
-		return &Result{WorldSet: s.ws}, nil
-
+		return s.execCreateTableAs(n)
 	case *CreateViewStmt:
-		if s.ws.IndexOf(n.Name) >= 0 || s.views[n.Name] != nil {
-			return nil, fmt.Errorf("isql: relation %q already exists", n.Name)
-		}
-		// Validate the view body against the current schema by a dry
-		// run on an empty world-set clone of the schema.
-		if _, err := s.evalSelect(n.Query, s.ws, nil); err != nil {
-			return nil, fmt.Errorf("isql: invalid view %q: %w", n.Name, err)
-		}
-		s.views[n.Name] = n.Query
-		return &Result{WorldSet: s.ws}, nil
-
+		return s.execCreateView(n)
 	case *CreateTableStmt:
-		if s.ws.IndexOf(n.Name) >= 0 || s.views[n.Name] != nil {
-			return nil, fmt.Errorf("isql: relation %q already exists", n.Name)
-		}
-		schema := relation.NewSchema(n.Columns...)
-		s.ws = s.ws.Extend(n.Name, schema, func(worldset.World) *relation.Relation {
-			return relation.New(schema)
-		})
-		return &Result{WorldSet: s.ws}, nil
-
+		return s.execCreateTable(n)
 	case *DropTableStmt:
-		idx := s.ws.IndexOf(n.Name)
-		if idx < 0 {
-			if _, ok := s.views[n.Name]; ok {
-				delete(s.views, n.Name)
-				return &Result{WorldSet: s.ws}, nil
-			}
-			return nil, fmt.Errorf("isql: unknown relation %q", n.Name)
-		}
-		s.ws = dropRelation(s.ws, idx)
-		return &Result{WorldSet: s.ws}, nil
-
+		return s.execDropTable(n)
 	case *InsertStmt:
 		return s.execInsert(n)
 	case *DeleteStmt:
@@ -165,101 +268,387 @@ func (s *Session) Exec(st Statement) (*Result, error) {
 	return nil, fmt.Errorf("isql: unsupported statement %T", st)
 }
 
-// DistinctAnswers extracts the deduplicated answer relations (the last
-// relation of every world) of an evaluated select, in deterministic
-// order — the same extraction that fills Result.Answers. Exported so
-// callers evaluating compiled statements through other engines (the
-// -engine path of cmd/isql) print answers identically to the session
-// evaluator.
-func DistinctAnswers(ws *worldset.WorldSet) []*relation.Relation { return distinctAnswers(ws) }
-
-// distinctAnswers extracts the deduplicated answer relations of an
-// evaluated select, in deterministic order.
-func distinctAnswers(ws *worldset.WorldSet) []*relation.Relation {
-	k := ws.NumRelations() - 1
-	seen := map[string]*relation.Relation{}
-	for _, w := range ws.Worlds() {
-		seen[w[k].ContentKey()] = w[k]
+// execSelect evaluates a select: natively on the snapshot decomposition
+// when the statement compiles to the clean WSA fragment, through the
+// legacy evaluator over the budget-guarded expansion when compilation
+// reports a fragmentError. Genuine compile errors (unknown relations
+// or columns) surface directly — falling back would bury a typo under
+// a BudgetError on a large catalog.
+func (s *Session) execSelect(sel *SelectStmt) (*Result, error) {
+	snap, err := s.snapshotForRead()
+	if err != nil {
+		return nil, err
 	}
-	keys := make([]string, 0, len(seen))
-	for key := range seen {
-		keys = append(keys, key)
+	if s.Engine != legacyEngine {
+		q, err := s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
+		if err != nil && !isFragmentError(err) {
+			return nil, err
+		}
+		if err == nil {
+			out, plan, err := store.Query(snap, s.engineName(), q, s.maxWorlds())
+			if err != nil {
+				return nil, err
+			}
+			answers, err := out.Instances(len(out.Names)-1, s.maxWorlds())
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Answers: answers, Decomp: out, Plan: plan}, nil
+		}
 	}
-	sort.Strings(keys)
-	out := make([]*relation.Relation, len(keys))
-	for i, key := range keys {
-		out[i] = seen[key]
+	ws, err := snap.DB.Expand(s.maxWorlds())
+	if err != nil {
+		return nil, err
 	}
-	return out
+	out, err := s.evalSelect(sel, ws, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Answers: distinctAnswers(out), WorldSet: out}, nil
 }
 
-func renameLastRelation(ws *worldset.WorldSet, name string) *worldset.WorldSet {
-	names := append([]string{}, ws.Names()...)
-	names[len(names)-1] = name
-	out := worldset.New(names, ws.Schemas())
-	ws.Each(func(w worldset.World) { out.Add(w) })
-	return out
-}
-
-func dropRelation(ws *worldset.WorldSet, idx int) *worldset.WorldSet {
-	names := append([]string{}, ws.Names()...)
-	schemas := append([]relation.Schema{}, ws.Schemas()...)
-	names = append(names[:idx], names[idx+1:]...)
-	schemas = append(schemas[:idx], schemas[idx+1:]...)
-	out := worldset.New(names, schemas)
-	ws.Each(func(w worldset.World) {
-		nw := make(worldset.World, 0, len(w)-1)
-		nw = append(nw, w[:idx]...)
-		nw = append(nw, w[idx+1:]...)
-		out.Add(nw)
+func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
+			return err
+		}
+		if tx.Snap().HasRelation(n.Name) {
+			return fmt.Errorf("isql: relation %q already exists", n.Name)
+		}
+		if s.Engine != legacyEngine {
+			q, err := s.compileOn(tx.Snap().DB.Names, tx.Snap().DB.Schemas, n.Query)
+			if err != nil && !isFragmentError(err) {
+				return err
+			}
+			if err == nil {
+				out, plan, err := store.Query(tx.Snap(), s.engineName(), q, s.maxWorlds())
+				if err != nil {
+					return err
+				}
+				db := out.RenameRelation(len(out.Names)-1, n.Name).Normalize()
+				tx.SetDB(db)
+				res = &Result{Decomp: db, Plan: plan}
+				return nil
+			}
+		}
+		ws, err := tx.Snap().DB.Expand(s.maxWorlds())
+		if err != nil {
+			return err
+		}
+		out, err := s.evalSelect(n.Query, ws, nil)
+		if err != nil {
+			return err
+		}
+		out = renameLastRelation(out, n.Name)
+		db, err := wsd.Refactor(out)
+		if err != nil {
+			return err
+		}
+		tx.SetDB(db)
+		res = &Result{WorldSet: out, Decomp: db}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		snap := tx.Snap()
+		if err := s.refreshViewsFrom(snap); err != nil {
+			return err
+		}
+		if snap.HasRelation(n.Name) {
+			return fmt.Errorf("isql: relation %q already exists", n.Name)
+		}
+		// Validate the view body against the current schema by static
+		// analysis (name resolution, arity, subquery classification).
+		if _, err := s.analyzeSelect(n.Query, snap.DB.Names, snap.DB.Schemas, nil); err != nil {
+			return fmt.Errorf("isql: invalid view %q: %w", n.Name, err)
+		}
+		tx.SetView(n.Name, n.Query.String())
+		res = s.stateResult(tx.DB())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		if tx.Snap().HasRelation(n.Name) {
+			return fmt.Errorf("isql: relation %q already exists", n.Name)
+		}
+		db := tx.DB().WithRelation(n.Name, relation.NewSchema(n.Columns...), nil)
+		tx.SetDB(db)
+		res = s.stateResult(db)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Session) execDropTable(n *DropTableStmt) (*Result, error) {
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		db := tx.DB()
+		idx := db.IndexOf(n.Name)
+		if idx < 0 {
+			if _, ok := tx.Views()[n.Name]; ok {
+				tx.DropView(n.Name)
+				res = s.stateResult(db)
+				return nil
+			}
+			return fmt.Errorf("isql: unknown relation %q", n.Name)
+		}
+		next := db.DropRelation(idx).Normalize()
+		tx.SetDB(next)
+		res = s.stateResult(next)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// stateResult packages the post-statement catalog state. Write
+// statements do not materialize worlds — the factored state is in
+// Decomp, and Session.WorldSet expands on demand.
+func (s *Session) stateResult(db *wsd.DecompDB) *Result {
+	return &Result{Decomp: db}
 }
 
 func (s *Session) execInsert(n *InsertStmt) (*Result, error) {
-	idx := s.ws.IndexOf(n.Table)
-	if idx < 0 {
-		return nil, fmt.Errorf("isql: unknown relation %q", n.Table)
-	}
-	schema := s.ws.Schemas()[idx]
-	for _, row := range n.Rows {
-		if len(row) != len(schema) {
-			return nil, fmt.Errorf("isql: insert arity %d does not match schema %v", len(row), schema)
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		db := tx.DB()
+		idx := db.IndexOf(n.Table)
+		if idx < 0 {
+			return fmt.Errorf("isql: unknown relation %q", n.Table)
 		}
-	}
-	affected := 0
-	out := worldset.New(s.ws.Names(), s.ws.Schemas())
-	s.ws.Each(func(w worldset.World) {
-		nw := append(worldset.World{}, w...)
-		nr := nw[idx].Clone()
+		schema := db.Schemas[idx]
 		for _, row := range n.Rows {
-			if nr.Insert(relation.Tuple(row)) {
-				affected++
+			if len(row) != len(schema) {
+				return fmt.Errorf("isql: insert arity %d does not match schema %v", len(row), schema)
 			}
 		}
-		nw[idx] = nr
-		out.Add(nw)
+		// Inserting makes a tuple certain. The world-weighted affected
+		// count is the number of worlds the tuple was absent from,
+		// computed on the decomposition without enumeration.
+		worlds := db.Worlds()
+		affected := new(big.Int)
+		var delta big.Int
+		nr := db.Certain[idx].Clone()
+		for _, row := range n.Rows {
+			t := relation.Tuple(row).Clone()
+			if !nr.Insert(t) {
+				continue
+			}
+			delta.Sub(worlds, db.PresenceCount(idx, t))
+			affected.Add(affected, &delta)
+		}
+		next := db.WithCertain(idx, nr).Normalize()
+		tx.SetDB(next)
+		res = s.stateResult(next)
+		res.Affected = satInt(affected)
+		return nil
 	})
-	s.ws = out
-	return &Result{WorldSet: s.ws, Affected: affected}, nil
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func (s *Session) execDelete(n *DeleteStmt) (*Result, error) {
-	idx := s.ws.IndexOf(n.Table)
-	if idx < 0 {
-		return nil, fmt.Errorf("isql: unknown relation %q", n.Table)
+	if s.Engine == legacyEngine || exprHasSubquery(n.Where) {
+		return s.legacyDML(func(ws *worldset.WorldSet) (*worldset.WorldSet, int, error) {
+			return s.legacyDelete(ws, n)
+		})
 	}
-	schema := s.ws.Schemas()[idx]
+	return s.mutateNative(n.Table, nil,
+		func(ctx *evalCtx, t relation.Tuple) (relation.Tuple, bool, error) {
+			if n.Where != nil {
+				ctx.tuple = t
+				match, err := ctx.evalBool(n.Where)
+				if err != nil || !match {
+					return t, false, err
+				}
+			}
+			return nil, true, nil
+		})
+}
+
+func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
+	hasSub := exprHasSubquery(n.Where)
+	for _, sc := range n.Sets {
+		hasSub = hasSub || exprHasSubquery(sc.Expr)
+	}
+	if s.Engine == legacyEngine || hasSub {
+		return s.legacyDML(func(ws *worldset.WorldSet) (*worldset.WorldSet, int, error) {
+			return s.legacyUpdate(ws, n)
+		})
+	}
+	var setIdx []int
+	return s.mutateNative(n.Table,
+		func(schema relation.Schema) error {
+			setIdx = make([]int, len(n.Sets))
+			for i, sc := range n.Sets {
+				j := schema.Index(sc.Col.Full())
+				if j < 0 {
+					return fmt.Errorf("isql: unknown column %q in update", sc.Col.Full())
+				}
+				setIdx[i] = j
+			}
+			return nil
+		},
+		func(ctx *evalCtx, t relation.Tuple) (relation.Tuple, bool, error) {
+			ctx.tuple = t
+			if n.Where != nil {
+				match, err := ctx.evalBool(n.Where)
+				if err != nil || !match {
+					return t, false, err
+				}
+			}
+			nt := t.Clone()
+			for i, sc := range n.Sets {
+				v, err := ctx.evalExpr(sc.Expr)
+				if err != nil {
+					return nil, false, err
+				}
+				nt[setIdx[i]] = v
+			}
+			return nt, true, nil
+		})
+}
+
+// mutateNative is the shared scaffolding of the native (tuple-local)
+// DML paths: locate the table, map perTuple over every decomposition
+// piece of the relation (certain and alternative contributions —
+// tuple-local predicates distribute over the pieces), weight the
+// touched pre-tuples by their world presence for the affected count,
+// normalize, and commit. perTuple returns the replacement tuple (nil
+// to drop it) and whether the statement touched the tuple; it sees the
+// pre-state tuple via ctx.tuple only after setting it itself or via
+// the passed t.
+func (s *Session) mutateNative(table string, prepare func(relation.Schema) error,
+	perTuple func(*evalCtx, relation.Tuple) (relation.Tuple, bool, error)) (*Result, error) {
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		db := tx.DB()
+		idx := db.IndexOf(table)
+		if idx < 0 {
+			return fmt.Errorf("isql: unknown relation %q", table)
+		}
+		schema := db.Schemas[idx]
+		if prepare != nil {
+			if err := prepare(schema); err != nil {
+				return err
+			}
+		}
+		ctx := &evalCtx{session: s, schema: schema}
+		touched := map[string]relation.Tuple{}
+		next, err := db.MapRelation(idx, func(r *relation.Relation) (*relation.Relation, error) {
+			nr := relation.New(schema)
+			var evalErr error
+			r.Each(func(t relation.Tuple) {
+				if evalErr != nil {
+					return
+				}
+				nt, hit, err := perTuple(ctx, t)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				if hit {
+					touched[t.Key()] = t
+				}
+				if nt != nil {
+					nr.Insert(nt)
+				}
+			})
+			if evalErr != nil {
+				return nil, evalErr
+			}
+			return nr, nil
+		})
+		if err != nil {
+			return err
+		}
+		affected := new(big.Int)
+		for _, t := range touched {
+			affected.Add(affected, db.PresenceCount(idx, t))
+		}
+		next = next.Normalize()
+		tx.SetDB(next)
+		res = s.stateResult(next)
+		res.Affected = satInt(affected)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// legacyDML expands the catalog, applies a per-world mutation with the
+// explicit world-set evaluator, and re-factorizes the result into the
+// next catalog version.
+func (s *Session) legacyDML(apply func(*worldset.WorldSet) (*worldset.WorldSet, int, error)) (*Result, error) {
+	var res *Result
+	err := s.cat.Update(func(tx *store.Tx) error {
+		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
+			return err
+		}
+		ws, err := tx.Snap().DB.Expand(s.maxWorlds())
+		if err != nil {
+			return err
+		}
+		out, affected, err := apply(ws)
+		if err != nil {
+			return err
+		}
+		db, err := wsd.Refactor(out)
+		if err != nil {
+			return err
+		}
+		tx.SetDB(db)
+		res = &Result{WorldSet: out, Decomp: db, Affected: affected}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// legacyDelete is the per-world delete of the explicit world-set
+// evaluator (predicates may hold subqueries).
+func (s *Session) legacyDelete(ws *worldset.WorldSet, n *DeleteStmt) (*worldset.WorldSet, int, error) {
+	idx := ws.IndexOf(n.Table)
+	if idx < 0 {
+		return nil, 0, fmt.Errorf("isql: unknown relation %q", n.Table)
+	}
+	schema := ws.Schemas()[idx]
 	affected := 0
-	out := worldset.New(s.ws.Names(), s.ws.Schemas())
+	out := worldset.New(ws.Names(), ws.Schemas())
 	var evalErr error
-	s.ws.Each(func(w worldset.World) {
+	ws.Each(func(w worldset.World) {
 		if evalErr != nil {
 			return
 		}
 		nw := append(worldset.World{}, w...)
 		nr := relation.New(schema)
-		ctx := &evalCtx{session: s, world: w, names: s.ws.Names(), schemas: s.ws.Schemas(), schema: schema}
+		ctx := &evalCtx{session: s, world: w, names: ws.Names(), schemas: ws.Schemas(), schema: schema}
 		nw[idx].Each(func(t relation.Tuple) {
 			if evalErr != nil {
 				return
@@ -286,36 +675,37 @@ func (s *Session) execDelete(n *DeleteStmt) (*Result, error) {
 		out.Add(nw)
 	})
 	if evalErr != nil {
-		return nil, evalErr
+		return nil, 0, evalErr
 	}
-	s.ws = out
-	return &Result{WorldSet: s.ws, Affected: affected}, nil
+	return out, affected, nil
 }
 
-func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
-	idx := s.ws.IndexOf(n.Table)
+// legacyUpdate is the per-world update of the explicit world-set
+// evaluator.
+func (s *Session) legacyUpdate(ws *worldset.WorldSet, n *UpdateStmt) (*worldset.WorldSet, int, error) {
+	idx := ws.IndexOf(n.Table)
 	if idx < 0 {
-		return nil, fmt.Errorf("isql: unknown relation %q", n.Table)
+		return nil, 0, fmt.Errorf("isql: unknown relation %q", n.Table)
 	}
-	schema := s.ws.Schemas()[idx]
+	schema := ws.Schemas()[idx]
 	setIdx := make([]int, len(n.Sets))
 	for i, sc := range n.Sets {
 		j := schema.Index(sc.Col.Full())
 		if j < 0 {
-			return nil, fmt.Errorf("isql: unknown column %q in update", sc.Col.Full())
+			return nil, 0, fmt.Errorf("isql: unknown column %q in update", sc.Col.Full())
 		}
 		setIdx[i] = j
 	}
 	affected := 0
-	out := worldset.New(s.ws.Names(), s.ws.Schemas())
+	out := worldset.New(ws.Names(), ws.Schemas())
 	var evalErr error
-	s.ws.Each(func(w worldset.World) {
+	ws.Each(func(w worldset.World) {
 		if evalErr != nil {
 			return
 		}
 		nw := append(worldset.World{}, w...)
 		nr := relation.New(schema)
-		ctx := &evalCtx{session: s, world: w, names: s.ws.Names(), schemas: s.ws.Schemas(), schema: schema}
+		ctx := &evalCtx{session: s, world: w, names: ws.Names(), schemas: ws.Schemas(), schema: schema}
 		nw[idx].Each(func(t relation.Tuple) {
 			if evalErr != nil {
 				return
@@ -350,8 +740,80 @@ func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
 		out.Add(nw)
 	})
 	if evalErr != nil {
-		return nil, evalErr
+		return nil, 0, evalErr
 	}
-	s.ws = out
-	return &Result{WorldSet: s.ws, Affected: affected}, nil
+	return out, affected, nil
+}
+
+// DistinctAnswers extracts the deduplicated answer relations (the last
+// relation of every world) of an evaluated select, in deterministic
+// order — the same extraction that fills Result.Answers. Exported so
+// callers evaluating compiled statements through other engines print
+// answers identically to the session evaluator.
+func DistinctAnswers(ws *worldset.WorldSet) []*relation.Relation { return distinctAnswers(ws) }
+
+// distinctAnswers extracts the deduplicated answer relations of an
+// evaluated select, in deterministic order.
+func distinctAnswers(ws *worldset.WorldSet) []*relation.Relation {
+	k := ws.NumRelations() - 1
+	seen := map[string]*relation.Relation{}
+	for _, w := range ws.Worlds() {
+		seen[w[k].ContentKey()] = w[k]
+	}
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]*relation.Relation, len(keys))
+	for i, key := range keys {
+		out[i] = seen[key]
+	}
+	return out
+}
+
+func renameLastRelation(ws *worldset.WorldSet, name string) *worldset.WorldSet {
+	names := append([]string{}, ws.Names()...)
+	names[len(names)-1] = name
+	out := worldset.New(names, ws.Schemas())
+	ws.Each(func(w worldset.World) { out.Add(w) })
+	return out
+}
+
+// satInt converts a world-weighted count to an int, saturating.
+func satInt(b *big.Int) int {
+	if b.IsInt64() {
+		if i := b.Int64(); i <= math.MaxInt {
+			return int(i)
+		}
+	}
+	return math.MaxInt
+}
+
+// isFragmentError reports whether an error marks a statement as merely
+// outside the clean WSA fragment (fall back) rather than wrong (fail).
+func isFragmentError(err error) bool {
+	var fe *fragmentError
+	return errors.As(err, &fe)
+}
+
+// exprHasSubquery reports whether the expression contains a subquery in
+// any position — the statically detectable reason a DML predicate
+// cannot be evaluated tuple-locally on the decomposition pieces.
+func exprHasSubquery(e Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return false
+	case *BinExpr:
+		return exprHasSubquery(n.L) || exprHasSubquery(n.R)
+	case *LogicExpr:
+		return exprHasSubquery(n.L) || exprHasSubquery(n.R)
+	case *NotExpr:
+		return exprHasSubquery(n.E)
+	case *AggExpr:
+		return n.Arg != nil && exprHasSubquery(n.Arg)
+	case *InExpr, *ExistsExpr, *SubqueryExpr:
+		return true
+	}
+	return false
 }

@@ -147,8 +147,12 @@ func TestEmptyGroupAggregate(t *testing.T) {
 func TestChoiceOfQualifiedAttribute(t *testing.T) {
 	s := flightsSession()
 	res := mustExec(t, s, "select F.Arr from HFlights F choice of F.Dep;")
-	if res.WorldSet.Len() != 2 {
-		t.Fatalf("expected 2 worlds after collapse, got %d", res.WorldSet.Len())
+	ws, err := res.Decomp.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Len() != 2 {
+		t.Fatalf("expected 2 worlds after collapse, got %d", ws.Len())
 	}
 	if len(res.Answers) != 2 {
 		t.Fatalf("expected the answers {ATL, BCN} and {ATL}, got %d", len(res.Answers))
@@ -172,8 +176,12 @@ func TestArithmeticInSelectList(t *testing.T) {
 func TestMultipleChoiceAttrs(t *testing.T) {
 	s := flightsSession()
 	res := mustExec(t, s, "select * from HFlights choice of Dep, Arr;")
-	if res.WorldSet.Len() != 5 {
-		t.Fatalf("5 (Dep, Arr) combinations expected, got %d", res.WorldSet.Len())
+	ws, err := res.Decomp.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Len() != 5 {
+		t.Fatalf("5 (Dep, Arr) combinations expected, got %d", ws.Len())
 	}
 }
 

@@ -1,0 +1,182 @@
+// Package isqld implements the concurrent I-SQL server: any number of
+// HTTP clients execute I-SQL scripts against one shared
+// decomposition-native catalog (internal/store). Each request gets its
+// own session; selects evaluate wait-free against an immutable catalog
+// snapshot (readers never block, and never see a torn version), while
+// DML and DDL serialize through the catalog's single-writer MVCC
+// transaction. This is the serving path of the north star: a
+// 2^40-world census catalog answers certain/possible queries from many
+// concurrent readers in milliseconds each, because every reader works
+// on the factored representation.
+//
+// # Protocol
+//
+// The server speaks a line-oriented text protocol over HTTP:
+//
+//	POST /exec     body: an I-SQL script (semicolon-separated
+//	               statements). The response streams, per statement, an
+//	               "isql> <statement>" echo followed by the rendered
+//	               distinct answers (selects) or an "ok; N world(s)"
+//	               status line. A statement error stops the script with
+//	               an "error: ..." line and HTTP 422.
+//	GET  /stats    JSON: catalog version, world count, decomposition
+//	               size, relation and view names.
+//	GET  /healthz  "ok" once the server is up.
+package isqld
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"worldsetdb/internal/isql"
+	"worldsetdb/internal/store"
+
+	// An isqld server can be asked for any registered engine; link all
+	// four so the registry is complete wherever the server runs.
+	_ "worldsetdb/internal/physical"
+	_ "worldsetdb/internal/translate"
+	_ "worldsetdb/internal/wsdexec"
+)
+
+// Server serves I-SQL sessions over one shared catalog.
+type Server struct {
+	cat    *store.Catalog
+	engine string
+	// maxBody bounds script size (default 1 MiB).
+	maxBody int64
+	// stats
+	execs atomic.Uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithEngine picks the evaluation engine for fragment statements
+// (default: wsdexec natively on the decomposition).
+func WithEngine(name string) Option { return func(s *Server) { s.engine = name } }
+
+// New returns a server over the catalog.
+func New(cat *store.Catalog, opts ...Option) *Server {
+	s := &Server{cat: cat, maxBody: 1 << 20}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Catalog returns the shared catalog (for persistence on shutdown).
+func (s *Server) Catalog() *store.Catalog { return s.cat }
+
+// Handler returns the HTTP handler serving the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /exec", s.handleExec)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// session returns a fresh session bound to the shared catalog. Sessions
+// are cheap (a pointer and a view parse cache); per-request isolation
+// is what lets requests run concurrently.
+func (s *Server) session() *isql.Session {
+	sess := isql.FromCatalog(s.cat)
+	sess.Engine = s.engine
+	return sess
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		http.Error(w, "error: reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		http.Error(w, fmt.Sprintf("error: script exceeds %d bytes", s.maxBody), http.StatusRequestEntityTooLarge)
+		return
+	}
+	s.execs.Add(1)
+	sess := s.session()
+	out, err := RunScript(sess, string(body))
+	if err != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		io.WriteString(w, out)
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, out)
+}
+
+// RunScript executes an I-SQL script against the session and renders
+// the per-statement output of the line protocol. On a statement error
+// it returns the output up to that point plus the error.
+func RunScript(sess *isql.Session, script string) (string, error) {
+	stmts, err := isql.ParseScript(script)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, st := range stmts {
+		fmt.Fprintf(&b, "isql> %s\n", st)
+		res, err := sess.Exec(st)
+		if err != nil {
+			return b.String(), err
+		}
+		switch {
+		case len(res.Answers) > 0:
+			for i, a := range res.Answers {
+				caption := "answer"
+				if len(res.Answers) > 1 {
+					caption = fmt.Sprintf("answer variant %d of %d", i+1, len(res.Answers))
+				}
+				b.WriteString(a.Render(caption))
+				b.WriteByte('\n')
+			}
+		case res.Affected > 0:
+			fmt.Fprintf(&b, "%d tuple(s) affected across %s world(s)\n\n", res.Affected, sess.Worlds())
+		default:
+			fmt.Fprintf(&b, "ok; %s world(s)\n\n", sess.Worlds())
+		}
+	}
+	return b.String(), nil
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	Version   uint64   `json:"version"`
+	Worlds    string   `json:"worlds"`
+	Size      int      `json:"size"`
+	Relations []string `json:"relations"`
+	Views     []string `json:"views"`
+	Execs     uint64   `json:"execs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.cat.Snapshot()
+	views := make([]string, 0, len(snap.Views))
+	for v := range snap.Views {
+		views = append(views, v)
+	}
+	sort.Strings(views)
+	st := Stats{
+		Version:   snap.Version,
+		Worlds:    snap.DB.Worlds().String(),
+		Size:      snap.DB.Size(),
+		Relations: append([]string{}, snap.DB.Names...),
+		Views:     views,
+		Execs:     s.execs.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(st)
+}

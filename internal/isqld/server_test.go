@@ -1,0 +1,253 @@
+package isqld
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/store"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func censusServer(t testing.TB, n, dups int) *httptest.Server {
+	t.Helper()
+	cat := store.FromComplete([]string{"Census"},
+		[]*relation.Relation{datagen.Census(n, dups, 7)})
+	ts := httptest.NewServer(New(cat).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t testing.TB, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// TestSmokeScriptGolden runs the CI smoke script — the same file the
+// workflow posts at a live server — and pins the full response. The
+// paper's census demo: 4 repairs, certain/possible facts.
+func TestSmokeScriptGolden(t *testing.T) {
+	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	script, err := os.ReadFile(filepath.Join("testdata", "smoke.isql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, got := post(t, ts.URL+"/exec", string(script))
+	if code != http.StatusOK {
+		t.Fatalf("status %d\n%s", code, got)
+	}
+	golden := filepath.Join("testdata", "smoke.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run 'go test -update ./internal/isqld'): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("smoke output differs\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentReadersIdentical is the serving-path acceptance check:
+// after materializing the 2^40-world census repair, N concurrent
+// clients issue certain-answer queries against the shared catalog and
+// must receive byte-identical responses (run under -race in CI).
+func TestConcurrentReadersIdentical(t *testing.T) {
+	ts := censusServer(t, 120, 40)
+	code, out := post(t, ts.URL+"/exec",
+		"create table Clean as select * from Census repair by key SSN;")
+	if code != http.StatusOK {
+		t.Fatalf("materializing: %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "1099511627776 world(s)") {
+		t.Fatalf("expected a 2^40-world catalog, got\n%s", out)
+	}
+	const readers, rounds = 8, 4
+	query := "select certain Name from Clean where POB = 'NYC';"
+	results := make([]string, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var b strings.Builder
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Post(ts.URL+"/exec", "text/plain", strings.NewReader(query))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[g] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+				b.Write(body)
+			}
+			results[g] = b.String()
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < readers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("reader %d: %v", g, errs[g])
+		}
+		if results[g] != results[0] {
+			t.Fatalf("reader %d response differs from reader 0", g)
+		}
+	}
+	if !strings.Contains(results[0], "answer") {
+		t.Fatalf("readers got no answers:\n%s", results[0])
+	}
+}
+
+// TestConcurrentWritersSerialize: concurrent DML requests all commit
+// (single-writer serialization), and the final state reflects every
+// insert exactly once.
+func TestConcurrentWritersSerialize(t *testing.T) {
+	cat := store.New(nil)
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	if code, out := post(t, ts.URL+"/exec", "create table T (A);"); code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, out)
+	}
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/exec", "text/plain",
+				strings.NewReader(fmt.Sprintf("insert into T values (%d);", g)))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[g] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", g, err)
+		}
+	}
+	code, out := post(t, ts.URL+"/exec", "select count(*) as N from T;")
+	if code != http.StatusOK || !strings.Contains(out, fmt.Sprintf("%d", writers)) {
+		t.Fatalf("final count missing %d:\n%s", writers, out)
+	}
+}
+
+// TestStatementErrorReported: a bad statement yields HTTP 422 with the
+// error in the body, after the successful prefix.
+func TestStatementErrorReported(t *testing.T) {
+	ts := censusServer(t, 10, 1)
+	code, out := post(t, ts.URL+"/exec", "select certain Name from Census; select * from Missing;")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422\n%s", code, out)
+	}
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "Missing") {
+		t.Fatalf("error not reported:\n%s", out)
+	}
+}
+
+// TestStatsEndpoint checks /stats and /healthz.
+func TestStatsEndpoint(t *testing.T) {
+	ts := censusServer(t, 50, 10)
+	if code, out := post(t, ts.URL+"/exec",
+		"create table Clean as select * from Census repair by key SSN; create view V as select Name from Clean;"); code != http.StatusOK {
+		t.Fatalf("setup: %d %s", code, out)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Worlds != "1024" { // 2^10
+		t.Fatalf("stats worlds = %s, want 1024", st.Worlds)
+	}
+	if len(st.Relations) != 2 || len(st.Views) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Version < 2 {
+		t.Fatalf("version %d, want ≥ 2 after two commits", st.Version)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hr.StatusCode)
+	}
+}
+
+// BenchmarkReaderThroughput measures concurrent certain-answer queries
+// against a shared 2^40-world catalog — the serving-path headline
+// number (compare with enumerating 10^12 worlds per request).
+func BenchmarkReaderThroughput(b *testing.B) {
+	cat := store.FromComplete([]string{"Census"},
+		[]*relation.Relation{datagen.Census(1000, 40, 7)})
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	if code, out := post(b, ts.URL+"/exec",
+		"create table Clean as select * from Census repair by key SSN;"); code != http.StatusOK {
+		b.Fatalf("materializing: %d %s", code, out)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/exec", "text/plain",
+				strings.NewReader("select certain POB from Clean;"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsd"
+)
+
+// Catalog persistence: a snapshot round-trips through a JSON ".wsd"
+// document holding the decomposition (certain tuples plus components,
+// with alternative contributions keyed by relation name) and the view
+// definitions. The format stores the factored form directly — a
+// 2^40-world catalog persists in space linear in its decomposition
+// size.
+
+// formatTag identifies the persisted format.
+const formatTag = "worldsetdb-catalog/v1"
+
+type jsonCatalog struct {
+	Format     string            `json:"format"`
+	Version    uint64            `json:"version"`
+	Names      []string          `json:"names"`
+	Schemas    [][]string        `json:"schemas"`
+	Certain    [][]jsonTuple     `json:"certain"`
+	Components []jsonComponent   `json:"components,omitempty"`
+	Views      map[string]string `json:"views,omitempty"`
+}
+
+type jsonComponent struct {
+	Alternatives []jsonAlternative `json:"alternatives"`
+}
+
+type jsonAlternative struct {
+	// Rels maps relation name → contributed tuples.
+	Rels map[string][]jsonTuple `json:"rels,omitempty"`
+}
+
+type jsonTuple []any
+
+// encodeTuple converts a tuple to its JSON cells. Ints and floats
+// encode as numbers (they compare and hash identically when both are
+// exactly representable, so the round trip is semantics-preserving);
+// values JSON cannot carry natively use tagged objects.
+func encodeTuple(t relation.Tuple) jsonTuple {
+	out := make(jsonTuple, len(t))
+	for i, v := range t {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func encodeValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.AsBool()
+	case value.KindInt:
+		// int64 encodes as a JSON number with full decimal precision and
+		// decodes through json.Number, so the round trip is exact.
+		return v.AsInt()
+	case value.KindFloat:
+		f := v.AsFloat()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return map[string]any{"$float": strconv.FormatFloat(f, 'g', -1, 64)}
+		}
+		return f
+	case value.KindString:
+		return v.AsString()
+	case value.KindPad:
+		return map[string]any{"$pad": true}
+	}
+	return nil
+}
+
+func decodeValue(raw any) (value.Value, error) {
+	switch x := raw.(type) {
+	case nil:
+		return value.Null(), nil
+	case bool:
+		return value.Bool(x), nil
+	case string:
+		return value.Str(x), nil
+	case json.Number:
+		if i, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+			return value.Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("store: unparsable number %q", x)
+		}
+		return value.Float(f), nil
+	case map[string]any:
+		if s, ok := x["$int"].(string); ok {
+			i, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("store: bad $int %q", s)
+			}
+			return value.Int(i), nil
+		}
+		if s, ok := x["$float"].(string); ok {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("store: bad $float %q", s)
+			}
+			return value.Float(f), nil
+		}
+		if _, ok := x["$pad"]; ok {
+			return value.Pad(), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("store: cannot decode value %v (%T)", raw, raw)
+}
+
+func encodeRelation(r *relation.Relation) []jsonTuple {
+	tuples := r.Tuples()
+	out := make([]jsonTuple, len(tuples))
+	for i, t := range tuples {
+		out[i] = encodeTuple(t)
+	}
+	return out
+}
+
+func decodeRelation(schema relation.Schema, rows []jsonTuple) (*relation.Relation, error) {
+	r := relation.New(schema)
+	for _, row := range rows {
+		if len(row) != len(schema) {
+			return nil, fmt.Errorf("store: arity-%d tuple under schema %v", len(row), schema)
+		}
+		t := make(relation.Tuple, len(row))
+		for i, cell := range row {
+			v, err := decodeValue(cell)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		r.Insert(t)
+	}
+	return r, nil
+}
+
+// Save writes the snapshot as a .wsd JSON document.
+func Save(w io.Writer, snap *Snapshot) error {
+	doc := jsonCatalog{
+		Format:  formatTag,
+		Version: snap.Version,
+		Names:   snap.DB.Names,
+		Views:   snap.Views,
+	}
+	for _, s := range snap.DB.Schemas {
+		doc.Schemas = append(doc.Schemas, []string(s))
+	}
+	for _, r := range snap.DB.Certain {
+		doc.Certain = append(doc.Certain, encodeRelation(r))
+	}
+	for _, c := range snap.DB.Components {
+		jc := jsonComponent{Alternatives: make([]jsonAlternative, len(c.Alternatives))}
+		for ai, a := range c.Alternatives {
+			ja := jsonAlternative{}
+			for ri, rel := range a.Rels {
+				if rel == nil || rel.Len() == 0 {
+					continue
+				}
+				if ja.Rels == nil {
+					ja.Rels = map[string][]jsonTuple{}
+				}
+				ja.Rels[snap.DB.Names[ri]] = encodeRelation(rel)
+			}
+			jc.Alternatives[ai] = ja
+		}
+		doc.Components = append(doc.Components, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Load reads a .wsd JSON document and returns a catalog seeded with the
+// decoded snapshot (the persisted version number is preserved).
+func Load(r io.Reader) (*Catalog, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var doc jsonCatalog
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: decoding catalog: %w", err)
+	}
+	if doc.Format != formatTag {
+		return nil, fmt.Errorf("store: unknown catalog format %q (want %q)", doc.Format, formatTag)
+	}
+	if len(doc.Names) != len(doc.Schemas) || len(doc.Names) != len(doc.Certain) {
+		return nil, fmt.Errorf("store: inconsistent catalog: %d names, %d schemas, %d certain relations",
+			len(doc.Names), len(doc.Schemas), len(doc.Certain))
+	}
+	schemas := make([]relation.Schema, len(doc.Schemas))
+	for i, s := range doc.Schemas {
+		schemas[i] = relation.NewSchema(s...)
+	}
+	db := wsd.NewDecompDB(doc.Names, schemas)
+	for i, rows := range doc.Certain {
+		rel, err := decodeRelation(schemas[i], rows)
+		if err != nil {
+			return nil, fmt.Errorf("store: certain relation %q: %w", doc.Names[i], err)
+		}
+		db.Certain[i] = rel
+	}
+	for ci, jc := range doc.Components {
+		comp := wsd.DBComponent{Alternatives: make([]wsd.DBAlternative, len(jc.Alternatives))}
+		for ai, ja := range jc.Alternatives {
+			alt := wsd.DBAlternative{Rels: map[int]*relation.Relation{}}
+			for name, rows := range ja.Rels {
+				ri := db.IndexOf(name)
+				if ri < 0 {
+					return nil, fmt.Errorf("store: component %d references unknown relation %q", ci, name)
+				}
+				rel, err := decodeRelation(schemas[ri], rows)
+				if err != nil {
+					return nil, fmt.Errorf("store: component %d relation %q: %w", ci, name, err)
+				}
+				alt.Rels[ri] = rel
+			}
+			comp.Alternatives[ai] = alt
+		}
+		db.Components = append(db.Components, comp)
+	}
+	views := doc.Views
+	if views == nil {
+		views = map[string]string{}
+	}
+	c := &Catalog{}
+	version := doc.Version
+	if version == 0 {
+		version = 1
+	}
+	c.cur.Store(&Snapshot{Version: version, DB: db, Views: views})
+	return c, nil
+}
+
+// SaveFile writes the snapshot to path.
+func SaveFile(path string, snap *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a catalog from path.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,207 @@
+// Package store is the decomposition-native catalog: named tables
+// backed by a multi-relation world-set decomposition (wsd.DecompDB)
+// with copy-on-write snapshots under MVCC-style versioning. It is the
+// session state the paper's decompose → query → recompose loop runs on:
+// data stays factored across statements, queries evaluate against an
+// immutable catalog version, and writers commit new versions atomically.
+//
+// # Concurrency model
+//
+// A Catalog holds an atomically swapped pointer to the current
+// Snapshot. Readers call Snapshot and evaluate against it for as long
+// as they like — wait-free, never blocked by writers, and guaranteed a
+// consistent catalog version (relations inside a snapshot are immutable
+// by convention, enforced by the copy-on-write editing operations of
+// wsd.DecompDB). Writers serialize through Update, which runs a
+// single-writer transaction against the latest snapshot and publishes
+// the staged state as a new version; the version chain gives concurrent
+// I-SQL sessions (cmd/isqld) snapshot isolation with a single atomic
+// pointer load per statement.
+//
+// # Queries
+//
+// Query evaluates a compiled World-set Algebra expression against a
+// snapshot through any engine in the wsa registry, preferring the
+// factorized wsdexec engine, which runs directly on the decomposition.
+// Registry engines that need explicit world-sets get a budget-guarded
+// expansion (surfacing wsd.BudgetError, the same error shape the
+// session and Expand report) and their output is re-factorized with
+// wsd.Refactor, so even a fallback step hands the next statement a
+// decomposition, not an enumeration.
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
+	"worldsetdb/internal/wsdexec"
+)
+
+// Snapshot is one immutable catalog version: the decomposition holding
+// every named table, plus the view definitions (name → select text).
+// Neither the decomposition nor the view map may be mutated; editing
+// happens by committing a new version through Catalog.Update.
+type Snapshot struct {
+	// Version increases by one per committed transaction.
+	Version uint64
+	// DB is the decomposition backing all named tables.
+	DB *wsd.DecompDB
+	// Views maps view names to their I-SQL select text.
+	Views map[string]string
+}
+
+// HasRelation reports whether a table or view of that name exists.
+func (s *Snapshot) HasRelation(name string) bool {
+	if _, ok := s.Views[name]; ok {
+		return true
+	}
+	return s.DB.IndexOf(name) >= 0
+}
+
+// Catalog is a versioned, concurrently readable store of named tables
+// backed by a world-set decomposition. The zero value is not usable;
+// construct with New.
+type Catalog struct {
+	writer sync.Mutex
+	cur    atomic.Pointer[Snapshot]
+}
+
+// New returns a catalog whose first version holds the given
+// decomposition. A nil db means the empty complete database (one world,
+// no relations). The decomposition is adopted, not copied: the caller
+// must not mutate it afterwards.
+func New(db *wsd.DecompDB) *Catalog {
+	if db == nil {
+		db = wsd.NewDecompDB(nil, nil)
+	}
+	c := &Catalog{}
+	c.cur.Store(&Snapshot{Version: 1, DB: db, Views: map[string]string{}})
+	return c
+}
+
+// FromComplete returns a catalog over the singleton world-set of a
+// complete database.
+func FromComplete(names []string, rels []*relation.Relation) *Catalog {
+	return New(wsd.FromComplete(names, rels))
+}
+
+// Snapshot returns the current catalog version. Wait-free; the result
+// is immutable and remains valid (and consistent) regardless of later
+// commits.
+func (c *Catalog) Snapshot() *Snapshot { return c.cur.Load() }
+
+// Tx is a single-writer transaction: staged edits against the latest
+// snapshot. Obtain one through Update.
+type Tx struct {
+	base  *Snapshot
+	db    *wsd.DecompDB     // staged decomposition; nil = unchanged
+	views map[string]string // staged view map; nil = unchanged
+}
+
+// Snap returns the snapshot the transaction started from (the latest
+// committed version; no writer can interleave).
+func (tx *Tx) Snap() *Snapshot { return tx.base }
+
+// DB returns the staged decomposition, or the base snapshot's if none
+// was staged yet. Callers must treat it as immutable and stage changes
+// with SetDB.
+func (tx *Tx) DB() *wsd.DecompDB {
+	if tx.db != nil {
+		return tx.db
+	}
+	return tx.base.DB
+}
+
+// Views returns the staged view map (base snapshot's when unchanged).
+// Callers must not mutate it.
+func (tx *Tx) Views() map[string]string {
+	if tx.views != nil {
+		return tx.views
+	}
+	return tx.base.Views
+}
+
+// SetDB stages a new decomposition for commit.
+func (tx *Tx) SetDB(db *wsd.DecompDB) { tx.db = db }
+
+// SetView stages a view definition.
+func (tx *Tx) SetView(name, sql string) {
+	tx.cowViews()
+	tx.views[name] = sql
+}
+
+// DropView stages the removal of a view.
+func (tx *Tx) DropView(name string) {
+	tx.cowViews()
+	delete(tx.views, name)
+}
+
+func (tx *Tx) cowViews() {
+	if tx.views == nil {
+		tx.views = make(map[string]string, len(tx.base.Views)+1)
+		for k, v := range tx.base.Views {
+			tx.views[k] = v
+		}
+	}
+}
+
+// Update runs fn as the single writer against the latest snapshot and,
+// if fn succeeds and staged anything, atomically publishes the staged
+// state as a new catalog version. On error nothing is published.
+// Readers holding older snapshots are unaffected either way.
+func (c *Catalog) Update(fn func(*Tx) error) error {
+	c.writer.Lock()
+	defer c.writer.Unlock()
+	tx := &Tx{base: c.cur.Load()}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.db == nil && tx.views == nil {
+		return nil
+	}
+	next := &Snapshot{
+		Version: tx.base.Version + 1,
+		DB:      tx.DB(),
+		Views:   tx.Views(),
+	}
+	c.cur.Store(next)
+	return nil
+}
+
+// Query evaluates a compiled World-set Algebra query against the
+// snapshot and returns the snapshot's decomposition extended with the
+// answer relation (named wsa.AnswerName), plus the plan describing how
+// it ran. An empty engine name (or "wsdexec") runs the factorized
+// engine natively on the decomposition — entangling operators fall back
+// internally over the budget-guarded expansion and the enumerated
+// output is re-factorized. Any other name from the wsa engine registry
+// evaluates on the expanded world-set (budget-guarded, 0 = default) and
+// the result is re-factorized with wsd.Refactor, so the catalog stays
+// decomposed whichever engine answered.
+func Query(snap *Snapshot, engine string, q wsa.Expr, budget int) (*wsd.DecompDB, *wsdexec.Plan, error) {
+	if engine == "" || engine == "wsdexec" {
+		return wsdexec.EvalOpts(q, snap.DB, &wsdexec.Options{ExpandBudget: budget})
+	}
+	plan := &wsdexec.Plan{
+		FallbackOp:     "engine override",
+		FallbackEngine: engine,
+		InputWorlds:    snap.DB.Worlds(),
+	}
+	ws, err := snap.DB.Expand(budget)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: engine %q needs explicit worlds: %w", engine, err)
+	}
+	out, err := wsa.EvalWith(engine, q, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := wsd.Refactor(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, plan, nil
+}

@@ -34,8 +34,10 @@
 // enumerates the input through the guarded wsd Expand (refusing via
 // *wsd.BudgetError beyond the budget) and delegates the query to the
 // physical engine (or the reference evaluator when the query contains
-// repair-by-key, which physical cannot run). Every evaluation returns a
-// Plan recording whether it stayed native and, if not, which operator
+// repair-by-key, which physical cannot run). The enumerated output is
+// re-factorized with wsd.Refactor before it is returned, so downstream
+// statements keep working on a decomposition. Every evaluation returns
+// a Plan recording whether it stayed native and, if not, which operator
 // forced the fallback — benchmarks count those.
 package wsdexec
 
@@ -176,16 +178,28 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 	if err != nil {
 		return nil, nil, err
 	}
-	return wsd.FromWorldSet(out), plan, nil
+	// Re-factorize the enumerated output so one entangled step does not
+	// permanently de-factorize a pipeline: downstream statements keep
+	// paying decomposition-size costs, not world-count costs.
+	re, err := wsd.Refactor(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return re, plan, nil
 }
 
 // EvalWorldSet is the world-set-level entry point registered as the
-// "wsdexec" engine: it lifts the world-set into decomposition space
-// (all-certain for complete databases, the trivial one-component form
-// otherwise), evaluates, and expands the result. It is directly
-// comparable with wsa.Eval.
+// "wsdexec" engine: it lifts the world-set into decomposition space via
+// wsd.Refactor (all-certain for complete databases, genuinely factored
+// whenever the world-set is a product of independent choices),
+// evaluates, and expands the result. It is directly comparable with
+// wsa.Eval.
 func EvalWorldSet(q wsa.Expr, ws *worldset.WorldSet) (*worldset.WorldSet, error) {
-	out, _, err := Eval(q, wsd.FromWorldSet(ws))
+	db, err := wsd.Refactor(ws)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := Eval(q, db)
 	if err != nil {
 		return nil, err
 	}
