@@ -24,6 +24,11 @@
 // fragment (aggregates, correlated subqueries) always use the explicit
 // evaluator over a budget-guarded expansion, with results re-factorized
 // into the catalog.
+//
+// Scripts may use the transactional statements BEGIN / COMMIT /
+// ROLLBACK (multi-statement atomicity over one staged snapshot) and
+// PREPARE name AS ... / EXECUTE name(args) with $1..$N placeholders
+// (parse-once execution through the session plan cache).
 package main
 
 import (
@@ -103,6 +108,8 @@ func main() {
 				}
 				fmt.Println(a.Render(caption))
 			}
+		case res.Message != "":
+			fmt.Printf("%s\n\n", res.Message)
 		case res.Affected > 0:
 			fmt.Printf("%d tuple(s) affected across %s world(s)\n\n", res.Affected, session.Worlds())
 		default:

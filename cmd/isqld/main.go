@@ -3,15 +3,30 @@
 //
 // Usage:
 //
-//	isqld [-addr host:port] [-demo name] [-load file.wsd] [-save file.wsd] [-engine name]
+//	isqld [-addr host:port] [-demo name] [-load file.wsd] [-save file.wsd]
+//	      [-engine name] [-wal dir] [-checkpoint-every n]
 //
 // The catalog starts empty, from one of the paper's demo datasets
 // (-demo flights | acquisition | census | lineitem), or from a .wsd
 // catalog file (-load). With -save, the catalog is persisted on
 // graceful shutdown (SIGINT/SIGTERM). Clients POST I-SQL scripts to
-// /exec and read catalog statistics from /stats:
+// /exec (with an X-ISQL-Session header for sticky transactional
+// sessions), register prepared statements on /prepare, run them via
+// /execute, and read catalog statistics from /stats:
 //
 //	curl --data-binary 'select certain Name from Clean;' http://localhost:8486/exec
+//
+// # Durability
+//
+// With -wal, the catalog is durable: every committed transaction is
+// appended (statement texts, CRC-framed, fsynced) to dir/wal.log before
+// it becomes visible, and dir/checkpoint.wsd holds the last checkpoint.
+// On startup the server recovers the checkpoint plus the replayed log
+// tail — a crash loses nothing committed. -checkpoint-every bounds
+// replay work by checkpointing after that many logged commits (0 =
+// checkpoint only on graceful shutdown). When the directory already
+// holds state, it wins over -demo/-load; a fresh directory is seeded
+// from them and checkpointed immediately so the seed itself is durable.
 package main
 
 import (
@@ -23,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/isql"
 	"worldsetdb/internal/isqld"
 	"worldsetdb/internal/store"
 )
@@ -37,19 +54,44 @@ func main() {
 	load := flag.String("load", "", "open a catalog persisted as a .wsd JSON file")
 	save := flag.String("save", "", "persist the catalog to a .wsd JSON file on graceful shutdown")
 	engine := flag.String("engine", "", "evaluation engine for fragment statements (default: wsdexec)")
+	walDir := flag.String("wal", "", "directory for WAL-backed durability (checkpoint.wsd + wal.log)")
+	ckptEvery := flag.Int("checkpoint-every", 256, "with -wal: checkpoint after this many logged commits (0 = only on shutdown)")
 	flag.Parse()
 
-	cat, err := newCatalog(*demo, *load)
+	cat, wal, ckptPath, err := openCatalog(*demo, *load, *walDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := isqld.New(cat, isqld.WithEngine(*engine))
 
+	// Bound WAL replay work: checkpoint once enough commits accumulated.
+	stopCkpt := make(chan struct{})
+	if wal != nil && *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					if wal.Appended() >= *ckptEvery {
+						if err := cat.Checkpoint(wal, ckptPath); err != nil {
+							log.Printf("isqld: checkpoint: %v", err)
+						} else {
+							log.Printf("isqld: checkpointed catalog v%d, WAL truncated", cat.Snapshot().Version)
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		snap := cat.Snapshot()
-		log.Printf("isqld: serving on http://%s — %d relation(s), %s world(s), size %d",
-			*addr, len(snap.DB.Names), snap.DB.Worlds(), snap.DB.Size())
+		log.Printf("isqld: serving on http://%s — %d relation(s), %s world(s), size %d, version %d",
+			*addr, len(snap.DB.Names), snap.DB.Worlds(), snap.DB.Size(), snap.Version)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -58,10 +100,18 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	close(stopCkpt)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("isqld: shutdown: %v", err)
+	}
+	if wal != nil {
+		if err := cat.Checkpoint(wal, ckptPath); err != nil {
+			log.Fatalf("isqld: final checkpoint: %v", err)
+		}
+		wal.Close()
+		log.Printf("isqld: checkpointed to %s", ckptPath)
 	}
 	if *save != "" {
 		if err := store.SaveFile(*save, cat.Snapshot()); err != nil {
@@ -69,6 +119,47 @@ func main() {
 		}
 		log.Printf("isqld: catalog saved to %s", *save)
 	}
+}
+
+// openCatalog builds the serving catalog. Without -wal it is the PR 3
+// behavior (empty, demo, or loaded file, all in-memory). With -wal,
+// existing durable state (checkpoint and/or log) is recovered and wins;
+// otherwise the seed is installed and immediately checkpointed.
+func openCatalog(demo, load, walDir string) (*store.Catalog, *store.WAL, string, error) {
+	if walDir == "" {
+		cat, err := newCatalog(demo, load)
+		return cat, nil, "", err
+	}
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, nil, "", err
+	}
+	ckptPath := filepath.Join(walDir, "checkpoint.wsd")
+	walPath := filepath.Join(walDir, "wal.log")
+	_, ckErr := os.Stat(ckptPath)
+	wi, wErr := os.Stat(walPath)
+	if ckErr == nil || (wErr == nil && wi.Size() > 0) {
+		if demo != "" || load != "" {
+			log.Printf("isqld: %s already holds catalog state; ignoring -demo/-load", walDir)
+		}
+		cat, wal, err := isql.OpenStore(ckptPath, walPath)
+		return cat, wal, ckptPath, err
+	}
+	cat, err := newCatalog(demo, load)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	wal, _, err := store.OpenWAL(walPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	// Make the seed itself durable before the first transaction: replay
+	// starts from the checkpoint, which must therefore include it.
+	if err := wal.Checkpoint(cat.Snapshot(), ckptPath); err != nil {
+		wal.Close()
+		return nil, nil, "", err
+	}
+	cat.SetLogger(wal)
+	return cat, wal, ckptPath, nil
 }
 
 func newCatalog(demo, load string) (*store.Catalog, error) {

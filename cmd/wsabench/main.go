@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
+//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|TXN|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
 //
 // After a run, the fresh measurements are diffed against the committed
 // baseline (-prev, by default the same BENCH_results.json this run
@@ -20,6 +20,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,10 +34,12 @@ import (
 	"worldsetdb/internal/datagen"
 	"worldsetdb/internal/inline"
 	"worldsetdb/internal/isql"
+	"worldsetdb/internal/isqld"
 	"worldsetdb/internal/physical"
 	"worldsetdb/internal/ra"
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/rewrite"
+	"worldsetdb/internal/store"
 	"worldsetdb/internal/translate"
 	"worldsetdb/internal/uldb"
 	"worldsetdb/internal/value"
@@ -183,6 +188,7 @@ func main() {
 		{"WSD", "world-set decompositions: repair without enumeration (conclusion/future work)", expWSD},
 		{"WSDX", "factorized WSD-native query engine: world-set algebra without enumerating worlds (PR 2 tentpole)", expWSDX},
 		{"STORE", "decomposition-native catalog: factored pipelines, re-factorization, snapshot readers (PR 3 tentpole)", expStore},
+		{"TXN", "transactional write path: WAL commit latency, prepared-statement throughput, recovery replay (PR 4 tentpole)", expTxn},
 		{"SQL3", "§2 I-SQL vs division vs double-not-exists (EXP-S2-SQL)", expThreeWays},
 		{"E56", "Examples 5.6/5.8: naive vs general vs optimized evaluation", expTranslations},
 		{"F8F9", "Figures 8/9: rewriting ablation q1→q1′, q2→q2′", expRewriting},
@@ -569,6 +575,132 @@ func expStore() {
 	must(err)
 	fmt.Printf("catalog persistence: save %s, load %s, %d bytes for %s worlds\n",
 		dSave, dLoad, info.Size(), seedSession.Worlds())
+}
+
+// expTxn is the tentpole ablation for the transactional write path:
+// (1) commit latency of BEGIN → k statements → COMMIT batches, with and
+// without the statement-level WAL (the WAL run pays one fsynced append
+// per commit, however many statements the batch holds); (2) request
+// throughput of the isqld wire protocol, parse-per-request /exec versus
+// the shared-plan-cache /execute — the prepared path must stay ≥2×
+// ahead; (3) crash-recovery replay time of a statement log.
+func expTxn() {
+	// Commit latency vs statements per transaction.
+	fmt.Printf("%-12s %-14s %-14s %-14s\n", "stmts/txn", "commit (mem)", "commit (wal)", "wal amortized/stmt")
+	for _, k := range []int{1, 8, 64} {
+		k := k * *scale
+		mem := txnCommitLatency(fmt.Sprintf("TXN/commit-mem/stmts=%d", k), k, false)
+		wal := txnCommitLatency(fmt.Sprintf("TXN/commit-wal/stmts=%d", k), k, true)
+		fmt.Printf("%-12d %-14s %-14s %-14s\n", k, mem, wal, wal/time.Duration(k))
+	}
+
+	// Prepared vs parse-per-request throughput over the live wire
+	// protocol (httptest server, the real isqld handler stack).
+	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
+	srv := httptest.NewServer(isqld.New(cat).Handler())
+	defer srv.Close()
+	mustPost(srv.URL+"/exec", "create table Clean as select * from Census repair by key SSN;")
+	var q strings.Builder
+	q.WriteString("select certain Name from Clean where ")
+	for i := 0; i < 48; i++ {
+		if i > 0 {
+			q.WriteString(" or ")
+		}
+		fmt.Fprintf(&q, "POB = 'C%d'", i)
+	}
+	q.WriteString(";")
+	mustPost(srv.URL+"/prepare", "prepare q as "+strings.TrimSuffix(q.String(), ";")+";")
+	const requests = 40
+	dExec := bench("TXN/exec-unprepared", nil, func() {
+		for i := 0; i < requests; i++ {
+			mustPost(srv.URL+"/exec", q.String())
+		}
+	})
+	dPrep := bench("TXN/execute-prepared", nil, func() {
+		for i := 0; i < requests; i++ {
+			mustPost(srv.URL+"/execute", "q")
+		}
+	})
+	fmt.Printf("\nwire protocol, %d requests of one analytical query:\n", requests)
+	fmt.Printf("%-24s %-14s %12.0f req/s\n", "/exec (parse each)", dExec, float64(requests)/dExec.Seconds())
+	fmt.Printf("%-24s %-14s %12.0f req/s\n", "/execute (plan cache)", dPrep, float64(requests)/dPrep.Seconds())
+	fmt.Printf("prepared speedup: %.1fx (acceptance floor 2x)\n", float64(dExec)/float64(dPrep))
+
+	// Crash-recovery replay: reopen a store whose WAL tail holds N
+	// single-statement commits past the last checkpoint.
+	for _, records := range []int{50, 200} {
+		records := records * *scale
+		dir, err := os.MkdirTemp("", "wsabench_txn")
+		must(err)
+		wsdPath := filepath.Join(dir, "checkpoint.wsd")
+		walPath := filepath.Join(dir, "wal.log")
+		cat, wal, err := isql.OpenStore(wsdPath, walPath)
+		must(err)
+		sess := isql.FromCatalog(cat)
+		_, err = sess.ExecString("create table T (A, B);")
+		must(err)
+		for i := 0; i < records; i++ {
+			_, err = sess.ExecString(fmt.Sprintf("insert into T values (%d, %d);", i, i*7))
+			must(err)
+		}
+		must(wal.Close()) // crash: no checkpoint
+		var recovered *store.Catalog
+		d := bench(fmt.Sprintf("TXN/recovery/records=%d", records), nil, func() {
+			var w2 *store.WAL
+			recovered, w2, err = isql.OpenStore(wsdPath, walPath)
+			must(err)
+			must(w2.Close())
+		})
+		if recovered.Snapshot().Version != cat.Snapshot().Version {
+			must(fmt.Errorf("recovery ended at v%d, want v%d", recovered.Snapshot().Version, cat.Snapshot().Version))
+		}
+		info, err := os.Stat(walPath)
+		must(err)
+		fmt.Printf("recovery replay of %d logged commits: %s (%d-byte log)\n", records+1, d, info.Size())
+		os.RemoveAll(dir)
+	}
+}
+
+// txnCommitLatency times one BEGIN → k inserts → COMMIT batch, with the
+// catalog optionally WAL-backed (fsync on commit).
+func txnCommitLatency(op string, k int, withWAL bool) time.Duration {
+	var cat *store.Catalog
+	var wal *store.WAL
+	if withWAL {
+		dir, err := os.MkdirTemp("", "wsabench_txn")
+		must(err)
+		defer os.RemoveAll(dir)
+		cat, wal, err = isql.OpenStore(filepath.Join(dir, "checkpoint.wsd"), filepath.Join(dir, "wal.log"))
+		must(err)
+		defer wal.Close()
+	} else {
+		cat = store.New(nil)
+	}
+	sess := isql.FromCatalog(cat)
+	_, err := sess.ExecString("create table T (A, B);")
+	must(err)
+	n := 0
+	return bench(op, nil, func() {
+		must(sess.Begin())
+		for i := 0; i < k; i++ {
+			n++
+			_, err := sess.ExecString(fmt.Sprintf("insert into T values (%d, %d);", n, n*3))
+			must(err)
+		}
+		must(sess.Commit())
+	})
+}
+
+// mustPost posts a body and requires HTTP 200.
+func mustPost(url, body string) {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	must(err)
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	must(err)
+	if resp.StatusCode != http.StatusOK {
+		must(fmt.Errorf("POST %s: status %d\n%s", url, resp.StatusCode, out))
+	}
 }
 
 func expThreeWays() {

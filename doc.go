@@ -39,13 +39,46 @@
 // typed wsd.BudgetError — the one error shape shared by wsd's Expand,
 // the store, and the session's world budget.
 //
+// # The transactional write path
+//
+// Writes are transactional, durable and prepared. BEGIN switches a
+// session onto a staged store transaction (store.Staged): statements
+// execute unchanged against a private staging snapshot, invisible to
+// every other session, until COMMIT publishes the whole batch as one
+// catalog version (ROLLBACK discards it; concurrent readers never
+// observe an intermediate statement). Concurrency control is
+// optimistic, first-committer-wins — a conflicting commit surfaces as
+// store.ConflictError and publishes nothing.
+//
+// Durability is a statement-level write-ahead log (store.WAL): every
+// committed transaction appends one CRC-framed record — the statement
+// texts plus the version they committed as — and fsyncs before the
+// version becomes visible. store.Open (isql.OpenStore with the I-SQL
+// replayer) recovers the last checkpoint — a .wsd snapshot written via
+// temp-file + atomic rename — and deterministically re-executes the log
+// tail, reproducing the committed catalog byte-for-byte; torn tails are
+// CRC-detected and truncated, and checkpoints (Catalog.Checkpoint)
+// bound replay work by truncating the log under the writer lock.
+//
+// PREPARE parses a statement once — optionally with $1..$N
+// placeholders — into a PlanCache shared across sessions; EXECUTE binds
+// arguments and runs the cached tree, reusing a compiled, prelowered
+// plan keyed on a schema fingerprint for zero-parameter fragment
+// selects, so repeated execution skips parsing, analysis, compilation
+// and the rewrite search entirely (DML leaves the fingerprint — and
+// the plan — intact; DDL forces one recompile).
+//
 // Catalogs persist as .wsd JSON documents (store.Save/Load, wired to
 // cmd/isql's -load/-save flags): the factored form serializes in space
 // linear in the decomposition regardless of the world count. cmd/isqld
 // serves I-SQL sessions concurrently over one shared catalog through a
-// line-oriented HTTP protocol (POST /exec, GET /stats): each request
-// gets its own session, selects run on snapshots (readers never block),
-// and DML serializes through the catalog writer — the serving path for
+// line-oriented HTTP protocol (POST /exec, /prepare, /execute; GET
+// /stats): each request gets its own session, selects run on snapshots
+// (readers never block), and DML serializes through the catalog writer.
+// A request carrying an X-ISQL-Session token gets a sticky session that
+// holds transaction state across requests (idle sessions are evicted
+// and rolled back after a TTL), and the -wal/-checkpoint-every flags
+// make the served catalog durable across crashes — the serving path for
 // many concurrent certain/possible queries against one factored
 // world-set.
 //

@@ -21,9 +21,12 @@
 package difftest
 
 import (
+	"bytes"
 	"fmt"
 
+	"worldsetdb/internal/isql"
 	"worldsetdb/internal/physical"
+	"worldsetdb/internal/relation"
 	"worldsetdb/internal/store"
 	"worldsetdb/internal/translate"
 	"worldsetdb/internal/worldset"
@@ -149,4 +152,104 @@ func CheckStore(q wsa.Expr, db *wsd.DecompDB) error {
 			plan, q, db, w, g)
 	}
 	return nil
+}
+
+// CheckTxn is the transactional differential check over one I-SQL
+// script. From the same seed database it verifies the two transaction
+// laws the store promises:
+//
+//  1. BEGIN → script → ROLLBACK leaves the catalog byte-identical
+//     (through store.Save, version included) to never having run the
+//     transaction, and
+//  2. BEGIN → script → COMMIT produces a catalog content-identical to
+//     running the same statements non-transactionally (versions differ
+//     by construction — one commit versus N — and are normalized away),
+//     with every select along the way returning identical answers.
+func CheckTxn(names []string, rels []*relation.Relation, stmts []string) error {
+	// Law 1: rollback identity.
+	rolled := isql.FromDB(names, rels)
+	before, err := rawCatalogBytes(rolled.Catalog().Snapshot())
+	if err != nil {
+		return err
+	}
+	if err := rolled.Begin(); err != nil {
+		return err
+	}
+	for _, sql := range stmts {
+		if _, err := rolled.ExecString(sql); err != nil {
+			return fmt.Errorf("difftest: %q inside the transaction: %w", sql, err)
+		}
+	}
+	if err := rolled.Rollback(); err != nil {
+		return err
+	}
+	after, err := rawCatalogBytes(rolled.Catalog().Snapshot())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(before, after) {
+		return fmt.Errorf("difftest: rollback left a trace in the catalog for script %q\nbefore:\n%s\nafter:\n%s",
+			stmts, before, after)
+	}
+
+	// Law 2: commit parity with auto-commit, answers compared statement
+	// by statement.
+	auto := isql.FromDB(names, rels)
+	txn := isql.FromDB(names, rels)
+	if err := txn.Begin(); err != nil {
+		return err
+	}
+	for _, sql := range stmts {
+		ares, aerr := auto.ExecString(sql)
+		tres, terr := txn.ExecString(sql)
+		if (aerr == nil) != (terr == nil) {
+			return fmt.Errorf("difftest: %q: auto-commit err %v, transactional err %v", sql, aerr, terr)
+		}
+		if aerr != nil {
+			return fmt.Errorf("difftest: %q failed on both paths: %w", sql, aerr)
+		}
+		if len(ares.Answers) != len(tres.Answers) {
+			return fmt.Errorf("difftest: %q: %d auto-commit answers vs %d transactional", sql, len(ares.Answers), len(tres.Answers))
+		}
+		for i := range ares.Answers {
+			if ares.Answers[i].ContentKey() != tres.Answers[i].ContentKey() {
+				return fmt.Errorf("difftest: %q: answer %d differs inside the transaction\nauto:\n%s\ntxn:\n%s",
+					sql, i, ares.Answers[i], tres.Answers[i])
+			}
+		}
+		if ares.Affected != tres.Affected {
+			return fmt.Errorf("difftest: %q: affected %d auto-commit vs %d transactional", sql, ares.Affected, tres.Affected)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		return fmt.Errorf("difftest: committing script %q: %w", stmts, err)
+	}
+	a, err := normCatalogBytes(auto.Catalog().Snapshot())
+	if err != nil {
+		return err
+	}
+	b, err := normCatalogBytes(txn.Catalog().Snapshot())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("difftest: committed transaction differs from auto-commit for script %q\nauto:\n%s\ntxn:\n%s",
+			stmts, a, b)
+	}
+	return nil
+}
+
+// rawCatalogBytes persists a snapshot as-is (version included).
+func rawCatalogBytes(snap *store.Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := store.Save(&buf, snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// normCatalogBytes persists a snapshot with the version normalized, so
+// states reached by different commit counts compare on content.
+func normCatalogBytes(snap *store.Snapshot) ([]byte, error) {
+	return rawCatalogBytes(&store.Snapshot{DB: snap.DB, Views: snap.Views})
 }

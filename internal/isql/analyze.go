@@ -183,6 +183,8 @@ func (s *Session) checkExpr(e Expr, info *selectInfo, scopes []relation.Schema, 
 	switch n := e.(type) {
 	case *LitExpr:
 		return nil
+	case *ParamExpr:
+		return fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", n.N)
 	case *ColExpr:
 		for _, sc := range scopes {
 			if sc.Index(n.Ref.Full()) >= 0 {

@@ -110,12 +110,7 @@ func (*SubqueryExpr) exprNode() {}
 func (*AggExpr) exprNode()      {}
 
 func (e *ColExpr) String() string { return e.Ref.Full() }
-func (e *LitExpr) String() string {
-	if e.Val.Kind() == value.KindString {
-		return "'" + e.Val.String() + "'"
-	}
-	return e.Val.String()
-}
+func (e *LitExpr) String() string { return renderLiteral(e.Val) }
 
 // exprPrec returns the rendering precedence of an expression (higher
 // binds tighter), mirroring the parser's grammar so that String output
@@ -310,9 +305,14 @@ func joinRefs(refs []ColumnRef) string {
 }
 
 // InsertStmt inserts literal rows into a relation, in every world.
+// In a prepared statement, cells may be $N parameter placeholders:
+// Params, when non-nil, parallels Rows with the 1-based parameter
+// number per cell (0 = the literal in Rows is real). EXECUTE binds the
+// placeholders before execution.
 type InsertStmt struct {
-	Table string
-	Rows  [][]value.Value
+	Table  string
+	Rows   [][]value.Value
+	Params [][]int
 }
 
 func (*InsertStmt) stmt() {}
@@ -321,10 +321,10 @@ func (s *InsertStmt) String() string {
 	for i, row := range s.Rows {
 		cells := make([]string, len(row))
 		for j, v := range row {
-			if v.Kind() == value.KindString {
-				cells[j] = "'" + v.String() + "'"
+			if s.Params != nil && s.Params[i][j] > 0 {
+				cells[j] = fmt.Sprintf("$%d", s.Params[i][j])
 			} else {
-				cells[j] = v.String()
+				cells[j] = renderLiteral(v)
 			}
 		}
 		rows[i] = "(" + strings.Join(cells, ", ") + ")"

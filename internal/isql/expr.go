@@ -36,6 +36,9 @@ func (c *evalCtx) evalExpr(e Expr) (value.Value, error) {
 	case *LitExpr:
 		return n.Val, nil
 
+	case *ParamExpr:
+		return value.Null(), fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", n.N)
+
 	case *ColExpr:
 		return c.resolve(n.Ref)
 

@@ -36,18 +36,39 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '$':
+			start := i
+			i++
+			digits := i
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			if i == digits {
+				return nil, errf(start, "expected parameter number after '$'")
+			}
+			toks = append(toks, Token{Kind: TokParam, Text: input[digits:i], Pos: start})
 		case c == '\'':
 			start := i
 			i++
 			var sb strings.Builder
-			for i < n && input[i] != '\'' {
-				sb.WriteByte(input[i])
-				i++
+			for {
+				for i < n && input[i] != '\'' {
+					sb.WriteByte(input[i])
+					i++
+				}
+				if i >= n {
+					return nil, errf(start, "unterminated string literal")
+				}
+				i++ // closing quote...
+				// ...unless doubled: '' inside a literal is one quote (the
+				// SQL convention renderLiteral emits).
+				if i < n && input[i] == '\'' {
+					sb.WriteByte('\'')
+					i++
+					continue
+				}
+				break
 			}
-			if i >= n {
-				return nil, errf(start, "unterminated string literal")
-			}
-			i++ // closing quote
 			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
 		default:
 			start := i

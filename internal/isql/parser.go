@@ -124,8 +124,95 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseCreate()
 	case p.isKw("drop"):
 		return p.parseDrop()
+	case p.isKw("begin"):
+		p.next()
+		p.acceptKw("transaction") // optional noise word
+		return &BeginStmt{}, nil
+	case p.isKw("commit"):
+		p.next()
+		return &CommitStmt{}, nil
+	case p.isKw("rollback"):
+		p.next()
+		return &RollbackStmt{}, nil
+	case p.isKw("prepare"):
+		return p.parsePrepare()
+	case p.isKw("execute"):
+		p.next()
+		return p.parseExecuteCall()
 	}
 	return nil, errf(p.peek().Pos, "expected a statement, got %q", p.peek().Text)
+}
+
+// parsePrepare parses `prepare <name> as <statement>`.
+func (p *parser) parsePrepare() (Statement, error) {
+	if err := p.expectKw("prepare"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("as"); err != nil {
+		return nil, err
+	}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt, *PrepareStmt, *ExecuteStmt:
+		return nil, errf(p.peek().Pos, "cannot prepare a %s statement", st)
+	}
+	return &PrepareStmt{Name: name, Stmt: st}, nil
+}
+
+// parseExecuteCall parses `<name> [( literal, ... )]` — the body of an
+// EXECUTE statement, shared with the server's /execute endpoint where
+// the `execute` keyword is implied.
+func (p *parser) parseExecuteCall() (*ExecuteStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &ExecuteStmt{Name: name}
+	if p.accept("(") {
+		if !p.accept(")") {
+			for {
+				v, err := p.parseLiteral()
+				if err != nil {
+					return nil, err
+				}
+				st.Args = append(st.Args, v)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// ParseExecuteCall parses the bare prepared-statement invocation form
+// `name` or `name(arg, ...)` — what the isqld /execute endpoint
+// receives, sparing the request the full statement grammar.
+func ParseExecuteCall(input string) (*ExecuteStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseExecuteCall()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, errf(p.peek().Pos, "unexpected trailing input %q", p.peek().Text)
+	}
+	return st, nil
 }
 
 // reservedAfterFrom are keywords that terminate an implicit alias.
@@ -549,6 +636,13 @@ func (p *parser) parseFactor() (Expr, error) {
 	case TokString:
 		p.next()
 		return &LitExpr{Val: value.Str(t.Text)}, nil
+	case TokParam:
+		p.next()
+		n, err := parseParamNumber(t)
+		if err != nil {
+			return nil, err
+		}
+		return &ParamExpr{N: n}, nil
 	case TokSymbol:
 		if t.Text == "(" {
 			p.next()
@@ -641,17 +735,31 @@ func (p *parser) parseInsert() (Statement, error) {
 		return nil, err
 	}
 	st := &InsertStmt{Table: name}
+	hasParams := false
 	for {
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
 		var row []value.Value
+		var params []int
 		for {
-			v, err := p.parseLiteral()
-			if err != nil {
-				return nil, err
+			if t := p.peek(); t.Kind == TokParam {
+				p.next()
+				n, err := parseParamNumber(t)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, value.Null())
+				params = append(params, n)
+				hasParams = true
+			} else {
+				v, err := p.parseLiteral()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+				params = append(params, 0)
 			}
-			row = append(row, v)
 			if !p.accept(",") {
 				break
 			}
@@ -660,11 +768,30 @@ func (p *parser) parseInsert() (Statement, error) {
 			return nil, err
 		}
 		st.Rows = append(st.Rows, row)
+		st.Params = append(st.Params, params)
 		if !p.accept(",") {
 			break
 		}
 	}
+	if !hasParams {
+		st.Params = nil
+	}
 	return st, nil
+}
+
+// parseParamNumber converts a TokParam's digits to its 1-based index.
+func parseParamNumber(t Token) (int, error) {
+	n := 0
+	for _, c := range t.Text {
+		n = n*10 + int(c-'0')
+		if n > 1<<16 {
+			return 0, errf(t.Pos, "parameter number $%s out of range", t.Text)
+		}
+	}
+	if n == 0 {
+		return 0, errf(t.Pos, "parameters are numbered from $1")
+	}
+	return n, nil
 }
 
 func (p *parser) parseLiteral() (value.Value, error) {

@@ -162,3 +162,26 @@ func TestOperatorPrecedence(t *testing.T) {
 		t.Fatalf("right branch should be AND, got %s", or.R)
 	}
 }
+
+// TestQuotedStringLiteralRoundTrip: embedded quotes double on render
+// (SQL convention) and the lexer folds them back.
+func TestQuotedStringLiteralRoundTrip(t *testing.T) {
+	st, err := Parse("insert into T values ('it''s', '''lead', 'trail''');")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	want := []string{"it's", "'lead", "trail'"}
+	for i, w := range want {
+		if got := ins.Rows[0][i].AsString(); got != w {
+			t.Fatalf("cell %d = %q, want %q", i, got, w)
+		}
+	}
+	st2, err := Parse(st.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", st.String(), err)
+	}
+	if st.String() != st2.String() {
+		t.Fatalf("quoted literals do not round-trip: %q vs %q", st.String(), st2.String())
+	}
+}

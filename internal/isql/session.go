@@ -10,6 +10,7 @@ import (
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/store"
 	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsa"
 	"worldsetdb/internal/wsd"
 	"worldsetdb/internal/wsdexec"
 )
@@ -38,6 +39,15 @@ import (
 // FromWorldSet or FromCatalog.
 type Session struct {
 	cat *store.Catalog
+
+	// txn is the open staged transaction (nil outside BEGIN/COMMIT);
+	// while set, every statement reads and writes the private staging
+	// snapshot instead of the shared catalog (see txn.go).
+	txn *store.Staged
+
+	// prep caches prepared statements (PREPARE/EXECUTE). Lazily created;
+	// a server shares one cache across its sessions with SetPlanCache.
+	prep *PlanCache
 
 	// views caches the parsed view definitions of the snapshot version
 	// viewsVersion; refreshed whenever the catalog moves.
@@ -114,15 +124,16 @@ func LoadCatalog(path string) (*Session, error) {
 }
 
 // Worlds returns the exact number of worlds the session state
-// represents, straight off the decomposition.
-func (s *Session) Worlds() *big.Int { return s.cat.Snapshot().DB.Worlds() }
+// represents, straight off the decomposition (the staging snapshot
+// inside an open transaction).
+func (s *Session) Worlds() *big.Int { return s.target().Snapshot().DB.Worlds() }
 
 // WorldSet returns the session's current state as an explicit
 // world-set, expanded from the catalog decomposition within the session
 // budget. It returns nil when the represented world count exceeds the
 // budget — at that scale use Catalog and the decomposition directly.
 func (s *Session) WorldSet() *worldset.WorldSet {
-	ws, err := s.cat.Snapshot().DB.Expand(s.maxWorlds())
+	ws, err := s.target().Snapshot().DB.Expand(s.maxWorlds())
 	if err != nil {
 		return nil
 	}
@@ -131,7 +142,7 @@ func (s *Session) WorldSet() *worldset.WorldSet {
 
 // Views returns the names of registered views, sorted.
 func (s *Session) Views() []string {
-	snap := s.cat.Snapshot()
+	snap := s.target().Snapshot()
 	out := make([]string, 0, len(snap.Views))
 	for n := range snap.Views {
 		out = append(out, n)
@@ -155,12 +166,13 @@ func (s *Session) engineName() string {
 	return s.Engine
 }
 
-// snapshotForRead loads the current catalog snapshot and synchronizes
-// the view parse cache to exactly that version, so a statement never
-// compiles against a newer snapshot with an older view set (or vice
-// versa) when other sessions commit concurrently.
+// snapshotForRead loads the current snapshot of the session's execution
+// target (the staging snapshot inside an open transaction) and
+// synchronizes the view parse cache to exactly that version, so a
+// statement never compiles against a newer snapshot with an older view
+// set (or vice versa) when other sessions commit concurrently.
 func (s *Session) snapshotForRead() (*store.Snapshot, error) {
-	snap := s.cat.Snapshot()
+	snap := s.target().Snapshot()
 	if err := s.refreshViewsFrom(snap); err != nil {
 		return nil, err
 	}
@@ -210,6 +222,9 @@ type Result struct {
 	// Plan records how a compiled statement was evaluated (nil when the
 	// statement ran through the legacy explicit world-set evaluator).
 	Plan *wsdexec.Plan
+	// Message is a human-readable status for statements whose effect is
+	// not catalog state (e.g. "prepared q1").
+	Message string
 }
 
 // answerName is the name of a select's answer relation in Result
@@ -264,6 +279,12 @@ func (s *Session) Exec(st Statement) (*Result, error) {
 		return s.execDelete(n)
 	case *UpdateStmt:
 		return s.execUpdate(n)
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return s.execTxnControl(st)
+	case *PrepareStmt:
+		return s.execPrepare(n)
+	case *ExecuteStmt:
+		return s.execExecute(n)
 	}
 	return nil, fmt.Errorf("isql: unsupported statement %T", st)
 }
@@ -275,17 +296,34 @@ func (s *Session) Exec(st Statement) (*Result, error) {
 // or columns) surface directly — falling back would bury a typo under
 // a BudgetError on a large catalog.
 func (s *Session) execSelect(sel *SelectStmt) (*Result, error) {
+	return s.execSelectWith(sel, nil)
+}
+
+// execSelectWith is execSelect with an optional prepared-statement
+// entry supplying a memoized compiled plan (skipping analysis and
+// compilation when the schema fingerprint still matches).
+func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared) (*Result, error) {
 	snap, err := s.snapshotForRead()
 	if err != nil {
 		return nil, err
 	}
 	if s.Engine != legacyEngine {
-		q, err := s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
+		var q wsa.Expr
+		var err error
+		opts := &wsdexec.Options{ExpandBudget: s.maxWorlds()}
+		if pre != nil {
+			// Cached plans are prelowered at compile time; skip the
+			// per-request rewrite search.
+			q, err = pre.planFor(s, snap)
+			opts.NoRewrite = true
+		} else {
+			q, err = s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
+		}
 		if err != nil && !isFragmentError(err) {
 			return nil, err
 		}
 		if err == nil {
-			out, plan, err := store.Query(snap, s.engineName(), q, s.maxWorlds())
+			out, plan, err := store.QueryOpts(snap, s.engineName(), q, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -309,7 +347,8 @@ func (s *Session) execSelect(sel *SelectStmt) (*Result, error) {
 
 func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(n.String())
 		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
 			return err
 		}
@@ -357,7 +396,8 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 
 func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(n.String())
 		snap := tx.Snap()
 		if err := s.refreshViewsFrom(snap); err != nil {
 			return err
@@ -382,7 +422,8 @@ func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
 
 func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(n.String())
 		if tx.Snap().HasRelation(n.Name) {
 			return fmt.Errorf("isql: relation %q already exists", n.Name)
 		}
@@ -399,7 +440,8 @@ func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
 
 func (s *Session) execDropTable(n *DropTableStmt) (*Result, error) {
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(n.String())
 		db := tx.DB()
 		idx := db.IndexOf(n.Name)
 		if idx < 0 {
@@ -429,8 +471,12 @@ func (s *Session) stateResult(db *wsd.DecompDB) *Result {
 }
 
 func (s *Session) execInsert(n *InsertStmt) (*Result, error) {
+	if err := firstUnboundParam(n.Params); err != nil {
+		return nil, err
+	}
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(n.String())
 		db := tx.DB()
 		idx := db.IndexOf(n.Table)
 		if idx < 0 {
@@ -471,11 +517,11 @@ func (s *Session) execInsert(n *InsertStmt) (*Result, error) {
 
 func (s *Session) execDelete(n *DeleteStmt) (*Result, error) {
 	if s.Engine == legacyEngine || exprHasSubquery(n.Where) {
-		return s.legacyDML(func(ws *worldset.WorldSet) (*worldset.WorldSet, int, error) {
+		return s.legacyDML(n.String(), func(ws *worldset.WorldSet) (*worldset.WorldSet, int, error) {
 			return s.legacyDelete(ws, n)
 		})
 	}
-	return s.mutateNative(n.Table, nil,
+	return s.mutateNative(n.String(), n.Table, nil,
 		func(ctx *evalCtx, t relation.Tuple) (relation.Tuple, bool, error) {
 			if n.Where != nil {
 				ctx.tuple = t
@@ -494,12 +540,12 @@ func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
 		hasSub = hasSub || exprHasSubquery(sc.Expr)
 	}
 	if s.Engine == legacyEngine || hasSub {
-		return s.legacyDML(func(ws *worldset.WorldSet) (*worldset.WorldSet, int, error) {
+		return s.legacyDML(n.String(), func(ws *worldset.WorldSet) (*worldset.WorldSet, int, error) {
 			return s.legacyUpdate(ws, n)
 		})
 	}
 	var setIdx []int
-	return s.mutateNative(n.Table,
+	return s.mutateNative(n.String(), n.Table,
 		func(schema relation.Schema) error {
 			setIdx = make([]int, len(n.Sets))
 			for i, sc := range n.Sets {
@@ -540,10 +586,11 @@ func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
 // to drop it) and whether the statement touched the tuple; it sees the
 // pre-state tuple via ctx.tuple only after setting it itself or via
 // the passed t.
-func (s *Session) mutateNative(table string, prepare func(relation.Schema) error,
+func (s *Session) mutateNative(stmt, table string, prepare func(relation.Schema) error,
 	perTuple func(*evalCtx, relation.Tuple) (relation.Tuple, bool, error)) (*Result, error) {
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(stmt)
 		db := tx.DB()
 		idx := db.IndexOf(table)
 		if idx < 0 {
@@ -603,9 +650,10 @@ func (s *Session) mutateNative(table string, prepare func(relation.Schema) error
 // legacyDML expands the catalog, applies a per-world mutation with the
 // explicit world-set evaluator, and re-factorizes the result into the
 // next catalog version.
-func (s *Session) legacyDML(apply func(*worldset.WorldSet) (*worldset.WorldSet, int, error)) (*Result, error) {
+func (s *Session) legacyDML(stmt string, apply func(*worldset.WorldSet) (*worldset.WorldSet, int, error)) (*Result, error) {
 	var res *Result
-	err := s.cat.Update(func(tx *store.Tx) error {
+	err := s.target().Update(func(tx *store.Tx) error {
+		tx.Log(stmt)
 		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
 			return err
 		}

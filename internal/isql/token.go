@@ -22,6 +22,7 @@ const (
 	TokNumber
 	TokString
 	TokSymbol // punctuation and operators
+	TokParam  // $N parameter placeholder in a prepared statement
 )
 
 // Token is one lexical unit. Keywords are TokIdent; the parser matches

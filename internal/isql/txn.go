@@ -1,0 +1,126 @@
+package isql
+
+import (
+	"fmt"
+
+	"worldsetdb/internal/store"
+)
+
+// Transactional sessions. Outside a transaction every statement
+// auto-commits through the catalog's single-writer Update (one
+// statement, one version). BEGIN switches the session's execution
+// target to a store.Staged transaction: the same statement code runs
+// against a private staging snapshot, invisible to every other session,
+// until COMMIT publishes the whole batch as one catalog version (or
+// ROLLBACK discards it). Readers meanwhile keep snapshot isolation on
+// the pre-transaction version — they never observe an intermediate
+// statement of an open transaction.
+
+// execTarget is where a session's statements read and write: the shared
+// catalog (auto-commit) or an open staged transaction. *store.Catalog
+// and *store.Staged both satisfy it, which is what lets every exec path
+// run unchanged inside and outside a transaction.
+type execTarget interface {
+	Snapshot() *store.Snapshot
+	Update(fn func(*store.Tx) error) error
+}
+
+// target returns the session's current execution target.
+func (s *Session) target() execTarget {
+	if s.txn != nil {
+		return s.txn
+	}
+	return s.cat
+}
+
+// InTxn reports whether the session has an open transaction.
+func (s *Session) InTxn() bool { return s.txn != nil }
+
+// Begin opens a transaction. Statements until Commit/Rollback stage
+// against a private snapshot; other sessions keep seeing the
+// pre-transaction catalog.
+func (s *Session) Begin() error {
+	if s.txn != nil {
+		return fmt.Errorf("isql: transaction already open (nested transactions are not supported)")
+	}
+	s.txn = s.cat.Begin()
+	// The staging chain numbers versions privately; never let a cached
+	// view parse from one lineage leak into the other.
+	s.viewsVersion = 0
+	return nil
+}
+
+// Commit publishes the open transaction atomically as one catalog
+// version. With optimistic concurrency, a conflicting writer since
+// Begin surfaces as *store.ConflictError and nothing is published.
+// Either way the transaction is closed.
+func (s *Session) Commit() error {
+	if s.txn == nil {
+		return fmt.Errorf("isql: no open transaction to commit")
+	}
+	err := s.txn.Commit()
+	s.txn = nil
+	s.viewsVersion = 0
+	return err
+}
+
+// Rollback discards the open transaction.
+func (s *Session) Rollback() error {
+	if s.txn == nil {
+		return fmt.Errorf("isql: no open transaction to roll back")
+	}
+	s.txn.Rollback()
+	s.txn = nil
+	s.viewsVersion = 0
+	return nil
+}
+
+// execTxnControl executes BEGIN/COMMIT/ROLLBACK.
+func (s *Session) execTxnControl(st Statement) (*Result, error) {
+	var err error
+	switch st.(type) {
+	case *BeginStmt:
+		err = s.Begin()
+	case *CommitStmt:
+		err = s.Commit()
+	case *RollbackStmt:
+		err = s.Rollback()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Decomp: s.target().Snapshot().DB}, nil
+}
+
+// ReplayRecord is the store.Applier for statement-level WAL recovery:
+// it re-executes one committed transaction's statements as a single
+// staged transaction, reproducing exactly the catalog version the
+// record committed as. Statement execution is deterministic, so the
+// recovered catalog is byte-identical (through store.Save) to the
+// pre-crash committed state.
+func ReplayRecord(cat *store.Catalog, rec store.WALRecord) error {
+	sess := FromCatalog(cat)
+	if err := sess.Begin(); err != nil {
+		return err
+	}
+	for _, sql := range rec.Stmts {
+		st, err := Parse(sql)
+		if err != nil {
+			sess.Rollback()
+			return fmt.Errorf("isql: WAL statement %q does not parse: %w", sql, err)
+		}
+		if _, err := sess.Exec(st); err != nil {
+			sess.Rollback()
+			return fmt.Errorf("isql: replaying %q: %w", sql, err)
+		}
+	}
+	return sess.Commit()
+}
+
+// OpenStore opens a WAL-backed catalog: the last checkpoint at wsdPath
+// plus the replayed statement-log tail at walPath (see store.Open). The
+// returned catalog has the WAL attached, so every further commit is
+// logged and fsynced before it becomes visible.
+func OpenStore(wsdPath, walPath string) (*store.Catalog, *store.WAL, error) {
+	return store.Open(wsdPath, walPath, ReplayRecord)
+}

@@ -19,9 +19,31 @@
 //	               distinct answers (selects) or an "ok; N world(s)"
 //	               status line. A statement error stops the script with
 //	               an "error: ..." line and HTTP 422.
+//	POST /prepare  body: one or more `prepare <name> as <statement>`
+//	               statements. Registers them in the server-wide plan
+//	               cache shared by every session; compiled plans are
+//	               memoized, so later /execute requests skip parsing and
+//	               compilation.
+//	POST /execute  body: `<name>` or `<name>(arg, ...)` — runs a
+//	               prepared statement with the bound literal arguments,
+//	               rendered like one /exec statement.
 //	GET  /stats    JSON: catalog version, world count, decomposition
-//	               size, relation and view names.
+//	               size, relation and view names, prepared statements,
+//	               live transactional sessions.
 //	GET  /healthz  "ok" once the server is up.
+//
+// # Transactional sessions
+//
+// A request carrying an X-ISQL-Session header is sticky: the server
+// keeps one named session per token, serializes that token's requests,
+// and preserves session state — most importantly an open BEGIN
+// transaction — across requests. A script may BEGIN in one request,
+// stage statements over several more, and COMMIT later; until the
+// commit, every other session (and every /exec reader) keeps seeing the
+// pre-transaction catalog. Sticky sessions idle longer than the TTL are
+// evicted and their open transaction rolled back. Requests without the
+// header run on a throwaway session, and a transaction left open at the
+// end of the script is rolled back (there is no token to resume it by).
 package isqld
 
 import (
@@ -31,7 +53,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/store"
@@ -43,14 +67,32 @@ import (
 	_ "worldsetdb/internal/wsdexec"
 )
 
+// SessionHeader names the sticky-session token header.
+const SessionHeader = "X-ISQL-Session"
+
 // Server serves I-SQL sessions over one shared catalog.
 type Server struct {
 	cat    *store.Catalog
 	engine string
 	// maxBody bounds script size (default 1 MiB).
 	maxBody int64
+	// prep is the server-wide prepared-statement cache, shared by every
+	// session (sticky and throwaway).
+	prep *isql.PlanCache
+	// sticky sessions by token.
+	mu         sync.Mutex
+	sessions   map[string]*stickySession
+	sessionTTL time.Duration
 	// stats
 	execs atomic.Uint64
+}
+
+// stickySession is one token's persistent session. Its mutex serializes
+// requests for the token (a session is single-goroutine).
+type stickySession struct {
+	mu       sync.Mutex
+	sess     *isql.Session
+	lastUsed time.Time
 }
 
 // Option configures a Server.
@@ -60,9 +102,19 @@ type Option func(*Server)
 // (default: wsdexec natively on the decomposition).
 func WithEngine(name string) Option { return func(s *Server) { s.engine = name } }
 
+// WithSessionTTL sets the sticky-session idle eviction age (default 5
+// minutes). An evicted session's open transaction is rolled back.
+func WithSessionTTL(d time.Duration) Option { return func(s *Server) { s.sessionTTL = d } }
+
 // New returns a server over the catalog.
 func New(cat *store.Catalog, opts ...Option) *Server {
-	s := &Server{cat: cat, maxBody: 1 << 20}
+	s := &Server{
+		cat:        cat,
+		maxBody:    1 << 20,
+		prep:       isql.NewPlanCache(),
+		sessions:   map[string]*stickySession{},
+		sessionTTL: 5 * time.Minute,
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -76,6 +128,8 @@ func (s *Server) Catalog() *store.Catalog { return s.cat }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /exec", s.handleExec)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("POST /execute", s.handleExecute)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -83,36 +137,158 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// session returns a fresh session bound to the shared catalog. Sessions
-// are cheap (a pointer and a view parse cache); per-request isolation
-// is what lets requests run concurrently.
+// session returns a fresh throwaway session bound to the shared catalog
+// and plan cache. Sessions are cheap (a pointer and a view parse
+// cache); per-request isolation is what lets requests run concurrently.
 func (s *Server) session() *isql.Session {
 	sess := isql.FromCatalog(s.cat)
 	sess.Engine = s.engine
+	sess.SetPlanCache(s.prep)
 	return sess
 }
 
-func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+// acquire resolves the request's session: the token's sticky session
+// (locked for the duration of the request; created on first use) when
+// the header is set, a throwaway otherwise. release must be called when
+// the request is done; for throwaway sessions it rolls back any open
+// transaction.
+func (s *Server) acquire(r *http.Request) (sess *isql.Session, release func()) {
+	token := r.Header.Get(SessionHeader)
+	if token == "" {
+		sess = s.session()
+		return sess, func() {
+			if sess.InTxn() {
+				sess.Rollback()
+			}
+		}
+	}
+	s.mu.Lock()
+	s.evictIdleLocked()
+	st, ok := s.sessions[token]
+	if !ok {
+		st = &stickySession{sess: s.session()}
+		s.sessions[token] = st
+	}
+	st.lastUsed = time.Now()
+	s.mu.Unlock()
+	st.mu.Lock()
+	return st.sess, func() {
+		s.mu.Lock()
+		st.lastUsed = time.Now()
+		s.mu.Unlock()
+		st.mu.Unlock()
+	}
+}
+
+// evictIdleLocked drops sticky sessions idle beyond the TTL, rolling
+// back their open transactions. Caller holds s.mu.
+func (s *Server) evictIdleLocked() {
+	cutoff := time.Now().Add(-s.sessionTTL)
+	for token, st := range s.sessions {
+		if st.lastUsed.Before(cutoff) {
+			if st.mu.TryLock() { // skip a session mid-request
+				if st.sess.InTxn() {
+					st.sess.Rollback()
+				}
+				st.mu.Unlock()
+				delete(s.sessions, token)
+			}
+		}
+	}
+}
+
+// body reads a bounded request body.
+func (s *Server) body(w http.ResponseWriter, r *http.Request) (string, bool) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 	if err != nil {
 		http.Error(w, "error: reading request: "+err.Error(), http.StatusBadRequest)
-		return
+		return "", false
 	}
-	if int64(len(body)) > s.maxBody {
+	if int64(len(data)) > s.maxBody {
 		http.Error(w, fmt.Sprintf("error: script exceeds %d bytes", s.maxBody), http.StatusRequestEntityTooLarge)
+		return "", false
+	}
+	return string(data), true
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	script, ok := s.body(w, r)
+	if !ok {
 		return
 	}
 	s.execs.Add(1)
-	sess := s.session()
-	out, err := RunScript(sess, string(body))
+	sess, release := s.acquire(r)
+	defer release()
+	out, err := RunScript(sess, script)
+	s.reply(w, out, err)
+}
+
+// handlePrepare registers `prepare <name> as <statement>` statements in
+// the server-wide plan cache.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	script, ok := s.body(w, r)
+	if !ok {
+		return
+	}
+	stmts, err := isql.ParseScript(script)
 	if err != nil {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reply(w, "", err)
+		return
+	}
+	sess, release := s.acquire(r)
+	defer release()
+	var b strings.Builder
+	for _, st := range stmts {
+		if _, isPrep := st.(*isql.PrepareStmt); !isPrep {
+			s.reply(w, b.String(), fmt.Errorf("/prepare accepts only prepare statements, got %q", st))
+			return
+		}
+		res, err := sess.Exec(st)
+		if err != nil {
+			s.reply(w, b.String(), err)
+			return
+		}
+		fmt.Fprintf(&b, "%s\n", res.Message)
+	}
+	s.reply(w, b.String(), nil)
+}
+
+// handleExecute runs a prepared statement: the body is the bare call
+// form `name` or `name(arg, ...)` — no statement grammar to parse, and
+// for cached fragment selects no compilation either.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.body(w, r)
+	if !ok {
+		return
+	}
+	call, err := isql.ParseExecuteCall(body)
+	if err != nil {
+		s.reply(w, "", err)
+		return
+	}
+	s.execs.Add(1)
+	sess, release := s.acquire(r)
+	defer release()
+	res, err := sess.Exec(call)
+	if err != nil {
+		s.reply(w, "", err)
+		return
+	}
+	var b strings.Builder
+	renderResult(&b, sess, res)
+	s.reply(w, b.String(), nil)
+}
+
+// reply writes the line-protocol response: the rendered output so far,
+// plus an error line and status 422 when a statement failed.
+func (s *Server) reply(w http.ResponseWriter, out string, err error) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err != nil {
 		w.WriteHeader(http.StatusUnprocessableEntity)
 		io.WriteString(w, out)
 		fmt.Fprintf(w, "error: %v\n", err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, out)
 }
 
@@ -131,23 +307,30 @@ func RunScript(sess *isql.Session, script string) (string, error) {
 		if err != nil {
 			return b.String(), err
 		}
-		switch {
-		case len(res.Answers) > 0:
-			for i, a := range res.Answers {
-				caption := "answer"
-				if len(res.Answers) > 1 {
-					caption = fmt.Sprintf("answer variant %d of %d", i+1, len(res.Answers))
-				}
-				b.WriteString(a.Render(caption))
-				b.WriteByte('\n')
-			}
-		case res.Affected > 0:
-			fmt.Fprintf(&b, "%d tuple(s) affected across %s world(s)\n\n", res.Affected, sess.Worlds())
-		default:
-			fmt.Fprintf(&b, "ok; %s world(s)\n\n", sess.Worlds())
-		}
+		renderResult(&b, sess, res)
 	}
 	return b.String(), nil
+}
+
+// renderResult writes one statement's protocol output.
+func renderResult(b *strings.Builder, sess *isql.Session, res *isql.Result) {
+	switch {
+	case len(res.Answers) > 0:
+		for i, a := range res.Answers {
+			caption := "answer"
+			if len(res.Answers) > 1 {
+				caption = fmt.Sprintf("answer variant %d of %d", i+1, len(res.Answers))
+			}
+			b.WriteString(a.Render(caption))
+			b.WriteByte('\n')
+		}
+	case res.Message != "":
+		fmt.Fprintf(b, "%s\n\n", res.Message)
+	case res.Affected > 0:
+		fmt.Fprintf(b, "%d tuple(s) affected across %s world(s)\n\n", res.Affected, sess.Worlds())
+	default:
+		fmt.Fprintf(b, "ok; %s world(s)\n\n", sess.Worlds())
+	}
 }
 
 // Stats is the /stats document.
@@ -158,6 +341,8 @@ type Stats struct {
 	Relations []string `json:"relations"`
 	Views     []string `json:"views"`
 	Execs     uint64   `json:"execs"`
+	Prepared  []string `json:"prepared,omitempty"`
+	Sessions  int      `json:"sessions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -167,6 +352,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		views = append(views, v)
 	}
 	sort.Strings(views)
+	s.mu.Lock()
+	live := len(s.sessions)
+	s.mu.Unlock()
 	st := Stats{
 		Version:   snap.Version,
 		Worlds:    snap.DB.Worlds().String(),
@@ -174,6 +362,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Relations: append([]string{}, snap.DB.Names...),
 		Views:     views,
 		Execs:     s.execs.Load(),
+		Prepared:  s.prep.Names(),
+		Sessions:  live,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 	"testing"
 
 	"worldsetdb/internal/datagen"
@@ -250,4 +251,266 @@ func BenchmarkReaderThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// postSession is post with a sticky-session token header.
+func postSession(t testing.TB, url, token, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SessionHeader, token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// TestTxnScriptGolden pins the transactional protocol end to end — the
+// same script the CI smoke job posts at a live WAL-backed server: a
+// committed BEGIN batch, a rolled-back one, and the resulting answers.
+func TestTxnScriptGolden(t *testing.T) {
+	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	script, err := os.ReadFile(filepath.Join("testdata", "txn.isql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, got := post(t, ts.URL+"/exec", string(script))
+	if code != http.StatusOK {
+		t.Fatalf("status %d\n%s", code, got)
+	}
+	golden := filepath.Join("testdata", "txn.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run 'go test -update ./internal/isqld'): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("txn output differs\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTransactionAtomicityUnderReaders is the tentpole acceptance
+// check: a sticky session stages a BEGIN → N statements → COMMIT batch
+// across several requests while concurrent /exec readers poll; every
+// reader response must reflect either the pre-transaction or the
+// post-commit catalog — never an intermediate statement. Run under
+// -race in CI.
+func TestTransactionAtomicityUnderReaders(t *testing.T) {
+	cat := store.New(nil)
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	if code, out := post(t, ts.URL+"/exec",
+		"create table T (A); insert into T values (0);"); code != http.StatusOK {
+		t.Fatalf("setup: %d %s", code, out)
+	}
+	const staged = 5
+	stop := make(chan struct{})
+	bad := make(chan string, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, out := post(t, ts.URL+"/exec", "select count(*) as N from T;")
+				if code != http.StatusOK {
+					select {
+					case bad <- fmt.Sprintf("reader status %d: %s", code, out):
+					default:
+					}
+					return
+				}
+				// The count is either 1 (pre-transaction) or 1+staged
+				// (post-commit); anything else is a torn read.
+				if !strings.Contains(out, "\n1\n") && !strings.Contains(out, fmt.Sprintf("\n%d\n", 1+staged)) {
+					select {
+					case bad <- "torn read:\n" + out:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	if code, out := postSession(t, ts.URL+"/exec", "writer", "begin;"); code != http.StatusOK {
+		t.Fatalf("begin: %d %s", code, out)
+	}
+	for i := 1; i <= staged; i++ {
+		if code, out := postSession(t, ts.URL+"/exec", "writer",
+			fmt.Sprintf("insert into T values (%d);", i)); code != http.StatusOK {
+			t.Fatalf("staged insert %d: %d %s", i, code, out)
+		}
+	}
+	if code, out := postSession(t, ts.URL+"/exec", "writer", "commit;"); code != http.StatusOK {
+		t.Fatalf("commit: %d %s", code, out)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-bad:
+		t.Fatal(msg)
+	default:
+	}
+	code, out := post(t, ts.URL+"/exec", "select count(*) as N from T;")
+	if code != http.StatusOK || !strings.Contains(out, fmt.Sprintf("\n%d\n", 1+staged)) {
+		t.Fatalf("final count missing %d:\n%s", 1+staged, out)
+	}
+}
+
+// TestStatelessRequestRollsBackOpenTxn: a /exec script that BEGINs
+// without a session token cannot resume — its open transaction is
+// rolled back at end of request and never becomes visible.
+func TestStatelessRequestRollsBackOpenTxn(t *testing.T) {
+	cat := store.New(nil)
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	if code, out := post(t, ts.URL+"/exec", "create table T (A);"); code != http.StatusOK {
+		t.Fatalf("setup: %d %s", code, out)
+	}
+	if code, out := post(t, ts.URL+"/exec", "begin; insert into T values (1);"); code != http.StatusOK {
+		t.Fatalf("open-txn script: %d %s", code, out)
+	}
+	code, out := post(t, ts.URL+"/exec", "select count(*) as N from T;")
+	if code != http.StatusOK || !strings.Contains(out, "\n0\n") {
+		t.Fatalf("abandoned stateless transaction leaked:\n%s", out)
+	}
+}
+
+// TestStickySessionEviction: an idle sticky session past the TTL is
+// evicted and its open transaction rolled back.
+func TestStickySessionEviction(t *testing.T) {
+	cat := store.New(nil)
+	ts := httptest.NewServer(New(cat, WithSessionTTL(30*time.Millisecond)).Handler())
+	defer ts.Close()
+	if code, out := post(t, ts.URL+"/exec", "create table T (A);"); code != http.StatusOK {
+		t.Fatalf("setup: %d %s", code, out)
+	}
+	if code, out := postSession(t, ts.URL+"/exec", "tok", "begin; insert into T values (1);"); code != http.StatusOK {
+		t.Fatalf("begin: %d %s", code, out)
+	}
+	time.Sleep(60 * time.Millisecond)
+	// Any session acquisition sweeps; this one creates a fresh session
+	// under the same token, whose commit has nothing staged.
+	code, out := postSession(t, ts.URL+"/exec", "tok", "select count(*) as N from T;")
+	if code != http.StatusOK || !strings.Contains(out, "\n0\n") {
+		t.Fatalf("evicted transaction leaked:\n%s", out)
+	}
+	if code, _ := postSession(t, ts.URL+"/exec", "tok", "commit;"); code == http.StatusOK {
+		t.Fatal("commit on the evicted session's replacement must fail (no open transaction)")
+	}
+}
+
+// TestPrepareExecuteEndpoints: /prepare registers into the shared
+// cache, /execute runs with and without arguments, errors surface.
+func TestPrepareExecuteEndpoints(t *testing.T) {
+	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	if code, out := post(t, ts.URL+"/exec",
+		"create table Clean as select * from Census repair by key SSN;"); code != http.StatusOK {
+		t.Fatalf("setup: %d %s", code, out)
+	}
+	code, out := post(t, ts.URL+"/prepare",
+		"prepare certnames as select certain Name from Clean; prepare bypob as select Name from Clean where POB = $1;")
+	if code != http.StatusOK || !strings.Contains(out, "prepared certnames") || !strings.Contains(out, "prepared bypob") {
+		t.Fatalf("prepare: %d\n%s", code, out)
+	}
+	code, out = post(t, ts.URL+"/execute", "certnames")
+	if code != http.StatusOK || !strings.Contains(out, "answer") {
+		t.Fatalf("execute certnames: %d\n%s", code, out)
+	}
+	code, out = post(t, ts.URL+"/execute", "bypob('NYC')")
+	if code != http.StatusOK || !strings.Contains(out, "answer") {
+		t.Fatalf("execute bypob: %d\n%s", code, out)
+	}
+	// Errors: unknown name, wrong arity, non-prepare on /prepare.
+	if code, _ = post(t, ts.URL+"/execute", "nosuch"); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown prepared statement: status %d", code)
+	}
+	if code, _ = post(t, ts.URL+"/execute", "bypob"); code != http.StatusUnprocessableEntity {
+		t.Fatalf("missing argument: status %d", code)
+	}
+	if code, _ = post(t, ts.URL+"/prepare", "select * from Clean;"); code != http.StatusUnprocessableEntity {
+		t.Fatalf("non-prepare on /prepare: status %d", code)
+	}
+	// /stats lists the prepared statements.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Prepared) != 2 {
+		t.Fatalf("stats.Prepared = %v, want 2 names", st.Prepared)
+	}
+}
+
+// BenchmarkPreparedVsExec compares parse-per-request /exec with cached
+// /execute for the same analytical query — the prepared path must stay
+// well ahead (wsabench TXN pins the ratio).
+func BenchmarkPreparedVsExec(b *testing.B) {
+	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
+	ts := httptest.NewServer(New(cat).Handler())
+	defer ts.Close()
+	if code, out := post(b, ts.URL+"/exec",
+		"create table Clean as select * from Census repair by key SSN;"); code != http.StatusOK {
+		b.Fatalf("setup: %d %s", code, out)
+	}
+	query := analyticalQuery()
+	if code, out := post(b, ts.URL+"/prepare", "prepare q as "+query); code != http.StatusOK {
+		b.Fatalf("prepare: %d %s", code, out)
+	}
+	b.Run("exec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if code, _ := post(b, ts.URL+"/exec", query); code != http.StatusOK {
+				b.Fatal("exec failed")
+			}
+		}
+	})
+	b.Run("execute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if code, _ := post(b, ts.URL+"/execute", "q"); code != http.StatusOK {
+				b.Fatal("execute failed")
+			}
+		}
+	})
+}
+
+// analyticalQuery builds a wordy fragment select whose per-request cost
+// is dominated by parsing and compilation — the shape /prepare+/execute
+// exists to amortize.
+func analyticalQuery() string {
+	var b strings.Builder
+	b.WriteString("select certain Name from Clean where ")
+	for i := 0; i < 48; i++ {
+		if i > 0 {
+			b.WriteString(" or ")
+		}
+		fmt.Fprintf(&b, "POB = 'C%d'", i)
+	}
+	b.WriteString(";")
+	return b.String()
 }

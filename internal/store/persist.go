@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"worldsetdb/internal/relation"
@@ -243,17 +244,49 @@ func Load(r io.Reader) (*Catalog, error) {
 	return c, nil
 }
 
-// SaveFile writes the snapshot to path.
+// SaveFile writes the snapshot to path atomically: the document goes to
+// a temp file in the same directory, is fsynced, and replaces path with
+// one rename — a crash mid-save can no longer truncate an existing
+// catalog file to a torn prefix.
 func SaveFile(path string, snap *Snapshot) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Save(f, snap); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := Save(f, snap); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp makes 0600 files; keep the historical os.Create mode so
+	// other readers of the saved catalog are unaffected by the atomic
+	// rename path.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Durability of the rename itself (best effort: not all platforms
+	// support fsync on directories).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a catalog from path.

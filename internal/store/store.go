@@ -68,6 +68,26 @@ func (s *Snapshot) HasRelation(name string) bool {
 type Catalog struct {
 	writer sync.Mutex
 	cur    atomic.Pointer[Snapshot]
+	// logger, when set, receives every committed transaction's statement
+	// records before the new version becomes visible (write-ahead).
+	logger TxLogger
+}
+
+// TxLogger receives committed transactions for durability. AppendCommit
+// is called under the catalog writer lock, before the new version is
+// published; an error aborts the commit. The store's WAL implements it.
+type TxLogger interface {
+	AppendCommit(version uint64, stmts []string) error
+}
+
+// SetLogger attaches a commit logger (typically a WAL). Pass nil to
+// detach. Must not be called while transactions are in flight on other
+// goroutines; cmd wiring attaches the logger once at startup, after
+// recovery replay.
+func (c *Catalog) SetLogger(l TxLogger) {
+	c.writer.Lock()
+	defer c.writer.Unlock()
+	c.logger = l
 }
 
 // New returns a catalog whose first version holds the given
@@ -100,7 +120,13 @@ type Tx struct {
 	base  *Snapshot
 	db    *wsd.DecompDB     // staged decomposition; nil = unchanged
 	views map[string]string // staged view map; nil = unchanged
+	stmts []string          // statement records for the commit log
 }
+
+// Log records the statement text that produced the staged edits, so a
+// commit logger (WAL) can persist the transaction as replayable
+// statements. Call once per executed statement.
+func (tx *Tx) Log(stmt string) { tx.stmts = append(tx.stmts, stmt) }
 
 // Snap returns the snapshot the transaction started from (the latest
 // committed version; no writer can interleave).
@@ -152,7 +178,10 @@ func (tx *Tx) cowViews() {
 // Update runs fn as the single writer against the latest snapshot and,
 // if fn succeeds and staged anything, atomically publishes the staged
 // state as a new catalog version. On error nothing is published.
-// Readers holding older snapshots are unaffected either way.
+// Readers holding older snapshots are unaffected either way. When a
+// commit logger is attached, the transaction's statement records are
+// appended (and fsynced) to it before the version becomes visible; a
+// logging failure aborts the commit.
 func (c *Catalog) Update(fn func(*Tx) error) error {
 	c.writer.Lock()
 	defer c.writer.Unlock()
@@ -167,6 +196,11 @@ func (c *Catalog) Update(fn func(*Tx) error) error {
 		Version: tx.base.Version + 1,
 		DB:      tx.DB(),
 		Views:   tx.Views(),
+	}
+	if c.logger != nil {
+		if err := c.logger.AppendCommit(next.Version, tx.stmts); err != nil {
+			return fmt.Errorf("store: logging commit v%d: %w", next.Version, err)
+		}
 	}
 	c.cur.Store(next)
 	return nil
@@ -183,13 +217,25 @@ func (c *Catalog) Update(fn func(*Tx) error) error {
 // the result is re-factorized with wsd.Refactor, so the catalog stays
 // decomposed whichever engine answered.
 func Query(snap *Snapshot, engine string, q wsa.Expr, budget int) (*wsd.DecompDB, *wsdexec.Plan, error) {
+	return QueryOpts(snap, engine, q, &wsdexec.Options{ExpandBudget: budget})
+}
+
+// QueryOpts is Query with explicit factorized-engine options — the
+// prepared-statement path passes NoRewrite because its cached plans are
+// already prelowered at compile time, so per-request evaluation skips
+// the rewrite search entirely.
+func QueryOpts(snap *Snapshot, engine string, q wsa.Expr, opt *wsdexec.Options) (*wsd.DecompDB, *wsdexec.Plan, error) {
 	if engine == "" || engine == "wsdexec" {
-		return wsdexec.EvalOpts(q, snap.DB, &wsdexec.Options{ExpandBudget: budget})
+		return wsdexec.EvalOpts(q, snap.DB, opt)
 	}
 	plan := &wsdexec.Plan{
 		FallbackOp:     "engine override",
 		FallbackEngine: engine,
 		InputWorlds:    snap.DB.Worlds(),
+	}
+	budget := 0
+	if opt != nil {
+		budget = opt.ExpandBudget
 	}
 	ws, err := snap.DB.Expand(budget)
 	if err != nil {

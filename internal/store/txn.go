@@ -1,0 +1,115 @@
+package store
+
+import "fmt"
+
+// Staged is a multi-statement transaction: a private chain of staging
+// snapshots built from one base catalog version. Statements inside the
+// transaction read and write the staging chain only; concurrent readers
+// of the catalog keep seeing the pre-transaction version until Commit
+// publishes the whole chain as one new catalog version. Obtain one
+// through Begin.
+//
+// Concurrency control is optimistic, first-committer-wins: Begin takes
+// no locks, and Commit publishes only if the catalog is still at the
+// base version the transaction started from — otherwise it fails with
+// *ConflictError and nothing is published (the catalog behaves as if
+// the transaction never ran). A Staged value is single-goroutine, like
+// the session that owns it.
+type Staged struct {
+	cat   *Catalog
+	base  *Snapshot // catalog version the transaction started from
+	cur   *Snapshot // head of the private staging chain
+	stmts []string  // statement records for the commit log
+	done  bool
+}
+
+// ConflictError reports an optimistic-concurrency failure: another
+// writer committed between Begin and Commit.
+type ConflictError struct {
+	Base    uint64 // catalog version the transaction started from
+	Current uint64 // catalog version found at commit time
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("store: transaction conflict: started from version %d, catalog is now at version %d", e.Base, e.Current)
+}
+
+// errTxnDone guards against use after Commit/Rollback.
+var errTxnDone = fmt.Errorf("store: transaction already committed or rolled back")
+
+// Begin starts a staged transaction from the latest committed version.
+func (c *Catalog) Begin() *Staged {
+	base := c.cur.Load()
+	return &Staged{cat: c, base: base, cur: base}
+}
+
+// Snapshot returns the transaction's current staging snapshot: the base
+// version plus every statement staged so far. Private to the
+// transaction; other readers never see it before Commit.
+func (s *Staged) Snapshot() *Snapshot { return s.cur }
+
+// Base returns the committed snapshot the transaction started from.
+func (s *Staged) Base() *Snapshot { return s.base }
+
+// Update runs fn against the staging head and, if it staged anything,
+// extends the private chain with a new staging snapshot. Nothing is
+// published to the catalog; versions on the chain are private
+// monotonically increasing numbers used by per-statement caches. The
+// signature matches Catalog.Update so session statements execute
+// identically inside and outside a transaction.
+func (s *Staged) Update(fn func(*Tx) error) error {
+	if s.done {
+		return errTxnDone
+	}
+	tx := &Tx{base: s.cur}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.db == nil && tx.views == nil {
+		return nil
+	}
+	s.stmts = append(s.stmts, tx.stmts...)
+	s.cur = &Snapshot{
+		Version: s.cur.Version + 1,
+		DB:      tx.DB(),
+		Views:   tx.Views(),
+	}
+	return nil
+}
+
+// Commit atomically publishes the staging chain as one new catalog
+// version (base version + 1, however many statements were staged). A
+// read-only transaction commits trivially. When another writer
+// committed since Begin, Commit fails with *ConflictError and publishes
+// nothing. With a commit logger attached, the transaction's statement
+// records are appended and fsynced before the version becomes visible.
+func (s *Staged) Commit() error {
+	if s.done {
+		return errTxnDone
+	}
+	s.done = true
+	if s.cur == s.base {
+		return nil // read-only: nothing staged, nothing to publish
+	}
+	c := s.cat
+	c.writer.Lock()
+	defer c.writer.Unlock()
+	if latest := c.cur.Load(); latest != s.base {
+		return &ConflictError{Base: s.base.Version, Current: latest.Version}
+	}
+	next := &Snapshot{
+		Version: s.base.Version + 1,
+		DB:      s.cur.DB,
+		Views:   s.cur.Views,
+	}
+	if c.logger != nil {
+		if err := c.logger.AppendCommit(next.Version, s.stmts); err != nil {
+			return fmt.Errorf("store: logging commit v%d: %w", next.Version, err)
+		}
+	}
+	c.cur.Store(next)
+	return nil
+}
+
+// Rollback discards the staging chain. The catalog never saw it.
+func (s *Staged) Rollback() { s.done = true }

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Statement-level write-ahead log: durability for the catalog without
+// whole-snapshot saves. Every committed transaction appends one record
+// — the I-SQL statement texts that produced it plus the catalog version
+// it committed as — and fsyncs before the version becomes visible
+// (Catalog.Update / Staged.Commit call AppendCommit under the writer
+// lock). Recovery (Open) loads the last checkpoint — a plain .wsd
+// snapshot written atomically — and deterministically re-executes the
+// log tail: statement execution is pure, so replaying record v against
+// the catalog at version v-1 reproduces version v exactly, byte for
+// byte through Save.
+//
+// # On-disk format
+//
+// One JSON object per line: {"v":<version>,"stmts":[...],"crc":<sum>},
+// where crc is the IEEE CRC-32 of the version and the length-prefixed
+// statement texts. A torn tail (crash mid-append) fails the CRC or the
+// JSON decode; OpenWAL truncates the file back to the last intact
+// record. Checkpointing writes the snapshot with SaveFile (temp file +
+// atomic rename) and then truncates the log; records are filtered by
+// version on replay, so a crash between those two steps only leaves
+// already-checkpointed records that replay skips.
+
+// WALRecord is one committed transaction in the log.
+type WALRecord struct {
+	// Version is the catalog version the transaction committed as.
+	Version uint64
+	// Stmts are the statement texts that produced it, in execution order.
+	Stmts []string
+}
+
+// walLine is the on-disk framing of a record.
+type walLine struct {
+	Version uint64   `json:"v"`
+	Stmts   []string `json:"stmts"`
+	CRC     uint32   `json:"crc"`
+}
+
+// crcOf sums the record content: version plus length-prefixed statement
+// texts (the prefix keeps ["ab","c"] distinct from ["a","bc"]).
+func crcOf(version uint64, stmts []string) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], version)
+	h.Write(buf[:])
+	for _, s := range stmts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		io.WriteString(h, s)
+	}
+	return h.Sum32()
+}
+
+// WAL is an open write-ahead log. It implements TxLogger; attach it to
+// a catalog with SetLogger. Safe for concurrent use (appends already
+// serialize under the catalog writer lock, but Checkpoint may race a
+// commit from another goroutine).
+type WAL struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	appended int // records appended since open or last checkpoint
+}
+
+// OpenWAL opens (creating if absent) the log at path and returns the
+// intact records it holds. A torn tail — a final record interrupted by
+// a crash — is detected by CRC/framing and truncated away so appending
+// resumes from the last durable record.
+func OpenWAL(path string) (*WAL, []WALRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	records, valid, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if info.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path}, records, nil
+}
+
+// scanWAL reads records from the start of f, stopping (without error)
+// at the first torn or corrupt line, and returns the records plus the
+// byte length of the intact prefix. Lines are read without a length
+// cap: a large committed record must never be mistaken for a torn tail.
+func scanWAL(f *os.File) ([]WALRecord, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var records []WALRecord
+	var valid int64
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final line without its newline is a torn append.
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: scanning WAL: %w", err)
+		}
+		var rec walLine
+		if err := json.Unmarshal(line[:len(line)-1], &rec); err != nil {
+			break // torn or corrupt tail
+		}
+		if rec.CRC != crcOf(rec.Version, rec.Stmts) {
+			break
+		}
+		records = append(records, WALRecord{Version: rec.Version, Stmts: rec.Stmts})
+		valid += int64(len(line))
+	}
+	return records, valid, nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// AppendCommit writes one committed transaction and fsyncs. It is the
+// TxLogger hook: called by the catalog under the writer lock, before
+// the new version is published. On a write or fsync failure the log is
+// truncated back to its pre-append length — the commit is being
+// aborted, and a half-durable record must not shadow a later successful
+// commit of the same version.
+func (w *WAL) AppendCommit(version uint64, stmts []string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: WAL is closed")
+	}
+	if len(stmts) == 0 {
+		// A record with no statements cannot replay to a new version;
+		// logging it would brick recovery. The caller staged changes
+		// without Tx.Log — surface the bug at commit time.
+		return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", version)
+	}
+	base, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(walLine{Version: version, Stmts: stmts, CRC: crcOf(version, stmts)})
+	if err != nil {
+		return err
+	}
+	undo := func(cause error) error {
+		if terr := w.f.Truncate(base); terr == nil {
+			w.f.Seek(base, io.SeekStart)
+		}
+		return cause
+	}
+	if _, err := w.f.Write(append(line, '\n')); err != nil {
+		return undo(fmt.Errorf("store: appending WAL record v%d: %w", version, err))
+	}
+	if err := w.f.Sync(); err != nil {
+		return undo(fmt.Errorf("store: fsyncing WAL record v%d: %w", version, err))
+	}
+	w.appended++
+	return nil
+}
+
+// Appended reports the number of records appended since the log was
+// opened or last checkpointed (the -checkpoint-every trigger).
+func (w *WAL) Appended() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Checkpoint persists the snapshot as the new recovery base at wsdPath
+// (atomically, via SaveFile's temp-file + rename) and truncates the
+// log. Crash safety: replay filters records by version, so dying
+// between the save and the truncate merely leaves records the next
+// Open skips. The caller must ensure no commit is logged between the
+// snapshot read and this call — use Catalog.Checkpoint, which holds the
+// writer lock, when writers may be live.
+func (w *WAL) Checkpoint(snap *Snapshot, wsdPath string) error {
+	if err := SaveFile(wsdPath, snap); err != nil {
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: WAL is closed")
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL after checkpoint: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.appended = 0
+	return nil
+}
+
+// Checkpoint writes the catalog's current snapshot as the new recovery
+// base and truncates the WAL, under the writer lock so no commit can be
+// appended (and then lost to the truncate) between the snapshot read
+// and the log reset. Readers are unaffected; writers wait for the
+// checkpoint save.
+func (c *Catalog) Checkpoint(w *WAL, wsdPath string) error {
+	c.writer.Lock()
+	defer c.writer.Unlock()
+	return w.Checkpoint(c.cur.Load(), wsdPath)
+}
+
+// Close closes the log file. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Applier re-executes one committed WAL record against the catalog
+// during recovery. It must apply the record's statements as a single
+// transaction committing exactly version rec.Version (isql.ReplayRecord
+// is the canonical implementation — the store itself cannot parse
+// I-SQL).
+type Applier func(cat *Catalog, rec WALRecord) error
+
+// Open recovers a WAL-backed catalog: load the last checkpoint from
+// wsdPath (the empty catalog when none exists), replay the log tail —
+// every intact record newer than the checkpoint, re-executed through
+// applier — and return the catalog with the WAL attached as its commit
+// logger, ready for new transactions. The catalog after Open is
+// byte-identical (through Save) to the last committed state before the
+// crash: committed transactions survive, uncommitted ones vanish.
+func Open(wsdPath, walPath string, applier Applier) (*Catalog, *WAL, error) {
+	var cat *Catalog
+	switch _, err := os.Stat(wsdPath); {
+	case err == nil:
+		cat, err = LoadFile(wsdPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: loading checkpoint: %w", err)
+		}
+	case os.IsNotExist(err):
+		cat = New(nil)
+	default:
+		return nil, nil, err
+	}
+	wal, records, err := OpenWAL(walPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rec := range records {
+		snap := cat.Snapshot()
+		if rec.Version <= snap.Version {
+			continue // already in the checkpoint
+		}
+		if rec.Version != snap.Version+1 {
+			wal.Close()
+			return nil, nil, fmt.Errorf("store: WAL gap: catalog at v%d, next record is v%d", snap.Version, rec.Version)
+		}
+		if err := applier(cat, rec); err != nil {
+			wal.Close()
+			return nil, nil, fmt.Errorf("store: replaying WAL record v%d: %w", rec.Version, err)
+		}
+		if got := cat.Snapshot().Version; got != rec.Version {
+			wal.Close()
+			return nil, nil, fmt.Errorf("store: replaying WAL record v%d left the catalog at v%d (non-deterministic replay?)", rec.Version, got)
+		}
+	}
+	cat.SetLogger(wal)
+	return cat, wal, nil
+}

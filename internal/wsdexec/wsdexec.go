@@ -275,8 +275,26 @@ func (e *engine) eval(q wsa.Expr) (*frel, error) {
 		return out, nil
 
 	case *wsa.Select:
-		return e.mapUnary(n.From, outSchema, func(r *relation.Relation) (*relation.Relation, error) {
-			return (&ra.Select{Pred: n.Pred, From: &ra.Lit{Rel: r}}).Eval(nil)
+		// Every piece of a factored relation shares one schema, so the
+		// predicate compiles once (attribute resolution is string-heavy)
+		// and the compiled filter maps over the pieces.
+		return e.mapUnaryPrep(n.From, outSchema, func(s relation.Schema) (func(*relation.Relation) (*relation.Relation, error), error) {
+			pred, err := n.Pred.Compile(s)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *relation.Relation) (*relation.Relation, error) {
+				if !r.Schema().Equal(s) { // defensive: piece with a divergent schema
+					return (&ra.Select{Pred: n.Pred, From: &ra.Lit{Rel: r}}).Eval(nil)
+				}
+				out := relation.New(r.Schema())
+				r.Each(func(t relation.Tuple) {
+					if pred(t) {
+						out.Insert(t)
+					}
+				})
+				return out, nil
+			}, nil
 		})
 
 	case *wsa.Project:
@@ -325,7 +343,24 @@ func (e *engine) eval(q wsa.Expr) (*frel, error) {
 // the merge is deterministic regardless of scheduling.
 func (e *engine) mapUnary(from wsa.Expr, outSchema relation.Schema,
 	fn func(*relation.Relation) (*relation.Relation, error)) (*frel, error) {
+	return e.mapUnaryPrep(from, outSchema,
+		func(relation.Schema) (func(*relation.Relation) (*relation.Relation, error), error) {
+			return fn, nil
+		})
+}
+
+// mapUnaryPrep is mapUnary with a preparation hook: prep sees the input
+// schema once — shared by every piece of the factored relation — and
+// returns the per-piece function, letting operators hoist
+// schema-dependent compilation (predicate resolution, column indexes)
+// out of the piece loop.
+func (e *engine) mapUnaryPrep(from wsa.Expr, outSchema relation.Schema,
+	prep func(relation.Schema) (func(*relation.Relation) (*relation.Relation, error), error)) (*frel, error) {
 	sub, err := e.eval(from)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := prep(sub.schema)
 	if err != nil {
 		return nil, err
 	}
