@@ -56,13 +56,14 @@ func main() {
 	engine := flag.String("engine", "", "evaluation engine for fragment statements (default: wsdexec)")
 	walDir := flag.String("wal", "", "directory for WAL-backed durability (checkpoint.wsd + wal.log)")
 	ckptEvery := flag.Int("checkpoint-every", 256, "with -wal: checkpoint after this many logged commits (0 = only on shutdown)")
+	txnRetries := flag.Int("txn-retries", 16, "automatic conflict retries per transaction (0 = surface conflicts immediately)")
 	flag.Parse()
 
 	cat, wal, ckptPath, err := openCatalog(*demo, *load, *walDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := isqld.New(cat, isqld.WithEngine(*engine))
+	srv := isqld.New(cat, isqld.WithEngine(*engine), isqld.WithTxnRetries(*txnRetries))
 
 	// Bound WAL replay work: checkpoint once enough commits accumulated.
 	stopCkpt := make(chan struct{})
@@ -101,6 +102,7 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	close(stopCkpt)
+	srv.Close() // stop the idle-session sweeper
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

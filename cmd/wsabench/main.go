@@ -57,6 +57,8 @@ var (
 		"baseline JSON to diff the fresh measurements against ('' disables the diff)")
 	regress = flag.Float64("regress", 2.0,
 		"flag ops whose ns/op exceeds this multiple of the baseline")
+	gate = flag.String("gate", "",
+		"comma-separated op prefixes whose regressions are blocking: any flagged op matching one makes wsabench exit nonzero (e.g. -gate TXN/)")
 )
 
 // benchRow is one measured operation in the JSON report.
@@ -69,6 +71,19 @@ type benchRow struct {
 }
 
 var benchRows []benchRow
+
+// acceptanceFailures collects violated intra-run acceptance floors
+// (ratios between ops of the same run, immune to machine speed); any
+// entry makes the run exit nonzero.
+var acceptanceFailures []string
+
+// acceptRatio asserts an intra-run speedup floor.
+func acceptRatio(name string, got, floor float64) {
+	if got < floor {
+		acceptanceFailures = append(acceptanceFailures,
+			fmt.Sprintf("%s: %.2fx, floor %.1fx", name, got, floor))
+	}
+}
 
 // bench measures f like timed and records a row for the JSON report.
 // worlds may point at a counter the closure fills in (the world count
@@ -127,10 +142,10 @@ func loadBaseline(path string) map[string]benchRow {
 // diffBaseline prints per-op ns/op deltas between the fresh rows and
 // the baseline, flagging ops slower than factor× their baseline with
 // WARNING lines (the CI step surfaces those as annotations). Returns
-// the number of flagged regressions.
-func diffBaseline(baseline map[string]benchRow, factor float64) int {
+// the names of the flagged ops.
+func diffBaseline(baseline map[string]benchRow, factor float64) []string {
 	if len(baseline) == 0 || len(benchRows) == 0 {
-		return 0
+		return nil
 	}
 	type delta struct {
 		op         string
@@ -148,16 +163,16 @@ func diffBaseline(baseline map[string]benchRow, factor float64) int {
 		ds = append(ds, delta{r.Op, p.NsPerOp, r.NsPerOp, ratio, ratio > factor})
 	}
 	if len(ds) == 0 {
-		return 0
+		return nil
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i].ratio > ds[j].ratio })
 	fmt.Printf("\n==================== baseline diff (%d ops, sorted by ratio) ====================\n", len(ds))
 	fmt.Printf("%-40s %14s %14s %8s\n", "op", "prev ns/op", "ns/op", "ratio")
-	regressions := 0
+	var regressed []string
 	for _, d := range ds {
 		fmt.Printf("%-40s %14d %14d %7.2fx\n", d.op, d.prev, d.cur, d.ratio)
 		if d.regression {
-			regressions++
+			regressed = append(regressed, d.op)
 		}
 	}
 	for _, d := range ds {
@@ -166,10 +181,29 @@ func diffBaseline(baseline map[string]benchRow, factor float64) int {
 				d.op, d.ratio, d.prev, d.cur, factor)
 		}
 	}
-	if regressions == 0 {
+	if len(regressed) == 0 {
 		fmt.Printf("no op regressed beyond %.1fx of the baseline\n", factor)
 	}
-	return regressions
+	return regressed
+}
+
+// gatedRegressions filters the flagged ops to those matching a -gate
+// prefix; a non-empty result makes the run fail (the blocking families,
+// e.g. TXN/, versus the warn-only rest).
+func gatedRegressions(regressed []string, gates string) []string {
+	if gates == "" {
+		return nil
+	}
+	var out []string
+	for _, op := range regressed {
+		for _, g := range strings.Split(gates, ",") {
+			if g = strings.TrimSpace(g); g != "" && strings.HasPrefix(op, g) {
+				out = append(out, op)
+				break
+			}
+		}
+	}
+	return out
 }
 
 func main() {
@@ -214,7 +248,26 @@ func main() {
 	// Read the baseline before writeJSON possibly overwrites it.
 	baseline := loadBaseline(*prevPath)
 	writeJSON(*jsonPath)
-	diffBaseline(baseline, *regress)
+	regressed := diffBaseline(baseline, *regress)
+	failed := false
+	if blocking := gatedRegressions(regressed, *gate); len(blocking) > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d regression(s) in gated families (%s): %s\n",
+			len(blocking), *gate, strings.Join(blocking, ", "))
+		failed = true
+	}
+	for _, f := range acceptanceFailures {
+		// Blocking only in gated runs (-gate, the dedicated CI step); the
+		// warn-only sweep and ad-hoc local runs stay nonfatal.
+		if *gate != "" {
+			fmt.Fprintf(os.Stderr, "FAIL: acceptance floor violated: %s\n", f)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "WARNING: acceptance floor violated: %s\n", f)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // timed reports the wall-clock time of f, repeated until 50ms or 5 runs
@@ -583,7 +636,10 @@ func expStore() {
 // per commit, however many statements the batch holds); (2) request
 // throughput of the isqld wire protocol, parse-per-request /exec versus
 // the shared-plan-cache /execute — the prepared path must stay ≥2×
-// ahead; (3) crash-recovery replay time of a statement log.
+// ahead; (3) parameterized EXECUTE through plan-level binding versus
+// the rebind-and-recompile path it replaced (≥2× floor); (4) WAL group
+// commit: concurrent auto-commit writers sharing fsyncs versus a lone
+// writer; (5) crash-recovery replay time of a statement log.
 func expTxn() {
 	// Commit latency vs statements per transaction.
 	fmt.Printf("%-12s %-14s %-14s %-14s\n", "stmts/txn", "commit (mem)", "commit (wal)", "wal amortized/stmt")
@@ -593,6 +649,9 @@ func expTxn() {
 		wal := txnCommitLatency(fmt.Sprintf("TXN/commit-wal/stmts=%d", k), k, true)
 		fmt.Printf("%-12d %-14s %-14s %-14s\n", k, mem, wal, wal/time.Duration(k))
 	}
+
+	txnParamBinding()
+	txnGroupCommit()
 
 	// Prepared vs parse-per-request throughput over the live wire
 	// protocol (httptest server, the real isqld handler stack).
@@ -624,7 +683,9 @@ func expTxn() {
 	fmt.Printf("\nwire protocol, %d requests of one analytical query:\n", requests)
 	fmt.Printf("%-24s %-14s %12.0f req/s\n", "/exec (parse each)", dExec, float64(requests)/dExec.Seconds())
 	fmt.Printf("%-24s %-14s %12.0f req/s\n", "/execute (plan cache)", dPrep, float64(requests)/dPrep.Seconds())
-	fmt.Printf("prepared speedup: %.1fx (acceptance floor 2x)\n", float64(dExec)/float64(dPrep))
+	prepSpeedup := float64(dExec) / float64(dPrep)
+	fmt.Printf("prepared speedup: %.1fx (target 2x; blocking floor 1.5x)\n", prepSpeedup)
+	acceptRatio("prepared /execute vs /exec", prepSpeedup, 1.5)
 
 	// Crash-recovery replay: reopen a store whose WAL tail holds N
 	// single-statement commits past the last checkpoint.
@@ -657,6 +718,127 @@ func expTxn() {
 		info, err := os.Stat(walPath)
 		must(err)
 		fmt.Printf("recovery replay of %d logged commits: %s (%d-byte log)\n", records+1, d, info.Size())
+		os.RemoveAll(dir)
+	}
+}
+
+// txnParamBinding measures the parameterized prepared-statement path:
+// EXECUTE q($1-bound) through plan-level binding (compile + prelower
+// once, bind constants per call) against the PR-4 behavior it replaces
+// — re-running compilation and the rewrite search per call on an
+// already-parsed tree. The acceptance floor is 2×.
+func txnParamBinding() {
+	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
+	sess := isql.FromCatalog(cat)
+	runStmt := func(sql string) {
+		_, err := sess.ExecString(sql)
+		must(err)
+	}
+	runStmt("create table Clean as select * from Census repair by key SSN;")
+	var q strings.Builder
+	q.WriteString("select certain Name from Clean where POW = $1")
+	for i := 0; i < 47; i++ {
+		fmt.Fprintf(&q, " or POB = 'C%d'", i)
+	}
+	runStmt("prepare qp as " + q.String() + ";")
+	call, err := isql.Parse("execute qp('Office');")
+	must(err)
+	// The old path: the same statement with the argument substituted, as
+	// an already-parsed tree — executing it re-runs analysis, compilation
+	// and the rewrite search every call, exactly what PR 4's EXECUTE did
+	// for any statement with a $n parameter.
+	rebound, err := isql.Parse(strings.Replace(q.String(), "$1", "'Office'", 1) + ";")
+	must(err)
+	const requests = 40 // matches the wire-protocol ops above
+	dBound := bench("TXN/execute-param-bound", nil, func() {
+		for i := 0; i < requests; i++ {
+			_, err := sess.Exec(call)
+			must(err)
+		}
+	})
+	dRecompile := bench("TXN/execute-param-recompile", nil, func() {
+		for i := 0; i < requests; i++ {
+			_, err := sess.Exec(rebound)
+			must(err)
+		}
+	})
+	fmt.Printf("\nparameterized EXECUTE, %d calls of one 48-way disjunction:\n", requests)
+	fmt.Printf("%-30s %-14s\n", "plan-level binding", dBound)
+	fmt.Printf("%-30s %-14s\n", "rebind + recompile (old path)", dRecompile)
+	speedup := float64(dRecompile) / float64(dBound)
+	fmt.Printf("binding speedup: %.1fx (target 2x; blocking floor 1.5x)\n", speedup)
+	// Intra-run floor: if parameterized EXECUTE recompiles again, this
+	// collapses to ~1x — far below 1.5 whatever the machine. Measured
+	// 2.0-2.2x; the gap to the floor is noise margin, not the target.
+	acceptRatio("parameterized-EXECUTE binding vs recompile", speedup, 1.5)
+}
+
+// txnGroupCommit measures WAL group commit: total wall-clock and fsync
+// count for W concurrent auto-commit writers (each insert is one logged
+// commit) versus a lone writer issuing the same number of commits. The
+// commit queue's leader coalesces every waiting committer's record into
+// one write + one fsync, so the 8-writer run must need far fewer fsyncs
+// than commits.
+func txnGroupCommit() {
+	const commitsPerWriter = 24
+	fmt.Printf("\ngroup commit, %d logged single-insert commits per writer:\n", commitsPerWriter)
+	fmt.Printf("%-10s %-10s %-8s %-14s %-14s\n", "writers", "commits", "fsyncs", "total", "per commit")
+	for _, writers := range []int{1, 8} {
+		dir, err := os.MkdirTemp("", "wsabench_gc")
+		must(err)
+		cat, wal, err := isql.OpenStore(filepath.Join(dir, "checkpoint.wsd"), filepath.Join(dir, "wal.log"))
+		must(err)
+		seed := isql.FromCatalog(cat)
+		_, err = seed.ExecString("create table T (A, B);")
+		must(err)
+		baseSyncs := wal.Syncs()
+		baseVersion := cat.Snapshot().Version
+		round := 0
+		d := bench(fmt.Sprintf("TXN/group-commit/writers=%d", writers), nil, func() {
+			round++
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w, round int) {
+					defer wg.Done()
+					sess := isql.FromCatalog(cat)
+					for i := 0; i < commitsPerWriter; i++ {
+						if _, err := sess.ExecString(fmt.Sprintf("insert into T values (%d, %d);", (round*10+w)*1000+i, i)); err != nil {
+							panic(err)
+						}
+					}
+				}(w, round)
+			}
+			wg.Wait()
+		})
+		// bench may repeat the closure for timing stability; derive the
+		// true totals from the version and sync counters.
+		commits := uint64(cat.Snapshot().Version - baseVersion)
+		syncs := wal.Syncs() - baseSyncs
+		perRound := writers * commitsPerWriter
+		fmt.Printf("%-10d %-10d %-8d %-14s %-14s\n", writers, commits, syncs, d, d/time.Duration(perRound))
+		if writers > 1 && syncs > 0 {
+			amort := float64(commits) / float64(syncs)
+			fmt.Printf("fsync amortization at %d writers: %.1fx (%d commits / %d fsyncs)\n",
+				writers, amort, commits, syncs)
+			// Record the fsync count itself so the baseline diff tracks
+			// amortization over time (more fsyncs = slower = flagged).
+			benchRows = append(benchRows, benchRow{
+				Op:         fmt.Sprintf("TXN/group-commit-fsyncs/writers=%d", writers),
+				NsPerOp:    int64(syncs),
+				Worlds:     int(commits),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+			})
+			// Intra-run floor: without group commit every commit fsyncs
+			// itself and this is exactly 1x. Enforced only with real
+			// scheduling parallelism — with a single P the runtime may
+			// never hand the processor off during the leader's fsync,
+			// legitimately serializing the committers.
+			if runtime.GOMAXPROCS(0) > 1 {
+				acceptRatio("group-commit fsync amortization at 8 writers", amort, 1.3)
+			}
+		}
+		must(wal.Close())
 		os.RemoveAll(dir)
 	}
 }

@@ -48,25 +48,52 @@
 // catalog version (ROLLBACK discards it; concurrent readers never
 // observe an intermediate statement). Concurrency control is
 // optimistic, first-committer-wins — a conflicting commit surfaces as
-// store.ConflictError and publishes nothing.
+// store.ConflictError and publishes nothing. With
+// Session.RetryConflicts set (isqld's -txn-retries), a losing commit
+// retries automatically: the transaction's logged write statements
+// re-execute as a fresh transaction on the new latest version, up to
+// the bound, and the conflict surfaces only on exhaustion. Retry
+// visibility rules: answers the client read inside the original
+// transaction came from the pre-conflict snapshot and are not
+// re-issued; only the write statements replay, and their predicates
+// re-evaluate against the winning committer's state — a successful
+// retry is exactly the serial schedule "winner first, then this
+// transaction" (differentially enforced by difftest.CheckTxnRetry).
 //
 // Durability is a statement-level write-ahead log (store.WAL): every
 // committed transaction appends one CRC-framed record — the statement
 // texts plus the version they committed as — and fsyncs before the
-// version becomes visible. store.Open (isql.OpenStore with the I-SQL
-// replayer) recovers the last checkpoint — a .wsd snapshot written via
-// temp-file + atomic rename — and deterministically re-executes the log
-// tail, reproducing the committed catalog byte-for-byte; torn tails are
-// CRC-detected and truncated, and checkpoints (Catalog.Checkpoint)
-// bound replay work by truncating the log under the writer lock.
+// version becomes visible. Concurrent committers group-commit: each
+// stages and takes its version under the writer lock, then enqueues its
+// record and releases the lock; a leader coalesces every queued record
+// into one write and one fsync, publishes the versions in order, and
+// hands leadership of later arrivals to a fresh flusher so no committer
+// waits on work that is not its own. Readers only ever observe durable
+// versions (the read pointer advances after the fsync; writers chain on
+// the newest assigned version), and ordering guarantees survive a crash
+// anywhere — including mid-batch — because recovery replays exactly the
+// intact record prefix: an un-acked commit may be recovered (its record
+// hit disk before the crash) but an acked commit is never lost and no
+// record replays out of order. store.Open (isql.OpenStore with the
+// I-SQL replayer) recovers the last checkpoint — a .wsd snapshot
+// written via temp-file + atomic rename, durable through the directory
+// fsync — and deterministically re-executes the log tail, reproducing
+// the committed catalog byte-for-byte; torn tails are CRC-detected and
+// truncated, and checkpoints (Catalog.Checkpoint) bound replay work by
+// draining in-flight group commits and truncating the log under the
+// writer lock.
 //
 // PREPARE parses a statement once — optionally with $1..$N
 // placeholders — into a PlanCache shared across sessions; EXECUTE binds
-// arguments and runs the cached tree, reusing a compiled, prelowered
-// plan keyed on a schema fingerprint for zero-parameter fragment
-// selects, so repeated execution skips parsing, analysis, compilation
-// and the rewrite search entirely (DML leaves the fingerprint — and
-// the plan — intact; DDL forces one recompile).
+// arguments and runs the cached tree. Fragment selects — parameterized
+// or not — reuse a compiled, prelowered plan keyed on a schema
+// fingerprint: placeholders compile to parameter slots inside the
+// plan's predicates (ra.Param operands), and each EXECUTE binds its
+// argument constants into the cached plan (wsa.BindParams copies only
+// the parameterized spine, sharing everything else), so repeated
+// execution skips parsing, analysis, compilation and the rewrite search
+// entirely whatever the arguments (DML leaves the fingerprint — and the
+// plan — intact; DDL forces one recompile).
 //
 // Catalogs persist as .wsd JSON documents (store.Save/Load, wired to
 // cmd/isql's -load/-save flags): the factored form serializes in space

@@ -239,6 +239,59 @@ func CheckTxn(names []string, rels []*relation.Relation, stmts []string) error {
 	return nil
 }
 
+// CheckTxnRetry is the conflict-retry differential check: a transaction
+// that loses first-committer-wins to a competing commit and is
+// automatically re-run (Session.RetryConflicts) must leave the catalog
+// byte-identical (content-compared; versions are normalized away) to a
+// single-writer session executing the competing statement first and the
+// transaction's statements after it — i.e. the retried commit equals the
+// serial schedule it logically becomes.
+func CheckTxnRetry(names []string, rels []*relation.Relation, stmts []string, interloper string) error {
+	retried := isql.FromDB(names, rels)
+	retried.RetryConflicts = 3
+	if err := retried.Begin(); err != nil {
+		return err
+	}
+	for _, sql := range stmts {
+		if _, err := retried.ExecString(sql); err != nil {
+			return fmt.Errorf("difftest: %q inside the transaction: %w", sql, err)
+		}
+	}
+	// A competing writer on the same catalog commits between Begin and
+	// Commit, forcing the first-committer-wins loss.
+	comp := isql.FromCatalog(retried.Catalog())
+	if _, err := comp.ExecString(interloper); err != nil {
+		return fmt.Errorf("difftest: interloper %q: %w", interloper, err)
+	}
+	if err := retried.Commit(); err != nil {
+		return fmt.Errorf("difftest: conflicted commit did not retry to success for script %q: %w", stmts, err)
+	}
+
+	// Serial reference: interloper first, then the transaction.
+	seq := isql.FromDB(names, rels)
+	if _, err := seq.ExecString(interloper); err != nil {
+		return err
+	}
+	for _, sql := range stmts {
+		if _, err := seq.ExecString(sql); err != nil {
+			return fmt.Errorf("difftest: %q in the serial reference: %w", sql, err)
+		}
+	}
+	a, err := normCatalogBytes(retried.Catalog().Snapshot())
+	if err != nil {
+		return err
+	}
+	b, err := normCatalogBytes(seq.Catalog().Snapshot())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("difftest: retried commit differs from the serial schedule for script %q after %q\nretried:\n%s\nserial:\n%s",
+			stmts, interloper, a, b)
+	}
+	return nil
+}
+
 // rawCatalogBytes persists a snapshot as-is (version included).
 func rawCatalogBytes(snap *store.Snapshot) ([]byte, error) {
 	var buf bytes.Buffer

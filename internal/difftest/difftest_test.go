@@ -321,3 +321,26 @@ func TestRandomizedInterleavedTxn(t *testing.T) {
 		}
 	}
 }
+
+// TestRandomizedTxnRetrySweep sweeps CheckTxnRetry over randomized
+// scripts: a transaction losing first-committer-wins to an interloper
+// and automatically re-run must equal the serial schedule (interloper
+// first, then the transaction) byte for byte.
+func TestRandomizedTxnRetrySweep(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	rng := rand.New(rand.NewSource(5202672))
+	for i := 0; i < iters; i++ {
+		names, rels := seedR(rng)
+		stmts := randTxnStmts(rng, i)
+		interloper := fmt.Sprintf("insert into R values (%d, %d);", 90+rng.Intn(8), 900+rng.Intn(90))
+		if rng.Intn(3) == 0 {
+			interloper = fmt.Sprintf("delete from R where B < %d;", rng.Intn(15))
+		}
+		if err := CheckTxnRetry(names, rels, stmts, interloper); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}

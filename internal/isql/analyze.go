@@ -184,7 +184,10 @@ func (s *Session) checkExpr(e Expr, info *selectInfo, scopes []relation.Schema, 
 	case *LitExpr:
 		return nil
 	case *ParamExpr:
-		return fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", n.N)
+		// Valid in a prepared statement: analysis sees the unbound tree
+		// when the plan is compiled once with parameter slots. Executing
+		// without binding still fails, at evaluation time.
+		return nil
 	case *ColExpr:
 		for _, sc := range scopes {
 			if sc.Index(n.Ref.Full()) >= 0 {

@@ -274,6 +274,11 @@ func compileOperand(e Expr) (ra.Operand, error) {
 		return ra.Col(n.Ref.Full()), nil
 	case *LitExpr:
 		return ra.Const(n.Val), nil
+	case *ParamExpr:
+		// A $n placeholder compiles to a parameter slot: the prepared
+		// plan is compiled (and prelowered) once with the slot in place,
+		// and EXECUTE binds the argument into the cached plan.
+		return ra.Param(n.N), nil
 	}
 	return ra.Operand{}, outsideFragment("isql: operand %s is outside the World-set Algebra fragment", e)
 }

@@ -117,6 +117,17 @@ type Prepared struct {
 	compiled bool     // a plan was compiled for fingerprint fp
 	fp       uint64   // schema fingerprint the plan is valid for
 	plan     wsa.Expr // the compiled plan
+	compiles int      // how many times the plan was (re)compiled
+}
+
+// Compiles reports how many times the statement's plan was compiled —
+// one per schema fingerprint it has executed under. A parameterized
+// EXECUTE binds into the cached plan, so repeated execution against an
+// unchanged schema keeps this at 1.
+func (p *Prepared) Compiles() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compiles
 }
 
 // planFor returns the statement's compiled, prelowered plan for the
@@ -146,6 +157,7 @@ func (p *Prepared) planFor(s *Session, snap *store.Snapshot) (wsa.Expr, error) {
 	}
 	q = rewrite.Prelower(q, wsa.NewEnv(snap.DB.Names, snap.DB.Schemas))
 	p.compiled, p.fp, p.plan = true, fp, q
+	p.compiles++
 	return q, nil
 }
 
@@ -202,22 +214,25 @@ func (s *Session) execPrepare(n *PrepareStmt) (*Result, error) {
 	}, nil
 }
 
-// execExecute binds arguments and runs the prepared statement:
-// zero-parameter selects through the memoized compiled plan, everything
-// else through the regular statement dispatch on the already-parsed
-// (and, with parameters, substituted) tree — never re-parsing SQL.
+// execExecute binds arguments and runs the prepared statement. Selects
+// — parameterized or not — run through the memoized compiled plan:
+// arguments bind into the already-compiled, already-prelowered plan
+// (wsa.BindParams), so repeated EXECUTE never re-runs analysis,
+// compilation or the rewrite search. Everything else goes through the
+// regular statement dispatch on the already-parsed (and, with
+// parameters, substituted) tree — never re-parsing SQL.
 func (s *Session) execExecute(n *ExecuteStmt) (*Result, error) {
 	p := s.planCache().Get(n.Name)
 	if p == nil {
 		return nil, fmt.Errorf("isql: unknown prepared statement %q", n.Name)
 	}
 	if len(n.Args) != p.NumParams {
-		return nil, fmt.Errorf("isql: prepared statement %q takes %d argument(s), got %d", n.Name, p.NumParams, len(n.Args))
+		return nil, p.arityError(len(n.Args))
+	}
+	if sel, ok := p.Stmt.(*SelectStmt); ok {
+		return s.execSelectWith(sel, p, n.Args)
 	}
 	if p.NumParams == 0 {
-		if sel, ok := p.Stmt.(*SelectStmt); ok {
-			return s.execSelectWith(sel, p)
-		}
 		return s.Exec(p.Stmt)
 	}
 	bound, err := bindStmt(p.Stmt, n.Args)
@@ -225,6 +240,32 @@ func (s *Session) execExecute(n *ExecuteStmt) (*Result, error) {
 		return nil, err
 	}
 	return s.Exec(bound)
+}
+
+// arityError reports an EXECUTE argument-count mismatch in terms of the
+// statement's declared parameter count — the full $1..$N slot list the
+// PREPARE registered — so the caller sees what the statement declares,
+// not just whichever slot happened to fail binding.
+func (p *Prepared) arityError(got int) error {
+	if p.NumParams == 0 {
+		return fmt.Errorf("isql: prepared statement %q declares no parameters, got %d argument(s)", p.Name, got)
+	}
+	return fmt.Errorf("isql: prepared statement %q declares %d parameter(s) ($1..$%d), got %d argument(s)",
+		p.Name, p.NumParams, p.NumParams, got)
+}
+
+// bindPlan binds EXECUTE arguments into the cached compiled plan. The
+// arity was validated against the declared parameter count up front, so
+// a slot out of range here is a bug, reported with the declared count.
+func (p *Prepared) bindPlan(q wsa.Expr, args []value.Value) (wsa.Expr, error) {
+	if len(args) == 0 {
+		return q, nil
+	}
+	bound, err := wsa.BindParams(q, args)
+	if err != nil {
+		return nil, fmt.Errorf("isql: binding prepared statement %q (declares %d parameter(s)): %w", p.Name, p.NumParams, err)
+	}
+	return bound, nil
 }
 
 // firstUnboundParam rejects executing an insert whose cells still hold
@@ -315,7 +356,6 @@ func maxParamExpr(e Expr) int {
 	}
 	return 0
 }
-
 
 // bindStmt returns a copy of the statement with every $N placeholder
 // replaced by args[N-1]. The prepared tree itself is never mutated — it

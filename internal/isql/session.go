@@ -9,6 +9,7 @@ import (
 
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/store"
+	"worldsetdb/internal/value"
 	"worldsetdb/internal/worldset"
 	"worldsetdb/internal/wsa"
 	"worldsetdb/internal/wsd"
@@ -60,6 +61,13 @@ type Session struct {
 	// default of 1<<20. Violations surface as *wsd.BudgetError — the
 	// same error shape wsd's Expand and the store report.
 	MaxWorlds int
+
+	// RetryConflicts bounds automatic conflict retry: a COMMIT that loses
+	// first-committer-wins re-runs the transaction's write statements on
+	// the new latest version up to this many times before surfacing
+	// *store.ConflictError. 0 (the default) disables retry — conflicts
+	// surface immediately, the pre-retry behavior.
+	RetryConflicts int
 
 	// Engine picks the engine for statements in the clean WSA fragment:
 	// "" or "wsdexec" evaluate natively on the decomposition; any other
@@ -296,13 +304,26 @@ func (s *Session) Exec(st Statement) (*Result, error) {
 // or columns) surface directly — falling back would bury a typo under
 // a BudgetError on a large catalog.
 func (s *Session) execSelect(sel *SelectStmt) (*Result, error) {
-	return s.execSelectWith(sel, nil)
+	return s.execSelectWith(sel, nil, nil)
 }
 
 // execSelectWith is execSelect with an optional prepared-statement
 // entry supplying a memoized compiled plan (skipping analysis and
-// compilation when the schema fingerprint still matches).
-func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared) (*Result, error) {
+// compilation when the schema fingerprint still matches) plus the
+// EXECUTE arguments to bind into it. Parameterized prepared selects
+// stay on the fast path: the cached plan carries parameter slots and
+// the arguments bind into it per call (wsa.BindParams), never
+// recompiling or re-running the rewrite search.
+func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Value) (*Result, error) {
+	if pre == nil {
+		// Outside EXECUTE there is nothing to bind a placeholder with —
+		// reject on the statement tree, before either execution path (a
+		// fragment fallback could otherwise short-circuit past the
+		// unbound slot and silently answer).
+		if p := maxParamSelect(sel); p > 0 {
+			return nil, fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", p)
+		}
+	}
 	snap, err := s.snapshotForRead()
 	if err != nil {
 		return nil, err
@@ -316,6 +337,12 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared) (*Result, error
 			// per-request rewrite search.
 			q, err = pre.planFor(s, snap)
 			opts.NoRewrite = true
+			if err == nil {
+				q, err = pre.bindPlan(q, args)
+				if err != nil {
+					return nil, err
+				}
+			}
 		} else {
 			q, err = s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
 		}
@@ -334,11 +361,20 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared) (*Result, error
 			return &Result{Answers: answers, Decomp: out, Plan: plan}, nil
 		}
 	}
+	// Legacy / fallback evaluation needs a fully bound statement tree.
+	lsel := sel
+	if len(args) > 0 {
+		bound, err := bindSelect(sel, args)
+		if err != nil {
+			return nil, err
+		}
+		lsel = bound
+	}
 	ws, err := snap.DB.Expand(s.maxWorlds())
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.evalSelect(sel, ws, nil)
+	out, err := s.evalSelect(lsel, ws, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +382,9 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared) (*Result, error
 }
 
 func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
+	if p := maxParamSelect(n.Query); p > 0 {
+		return nil, fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", p)
+	}
 	var res *Result
 	err := s.target().Update(func(tx *store.Tx) error {
 		tx.Log(n.String())
@@ -395,6 +434,11 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 }
 
 func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
+	if p := maxParamSelect(n.Query); p > 0 {
+		// A stored view must be self-contained: there is no EXECUTE to
+		// bind its placeholders when a later statement expands it.
+		return nil, fmt.Errorf("isql: view body holds unbound parameter $%d", p)
+	}
 	var res *Result
 	err := s.target().Update(func(tx *store.Tx) error {
 		tx.Log(n.String())

@@ -1,6 +1,7 @@
 package isql
 
 import (
+	"errors"
 	"fmt"
 
 	"worldsetdb/internal/store"
@@ -54,11 +55,70 @@ func (s *Session) Begin() error {
 // version. With optimistic concurrency, a conflicting writer since
 // Begin surfaces as *store.ConflictError and nothing is published.
 // Either way the transaction is closed.
+//
+// With RetryConflicts > 0 the session retries a conflicted commit
+// automatically: the transaction's logged write statements (the same
+// records the WAL persists — selects are not replayed) re-execute as a
+// fresh transaction on the new latest version, up to RetryConflicts
+// times, and *store.ConflictError surfaces only on exhaustion. Answers
+// the client already read inside the original transaction came from the
+// pre-conflict snapshot; the retried writes see — and their predicates
+// re-evaluate against — the winning committer's state (see the retry
+// visibility rules in the package documentation).
 func (s *Session) Commit() error {
 	if s.txn == nil {
 		return fmt.Errorf("isql: no open transaction to commit")
 	}
-	err := s.txn.Commit()
+	txn := s.txn
+	err := txn.Commit()
+	s.txn = nil
+	s.viewsVersion = 0
+	if err == nil || s.RetryConflicts <= 0 {
+		return err
+	}
+	stmts := txn.Stmts()
+	for attempt := 0; attempt < s.RetryConflicts; attempt++ {
+		ce := asConflict(err)
+		if ce == nil {
+			break
+		}
+		// Wait for the winning commit to become reader-visible before
+		// re-basing: under group commit the winner's version sits in the
+		// commit queue until its coalesced fsync completes, and re-running
+		// immediately would spin the whole retry budget against the same
+		// unpublished version.
+		s.cat.WaitPublished(ce.Current)
+		err = s.rerunTxn(stmts)
+	}
+	return err
+}
+
+// asConflict extracts the typed first-committer-wins error, if any.
+func asConflict(err error) *store.ConflictError {
+	var ce *store.ConflictError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return nil
+}
+
+// rerunTxn replays a conflicted transaction's write statements on a
+// fresh base and tries to commit again. A statement failing on the new
+// base (say, its table was dropped by the winning committer) aborts the
+// retry with that error; a fresh conflict is returned for the caller's
+// retry loop to count.
+func (s *Session) rerunTxn(stmts []string) error {
+	if err := s.Begin(); err != nil {
+		return err
+	}
+	for _, sql := range stmts {
+		if _, err := s.ExecString(sql); err != nil {
+			s.Rollback()
+			return fmt.Errorf("isql: replaying %q for conflict retry: %w", sql, err)
+		}
+	}
+	txn := s.txn
+	err := txn.Commit()
 	s.txn = nil
 	s.viewsVersion = 0
 	return err

@@ -41,9 +41,17 @@
 // stage statements over several more, and COMMIT later; until the
 // commit, every other session (and every /exec reader) keeps seeing the
 // pre-transaction catalog. Sticky sessions idle longer than the TTL are
-// evicted and their open transaction rolled back. Requests without the
-// header run on a throwaway session, and a transaction left open at the
-// end of the script is rolled back (there is no token to resume it by).
+// evicted and their open transaction rolled back — by a background
+// sweeper (stopped by Server.Close), so an abandoned transaction
+// releases its staging snapshot even on a server receiving no further
+// requests. Requests without the header run on a throwaway session, and
+// a transaction left open at the end of the script is rolled back
+// (there is no token to resume it by).
+//
+// A COMMIT losing first-committer-wins to a concurrent writer is
+// retried automatically up to the WithTxnRetries budget: the
+// transaction's write statements re-execute on the new latest version
+// and the conflict surfaces as a request error only on exhaustion.
 package isqld
 
 import (
@@ -79,10 +87,16 @@ type Server struct {
 	// prep is the server-wide prepared-statement cache, shared by every
 	// session (sticky and throwaway).
 	prep *isql.PlanCache
+	// txnRetries is each session's automatic conflict-retry budget.
+	txnRetries int
 	// sticky sessions by token.
 	mu         sync.Mutex
 	sessions   map[string]*stickySession
 	sessionTTL time.Duration
+	// stopSweep ends the background idle-session sweeper; closeOnce
+	// makes Close idempotent.
+	stopSweep chan struct{}
+	closeOnce sync.Once
 	// stats
 	execs atomic.Uint64
 }
@@ -106,7 +120,14 @@ func WithEngine(name string) Option { return func(s *Server) { s.engine = name }
 // minutes). An evicted session's open transaction is rolled back.
 func WithSessionTTL(d time.Duration) Option { return func(s *Server) { s.sessionTTL = d } }
 
-// New returns a server over the catalog.
+// WithTxnRetries sets each session's automatic conflict-retry budget: a
+// COMMIT losing first-committer-wins re-runs the transaction's write
+// statements up to n times before the conflict surfaces as a request
+// error (default 0 — no retry).
+func WithTxnRetries(n int) Option { return func(s *Server) { s.txnRetries = n } }
+
+// New returns a server over the catalog. The server owns a background
+// sweeper goroutine; call Close when done with it.
 func New(cat *store.Catalog, opts ...Option) *Server {
 	s := &Server{
 		cat:        cat,
@@ -114,11 +135,46 @@ func New(cat *store.Catalog, opts ...Option) *Server {
 		prep:       isql.NewPlanCache(),
 		sessions:   map[string]*stickySession{},
 		sessionTTL: 5 * time.Minute,
+		stopSweep:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	go s.sweepLoop()
 	return s
+}
+
+// Close stops the background session sweeper. Idempotent; it does not
+// touch the catalog or in-flight requests.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stopSweep) })
+}
+
+// sweepLoop evicts idle sticky sessions in the background, so an open
+// transaction abandoned by its client releases its staging snapshot
+// after the TTL even on a server receiving no further requests (the
+// in-request eviction alone would pin it indefinitely on a quiet
+// server).
+func (s *Server) sweepLoop() {
+	interval := s.sessionTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			s.evictIdleLocked()
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Catalog returns the shared catalog (for persistence on shutdown).
@@ -144,6 +200,7 @@ func (s *Server) session() *isql.Session {
 	sess := isql.FromCatalog(s.cat)
 	sess.Engine = s.engine
 	sess.SetPlanCache(s.prep)
+	sess.RetryConflicts = s.txnRetries
 	return sess
 }
 

@@ -11,8 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-	"time"
 	"testing"
+	"time"
 
 	"worldsetdb/internal/datagen"
 	"worldsetdb/internal/relation"
@@ -25,7 +25,16 @@ func censusServer(t testing.TB, n, dups int) *httptest.Server {
 	t.Helper()
 	cat := store.FromComplete([]string{"Census"},
 		[]*relation.Relation{datagen.Census(n, dups, 7)})
-	ts := httptest.NewServer(New(cat).Handler())
+	return serveCat(t, cat)
+}
+
+// serveCat builds a Server over cat, wires its background sweeper's
+// shutdown into the test, and serves it over httptest.
+func serveCat(t testing.TB, cat *store.Catalog, opts ...Option) *httptest.Server {
+	t.Helper()
+	srv := New(cat, opts...)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -49,7 +58,7 @@ func post(t testing.TB, url, body string) (int, string) {
 // paper's census demo: 4 repairs, certain/possible facts.
 func TestSmokeScriptGolden(t *testing.T) {
 	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(t, cat)
 	defer ts.Close()
 	script, err := os.ReadFile(filepath.Join("testdata", "smoke.isql"))
 	if err != nil {
@@ -139,7 +148,7 @@ func TestConcurrentReadersIdentical(t *testing.T) {
 // insert exactly once.
 func TestConcurrentWritersSerialize(t *testing.T) {
 	cat := store.New(nil)
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(t, cat)
 	defer ts.Close()
 	if code, out := post(t, ts.URL+"/exec", "create table T (A);"); code != http.StatusOK {
 		t.Fatalf("create: %d %s", code, out)
@@ -230,7 +239,7 @@ func TestStatsEndpoint(t *testing.T) {
 func BenchmarkReaderThroughput(b *testing.B) {
 	cat := store.FromComplete([]string{"Census"},
 		[]*relation.Relation{datagen.Census(1000, 40, 7)})
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(b, cat)
 	defer ts.Close()
 	if code, out := post(b, ts.URL+"/exec",
 		"create table Clean as select * from Census repair by key SSN;"); code != http.StatusOK {
@@ -278,7 +287,7 @@ func postSession(t testing.TB, url, token, body string) (int, string) {
 // committed BEGIN batch, a rolled-back one, and the resulting answers.
 func TestTxnScriptGolden(t *testing.T) {
 	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(t, cat)
 	defer ts.Close()
 	script, err := os.ReadFile(filepath.Join("testdata", "txn.isql"))
 	if err != nil {
@@ -312,7 +321,7 @@ func TestTxnScriptGolden(t *testing.T) {
 // -race in CI.
 func TestTransactionAtomicityUnderReaders(t *testing.T) {
 	cat := store.New(nil)
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(t, cat)
 	defer ts.Close()
 	if code, out := post(t, ts.URL+"/exec",
 		"create table T (A); insert into T values (0);"); code != http.StatusOK {
@@ -382,7 +391,7 @@ func TestTransactionAtomicityUnderReaders(t *testing.T) {
 // rolled back at end of request and never becomes visible.
 func TestStatelessRequestRollsBackOpenTxn(t *testing.T) {
 	cat := store.New(nil)
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(t, cat)
 	defer ts.Close()
 	if code, out := post(t, ts.URL+"/exec", "create table T (A);"); code != http.StatusOK {
 		t.Fatalf("setup: %d %s", code, out)
@@ -400,7 +409,7 @@ func TestStatelessRequestRollsBackOpenTxn(t *testing.T) {
 // evicted and its open transaction rolled back.
 func TestStickySessionEviction(t *testing.T) {
 	cat := store.New(nil)
-	ts := httptest.NewServer(New(cat, WithSessionTTL(30*time.Millisecond)).Handler())
+	ts := serveCat(t, cat, WithSessionTTL(30*time.Millisecond))
 	defer ts.Close()
 	if code, out := post(t, ts.URL+"/exec", "create table T (A);"); code != http.StatusOK {
 		t.Fatalf("setup: %d %s", code, out)
@@ -424,7 +433,7 @@ func TestStickySessionEviction(t *testing.T) {
 // cache, /execute runs with and without arguments, errors surface.
 func TestPrepareExecuteEndpoints(t *testing.T) {
 	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(t, cat)
 	defer ts.Close()
 	if code, out := post(t, ts.URL+"/exec",
 		"create table Clean as select * from Census repair by key SSN;"); code != http.StatusOK {
@@ -473,7 +482,7 @@ func TestPrepareExecuteEndpoints(t *testing.T) {
 // well ahead (wsabench TXN pins the ratio).
 func BenchmarkPreparedVsExec(b *testing.B) {
 	cat := store.FromComplete([]string{"Census"}, []*relation.Relation{datagen.PaperCensus()})
-	ts := httptest.NewServer(New(cat).Handler())
+	ts := serveCat(b, cat)
 	defer ts.Close()
 	if code, out := post(b, ts.URL+"/exec",
 		"create table Clean as select * from Census repair by key SSN;"); code != http.StatusOK {

@@ -68,11 +68,16 @@ func (o CmpOp) Apply(a, b value.Value) bool {
 	return false
 }
 
-// Operand is one side of a comparison: an attribute or a constant.
+// Operand is one side of a comparison: an attribute, a constant, or an
+// unbound parameter slot ($n in a prepared statement). A parameter slot
+// carries no value; BindPred replaces it with a constant before the
+// predicate can compile, which is what lets a prepared plan be compiled
+// (and prelowered) once and bound per execution.
 type Operand struct {
 	Col     string      // attribute name if IsCol
 	Const   value.Value // constant otherwise
 	IsCol   bool
+	ParamN  int // 1-based $n slot if > 0
 	colIdx  int // resolved by compile
 	isBound bool
 }
@@ -83,9 +88,17 @@ func Col(name string) Operand { return Operand{Col: name, IsCol: true} }
 // Const returns a constant operand.
 func Const(v value.Value) Operand { return Operand{Const: v} }
 
+// Param returns a parameter-slot operand for the placeholder $n
+// (1-based). The slot must be bound with BindPred before the predicate
+// compiles; evaluating an unbound slot is an error, not a value.
+func Param(n int) Operand { return Operand{ParamN: n} }
+
 func (o Operand) String() string {
 	if o.IsCol {
 		return o.Col
+	}
+	if o.ParamN > 0 {
+		return fmt.Sprintf("$%d", o.ParamN)
 	}
 	if o.Const.Kind() == value.KindString {
 		return "'" + o.Const.String() + "'"
@@ -142,6 +155,9 @@ func Ne(l, r string) Cmp { return Cmp{Left: Col(l), Op: OpNe, Right: Col(r)} }
 // Compile implements Pred.
 func (c Cmp) Compile(s relation.Schema) (func(relation.Tuple) bool, error) {
 	get := func(o Operand) (func(relation.Tuple) value.Value, error) {
+		if o.ParamN > 0 {
+			return nil, fmt.Errorf("ra: unbound parameter $%d (bind the plan with BindPred before evaluation)", o.ParamN)
+		}
 		if !o.IsCol {
 			v := o.Const
 			return func(relation.Tuple) value.Value { return v }, nil
@@ -276,6 +292,91 @@ func equiPairs(p Pred, ls, rs relation.Schema) (pairs [][2]int, remainder []Pred
 		return nil, nil
 	}
 	return nil, []Pred{p}
+}
+
+// BindPred returns p with every parameter slot $n replaced by the
+// constant args[n-1]. Subtrees without slots are returned as-is — the
+// input is never mutated, so many executions can bind one cached
+// (compiled, prelowered) predicate concurrently. A slot beyond the
+// argument list is an error.
+func BindPred(p Pred, args []value.Value) (Pred, error) {
+	switch q := p.(type) {
+	case Cmp:
+		l, lerr := bindOperand(q.Left, args)
+		r, rerr := bindOperand(q.Right, args)
+		if lerr != nil {
+			return nil, lerr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		if l == q.Left && r == q.Right {
+			return p, nil
+		}
+		return Cmp{Left: l, Op: q.Op, Right: r}, nil
+	case And:
+		l, err := BindPred(q.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BindPred(q.R, args)
+		if err != nil {
+			return nil, err
+		}
+		if l == q.L && r == q.R {
+			return p, nil
+		}
+		return And{L: l, R: r}, nil
+	case Or:
+		l, err := BindPred(q.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BindPred(q.R, args)
+		if err != nil {
+			return nil, err
+		}
+		if l == q.L && r == q.R {
+			return p, nil
+		}
+		return Or{L: l, R: r}, nil
+	case Not:
+		inner, err := BindPred(q.P, args)
+		if err != nil {
+			return nil, err
+		}
+		if inner == q.P {
+			return p, nil
+		}
+		return Not{P: inner}, nil
+	}
+	return p, nil // True and slot-free leaves
+}
+
+func bindOperand(o Operand, args []value.Value) (Operand, error) {
+	if o.ParamN == 0 {
+		return o, nil
+	}
+	if o.ParamN > len(args) {
+		return Operand{}, fmt.Errorf("ra: parameter $%d out of range (%d argument(s))", o.ParamN, len(args))
+	}
+	return Const(args[o.ParamN-1]), nil
+}
+
+// MaxPredParam returns the highest parameter slot $n in the predicate
+// (0 when it is fully bound).
+func MaxPredParam(p Pred) int {
+	switch q := p.(type) {
+	case Cmp:
+		return max(q.Left.ParamN, q.Right.ParamN)
+	case And:
+		return max(MaxPredParam(q.L), MaxPredParam(q.R))
+	case Or:
+		return max(MaxPredParam(q.L), MaxPredParam(q.R))
+	case Not:
+		return MaxPredParam(q.P)
+	}
+	return 0
 }
 
 func predList(ps []Pred) string {

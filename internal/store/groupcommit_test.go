@@ -1,0 +1,343 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"worldsetdb/internal/relation"
+)
+
+// gatedBatchLogger is a BatchTxLogger whose AppendBatch blocks until
+// released, so tests can hold a flush leader mid-fsync while more
+// committers enqueue — making batch formation deterministic.
+type gatedBatchLogger struct {
+	mu      sync.Mutex
+	batches [][]WALRecord
+	entered chan struct{} // signaled when AppendBatch is entered
+	release chan struct{} // receives one token per AppendBatch allowed out
+	fail    error         // when set, AppendBatch returns it (after the gate)
+}
+
+func newGatedBatchLogger() *gatedBatchLogger {
+	return &gatedBatchLogger{entered: make(chan struct{}, 64), release: make(chan struct{}, 64)}
+}
+
+func (g *gatedBatchLogger) AppendCommit(version uint64, stmts []string) error {
+	return g.AppendBatch([]WALRecord{{Version: version, Stmts: stmts}})
+}
+
+func (g *gatedBatchLogger) AppendBatch(recs []WALRecord) error {
+	g.entered <- struct{}{}
+	<-g.release
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fail != nil {
+		return g.fail
+	}
+	cp := append([]WALRecord{}, recs...)
+	g.batches = append(g.batches, cp)
+	return nil
+}
+
+func (g *gatedBatchLogger) snapshotBatches() [][]WALRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([][]WALRecord{}, g.batches...)
+}
+
+func (g *gatedBatchLogger) setFail(err error) {
+	g.mu.Lock()
+	g.fail = err
+	g.mu.Unlock()
+}
+
+// commitRelAsync starts one logged relation-adding commit and returns
+// its error channel.
+func commitRelAsync(c *Catalog, name string) chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Update(func(tx *Tx) error {
+			tx.Log(name)
+			tx.SetDB(tx.DB().WithRelation(name, relation.NewSchema("X"), nil))
+			return nil
+		})
+	}()
+	return done
+}
+
+// waitPending polls until n commits are queued behind the in-flight
+// flush.
+func waitPending(t *testing.T, c *Catalog, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.PendingCommits() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d commits enqueued", c.PendingCommits(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGroupCommitBatches: committers arriving while the leader is
+// inside its fsync coalesce into the leader's next batch — one
+// AppendBatch, one fsync, many records.
+func TestGroupCommitBatches(t *testing.T) {
+	g := newGatedBatchLogger()
+	c := New(nil)
+	c.SetLogger(g)
+
+	first := commitRelAsync(c, "T0")
+	<-g.entered // leader is mid-"fsync" with batch [T0]
+
+	const waiters = 4
+	var rest []chan error
+	for i := 0; i < waiters; i++ {
+		rest = append(rest, commitRelAsync(c, fmt.Sprintf("W%d", i)))
+	}
+	waitPending(t, c, waiters)
+
+	g.release <- struct{}{} // let batch 1 (the lone leader record) finish
+	if err := <-first; err != nil {
+		t.Fatalf("leader commit: %v", err)
+	}
+	<-g.entered // leader drained the queue into batch 2
+	g.release <- struct{}{}
+	for i, done := range rest {
+		if err := <-done; err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+
+	batches := g.snapshotBatches()
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2 (leader + coalesced waiters): %v", len(batches), batches)
+	}
+	if len(batches[0]) != 1 || len(batches[1]) != waiters {
+		t.Fatalf("batch sizes %d,%d; want 1,%d", len(batches[0]), len(batches[1]), waiters)
+	}
+	// Versions are contiguous across batches and published in order.
+	want := uint64(2)
+	for _, b := range batches {
+		for _, rec := range b {
+			if rec.Version != want {
+				t.Fatalf("record version %d, want %d", rec.Version, want)
+			}
+			want++
+		}
+	}
+	if got := c.Snapshot().Version; got != uint64(1+1+waiters) {
+		t.Fatalf("final version %d, want %d", got, 1+1+waiters)
+	}
+	if c.PendingCommits() != 0 {
+		t.Fatalf("queue not drained: %d pending", c.PendingCommits())
+	}
+}
+
+// TestGroupCommitFailureAborts: a failing batch write publishes
+// nothing, rolls the writer head back, and the next commit succeeds
+// with the reused version number.
+func TestGroupCommitFailureAborts(t *testing.T) {
+	g := newGatedBatchLogger()
+	boom := errors.New("disk on fire")
+	c := New(nil)
+	c.SetLogger(g)
+	g.setFail(boom)
+	g.release <- struct{}{}
+	err := c.Update(func(tx *Tx) error {
+		tx.Log("T0")
+		tx.SetDB(tx.DB().WithRelation("T0", relation.NewSchema("X"), nil))
+		return nil
+	})
+	<-g.entered
+	if !errors.Is(err, boom) {
+		t.Fatalf("commit error = %v, want wrapped %v", err, boom)
+	}
+	if got := c.Snapshot().Version; got != 1 {
+		t.Fatalf("failed commit published version %d", got)
+	}
+	// The next commit re-bases on the durable version and succeeds.
+	g.setFail(nil)
+	g.release <- struct{}{}
+	if err := <-commitRelAsync(c, "T1"); err != nil {
+		t.Fatalf("commit after failure: %v", err)
+	}
+	<-g.entered
+	snap := c.Snapshot()
+	if snap.Version != 2 || snap.DB.IndexOf("T1") < 0 || snap.DB.IndexOf("T0") >= 0 {
+		t.Fatalf("post-failure catalog wrong: v%d, names %v", snap.Version, snap.DB.Names)
+	}
+	batches := g.snapshotBatches()
+	if len(batches) != 1 || batches[0][0].Version != 2 {
+		t.Fatalf("logged batches after failure: %v", batches)
+	}
+}
+
+// TestGroupCommitConcurrentWriters: heavy concurrent commit traffic
+// through a real WAL (group commit live) recovers byte-identically and
+// never fsyncs more than once per commit (run under -race in CI).
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	wsdPath := filepath.Join(dir, "checkpoint.wsd")
+	walPath := filepath.Join(dir, "wal.log")
+	cat, wal, err := Open(wsdPath, walPath, addRelApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const commitsPer = 20
+	var wg sync.WaitGroup
+	errs := make([]error, writers*commitsPer)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < commitsPer; i++ {
+				name := fmt.Sprintf("W%d_%d", g, i)
+				errs[g*commitsPer+i] = cat.Update(func(tx *Tx) error {
+					tx.Log(name)
+					tx.SetDB(tx.DB().WithRelation(name, relation.NewSchema("X"), nil))
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	commits := uint64(writers * commitsPer)
+	if got := cat.Snapshot().Version; got != commits+1 {
+		t.Fatalf("final version %d, want %d", got, commits+1)
+	}
+	if s := wal.Syncs(); s > commits {
+		t.Fatalf("%d fsyncs for %d commits: group commit never batched", s, commits)
+	} else {
+		t.Logf("%d commits, %d fsyncs (amortization %.1fx)", commits, s, float64(commits)/float64(s))
+	}
+	want := saveBytes(t, cat.Snapshot())
+	wal.Close()
+	cat2, wal2, err := Open(wsdPath, walPath, addRelApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if got := saveBytes(t, cat2.Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("group-committed catalog does not recover byte-identically")
+	}
+}
+
+// TestGroupCommitCheckpointDrains: Checkpoint must wait for in-flight
+// group commits, so the truncated log never orphans a commit that was
+// acknowledged (or is about to be).
+func TestGroupCommitCheckpointDrains(t *testing.T) {
+	dir := t.TempDir()
+	wsdPath := filepath.Join(dir, "checkpoint.wsd")
+	walPath := filepath.Join(dir, "wal.log")
+	cat, wal, err := Open(wsdPath, walPath, addRelApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				addRel(t, cat, fmt.Sprintf("W%d_%d", g, i))
+			}
+		}(g)
+	}
+	// Checkpoint racing the writers: every one must land either in the
+	// checkpoint or in the log tail.
+	for i := 0; i < 5; i++ {
+		if err := cat.Checkpoint(wal, wsdPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	want := saveBytes(t, cat.Snapshot())
+	wal.Close()
+	cat2, wal2, err := Open(wsdPath, walPath, addRelApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if got := saveBytes(t, cat2.Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("checkpoint during group commit lost a commit")
+	}
+}
+
+// TestGroupBatchTornMidBatchTruncated: a crash anywhere inside a
+// multi-record batch append — the kill -9 mid-batch case — recovers
+// byte-identically to the intact record prefix, for every cut point.
+func TestGroupBatchTornMidBatchTruncated(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "wal.log")
+	wal, _, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	recs := make([]WALRecord, n)
+	for i := range recs {
+		recs[i] = WALRecord{Version: uint64(i + 2), Stmts: []string{fmt.Sprintf("T%d", i)}}
+	}
+	if err := wal.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference states: the catalog after replaying the first k records.
+	wants := make([][]byte, n+1)
+	for k := 0; k <= n; k++ {
+		ref := New(nil)
+		for _, rec := range recs[:k] {
+			if err := addRelApplier(ref, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wants[k] = saveBytes(t, ref.Snapshot())
+	}
+	// Line boundaries of the batch records.
+	var ends []int
+	for i, b := range full {
+		if b == '\n' {
+			ends = append(ends, i+1)
+		}
+	}
+	if len(ends) != n {
+		t.Fatalf("batch wrote %d lines, want %d", len(ends), n)
+	}
+	for cut := 1; cut <= len(full); cut++ {
+		// intact = number of whole records before the cut.
+		intact := 0
+		for intact < n && ends[intact] <= cut {
+			intact++
+		}
+		caseDir := t.TempDir()
+		caseWal := filepath.Join(caseDir, "wal.log")
+		if err := os.WriteFile(caseWal, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cat, w, err := Open(filepath.Join(caseDir, "checkpoint.wsd"), caseWal, addRelApplier)
+		if err != nil {
+			t.Fatalf("cut at byte %d: %v", cut, err)
+		}
+		got := saveBytes(t, cat.Snapshot())
+		w.Close()
+		if !bytes.Equal(got, wants[intact]) {
+			t.Fatalf("cut at byte %d (%d intact records): recovered state differs from the intact-prefix replay", cut, intact)
+		}
+	}
+}

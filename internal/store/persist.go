@@ -2,12 +2,15 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
+	"syscall"
 
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/value"
@@ -235,13 +238,11 @@ func Load(r io.Reader) (*Catalog, error) {
 	if views == nil {
 		views = map[string]string{}
 	}
-	c := &Catalog{}
 	version := doc.Version
 	if version == 0 {
 		version = 1
 	}
-	c.cur.Store(&Snapshot{Version: version, DB: db, Views: views})
-	return c, nil
+	return newCatalog(&Snapshot{Version: version, DB: db, Views: views}), nil
 }
 
 // SaveFile writes the snapshot to path atomically: the document goes to
@@ -280,11 +281,22 @@ func SaveFile(path string, snap *Snapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	// Durability of the rename itself (best effort: not all platforms
-	// support fsync on directories).
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	// Durability of the rename itself: without the directory fsync a
+	// crash can forget the rename, leaving the previous file — or, for a
+	// first save, nothing — at path. A checkpoint that is not durable
+	// must not report success, so the error propagates; excused are only
+	// platforms that genuinely cannot fsync a directory (Windows rejects
+	// it outright; some filesystems report EINVAL/ENOTSUP).
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening directory for fsync after rename: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("store: fsyncing directory after rename: %w", err)
 	}
 	return nil
 }

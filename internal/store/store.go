@@ -65,12 +65,45 @@ func (s *Snapshot) HasRelation(name string) bool {
 // Catalog is a versioned, concurrently readable store of named tables
 // backed by a world-set decomposition. The zero value is not usable;
 // construct with New.
+//
+// With a batch-capable commit logger attached (BatchTxLogger — the
+// WAL), commits go through group commit: a committer stages and gets
+// its version under the writer lock, enqueues its statement record,
+// and releases the lock before the fsync. One committer — the leader —
+// drains the queue and persists every waiting record with a single
+// write and a single fsync, then publishes the versions in order.
+// Under concurrent write load the fsync cost amortizes over the whole
+// batch; a lone committer degenerates to exactly the old behavior (one
+// record, one fsync). Readers only ever see durable versions: cur
+// advances after the fsync, while writers chain on head, the newest
+// assigned version.
 type Catalog struct {
 	writer sync.Mutex
 	cur    atomic.Pointer[Snapshot]
 	// logger, when set, receives every committed transaction's statement
 	// records before the new version becomes visible (write-ahead).
 	logger TxLogger
+
+	// head is the newest assigned (possibly not yet durable) version;
+	// writers base transactions on it so versions stay sequential while
+	// a group commit is in flight. Equal to cur when the queue is idle.
+	hmu  sync.Mutex
+	head *Snapshot
+
+	// Group-commit queue: commits enqueued under the writer lock, then
+	// flushed (one write + one fsync for the whole batch) by a leader
+	// outside it.
+	qmu      sync.Mutex
+	qcond    *sync.Cond // signaled when the flush loop goes idle
+	queue    []*commitReq
+	flushing bool
+}
+
+// commitReq is one enqueued commit awaiting durability.
+type commitReq struct {
+	snap  *Snapshot
+	stmts []string
+	done  chan error
 }
 
 // TxLogger receives committed transactions for durability. AppendCommit
@@ -80,6 +113,14 @@ type TxLogger interface {
 	AppendCommit(version uint64, stmts []string) error
 }
 
+// BatchTxLogger is a TxLogger that can persist several committed
+// transactions with one append and one fsync. A logger implementing it
+// opts the catalog into group commit; the store's WAL does.
+type BatchTxLogger interface {
+	TxLogger
+	AppendBatch(recs []WALRecord) error
+}
+
 // SetLogger attaches a commit logger (typically a WAL). Pass nil to
 // detach. Must not be called while transactions are in flight on other
 // goroutines; cmd wiring attaches the logger once at startup, after
@@ -87,6 +128,7 @@ type TxLogger interface {
 func (c *Catalog) SetLogger(l TxLogger) {
 	c.writer.Lock()
 	defer c.writer.Unlock()
+	c.waitFlushed()
 	c.logger = l
 }
 
@@ -98,9 +140,40 @@ func New(db *wsd.DecompDB) *Catalog {
 	if db == nil {
 		db = wsd.NewDecompDB(nil, nil)
 	}
-	c := &Catalog{}
-	c.cur.Store(&Snapshot{Version: 1, DB: db, Views: map[string]string{}})
+	return newCatalog(&Snapshot{Version: 1, DB: db, Views: map[string]string{}})
+}
+
+// newCatalog builds a catalog publishing snap as its current version.
+func newCatalog(snap *Snapshot) *Catalog {
+	c := &Catalog{head: snap}
+	c.qcond = sync.NewCond(&c.qmu)
+	c.cur.Store(snap)
 	return c
+}
+
+// headSnap returns the newest assigned version (what the next writer
+// must base on). Callers hold the writer lock, so the head cannot be
+// reassigned concurrently by another committer — only rolled back by a
+// failing flush, which the hmu guards.
+func (c *Catalog) headSnap() *Snapshot {
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	return c.head
+}
+
+// advanceHead moves the writer-visible head from base to next. The
+// compare guards a failed-flush race: abort may roll head back to the
+// durable version while this committer is between its enqueue and its
+// head store — if base is no longer the head, this commit was built on
+// an aborted chain (the flusher will fail its queued record as stale)
+// and must not resurrect the rolled-back head for later writers to base
+// phantom transactions on.
+func (c *Catalog) advanceHead(base, next *Snapshot) {
+	c.hmu.Lock()
+	if c.head == base {
+		c.head = next
+	}
+	c.hmu.Unlock()
 }
 
 // FromComplete returns a catalog over the singleton world-set of a
@@ -181,11 +254,19 @@ func (tx *Tx) cowViews() {
 // Readers holding older snapshots are unaffected either way. When a
 // commit logger is attached, the transaction's statement records are
 // appended (and fsynced) to it before the version becomes visible; a
-// logging failure aborts the commit.
+// logging failure aborts the commit. With a batch-capable logger the
+// fsync happens outside the writer lock, coalesced across every
+// committer waiting at that moment (group commit); Update still returns
+// only once its own version is durable and published.
 func (c *Catalog) Update(fn func(*Tx) error) error {
 	c.writer.Lock()
-	defer c.writer.Unlock()
-	tx := &Tx{base: c.cur.Load()}
+	locked := true
+	defer func() {
+		if locked {
+			c.writer.Unlock()
+		}
+	}()
+	tx := &Tx{base: c.headSnap()}
 	if err := fn(tx); err != nil {
 		return err
 	}
@@ -197,13 +278,169 @@ func (c *Catalog) Update(fn func(*Tx) error) error {
 		DB:      tx.DB(),
 		Views:   tx.Views(),
 	}
-	if c.logger != nil {
-		if err := c.logger.AppendCommit(next.Version, tx.stmts); err != nil {
-			return fmt.Errorf("store: logging commit v%d: %w", next.Version, err)
+	locked = false
+	return c.commitLocked(tx.base, next, tx.stmts)
+}
+
+// commitLocked makes next the new catalog version. Called with the
+// writer lock held; releases it on every path. Without a batch-capable
+// logger the commit is inline and fully under the lock, exactly the
+// pre-group-commit behavior. With one, the record is enqueued and the
+// lock released before the flush, so concurrent committers coalesce
+// into one write + one fsync; commitLocked returns once next is durable
+// and visible to readers.
+func (c *Catalog) commitLocked(base, next *Snapshot, stmts []string) error {
+	bl, group := c.logger.(BatchTxLogger)
+	if !group {
+		defer c.writer.Unlock()
+		if c.logger != nil {
+			if err := c.logger.AppendCommit(next.Version, stmts); err != nil {
+				return fmt.Errorf("store: logging commit v%d: %w", next.Version, err)
+			}
+		}
+		c.advanceHead(base, next)
+		c.cur.Store(next)
+		return nil
+	}
+	if len(stmts) == 0 {
+		// A record with no statements cannot replay to a new version;
+		// surface the bug (a writer that never called Tx.Log) at commit
+		// time instead of bricking recovery.
+		c.writer.Unlock()
+		return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", next.Version)
+	}
+	req := &commitReq{snap: next, stmts: stmts, done: make(chan error, 1)}
+	c.qmu.Lock()
+	c.queue = append(c.queue, req)
+	c.qmu.Unlock()
+	c.advanceHead(base, next)
+	c.writer.Unlock()
+	c.flush(bl)
+	return <-req.done
+}
+
+// flush elects a leader: the first committer to arrive while no flush
+// is running takes the whole queue as one batch — its own record plus
+// every committer that queued behind it — and persists it with a
+// single fsync; everyone else returns immediately and waits on its own
+// done channel. Commits that arrive during the fsync form the next
+// batch; its leadership is handed to a fresh goroutine so a committer
+// returns as soon as its own record is durable and published, instead
+// of staying conscripted as the flusher of later arrivals for as long
+// as load lasts.
+func (c *Catalog) flush(bl BatchTxLogger) {
+	c.qmu.Lock()
+	if c.flushing || len(c.queue) == 0 {
+		c.qmu.Unlock()
+		return
+	}
+	c.flushing = true
+	batch := c.queue
+	c.queue = nil
+	c.qmu.Unlock()
+	c.flushBatch(bl, batch)
+	c.qmu.Lock()
+	c.flushing = false
+	// Wake waiters after every batch: WaitPublished blocks on versions
+	// published mid-chain, not only on the queue going idle.
+	c.qcond.Broadcast()
+	if len(c.queue) > 0 {
+		go c.flush(bl)
+	}
+	c.qmu.Unlock()
+}
+
+// WaitPublished blocks until the catalog's durable, reader-visible
+// version reaches v, or until no group commit is in flight (the commit
+// that would have produced v was aborted — its version number will be
+// reused by a later commit). It is an advisory wait: conflict retry
+// uses it so a transaction that lost first-committer-wins re-bases on
+// the winner's published state instead of spinning its retry budget
+// against a version still waiting on the group-commit fsync.
+func (c *Catalog) WaitPublished(v uint64) {
+	if c.cur.Load().Version >= v {
+		return
+	}
+	c.qmu.Lock()
+	for c.cur.Load().Version < v && (c.flushing || len(c.queue) > 0) {
+		c.qcond.Wait()
+	}
+	c.qmu.Unlock()
+}
+
+// flushBatch persists one drained batch with a single append + fsync
+// and publishes its versions in order. Versions are assigned under the
+// writer lock and enqueued in order, so a batch is a contiguous run
+// starting at cur+1 — except right after a failed flush, when a commit
+// staged on the aborted chain may still be draining; those are failed
+// without being written.
+func (c *Catalog) flushBatch(bl BatchTxLogger, batch []*commitReq) {
+	expect := c.cur.Load().Version + 1
+	n := 0
+	for n < len(batch) && batch[n].snap.Version == expect+uint64(n) {
+		n++
+	}
+	ok, stale := batch[:n], batch[n:]
+	if len(ok) > 0 {
+		recs := make([]WALRecord, len(ok))
+		for i, r := range ok {
+			recs[i] = WALRecord{Version: r.snap.Version, Stmts: r.stmts}
+		}
+		if err := bl.AppendBatch(recs); err != nil {
+			c.abort(batch, fmt.Errorf("store: logging commit batch v%d..v%d: %w",
+				recs[0].Version, recs[len(recs)-1].Version, err))
+			return
+		}
+		for _, r := range ok {
+			c.cur.Store(r.snap)
+			r.done <- nil
 		}
 	}
-	c.cur.Store(next)
-	return nil
+	if len(stale) > 0 {
+		c.abort(stale, fmt.Errorf("store: commit aborted: it was staged on a version whose log write failed"))
+	}
+}
+
+// abort fails a set of queued commits after a log-write failure: the
+// writer-visible head rolls back to the last durable version so the
+// next transaction re-bases, and every commit already staged on the
+// aborted chain (the failed batch plus anything queued behind it) gets
+// the error. The catalog stays consistent — nothing unlogged was ever
+// published — but concurrent commits in flight at the moment of a
+// failed fsync fail with it.
+func (c *Catalog) abort(failed []*commitReq, err error) {
+	c.hmu.Lock()
+	c.head = c.cur.Load()
+	c.hmu.Unlock()
+	c.qmu.Lock()
+	trailing := c.queue
+	c.queue = nil
+	c.qmu.Unlock()
+	for _, r := range failed {
+		r.done <- err
+	}
+	for _, r := range trailing {
+		r.done <- err
+	}
+}
+
+// waitFlushed blocks until no group commit is queued or mid-flush. The
+// caller holds the writer lock, so no new commit can be enqueued while
+// it waits.
+func (c *Catalog) waitFlushed() {
+	c.qmu.Lock()
+	for c.flushing || len(c.queue) > 0 {
+		c.qcond.Wait()
+	}
+	c.qmu.Unlock()
+}
+
+// PendingCommits reports how many commits are enqueued for group
+// commit but not yet durable (statistics and tests).
+func (c *Catalog) PendingCommits() int {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	return len(c.queue)
 }
 
 // Query evaluates a compiled World-set Algebra query against the

@@ -80,9 +80,12 @@ func (s *Staged) Update(fn func(*Tx) error) error {
 // Commit atomically publishes the staging chain as one new catalog
 // version (base version + 1, however many statements were staged). A
 // read-only transaction commits trivially. When another writer
-// committed since Begin, Commit fails with *ConflictError and publishes
+// committed since Begin — even one whose version is still awaiting its
+// group-commit fsync — Commit fails with *ConflictError and publishes
 // nothing. With a commit logger attached, the transaction's statement
-// records are appended and fsynced before the version becomes visible.
+// records are appended and fsynced before the version becomes visible;
+// a batch-capable logger coalesces that fsync with concurrent
+// committers (group commit).
 func (s *Staged) Commit() error {
 	if s.done {
 		return errTxnDone
@@ -93,8 +96,8 @@ func (s *Staged) Commit() error {
 	}
 	c := s.cat
 	c.writer.Lock()
-	defer c.writer.Unlock()
-	if latest := c.cur.Load(); latest != s.base {
+	if latest := c.headSnap(); latest != s.base {
+		c.writer.Unlock()
 		return &ConflictError{Base: s.base.Version, Current: latest.Version}
 	}
 	next := &Snapshot{
@@ -102,14 +105,14 @@ func (s *Staged) Commit() error {
 		DB:      s.cur.DB,
 		Views:   s.cur.Views,
 	}
-	if c.logger != nil {
-		if err := c.logger.AppendCommit(next.Version, s.stmts); err != nil {
-			return fmt.Errorf("store: logging commit v%d: %w", next.Version, err)
-		}
-	}
-	c.cur.Store(next)
-	return nil
+	return c.commitLocked(s.base, next, s.stmts)
 }
 
 // Rollback discards the staging chain. The catalog never saw it.
 func (s *Staged) Rollback() { s.done = true }
+
+// Stmts returns the transaction's statement records in execution order.
+// They survive Commit and Rollback, so a committer that lost
+// first-committer-wins can replay the transaction on a fresh base —
+// isql's automatic conflict retry does exactly that.
+func (s *Staged) Stmts() []string { return append([]string{}, s.stmts...) }

@@ -63,15 +63,18 @@ func crcOf(version uint64, stmts []string) uint32 {
 	return h.Sum32()
 }
 
-// WAL is an open write-ahead log. It implements TxLogger; attach it to
-// a catalog with SetLogger. Safe for concurrent use (appends already
-// serialize under the catalog writer lock, but Checkpoint may race a
-// commit from another goroutine).
+// WAL is an open write-ahead log. It implements TxLogger and
+// BatchTxLogger; attached to a catalog with SetLogger it opts commits
+// into group commit — the catalog's flush leader persists every
+// waiting committer's record with one AppendBatch, one fsync. Safe for
+// concurrent use (appends serialize on the WAL mutex; Checkpoint may
+// race a commit from another goroutine).
 type WAL struct {
 	mu       sync.Mutex
 	f        *os.File
 	path     string
-	appended int // records appended since open or last checkpoint
+	appended int    // records appended since open or last checkpoint
+	syncs    uint64 // fsyncs issued for record appends (not checkpoints)
 }
 
 // OpenWAL opens (creating if absent) the log at path and returns the
@@ -143,28 +146,45 @@ func scanWAL(f *os.File) ([]WALRecord, int64, error) {
 func (w *WAL) Path() string { return w.path }
 
 // AppendCommit writes one committed transaction and fsyncs. It is the
-// TxLogger hook: called by the catalog under the writer lock, before
-// the new version is published. On a write or fsync failure the log is
-// truncated back to its pre-append length — the commit is being
-// aborted, and a half-durable record must not shadow a later successful
-// commit of the same version.
+// TxLogger hook: called before the new version is published. On a
+// write or fsync failure the log is truncated back to its pre-append
+// length — the commit is being aborted, and a half-durable record must
+// not shadow a later successful commit of the same version.
 func (w *WAL) AppendCommit(version uint64, stmts []string) error {
+	return w.AppendBatch([]WALRecord{{Version: version, Stmts: stmts}})
+}
+
+// AppendBatch writes a batch of committed transactions as one append
+// and one fsync — the BatchTxLogger hook behind group commit. The
+// batch is all-or-nothing from the caller's perspective: on a write or
+// fsync failure the log is truncated back to its pre-append length and
+// every record in the batch is aborted together. (A crash between the
+// write and the fsync can still leave a durable prefix of the batch on
+// disk; recovery replays exactly that intact prefix — those commits
+// were never acknowledged, and replaying un-acked but durable records
+// is indistinguishable from the commit having happened.)
+func (w *WAL) AppendBatch(recs []WALRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("store: WAL is closed")
 	}
-	if len(stmts) == 0 {
-		// A record with no statements cannot replay to a new version;
-		// logging it would brick recovery. The caller staged changes
-		// without Tx.Log — surface the bug at commit time.
-		return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", version)
+	var buf []byte
+	for _, rec := range recs {
+		if len(rec.Stmts) == 0 {
+			// A record with no statements cannot replay to a new version;
+			// logging it would brick recovery. The caller staged changes
+			// without Tx.Log — surface the bug at commit time.
+			return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", rec.Version)
+		}
+		line, err := json.Marshal(walLine{Version: rec.Version, Stmts: rec.Stmts, CRC: crcOf(rec.Version, rec.Stmts)})
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
 	}
 	base, err := w.f.Seek(0, io.SeekCurrent)
-	if err != nil {
-		return err
-	}
-	line, err := json.Marshal(walLine{Version: version, Stmts: stmts, CRC: crcOf(version, stmts)})
 	if err != nil {
 		return err
 	}
@@ -174,14 +194,25 @@ func (w *WAL) AppendCommit(version uint64, stmts []string) error {
 		}
 		return cause
 	}
-	if _, err := w.f.Write(append(line, '\n')); err != nil {
-		return undo(fmt.Errorf("store: appending WAL record v%d: %w", version, err))
+	if _, err := w.f.Write(buf); err != nil {
+		return undo(fmt.Errorf("store: appending WAL batch of %d record(s): %w", len(recs), err))
 	}
 	if err := w.f.Sync(); err != nil {
-		return undo(fmt.Errorf("store: fsyncing WAL record v%d: %w", version, err))
+		return undo(fmt.Errorf("store: fsyncing WAL batch of %d record(s): %w", len(recs), err))
 	}
-	w.appended++
+	w.appended += len(recs)
+	w.syncs++
 	return nil
+}
+
+// Syncs reports how many fsyncs record appends have issued. With group
+// commit, concurrent committers share syncs: Syncs() can be far below
+// the number of committed transactions (the amortization wsabench's
+// TXN/group-commit ops record).
+func (w *WAL) Syncs() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
 }
 
 // Appended reports the number of records appended since the log was
@@ -224,11 +255,14 @@ func (w *WAL) Checkpoint(snap *Snapshot, wsdPath string) error {
 // Checkpoint writes the catalog's current snapshot as the new recovery
 // base and truncates the WAL, under the writer lock so no commit can be
 // appended (and then lost to the truncate) between the snapshot read
-// and the log reset. Readers are unaffected; writers wait for the
-// checkpoint save.
+// and the log reset. Group commits still in flight are drained first —
+// their records must land in the log (and their versions in cur) before
+// the snapshot is taken, or the truncate would orphan them. Readers are
+// unaffected; writers wait for the checkpoint save.
 func (c *Catalog) Checkpoint(w *WAL, wsdPath string) error {
 	c.writer.Lock()
 	defer c.writer.Unlock()
+	c.waitFlushed()
 	return w.Checkpoint(c.cur.Load(), wsdPath)
 }
 

@@ -1,0 +1,133 @@
+package wsa
+
+import (
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/value"
+)
+
+// Plan-level parameter binding. A prepared statement compiles to a
+// World-set Algebra plan whose predicates may hold $n parameter slots
+// (ra.Param operands). The plan — including the prelowering rewrite
+// search, the expensive part of compilation — is computed once;
+// BindParams then produces an executable copy per EXECUTE by replacing
+// the slots with that call's argument constants. Only the spine of
+// nodes that actually contain slots is copied; every slot-free subtree
+// is shared with the cached plan, which is safe because plans are
+// immutable by convention.
+
+// BindParams returns q with every parameter slot $n replaced by the
+// constant args[n-1]. A plan without slots is returned unchanged (and
+// unshared work is zero); a slot beyond the argument list is an error.
+// The input is never mutated, so concurrent executions may bind one
+// cached plan simultaneously.
+func BindParams(q Expr, args []value.Value) (Expr, error) {
+	out, _, err := bindExpr(q, args)
+	return out, err
+}
+
+func bindExpr(q Expr, args []value.Value) (Expr, bool, error) {
+	switch n := q.(type) {
+	case *Rel:
+		return q, false, nil
+	case *Select:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil {
+			return nil, false, err
+		}
+		pred, err := ra.BindPred(n.Pred, args)
+		if err != nil {
+			return nil, false, err
+		}
+		if !fc && predUnchanged(pred, n.Pred) {
+			return q, false, nil
+		}
+		return &Select{Pred: pred, From: from}, true, nil
+	case *Project:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil || !fc {
+			return q, false, err
+		}
+		return &Project{Columns: n.Columns, From: from}, true, nil
+	case *Rename:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil || !fc {
+			return q, false, err
+		}
+		return &Rename{Pairs: n.Pairs, From: from}, true, nil
+	case *BinOp:
+		l, lc, err := bindExpr(n.L, args)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rc, err := bindExpr(n.R, args)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lc && !rc {
+			return q, false, nil
+		}
+		return &BinOp{Kind: n.Kind, L: l, R: r}, true, nil
+	case *Join:
+		l, lc, err := bindExpr(n.L, args)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rc, err := bindExpr(n.R, args)
+		if err != nil {
+			return nil, false, err
+		}
+		pred, err := ra.BindPred(n.Pred, args)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lc && !rc && predUnchanged(pred, n.Pred) {
+			return q, false, nil
+		}
+		return &Join{L: l, R: r, Pred: pred}, true, nil
+	case *Choice:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil || !fc {
+			return q, false, err
+		}
+		return &Choice{Attrs: n.Attrs, From: from}, true, nil
+	case *Group:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil || !fc {
+			return q, false, err
+		}
+		return &Group{Kind: n.Kind, GroupBy: n.GroupBy, Proj: n.Proj, From: from}, true, nil
+	case *Close:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil || !fc {
+			return q, false, err
+		}
+		return &Close{Kind: n.Kind, From: from}, true, nil
+	case *RepairKey:
+		from, fc, err := bindExpr(n.From, args)
+		if err != nil || !fc {
+			return q, false, err
+		}
+		return &RepairKey{Attrs: n.Attrs, From: from}, true, nil
+	}
+	return q, false, nil
+}
+
+// predUnchanged reports that BindPred returned its input (no slot was
+// replaced). Predicate values are comparable structs, so identity is a
+// plain comparison.
+func predUnchanged(bound, orig ra.Pred) bool { return bound == orig }
+
+// MaxParam returns the highest parameter slot $n anywhere in the plan
+// (0 when the plan is fully bound and ready to evaluate).
+func MaxParam(q Expr) int {
+	out := 0
+	Walk(q, func(e Expr) {
+		switch n := e.(type) {
+		case *Select:
+			out = max(out, ra.MaxPredParam(n.Pred))
+		case *Join:
+			out = max(out, ra.MaxPredParam(n.Pred))
+		}
+	})
+	return out
+}

@@ -133,6 +133,11 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 	if _, err := q.Schema(env); err != nil {
 		return nil, nil, err
 	}
+	if n := wsa.MaxParam(q); n > 0 {
+		// A plan with parameter slots is a prepared-statement template;
+		// only its bound copies (wsa.BindParams) evaluate.
+		return nil, nil, fmt.Errorf("wsdexec: plan holds unbound parameter $%d (bind it before evaluation)", n)
+	}
 	plan := &Plan{InputWorlds: db.Worlds()}
 	run := q
 	if opt == nil || !opt.NoRewrite {
