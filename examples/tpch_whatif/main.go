@@ -3,29 +3,65 @@
 // threshold of revenue if products of some quantity (package size) could
 // no longer be sold? Every (year, missing quantity) pair becomes a
 // possible world.
+//
+// The catalog additionally carries a supplier master file with 40
+// conflicting records repaired by key — 2^40 possible worlds held in
+// linear space. The what-if pipeline reads only Lineitem, so its
+// aggregates and subqueries evaluate on the bounded dependent region
+// (here: no uncertain component at all) with latency independent of
+// the catalog's world count; an aggregate over a single supplier key
+// enumerates exactly that key's two repairs, never the 2^40.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"worldsetdb/internal/datagen"
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
 )
 
-func main() {
-	lineitem := datagen.Lineitem(60, 3, 4, 42)
-	fmt.Printf("Lineitem: %d rows (60 products × 4 years, 3 package sizes)\n\n", lineitem.Len())
-
-	s := isql.FromDB([]string{"Lineitem"}, []*relation.Relation{lineitem})
-
-	// Total revenue per year, for reference.
-	res, err := s.ExecString("select Year, sum(Price) as Revenue from Lineitem group by Year;")
-	if err != nil {
-		log.Fatal(err)
+// supplierFile builds Supplier(SuppKey, SName) with nConflicts keys,
+// each carrying two conflicting entries (a mistyped name), so repairing
+// by key represents 2^nConflicts possible master files.
+func supplierFile(nConflicts int) *relation.Relation {
+	r := relation.New(relation.NewSchema("SuppKey", "SName"))
+	for i := 0; i < nConflicts; i++ {
+		r.InsertValues(value.Int(int64(9000+i)), value.Str(fmt.Sprintf("Supplier%02d", i)))
+		r.InsertValues(value.Int(int64(9000+i)), value.Str(fmt.Sprintf("Suppl1er%02d", i)))
 	}
-	fmt.Println(res.Answers[0].Render("revenue per year"))
+	return r
+}
+
+func run(w io.Writer) error {
+	lineitem := datagen.Lineitem(60, 3, 4, 42)
+	supplier := supplierFile(40)
+	fmt.Fprintf(w, "Lineitem: %d rows (60 products × 4 years, 3 package sizes)\n", lineitem.Len())
+	fmt.Fprintf(w, "Supplier: %d rows (40 keys with two conflicting entries each)\n\n", supplier.Len())
+
+	s := isql.FromDB([]string{"Lineitem", "Supplier"}, []*relation.Relation{lineitem, supplier})
+
+	// Repair the supplier master file: 2^40 worlds, factored into 40
+	// independent binary components.
+	res, err := s.ExecString("create table SupplierClean as select * from Supplier repair by key SuppKey;")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SupplierClean: %s possible worlds, decomposition size %d\n\n",
+		s.Worlds(), res.Decomp.Size())
+
+	// Total revenue per year, for reference. The aggregate depends on no
+	// uncertain component — it answers on the certain region, however
+	// many worlds the catalog represents.
+	res, err = s.ExecString("select Year, sum(Price) as Revenue from Lineitem group by Year;")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Answers[0].Render("revenue per year"))
 
 	// One world per (year, missing quantity): the remaining revenue.
 	if _, err := s.ExecString(`create view YearQuantity as
@@ -33,21 +69,50 @@ func main() {
 		from (select * from Lineitem choice of Year) as A
 		where Quantity not in (select * from Lineitem choice of Quantity)
 		group by A.Year;`); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Possible remaining revenues across the what-if worlds.
 	res, err = s.ExecString("select possible Year, Revenue from YearQuantity;")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(res.Answers[0].Render("possible (year, remaining revenue) pairs"))
+	fmt.Fprintln(w, res.Answers[0].Render("possible (year, remaining revenue) pairs"))
 
-	// Years that would lose more than 150,000.
+	// Years that would lose more than 110,000.
 	res, err = s.ExecString(`select possible Year from YearQuantity as Y
-		where (select sum(Price) from Lineitem where Lineitem.Year = Y.Year) - Y.Revenue > 150000;`)
+		where (select sum(Price) from Lineitem where Lineitem.Year = Y.Year) - Y.Revenue > 110000;`)
 	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Answers[0].Render("years with a possible loss over 110000"))
+
+	// Narrow to one supplier key. The selection runs natively on the
+	// decomposition, so the result table is touched by a single binary
+	// component; an aggregate over it then enumerates that component's
+	// 2 repairs — never the 2^40.
+	if _, err := s.ExecString("create table Supp9000 as select * from SupplierClean where SuppKey = 9000;"); err != nil {
+		return err
+	}
+	res, err = s.ExecString("select count(*) as N from Supp9000;")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Answers[0].Render("records for supplier 9000 in every repair"))
+
+	// The repaired master file itself answers natively on the
+	// decomposition: the possible names for that key across all repairs.
+	res, err = s.ExecString("select possible SName from Supp9000;")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Answers[0].Render("possible names for supplier 9000"))
+	fmt.Fprintf(w, "catalog still represents %s worlds\n", s.Worlds())
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(res.Answers[0].Render("years with a possible loss over 150000"))
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden.txt with the current output")
+
+// TestGolden pins the example's full output. The run holds a 2^40-world
+// catalog throughout; before bounded evaluation every aggregate in the
+// pipeline refused with a budget error, so completing at all — let alone
+// byte-identically — is the regression gate.
+func TestGolden(t *testing.T) {
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	elapsed := time.Since(start)
+	if *update {
+		if err := os.WriteFile("golden.txt", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile("golden.txt")
+	if err != nil {
+		t.Fatalf("read golden (run with -update to record): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output drifted from golden.txt (re-record with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// World-count independence, loosely: the whole pipeline over the
+	// 2^40-world catalog must finish in interactive time. The bound is
+	// generous (CI machines vary) — enumeration would take years.
+	if elapsed > 30*time.Second {
+		t.Errorf("run took %v; expected world-count-independent latency", elapsed)
+	}
+}

@@ -1,0 +1,199 @@
+package isql
+
+import (
+	"math/big"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/worldset"
+	"worldsetdb/internal/wsd"
+)
+
+// Bounded fallback evaluation. Statements outside the clean World-set
+// Algebra fragment (aggregation, expression subqueries, divide-by, the
+// query form of group-worlds-by) run through the explicit world-set
+// evaluator — but a statement only reads the relations its tree
+// mentions, and the decomposition's components are independent, so the
+// evaluator only has to enumerate the components that contribute to
+// those relations. This file builds that bounded input: one world per
+// combination of the dependent components' alternatives, each carrying
+// the certain tuples plus the dependent contributions. The enumeration
+// cost is the product of just the dependent components' alternative
+// counts — the same locality bound wsdexec's component merging gives
+// the native operators — so an aggregate over one 3-alternative
+// component costs 3 worlds on a 2^40-world catalog, not 2^40.
+
+// stmtRelations records into the set every base relation the select can
+// read, following views, derived tables, expression subqueries, the
+// divide-by item and the group-worlds-by query.
+func (s *Session) stmtRelations(sel *SelectStmt, into map[string]bool) {
+	var walkSel func(*SelectStmt)
+	var walkExpr func(Expr)
+	// Views reference only earlier views (creation validates the body
+	// against the catalog of its time), so expansion terminates; the set
+	// just dedups repeated mentions.
+	expandedViews := map[string]bool{}
+	fromItem := func(item FromItem) {
+		if item.Sub != nil {
+			walkSel(item.Sub)
+			return
+		}
+		if v, ok := s.views[item.Table]; ok {
+			if !expandedViews[item.Table] {
+				expandedViews[item.Table] = true
+				walkSel(v)
+			}
+			return
+		}
+		into[item.Table] = true
+	}
+	walkExpr = func(e Expr) {
+		switch n := e.(type) {
+		case *BinExpr:
+			walkExpr(n.L)
+			walkExpr(n.R)
+		case *LogicExpr:
+			walkExpr(n.L)
+			walkExpr(n.R)
+		case *NotExpr:
+			walkExpr(n.E)
+		case *AggExpr:
+			if n.Arg != nil {
+				walkExpr(n.Arg)
+			}
+		case *InExpr:
+			walkExpr(n.Left)
+			walkSel(n.Sub)
+		case *ExistsExpr:
+			walkSel(n.Sub)
+		case *SubqueryExpr:
+			walkSel(n.Sub)
+		}
+	}
+	walkSel = func(sel *SelectStmt) {
+		if sel == nil {
+			return
+		}
+		for _, f := range sel.From {
+			fromItem(f)
+		}
+		if sel.Divide != nil {
+			fromItem(sel.Divide.Item)
+			walkExpr(sel.Divide.On)
+		}
+		walkExpr(sel.Where)
+		for _, it := range sel.Items {
+			walkExpr(it.Expr)
+		}
+		if sel.GroupWorlds != nil && sel.GroupWorlds.Query != nil {
+			walkSel(sel.GroupWorlds.Query)
+		}
+	}
+	walkSel(sel)
+}
+
+// dependentComponents returns, in ascending order, the components
+// contributing at least one tuple to any of the given relation indices
+// — the components whose choices the statement's answer can depend on.
+func dependentComponents(db *wsd.DecompDB, refIdx map[int]bool) []int {
+	var deps []int
+	for ci, c := range db.Components {
+		dep := false
+		for _, a := range c.Alternatives {
+			for ri, r := range a.Rels {
+				if refIdx[ri] && r != nil && r.Len() > 0 {
+					dep = true
+					break
+				}
+			}
+			if dep {
+				break
+			}
+		}
+		if dep {
+			deps = append(deps, ci)
+		}
+	}
+	return deps
+}
+
+// boundedInput builds the world-set the fallback evaluator runs the
+// statement on: one world per combination of the dependent components'
+// alternatives, every relation holding its certain tuples plus the
+// dependent contributions. Relations no dependent component touches are
+// exactly their full per-world content; the others the statement never
+// reads. The enumeration refuses to exceed the session budget with the
+// same *wsd.BudgetError shape Expand reports — but measured against the
+// dependent combination count, not the catalog's world count.
+func (s *Session) boundedInput(db *wsd.DecompDB, sel *SelectStmt) (*worldset.WorldSet, []int, error) {
+	refs := map[string]bool{}
+	s.stmtRelations(sel, refs)
+	refIdx := map[int]bool{}
+	for name := range refs {
+		if i := db.IndexOf(name); i >= 0 {
+			refIdx[i] = true
+		}
+	}
+	deps := dependentComponents(db, refIdx)
+	if len(deps) == len(db.Components) {
+		ws, err := db.Expand(s.maxWorlds())
+		return ws, deps, err
+	}
+	// A component with no alternatives (dependent or not) empties the
+	// represented world-set; the bounded enumeration must agree.
+	if db.Worlds().Sign() == 0 {
+		return worldset.New(db.Names, db.Schemas), deps, nil
+	}
+	budget := s.maxWorlds()
+	cost := big.NewInt(1)
+	var m big.Int
+	for _, ci := range deps {
+		cost.Mul(cost, m.SetInt64(int64(len(db.Components[ci].Alternatives))))
+	}
+	if !cost.IsInt64() || cost.Int64() > int64(budget) {
+		return nil, nil, &wsd.BudgetError{Worlds: cost, Budget: budget}
+	}
+	ws := worldset.New(db.Names, db.Schemas)
+	choice := make([]int, len(deps))
+	for {
+		w := make(worldset.World, len(db.Certain))
+		for i, r := range db.Certain {
+			w[i] = r.Clone()
+		}
+		for k, ci := range deps {
+			for ri, r := range db.Components[ci].Alternatives[choice[k]].Rels {
+				r.Each(func(t relation.Tuple) { w[ri].Insert(t) })
+			}
+		}
+		ws.Add(w)
+		i := 0
+		for ; i < len(deps); i++ {
+			choice[i]++
+			if choice[i] < len(db.Components[deps[i]].Alternatives) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(deps) {
+			break
+		}
+	}
+	return ws, deps, nil
+}
+
+// spliceIndependent re-attaches the components the bounded evaluation
+// did not enumerate to the re-factorized local result. Sound because
+// the statement read none of their contributions: every full world is a
+// local world plus the independent contributions, and the components
+// stay independent of the local result's.
+func spliceIndependent(local, base *wsd.DecompDB, deps []int) *wsd.DecompDB {
+	depSet := map[int]bool{}
+	for _, ci := range deps {
+		depSet[ci] = true
+	}
+	for ci, c := range base.Components {
+		if !depSet[ci] {
+			local.Components = append(local.Components, c)
+		}
+	}
+	return local
+}

@@ -1,0 +1,188 @@
+package isql
+
+import (
+	"errors"
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsd"
+)
+
+// boundedCatalog builds the 2^40-world census catalog plus a tiny
+// independent uncertain region: Pick is one 3-alternative component on
+// a catalog of 3 * 2^40 worlds. Statements reading only Pick must cost
+// 3 worlds, not 2^40.
+func boundedCatalog(t *testing.T) *Session {
+	t.Helper()
+	s := FromDB([]string{"Census"}, []*relation.Relation{pipelineCensus()})
+	s.Stats = NewExecStats()
+	for _, sql := range censusPipeline[:2] {
+		mustExec(t, s, sql)
+	}
+	mustExec(t, s, "create table Tiny (V);")
+	for _, v := range []string{"1", "2", "3"} {
+		mustExec(t, s, "insert into Tiny values ("+v+");")
+	}
+	mustExec(t, s, "create table Pick as select * from Tiny choice of V;")
+	if got, want := s.Worlds().String(), "3298534883328"; got != want { // 3 * 2^40
+		t.Fatalf("catalog worlds = %s, want %s", got, want)
+	}
+	return s
+}
+
+// TestBoundedAggregateWorldCountIndependent: an aggregate outside the
+// WSA fragment over a small uncertain region answers on a 2^40-world
+// catalog by enumerating only the dependent component — the bugfix this
+// test pins. The same aggregate over the 40-component repair region
+// still refuses, with the budget error reporting the dependent cost
+// (2^40), not the catalog's total world count (3 * 2^40).
+func TestBoundedAggregateWorldCountIndependent(t *testing.T) {
+	s := boundedCatalog(t)
+
+	// count(*) over Pick: one tuple per world in all 3 worlds.
+	res, err := s.ExecString("select count(*) as N from Pick;")
+	if err != nil {
+		t.Fatalf("bounded aggregate: %v", err)
+	}
+	if len(res.Answers) != 1 || !res.Answers[0].Contains(relation.Tuple{intVal(1)}) {
+		t.Fatalf("count(*) over Pick = %v, want the single answer {1}", res.Answers)
+	}
+	// The bounded worlds are not full worlds — the result must not
+	// pretend to expose the session state.
+	if res.WorldSet != nil {
+		t.Fatal("partial-dependency fallback must leave Result.WorldSet nil")
+	}
+
+	// sum(V) distinguishes the three worlds: three distinct answers.
+	res, err = s.ExecString("select sum(V) as S from Pick;")
+	if err != nil {
+		t.Fatalf("bounded sum: %v", err)
+	}
+	if len(res.Answers) != 3 {
+		t.Fatalf("sum(V) over Pick has %d distinct answers, want 3", len(res.Answers))
+	}
+
+	// Over the 40-component repair region the answer genuinely depends
+	// on 2^40 combinations: refuse with the shared budget shape, costed
+	// at the dependent components only.
+	var be *wsd.BudgetError
+	_, err = s.ExecString("select count(*) as N from Clean;")
+	if !errors.As(err, &be) {
+		t.Fatalf("aggregate over Clean: want *wsd.BudgetError, got %v", err)
+	}
+	if got, want := be.Worlds.String(), "1099511627776"; got != want { // 2^40, not 3 * 2^40
+		t.Fatalf("budget error cost = %s, want the dependent-component cost %s", got, want)
+	}
+
+	// Execution accounting: 3 native CTAS, 3 legacy aggregates (the
+	// refused one included), all attributed to aggregation.
+	snap := s.Stats.Snapshot()
+	if snap.Native != 3 {
+		t.Fatalf("stats native = %d, want 3", snap.Native)
+	}
+	if snap.Legacy != 3 || snap.LegacyOps["aggregation"] != 3 {
+		t.Fatalf("stats legacy = %d (ops %v), want 3 aggregation", snap.Legacy, snap.LegacyOps)
+	}
+}
+
+// TestBoundedCTASSplicesIndependentComponents: a create-table-as whose
+// query is outside the fragment re-factorizes only the dependent
+// region and splices the untouched components back — the catalog keeps
+// its exact world count and linear size, and stays natively queryable.
+func TestBoundedCTASSplicesIndependentComponents(t *testing.T) {
+	s := boundedCatalog(t)
+	res, err := s.ExecString("create table PickTotal as select V, count(*) as N from Pick group by V;")
+	if err != nil {
+		t.Fatalf("bounded create-table-as: %v", err)
+	}
+	if res.WorldSet != nil {
+		t.Fatal("partial-dependency CTAS must leave Result.WorldSet nil")
+	}
+	if got, want := s.Worlds().String(), "3298534883328"; got != want {
+		t.Fatalf("worlds after bounded CTAS = %s, want %s (unchanged)", got, want)
+	}
+	snap := s.Catalog().Snapshot()
+	if size := snap.DB.Size(); size > 6*pipelineCensus().Len() {
+		t.Fatalf("catalog size %d after bounded CTAS is not linear in the input", size)
+	}
+	// The spliced catalog is a normal catalog: both the new table and
+	// the untouched repair region answer natively.
+	res, err = s.ExecString("select possible N from PickTotal;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || !res.Plan.Native {
+		t.Fatalf("select over the spliced catalog not native (plan %v)", res.Plan)
+	}
+	if len(res.Answers) != 1 || !res.Answers[0].Contains(relation.Tuple{intVal(1)}) {
+		t.Fatalf("possible N from PickTotal = %v, want {1}", res.Answers)
+	}
+	if res, err = s.ExecString("select certain Name from Suspects;"); err != nil {
+		t.Fatal(err)
+	} else if res.Plan == nil || !res.Plan.Native {
+		t.Fatalf("repair region not native after splice (plan %v)", res.Plan)
+	}
+	// PickTotal stays correlated with Pick: in each world the total's V
+	// is exactly the picked V.
+	res, err = s.ExecString("select count(*) as M from Pick, PickTotal where Pick.V != PickTotal.V;")
+	if err != nil {
+		t.Fatalf("correlation probe: %v", err)
+	}
+	if len(res.Answers) != 1 || !res.Answers[0].Contains(relation.Tuple{intVal(0)}) {
+		t.Fatalf("Pick/PickTotal disagree in some world: %v", res.Answers)
+	}
+}
+
+// TestPreparedFallbackMemo: a prepared statement that fell back keeps a
+// memo keyed on the decomposition fingerprint — repeat executions skip
+// the doomed native attempt, and a moved decomposition shape clears the
+// memo so the native path is retried (the plan-cache staleness fix).
+func TestPreparedFallbackMemo(t *testing.T) {
+	s := NewSession()
+	mustExec(t, s, "create table T (A);")
+	mustExec(t, s, "insert into T values (1);")
+	mustExec(t, s, "insert into T values (2);")
+	mustExec(t, s, "create table U as select * from T choice of A;")
+	mustExec(t, s, "prepare q as select certain A from U choice of A;")
+
+	// First execution attempts the native path: choice-of over the
+	// uncertain U entangles, and the plan names the coupled components.
+	res, err := s.ExecString("execute q;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Plan.Native {
+		t.Fatalf("choice-of over uncertain U should fall back, plan %v", res.Plan)
+	}
+	if len(res.Plan.FallbackComponents) == 0 {
+		t.Fatalf("first fallback must identify the entangled components, plan %v", res.Plan)
+	}
+	firstOp := res.Plan.FallbackOp
+
+	// Second execution hits the memo: same decomposition shape, so the
+	// native attempt is skipped (no entangled-component analysis ran —
+	// the assumed fallback carries the op only).
+	res, err = s.ExecString("execute q;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Plan.Native || res.Plan.FallbackOp != firstOp {
+		t.Fatalf("memoized execution should assume fallback at %q, plan %v", firstOp, res.Plan)
+	}
+	if len(res.Plan.FallbackComponents) != 0 {
+		t.Fatalf("memoized execution should skip the native attempt, plan %v", res.Plan)
+	}
+
+	// DML that moves the decomposition shape invalidates the memo:
+	// emptying U folds its component away, and the statement runs
+	// natively — a stale cached fallback decision would have kept it on
+	// enumeration forever.
+	mustExec(t, s, "delete from U;")
+	res, err = s.ExecString("execute q;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || !res.Plan.Native {
+		t.Fatalf("after the shape moved the native path must be retried, plan %v", res.Plan)
+	}
+}

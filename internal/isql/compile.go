@@ -1,6 +1,7 @@
 package isql
 
 import (
+	"errors"
 	"fmt"
 
 	"worldsetdb/internal/ra"
@@ -13,13 +14,29 @@ import (
 // in the statement. The session falls back to the explicit world-set
 // evaluator exactly on this error type; genuine errors (unknown
 // relations or columns, ambiguity) surface directly.
-type fragmentError struct{ msg string }
+type fragmentError struct {
+	// op is the short name of the fragment feature that routed the
+	// statement to the fallback evaluator ("aggregation", "divide-by",
+	// ...), the key execution statistics attribute fallbacks to.
+	op  string
+	msg string
+}
 
 func (e *fragmentError) Error() string { return e.msg }
 
 // outsideFragment builds a fragmentError.
-func outsideFragment(format string, args ...any) error {
-	return &fragmentError{msg: fmt.Sprintf(format, args...)}
+func outsideFragment(op, format string, args ...any) error {
+	return &fragmentError{op: op, msg: fmt.Sprintf(format, args...)}
+}
+
+// fragmentOp extracts the fragment feature name from a fragmentError
+// chain ("" when the error is not one).
+func fragmentOp(err error) string {
+	var fe *fragmentError
+	if errors.As(err, &fe) {
+		return fe.op
+	}
+	return ""
 }
 
 // Compile translates the clean I-SQL fragment of §4 — no aggregation,
@@ -47,13 +64,13 @@ func (s *Session) compileOn(names []string, schemas []relation.Schema, sel *Sele
 		return nil, err
 	}
 	if info.aggregated {
-		return nil, outsideFragment("isql: aggregation is outside the World-set Algebra fragment")
+		return nil, outsideFragment("aggregation", "isql: aggregation is outside the World-set Algebra fragment")
 	}
 	if sel.Divide != nil {
-		return nil, outsideFragment("isql: divide-by is outside the World-set Algebra fragment")
+		return nil, outsideFragment("divide-by", "isql: divide-by is outside the World-set Algebra fragment")
 	}
 	if len(info.correlated) > 0 || len(info.uncorrelated) > 0 {
-		return nil, outsideFragment("isql: expression subqueries are outside the World-set Algebra fragment")
+		return nil, outsideFragment("expression subquery", "isql: expression subqueries are outside the World-set Algebra fragment")
 	}
 
 	// FROM: product of the (alias-renamed) items.
@@ -70,7 +87,7 @@ func (s *Session) compileOn(names []string, schemas []relation.Schema, sel *Sele
 		}
 	}
 	if joined == nil {
-		return nil, outsideFragment("isql: select without from is not supported")
+		return nil, outsideFragment("select without from", "isql: select without from is not supported")
 	}
 
 	q := joined
@@ -99,7 +116,7 @@ func (s *Session) compileOn(names []string, schemas []relation.Schema, sel *Sele
 		for i, it := range sel.Items {
 			col, ok := it.Expr.(*ColExpr)
 			if !ok {
-				return nil, outsideFragment("isql: select item %s is outside the World-set Algebra fragment (plain columns only)", it.Expr)
+				return nil, outsideFragment("expression select list", "isql: select item %s is outside the World-set Algebra fragment (plain columns only)", it.Expr)
 			}
 			j := info.joined.Index(col.Ref.Full())
 			if j < 0 {
@@ -112,7 +129,7 @@ func (s *Session) compileOn(names []string, schemas []relation.Schema, sel *Sele
 
 	if sel.GroupWorlds != nil {
 		if sel.GroupWorlds.Query != nil {
-			return nil, outsideFragment("isql: query-form group-worlds-by is outside the World-set Algebra fragment (use the attribute form)")
+			return nil, outsideFragment("query-form group-worlds-by", "isql: query-form group-worlds-by is outside the World-set Algebra fragment (use the attribute form)")
 		}
 		groupBy := resolveRefs(sel.GroupWorlds.Attrs, info.joined)
 		g := &wsa.Group{GroupBy: groupBy, Proj: srcCols, From: q}
@@ -253,7 +270,7 @@ func compilePred(e Expr) (ra.Pred, error) {
 		case ">=":
 			op = ra.OpGe
 		default:
-			return nil, outsideFragment("isql: operator %q is outside the World-set Algebra fragment", n.Op)
+			return nil, outsideFragment("expression condition", "isql: operator %q is outside the World-set Algebra fragment", n.Op)
 		}
 		l, err := compileOperand(n.L)
 		if err != nil {
@@ -265,7 +282,7 @@ func compilePred(e Expr) (ra.Pred, error) {
 		}
 		return ra.Cmp{Left: l, Op: op, Right: r}, nil
 	}
-	return nil, outsideFragment("isql: condition %s is outside the World-set Algebra fragment", e)
+	return nil, outsideFragment("expression condition", "isql: condition %s is outside the World-set Algebra fragment", e)
 }
 
 func compileOperand(e Expr) (ra.Operand, error) {
@@ -280,7 +297,7 @@ func compileOperand(e Expr) (ra.Operand, error) {
 		// and EXECUTE binds the argument into the cached plan.
 		return ra.Param(n.N), nil
 	}
-	return ra.Operand{}, outsideFragment("isql: operand %s is outside the World-set Algebra fragment", e)
+	return ra.Operand{}, outsideFragment("expression condition", "isql: operand %s is outside the World-set Algebra fragment", e)
 }
 
 // resolveRefs maps written column references to the joined-schema names

@@ -69,6 +69,11 @@ type Session struct {
 	// surface immediately, the pre-retry behavior.
 	RetryConflicts int
 
+	// Stats, when set, receives execution accounting (native/merged/
+	// fallback/legacy counters per operator). A server shares one
+	// instance across its sessions; nil disables recording.
+	Stats *ExecStats
+
 	// Engine picks the engine for statements in the clean WSA fragment:
 	// "" or "wsdexec" evaluate natively on the decomposition; any other
 	// name in the wsa registry ("reference", "translated", "physical")
@@ -328,16 +333,24 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 	if err != nil {
 		return nil, err
 	}
+	var fragErr error
 	if s.Engine != legacyEngine {
 		var q wsa.Expr
 		var err error
 		opts := &wsdexec.Options{ExpandBudget: s.maxWorlds()}
+		onDecomp := s.engineName() == "" || s.engineName() == "wsdexec"
 		if pre != nil {
 			// Cached plans are prelowered at compile time; skip the
 			// per-request rewrite search.
 			q, err = pre.planFor(s, snap)
 			opts.NoRewrite = true
 			if err == nil {
+				if onDecomp {
+					// A statement that just fell back on this decomposition
+					// shape skips the native attempt; a moved shape clears
+					// the memo and retries natively (see Prepared).
+					opts.AssumeFallback = pre.assumeFallback(snap)
+				}
 				q, err = pre.bindPlan(q, args)
 				if err != nil {
 					return nil, err
@@ -354,12 +367,17 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 			if err != nil {
 				return nil, err
 			}
+			if pre != nil && onDecomp {
+				pre.notePlan(snap, plan)
+			}
+			s.Stats.recordPlan(plan)
 			answers, err := out.Instances(len(out.Names)-1, s.maxWorlds())
 			if err != nil {
 				return nil, err
 			}
 			return &Result{Answers: answers, Decomp: out, Plan: plan}, nil
 		}
+		fragErr = err
 	}
 	// Legacy / fallback evaluation needs a fully bound statement tree.
 	lsel := sel
@@ -370,7 +388,24 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 		}
 		lsel = bound
 	}
-	ws, err := snap.DB.Expand(s.maxWorlds())
+	if s.Engine == legacyEngine {
+		// The comparison engine enumerates the whole world-set by design.
+		ws, err := snap.DB.Expand(s.maxWorlds())
+		if err != nil {
+			return nil, err
+		}
+		out, err := s.evalSelect(lsel, ws, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Answers: distinctAnswers(out), WorldSet: out}, nil
+	}
+	// Outside the WSA fragment: evaluate on the bounded input — only the
+	// components contributing to relations the statement reads are
+	// enumerated, so an aggregate over a small uncertain region answers
+	// in time independent of the catalog's world count.
+	s.Stats.recordLegacy(fragmentOp(fragErr))
+	ws, deps, err := s.boundedInput(snap.DB, lsel)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +413,12 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Answers: distinctAnswers(out), WorldSet: out}, nil
+	res := &Result{Answers: distinctAnswers(out)}
+	if len(deps) == len(snap.DB.Components) {
+		// The bounded input was the full expansion; expose it as before.
+		res.WorldSet = out
+	}
+	return res, nil
 }
 
 func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
@@ -394,6 +434,7 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 		if tx.Snap().HasRelation(n.Name) {
 			return fmt.Errorf("isql: relation %q already exists", n.Name)
 		}
+		var fragErr error
 		if s.Engine != legacyEngine {
 			q, err := s.compileOn(tx.Snap().DB.Names, tx.Snap().DB.Schemas, n.Query)
 			if err != nil && !isFragmentError(err) {
@@ -404,13 +445,39 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 				if err != nil {
 					return err
 				}
+				s.Stats.recordPlan(plan)
 				db := out.RenameRelation(len(out.Names)-1, n.Name).Normalize()
 				tx.SetDB(db)
 				res = &Result{Decomp: db, Plan: plan}
 				return nil
 			}
+			fragErr = err
 		}
-		ws, err := tx.Snap().DB.Expand(s.maxWorlds())
+		base := tx.Snap().DB
+		if s.Engine == legacyEngine {
+			ws, err := base.Expand(s.maxWorlds())
+			if err != nil {
+				return err
+			}
+			out, err := s.evalSelect(n.Query, ws, nil)
+			if err != nil {
+				return err
+			}
+			out = renameLastRelation(out, n.Name)
+			db, err := wsd.Refactor(out)
+			if err != nil {
+				return err
+			}
+			tx.SetDB(db)
+			res = &Result{WorldSet: out, Decomp: db}
+			return nil
+		}
+		// Outside the WSA fragment: evaluate on the bounded input, then
+		// re-factorize the local result and splice the untouched
+		// components back — one entangled step never enumerates (or
+		// de-factorizes) more than the components the query reads.
+		s.Stats.recordLegacy(fragmentOp(fragErr))
+		ws, deps, err := s.boundedInput(base, n.Query)
 		if err != nil {
 			return err
 		}
@@ -423,8 +490,12 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		db = spliceIndependent(db, base, deps).Normalize()
 		tx.SetDB(db)
-		res = &Result{WorldSet: out, Decomp: db}
+		res = &Result{Decomp: db}
+		if len(deps) == len(base.Components) {
+			res.WorldSet = out
+		}
 		return nil
 	})
 	if err != nil {

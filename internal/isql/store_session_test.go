@@ -241,6 +241,19 @@ func TestStoreSessionParityRandomized(t *testing.T) {
 			"select possible SSN from Clean;",
 		},
 		{
+			// Two independent uncertain regions: aggregates and an
+			// aggregate CTAS read only U, so the native path enumerates
+			// U's components and splices S's back — legacy expands
+			// everything; the states must agree exactly.
+			"create table U as select * from Company_Emp choice of CID;",
+			"create table S as select * from Emp_Skills choice of EID;",
+			"select count(*) as N from U;",
+			"create table CU as select CID, count(*) as N from U group by CID;",
+			"select possible N from CU;",
+			"select count(*) as M from S where EID != 'nobody';",
+			"select EID from S where EID in (select EID from Emp_Skills);",
+		},
+		{
 			"create view PerDep as select * from HFlights choice of Dep;",
 			"select certain Arr from PerDep;",
 			"create table X as select Arr from HFlights where Dep != 'PHL' choice of Arr;",
@@ -253,6 +266,7 @@ func TestStoreSessionParityRandomized(t *testing.T) {
 		return [][2]any{
 			{[]string{"Company_Emp", "Emp_Skills"}, []*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()}},
 			{[]string{"Census"}, []*relation.Relation{datagen.PaperCensus()}},
+			{[]string{"Company_Emp", "Emp_Skills"}, []*relation.Relation{datagen.PaperCompanyEmp(), datagen.PaperEmpSkills()}},
 			{[]string{"HFlights"}, []*relation.Relation{datagen.PaperFlights()}},
 		}
 	}
@@ -346,11 +360,12 @@ func TestGenuineCompileErrorsSurfaceDirectly(t *testing.T) {
 	if err == nil || errors.As(err, &be) || !strings.Contains(err.Error(), "Suspect") {
 		t.Fatalf("unknown relation must surface directly, got %v", err)
 	}
-	// Statements merely outside the fragment still fall back — and at
-	// this scale the fallback's budget refusal is the correct report.
-	_, err = s.ExecString("select count(*) as N from Suspects;")
+	// Statements merely outside the fragment run on the bounded input —
+	// and when the answer genuinely depends on all 40 repair components,
+	// the bounded enumeration's budget refusal is the correct report.
+	_, err = s.ExecString("select count(*) as N from Clean;")
 	if !errors.As(err, &be) {
-		t.Fatalf("aggregate fallback at 2^40 should refuse with BudgetError, got %v", err)
+		t.Fatalf("aggregate over all 40 components should refuse with BudgetError, got %v", err)
 	}
 }
 

@@ -99,6 +99,10 @@ type Server struct {
 	closeOnce sync.Once
 	// stats
 	execs atomic.Uint64
+	// exec is the server-wide execution accounting (native / merged /
+	// fallback / legacy, attributed per operator), shared by every
+	// session the server creates.
+	exec *isql.ExecStats
 }
 
 // stickySession is one token's persistent session. Its mutex serializes
@@ -136,6 +140,7 @@ func New(cat *store.Catalog, opts ...Option) *Server {
 		sessions:   map[string]*stickySession{},
 		sessionTTL: 5 * time.Minute,
 		stopSweep:  make(chan struct{}),
+		exec:       isql.NewExecStats(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -201,6 +206,7 @@ func (s *Server) session() *isql.Session {
 	sess.Engine = s.engine
 	sess.SetPlanCache(s.prep)
 	sess.RetryConflicts = s.txnRetries
+	sess.Stats = s.exec
 	return sess
 }
 
@@ -400,6 +406,12 @@ type Stats struct {
 	Execs     uint64   `json:"execs"`
 	Prepared  []string `json:"prepared,omitempty"`
 	Sessions  int      `json:"sessions"`
+	// Exec breaks executions down by evaluation path: native on the
+	// decomposition (merged counts those that merged components),
+	// engine-level enumeration fallbacks, and legacy evaluations of
+	// statements outside the WSA fragment — attributed per operator, the
+	// serving-path view of the "fallbacks should be rare" invariant.
+	Exec isql.ExecStatsSnapshot `json:"exec"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -421,6 +433,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Execs:     s.execs.Load(),
 		Prepared:  s.prep.Names(),
 		Sessions:  live,
+		Exec:      s.exec.Snapshot(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -1,0 +1,125 @@
+package randquery
+
+import (
+	"fmt"
+	"math/rand"
+
+	"worldsetdb/internal/relation"
+)
+
+// sqlTable is one queryable table of a generated script.
+type sqlTable struct {
+	name string
+	cols []string
+}
+
+// StmtGen generates random I-SQL statements over a growing set of
+// tables: the certain base tables it starts from plus the uncertain
+// tables its create-table-as statements derive from them. The selects
+// cover the clean WSA fragment (projections, selections, aliased
+// joins, group-worlds-by, certain/possible) and the shapes outside it
+// — aggregation (count/sum/min/max, group by) and subqueries (in,
+// correlated exists) — the statement-level complement of the
+// algebra-level QueryGen, behind the bounded-fallback differential
+// sweeps.
+//
+// Uncertainty enters only through CreateUncertain, which applies
+// choice-of or repair-by-key to certain scans; the generated selects
+// never put either construct over an uncertain answer, so on the
+// factorized engine every fragment statement must evaluate natively
+// (merging components at worst, never enumerating).
+type StmtGen struct {
+	rng  *rand.Rand
+	base []sqlTable // certain seed tables
+	all  []sqlTable // base plus created uncertain tables
+	// Domain is the integer constant domain of generated comparisons;
+	// it should match the data generator's domain.
+	Domain int
+	fresh  int
+}
+
+// NewStmtGen builds a statement generator over the given base tables.
+func NewStmtGen(rng *rand.Rand, names []string, schemas []relation.Schema) *StmtGen {
+	g := &StmtGen{rng: rng, Domain: 8}
+	for i, n := range names {
+		t := sqlTable{name: n, cols: append([]string{}, schemas[i]...)}
+		g.base = append(g.base, t)
+		g.all = append(g.all, t)
+	}
+	return g
+}
+
+// CreateUncertain emits a create-table-as introducing fresh components:
+// choice-of or repair-by-key over a (possibly filtered) certain base
+// table. The new table joins the pool later selects draw from.
+func (g *StmtGen) CreateUncertain() string {
+	g.fresh++
+	name := fmt.Sprintf("U%d", g.fresh)
+	t := g.base[g.rng.Intn(len(g.base))]
+	key := t.cols[g.rng.Intn(len(t.cols))]
+	op := "choice of " + key
+	if g.rng.Intn(2) == 0 {
+		op = "repair by key " + key
+	}
+	where := ""
+	if g.rng.Intn(3) == 0 {
+		where = fmt.Sprintf(" where %s >= %d", t.cols[g.rng.Intn(len(t.cols))], g.rng.Intn(g.Domain/2))
+	}
+	g.all = append(g.all, sqlTable{name: name, cols: t.cols})
+	return fmt.Sprintf("create table %s as select * from %s%s %s;", name, t.name, where, op)
+}
+
+// Select emits one random select statement over the known tables.
+func (g *StmtGen) Select() string {
+	col := func(t sqlTable) string { return t.cols[g.rng.Intn(len(t.cols))] }
+	t := g.all[g.rng.Intn(len(g.all))]
+	close := ""
+	switch g.rng.Intn(3) {
+	case 0:
+		close = "certain "
+	case 1:
+		close = "possible "
+	}
+	where := ""
+	if g.rng.Intn(2) == 0 {
+		ops := []string{"=", "!=", "<", ">="}
+		where = fmt.Sprintf(" where %s %s %d", col(t), ops[g.rng.Intn(len(ops))], g.rng.Intn(g.Domain))
+	}
+	switch g.rng.Intn(8) {
+	case 0: // σ/π with a world closure
+		return fmt.Sprintf("select %s%s from %s%s;", close, col(t), t.name, where)
+	case 1: // group-worlds-by (attribute form)
+		if close == "" {
+			close = "certain "
+		}
+		return fmt.Sprintf("select %s%s from %s%s group worlds by %s;", close, col(t), t.name, where, col(t))
+	case 2: // aliased equi-join; self-joins entangle and must merge
+		u := g.all[g.rng.Intn(len(g.all))]
+		return fmt.Sprintf("select %sX.%s from %s X, %s Y where X.%s = Y.%s;",
+			close, col(t), t.name, u.name, col(t), col(u))
+	case 3: // count(*)
+		return fmt.Sprintf("select count(*) as N from %s%s;", t.name, where)
+	case 4: // column aggregate
+		fn := []string{"sum", "min", "max"}[g.rng.Intn(3)]
+		return fmt.Sprintf("select %s(%s) as S from %s%s;", fn, col(t), t.name, where)
+	case 5: // group by with an aggregate
+		gc := col(t)
+		return fmt.Sprintf("select %s, count(*) as N from %s%s group by %s;", gc, t.name, where, gc)
+	case 6: // (not) in subquery
+		u := g.all[g.rng.Intn(len(g.all))]
+		neg := ""
+		if g.rng.Intn(3) == 0 {
+			neg = "not "
+		}
+		return fmt.Sprintf("select %s from %s where %s %sin (select %s from %s);",
+			col(t), t.name, col(t), neg, col(u), u.name)
+	default: // correlated (not) exists
+		u := g.all[g.rng.Intn(len(g.all))]
+		neg := ""
+		if g.rng.Intn(3) == 0 {
+			neg = "not "
+		}
+		return fmt.Sprintf("select X.%s from %s X where %sexists (select * from %s Y where Y.%s = X.%s);",
+			col(t), t.name, neg, u.name, col(u), col(t))
+	}
+}

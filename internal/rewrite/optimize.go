@@ -3,6 +3,7 @@ package rewrite
 import (
 	"container/heap"
 
+	"worldsetdb/internal/ra"
 	"worldsetdb/internal/wsa"
 )
 
@@ -183,17 +184,185 @@ func Optimize(q wsa.Expr, env *wsa.Env, completeInput bool) (wsa.Expr, []Step) {
 }
 
 // Prelower normalizes q for engines that evaluate over factored
-// world-set representations (internal/wsdexec): it runs the cost-based
-// search restricted to the equivalences sound on arbitrary world-sets,
-// with tight bounds suitable for per-query use. The rules that matter
-// most here are the group-worlds-by reductions ((12)–(14)), the
-// poss/choice-of absorption (11) and the poss/cert fusions ((15), (16),
-// (22), (23)): every group-worlds-by or choice-of they eliminate is one
-// less operator that can entangle decomposition components and force
-// the factorized engine to enumerate worlds.
+// world-set representations (internal/wsdexec): selections are first
+// pushed below the entangling binary operators (PushSelections), then
+// the cost-based search runs restricted to the equivalences sound on
+// arbitrary world-sets, with tight bounds suitable for per-query use.
+// The rules that matter most here are the group-worlds-by reductions
+// ((12)–(14)), the poss/choice-of absorption (11) and the poss/cert
+// fusions ((15), (16), (22), (23)): every group-worlds-by or choice-of
+// they eliminate is one less operator that can entangle decomposition
+// components and force the factorized engine to merge or enumerate,
+// and every selection evaluated before a ×/⋈/∩/− shrinks the operand
+// a merge would have to cover.
 func Prelower(q wsa.Expr, env *wsa.Env) wsa.Expr {
-	out, _ := OptimizeOpts(q, env, false, &Options{MaxExpansions: 200, MaxSize: 60})
+	out, _ := OptimizeOpts(PushSelections(q, env), env, false, &Options{MaxExpansions: 200, MaxSize: 60})
 	return out
+}
+
+// PushSelections deterministically pushes selection conjuncts below the
+// entangling binary operators — single-sided conjuncts of a σ over ×/⋈
+// move into the operand they reference, a σ over ∩ distributes to both
+// sides, a σ over − moves to the left side. Per world this is the
+// classic relational pushdown (sound on every world-set, verified in
+// equivalences_test.go); for the factorized engine it matters because
+// operands are filtered before the operator inspects which
+// decomposition components they depend on: a selection that empties a
+// component's contribution removes it from the entanglement set, so
+// merges stay small or vanish. Unlike the Figure 7 search this is a
+// normalization, not a cost decision — the rewrite never increases
+// per-tuple predicate work, so it always applies.
+func PushSelections(q wsa.Expr, env *wsa.Env) wsa.Expr {
+	ctx := &Context{Env: env}
+	var walk func(q wsa.Expr) wsa.Expr
+	walk = func(q wsa.Expr) wsa.Expr {
+		if cs := children(q); len(cs) > 0 {
+			nc := make([]wsa.Expr, len(cs))
+			for i, c := range cs {
+				nc[i] = walk(c)
+			}
+			q = withChildren(q, nc)
+		}
+		if p, ok := q.(*wsa.Project); ok {
+			return pushProject(ctx, p)
+		}
+		s, ok := q.(*wsa.Select)
+		if !ok {
+			return q
+		}
+		switch n := s.From.(type) {
+		case *wsa.Select:
+			// σ_a(σ_b(q)) = σ_{a∧b}(q): fuse so conjuncts trapped
+			// behind an inner selection still reach the split below.
+			return walk(&wsa.Select{Pred: ra.And{L: s.Pred, R: n.Pred}, From: n.From})
+		case *wsa.BinOp:
+			switch n.Kind {
+			case wsa.OpProduct:
+				l, r, rest := splitConjuncts(ctx, s.Pred, n.L, n.R)
+				if l == nil && r == nil {
+					return q
+				}
+				out := wsa.NewProduct(wrapSelect(n.L, l), wrapSelect(n.R, r))
+				return walk(wrapSelect(out, rest))
+			case wsa.OpIntersect:
+				return wsa.NewIntersect(walk(&wsa.Select{Pred: s.Pred, From: n.L}),
+					walk(&wsa.Select{Pred: s.Pred, From: n.R}))
+			case wsa.OpDiff:
+				return wsa.NewDiff(walk(&wsa.Select{Pred: s.Pred, From: n.L}), n.R)
+			}
+		case *wsa.Join:
+			l, r, rest := splitConjuncts(ctx, s.Pred, n.L, n.R)
+			if l == nil && r == nil {
+				return q
+			}
+			return &wsa.Join{L: wrapSelect(n.L, l), R: wrapSelect(n.R, r),
+				Pred: andAll(append(conjuncts(n.Pred, nil), rest...))}
+		}
+		return q
+	}
+	return walk(q)
+}
+
+// pushProject distributes a projection over a product when the column
+// list splits cleanly: a left-operand prefix followed by a
+// right-operand suffix, every column unambiguous (absent from the other
+// side's schema). π_{xs,ys}(q1 × q2) = π_{xs}(q1) × π_{ys}(q2) holds
+// per world in both set and bag semantics; narrowing the operands
+// before the product shrinks the tuples any component merge has to
+// expand. Interleaved or ambiguous column lists are left alone — the
+// rewrite must not reorder the output schema.
+func pushProject(ctx *Context, p *wsa.Project) wsa.Expr {
+	b, ok := p.From.(*wsa.BinOp)
+	if !ok || b.Kind != wsa.OpProduct {
+		return p
+	}
+	lAttrs, rAttrs := schemaAttrs(ctx, b.L), schemaAttrs(ctx, b.R)
+	if lAttrs == nil || rAttrs == nil {
+		return p
+	}
+	ls, rs := asSet(lAttrs), asSet(rAttrs)
+	k := 0
+	for k < len(p.Columns) && ls[p.Columns[k]] && !rs[p.Columns[k]] {
+		k++
+	}
+	if k == 0 || k == len(p.Columns) {
+		return p
+	}
+	for _, c := range p.Columns[k:] {
+		if !rs[c] || ls[c] {
+			return p
+		}
+	}
+	return wsa.NewProduct(
+		pushProject(ctx, &wsa.Project{Columns: p.Columns[:k], From: b.L}),
+		pushProject(ctx, &wsa.Project{Columns: p.Columns[k:], From: b.R}))
+}
+
+// conjuncts flattens nested ∧ into a list (True contributes nothing).
+func conjuncts(p ra.Pred, dst []ra.Pred) []ra.Pred {
+	switch n := p.(type) {
+	case ra.True:
+		return dst
+	case ra.And:
+		return conjuncts(n.R, conjuncts(n.L, dst))
+	}
+	return append(dst, p)
+}
+
+// andAll folds a conjunct list back into one predicate (True if empty).
+func andAll(ps []ra.Pred) ra.Pred {
+	if len(ps) == 0 {
+		return ra.True{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = ra.And{L: out, R: p}
+	}
+	return out
+}
+
+// wrapSelect applies the conjunct list to q (q unchanged if empty).
+func wrapSelect(q wsa.Expr, ps []ra.Pred) wsa.Expr {
+	if len(ps) == 0 {
+		return q
+	}
+	return &wsa.Select{Pred: andAll(ps), From: q}
+}
+
+// splitConjuncts partitions a predicate's conjuncts by the operand they
+// unambiguously reference: columns entirely within exactly one
+// operand's schema (and absent from the other's — shared names would
+// make the reference ambiguous) go to that side, everything else stays.
+// Operands that do not typecheck keep the predicate where it is.
+func splitConjuncts(ctx *Context, p ra.Pred, lq, rq wsa.Expr) (l, r, rest []ra.Pred) {
+	lAttrs, rAttrs := schemaAttrs(ctx, lq), schemaAttrs(ctx, rq)
+	if lAttrs == nil || rAttrs == nil {
+		return nil, nil, conjuncts(p, nil)
+	}
+	ls, rs := asSet(lAttrs), asSet(rAttrs)
+	only := func(cols []string, in, other map[string]bool) bool {
+		if len(cols) == 0 {
+			return false
+		}
+		for _, col := range cols {
+			if !in[col] || other[col] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range conjuncts(p, nil) {
+		cols := c.Columns(nil)
+		switch {
+		case only(cols, ls, rs):
+			l = append(l, c)
+		case only(cols, rs, ls):
+			r = append(r, c)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return l, r, rest
 }
 
 // OptimizeOpts is Optimize with explicit search bounds.

@@ -1,0 +1,130 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsa"
+)
+
+// TestPushSelectionsStructure pins the shapes PushSelections produces:
+// single-sided conjuncts move below ×/⋈/∩/−, cross-operand and
+// ambiguous conjuncts stay put, projections split over products only
+// when the column list partitions cleanly. Shapes are compared via
+// String(), the same canonical form the optimizer's visited-set uses.
+func TestPushSelectionsStructure(t *testing.T) {
+	env := wsa.NewEnv(eqNames, eqSchemas)
+	a1 := ra.EqConst("A", value.Int(1))
+	d2 := ra.EqConst("D", value.Int(2))
+	ad := ra.Eq("A", "D")
+	cases := []struct {
+		name     string
+		in, want wsa.Expr
+	}{
+		{"split both sides over product",
+			sel(wsa.NewProduct(rel("R"), rel("S")), ra.And{L: a1, R: d2}),
+			wsa.NewProduct(sel(rel("R"), a1), sel(rel("S"), d2))},
+		{"left-only conjunct over product",
+			sel(wsa.NewProduct(rel("R"), rel("S")), a1),
+			wsa.NewProduct(sel(rel("R"), a1), rel("S"))},
+		{"cross conjunct stays above product",
+			sel(wsa.NewProduct(rel("R"), rel("S")), ad),
+			sel(wsa.NewProduct(rel("R"), rel("S")), ad)},
+		{"mixed: sided parts sink, cross part stays",
+			sel(wsa.NewProduct(rel("R"), rel("S")), ra.And{L: ad, R: a1}),
+			sel(wsa.NewProduct(sel(rel("R"), a1), rel("S")), ad)},
+		{"fused nested selections still split",
+			sel(sel(wsa.NewProduct(rel("R"), rel("S")), d2), a1),
+			wsa.NewProduct(sel(rel("R"), a1), sel(rel("S"), d2))},
+		{"join keeps cross pred, sinks sided conjunct",
+			sel(&wsa.Join{L: rel("R"), R: rel("S"), Pred: ad}, a1),
+			&wsa.Join{L: sel(rel("R"), a1), R: rel("S"), Pred: ad}},
+		{"selection distributes over intersection",
+			sel(wsa.NewIntersect(proj(rel("R"), "A"), ren(rel("S"), "D", "A")), a1),
+			wsa.NewIntersect(sel(proj(rel("R"), "A"), a1), sel(ren(rel("S"), "D", "A"), a1))},
+		{"selection pushes into difference's left side",
+			sel(wsa.NewDiff(proj(rel("R"), "A"), ren(rel("S"), "D", "A")), a1),
+			wsa.NewDiff(sel(proj(rel("R"), "A"), a1), ren(rel("S"), "D", "A"))},
+		{"projection splits over product",
+			proj(wsa.NewProduct(rel("R"), rel("S")), "A", "B", "D"),
+			wsa.NewProduct(proj(rel("R"), "A", "B"), proj(rel("S"), "D"))},
+		{"interleaved projection is not reordered",
+			proj(wsa.NewProduct(rel("R"), rel("S")), "D", "A"),
+			proj(wsa.NewProduct(rel("R"), rel("S")), "D", "A")},
+		{"pushdown applies under other operators",
+			wsa.NewPoss(sel(wsa.NewProduct(choice(rel("R"), "B"), rel("S")), d2)),
+			wsa.NewPoss(wsa.NewProduct(choice(rel("R"), "B"), sel(rel("S"), d2)))},
+	}
+	for _, c := range cases {
+		got := PushSelections(c.in, env)
+		if got.String() != c.want.String() {
+			t.Errorf("%s:\n  in:   %s\n  got:  %s\n  want: %s", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestPushSelectionsEquivalences property-tests the pushdown identities
+// against the Figure 3 reference semantics on random world-sets — each
+// case runs the original and its pushed form and requires identical
+// world-sets (the same harness the Figure 7 equations use).
+func TestPushSelectionsEquivalences(t *testing.T) {
+	env := wsa.NewEnv(eqNames, eqSchemas)
+	a1 := ra.EqConst("A", value.Int(1))
+	d2 := ra.EqConst("D", value.Int(2))
+	cases := []struct {
+		id string
+		q  wsa.Expr
+	}{
+		{"σ∧ over ×", sel(wsa.NewProduct(choice(rel("R"), "B"), choice(rel("S"), "D")), ra.And{L: a1, R: d2})},
+		{"σ over ⋈", sel(&wsa.Join{L: choice(rel("R"), "C"), R: rel("S"), Pred: ra.Eq("A", "D")}, a1)},
+		{"σ over ∩", sel(wsa.NewIntersect(proj(choice(rel("R"), "B"), "A"), ren(rel("S"), "D", "A")), a1)},
+		{"σ over −", sel(wsa.NewDiff(proj(choice(rel("R"), "B"), "A"), ren(rel("S"), "D", "A")), a1)},
+		{"σσ fuse", sel(sel(wsa.NewProduct(rel("R"), choice(rel("S"), "D")), d2), a1)},
+		{"π over ×", proj(wsa.NewProduct(choice(rel("R"), "B"), rel("S")), "A", "D")},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			checkEquivalence(t, c.id, c.q, PushSelections(c.q, env), false)
+		})
+	}
+}
+
+// TestFuzzPushSelections cross-checks PushSelections against the
+// reference semantics on random queries and random world-sets, the
+// composition guard for the pass (fusion + per-operator pushes
+// interacting on arbitrary trees).
+func TestFuzzPushSelections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz test skipped in -short mode")
+	}
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	env := wsa.NewEnv(names, schemas)
+	rng := rand.New(rand.NewSource(4242))
+	gen := randquery.NewQueryGen(rng, names, schemas)
+
+	for qi := 0; qi < 200; qi++ {
+		q := gen.Query(1 + rng.Intn(3))
+		pushed := PushSelections(q, env)
+		for wi := 0; wi < 3; wi++ {
+			ws := datagen.RandomWorldSet(rng, names, schemas, 3, 3, 4)
+			want, err := wsa.Eval(q, ws)
+			if err != nil {
+				t.Fatalf("query %d (%s): %v", qi, q, err)
+			}
+			got, err := wsa.Eval(pushed, ws)
+			if err != nil {
+				t.Fatalf("query %d pushed (%s): %v", qi, pushed, err)
+			}
+			if !got.EqualWorlds(want) {
+				t.Fatalf("pushdown broke semantics\noriginal: %s\npushed: %s\ninput:\n%s", q, pushed, ws)
+			}
+		}
+	}
+}

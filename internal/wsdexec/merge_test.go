@@ -1,0 +1,186 @@
+package wsdexec
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/ra"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
+)
+
+// TestMergeVsExpandRandomizedParity evaluates random queries over
+// random decompositions twice — bounded merging enabled versus disabled
+// (NoMerge, i.e. the enumeration fallback) — and requires identical
+// expanded world-sets. Runs under -race in CI, exercising the
+// slot-parallel operators across merged components.
+func TestMergeVsExpandRandomizedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A", "B"), relation.NewSchema("C")}
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	mergedPlans := 0
+	for i := 0; i < 300; i++ {
+		db := datagen.RandomDecompDB(rng, names, schemas, 3, 2, 3, 3, 2)
+		q := gen.Query(1 + rng.Intn(3))
+		outM, planM, errM := EvalOpts(q, db, nil)
+		outX, planX, errX := EvalOpts(q, db, &Options{NoMerge: true})
+		if (errM == nil) != (errX == nil) {
+			t.Fatalf("query %d: merge path error %v vs expand path error %v\nquery: %s", i, errM, errX, q)
+		}
+		if errM != nil {
+			continue
+		}
+		wsM, err := outM.Expand(1 << 20)
+		if err != nil {
+			t.Fatalf("query %d: merged output not expandable: %v", i, err)
+		}
+		wsX, err := outX.Expand(1 << 20)
+		if err != nil {
+			t.Fatalf("query %d: expanded-path output not expandable: %v", i, err)
+		}
+		if !wsM.EqualWorlds(wsX) {
+			t.Fatalf("query %d: merge and expand paths disagree\nquery: %s\nplans: %v / %v\nmerged:\n%s\nexpanded:\n%s",
+				i, q, planM, planX, wsM, wsX)
+		}
+		if planM.Native && len(planM.Merges) > 0 {
+			mergedPlans++
+		}
+	}
+	if mergedPlans < 20 {
+		t.Fatalf("merge path under-exercised: only %d of 300 queries merged", mergedPlans)
+	}
+}
+
+// tornDB builds a two-relation decomposition whose only entanglement
+// couples a 3-alternative component (relation R) with a 4-alternative
+// component (relation S): merge cost exactly 12.
+func tornDB(t *testing.T) (*wsd.DecompDB, wsa.Expr) {
+	t.Helper()
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A"), relation.NewSchema("B")}
+	db := wsd.NewDecompDB(names, schemas)
+	comp := func(ri, n int) wsd.DBComponent {
+		c := wsd.DBComponent{}
+		for a := 0; a < n; a++ {
+			r := relation.New(schemas[ri])
+			r.Insert(relation.Tuple{value.Int(int64(a))})
+			c.Alternatives = append(c.Alternatives, wsd.DBAlternative{Rels: map[int]*relation.Relation{ri: r}})
+		}
+		return c
+	}
+	db.Components = append(db.Components, comp(0, 3), comp(1, 4))
+	return db, wsa.NewProduct(&wsa.Rel{Name: "R"}, &wsa.Rel{Name: "S"})
+}
+
+// TestPrelowerPushdownAvoidsMerge shows why Prelower pushes selections
+// below entangling operators: a selection that (per world) empties one
+// operand removes that operand's component from the entanglement set,
+// so the product needs no merge at all — while the same query evaluated
+// without the rewrite must merge the coupled components (cost 12) to
+// stay native, and cannot run natively with merging disabled.
+func TestPrelowerPushdownAvoidsMerge(t *testing.T) {
+	db, prod := tornDB(t)
+	q := &wsa.Select{Pred: ra.EqConst("A", value.Int(99)), From: prod}
+	ws, err := db.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wsa.Eval(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With the rewrite: σ_{A=99} sinks onto R, empties it in every
+	// alternative, and the product never entangles — native with zero
+	// merges even when merging is disabled outright.
+	out, plan, err := EvalOpts(q, db, &Options{NoMerge: true, NoFallback: true})
+	if err != nil {
+		t.Fatalf("pushed evaluation failed: %v", err)
+	}
+	if !plan.Native || !plan.Rewritten || len(plan.Merges) != 0 {
+		t.Fatalf("expected a native, rewritten, merge-free plan, got %v", plan)
+	}
+	got, err := out.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualWorlds(want) {
+		t.Fatalf("pushed result disagrees with reference\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Without the rewrite the product evaluates first: components 0 and
+	// 1 entangle and staying native costs a 12-alternative merge...
+	_, plan, err = EvalOpts(q, db, &Options{NoRewrite: true, NoFallback: true})
+	if err != nil {
+		t.Fatalf("unpushed evaluation failed: %v", err)
+	}
+	if len(plan.Merges) != 1 || plan.MergeCost != 12 {
+		t.Fatalf("unpushed plan should merge at cost 12, got %v", plan)
+	}
+
+	// ...and with merging disabled it cannot run natively at all.
+	if _, _, err := EvalOpts(q, db, &Options{NoRewrite: true, NoMerge: true, NoFallback: true}); err == nil {
+		t.Fatal("unpushed + NoMerge: expected an entanglement error")
+	}
+}
+
+// TestMergeTornBudget sweeps the budget across the merge cost: exactly
+// at cost the evaluation stays native via a merge; one below, the merge
+// is refused and the fallback's Expand raises the typed *wsd.BudgetError
+// carrying the entangled-component diagnostics.
+func TestMergeTornBudget(t *testing.T) {
+	db, q := tornDB(t)
+	ws, err := db.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wsa.Eval(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget exactly at the merge cost: native, one merge of cost 12.
+	out, plan, err := EvalOpts(q, db, &Options{ExpandBudget: 12, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Native || len(plan.Merges) != 1 || plan.Merges[0].Cost != 12 || plan.MergeCost != 12 {
+		t.Fatalf("budget 12: expected one native merge of cost 12, got %v", plan)
+	}
+	got, err := out.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualWorlds(want) {
+		t.Fatalf("budget 12: merged result disagrees with reference\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// One below: the merge is refused, and since the world count is at
+	// least the merge cost, the fallback's Expand refuses too — the
+	// error must carry the typed budget refusal plus the component ids.
+	_, _, err = EvalOpts(q, db, &Options{ExpandBudget: 11})
+	if err == nil {
+		t.Fatal("budget 11: expected a budget refusal")
+	}
+	var be *wsd.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("budget 11: error does not wrap *wsd.BudgetError: %v", err)
+	}
+	for _, frag := range []string{"entangles decomposition components [0 1]", "relations [R S]", "merge cost 12"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("budget 11: error %q lacks %q", err.Error(), frag)
+		}
+	}
+
+	// NoFallback one below cost: the entangle error surfaces directly.
+	if _, _, err := EvalOpts(q, db, &Options{ExpandBudget: 11, NoFallback: true}); err == nil {
+		t.Fatal("budget 11 + NoFallback: expected an entanglement error")
+	}
+}

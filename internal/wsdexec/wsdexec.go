@@ -21,24 +21,52 @@
 // presence conditions; poss and cert are component-local scans;
 // choice-of and repair-by-key on certain inputs split fresh components;
 // group-worlds-by aggregates per alternative when the answer depends on
-// a single component. Before lowering, rewrite.Prelower applies the
+// a single component. Before lowering, rewrite.Prelower first pushes
+// selections (and cleanly-splitting projections) below ×/⋈/∩/−
+// (rewrite.PushSelections) — operands are filtered before the operator
+// inspects which components they depend on, so a selection that
+// empties a component's contribution removes that component from the
+// entanglement set and merges stay small or vanish — then applies the
 // Figure 7 equivalences that are sound on arbitrary world-sets, which
 // eliminates many group-worlds-by/choice-of operators outright.
 //
-// # Fallback
+// # Entanglement and bounded merging
 //
 // Operators whose result would couple the choices of two distinct
-// components — a product of two uncertain subqueries living in
-// different components, choice-of over an uncertain answer — cannot be
-// expressed in the additive factored form. For those the engine
-// enumerates the input through the guarded wsd Expand (refusing via
-// *wsd.BudgetError beyond the budget) and delegates the query to the
-// physical engine (or the reference evaluator when the query contains
-// repair-by-key, which physical cannot run). The enumerated output is
-// re-factorized with wsd.Refactor before it is returned, so downstream
-// statements keep working on a decomposition. Every evaluation returns
-// a Plan recording whether it stayed native and, if not, which operator
-// forced the fallback — benchmarks count those.
+// components — pγ/cγ aggregation and group-worlds-by over answers
+// spanning components, products/joins of subqueries uncertain in
+// different components, the cross-component cases of ∩ and − — cannot
+// be expressed directly in the additive factored form. The engine
+// resolves them with a decision tree, in order:
+//
+//  1. Merge locally (bounded component merging): collapse exactly the
+//     coupled components into one, in the wsd.MergeComponents
+//     mixed-radix layout, when the merge cost — the product of just
+//     those components' alternative counts — fits the expansion budget.
+//     Evaluation stays native and the cost depends on the coupled
+//     components only, never on the world count: a 2^40-world
+//     decomposition aggregates over two 2-alternative components by
+//     materializing a 2×2 = 4-alternative merge. Components absorbed by
+//     a merge are recorded as slaved to the merged root; factored
+//     relations already holding parts on them are promoted onto the
+//     root at their next use. Each merge is recorded in Plan.Merges.
+//
+//  2. Fall back to enumeration: when the merge cost itself exceeds the
+//     budget — or the operator cannot merge at all (choice-of and
+//     repair-by-key over uncertain answers refine worlds individually,
+//     which no finite merge expresses) — the engine enumerates the
+//     input through the guarded wsd Expand (refusing via
+//     *wsd.BudgetError beyond the budget) and delegates the query to
+//     the physical engine (or the reference evaluator when the query
+//     contains repair-by-key, which physical cannot run). The
+//     enumerated output is re-factorized with wsd.Refactor before it is
+//     returned, so downstream statements keep working on a
+//     decomposition.
+//
+// Every evaluation returns a Plan recording whether it stayed native,
+// the merges it performed, and, on fallback, the operator plus the
+// coupled component ids and relation names that forced enumeration —
+// benchmarks count those.
 package wsdexec
 
 import (
@@ -73,6 +101,18 @@ type Options struct {
 	// enumerating; tests and benchmarks use it to prove evaluations
 	// stayed native.
 	NoFallback bool
+	// NoMerge disables bounded component merging, restoring the
+	// enumerate-on-entangle behavior; differential tests use it to
+	// compare the merged and expanded evaluations of one query.
+	NoMerge bool
+	// AssumeFallback, when non-empty, skips the native attempt and goes
+	// straight to the enumeration fallback as if the named operator had
+	// entangled. Plan caches use it to skip a native attempt that
+	// deterministically failed before; it must only be set while the
+	// decomposition fingerprint is unchanged since the recorded
+	// fallback — the same query on the same decomposition shape
+	// entangles (or not) identically.
+	AssumeFallback string
 }
 
 func (o *Options) budget() int {
@@ -80,6 +120,16 @@ func (o *Options) budget() int {
 		return wsd.DefaultExpandBudget
 	}
 	return o.ExpandBudget
+}
+
+// MergeStep records one bounded component merge performed during
+// native evaluation: the operator that required it, the (live)
+// component ids that were merged, and the alternative count of the
+// merged component.
+type MergeStep struct {
+	Op         string
+	Components []int
+	Cost       int
 }
 
 // Plan records how a query was evaluated.
@@ -93,11 +143,22 @@ type Plan struct {
 	// FallbackEngine is the engine the query was delegated to
 	// ("physical" or "reference"; "" when Native).
 	FallbackEngine string
+	// FallbackComponents and FallbackRelations identify, on fallback,
+	// the coupled component ids and the relation names they range over
+	// ("derived" for components created during evaluation).
+	FallbackComponents []int
+	FallbackRelations  []string
 	// InputWorlds is the exact world count of the input decomposition.
 	InputWorlds *big.Int
-	// NewComponents counts components created by choice-of and
-	// repair-by-key during native evaluation.
+	// NewComponents counts components created by choice-of,
+	// repair-by-key and merging during native evaluation, net of the
+	// components absorbed into merges.
 	NewComponents int
+	// Merges lists the bounded component merges performed during native
+	// evaluation, in order; MergeCost is the largest merged component's
+	// alternative count (1 when no merge happened).
+	Merges    []MergeStep
+	MergeCost int
 	// Rewritten reports that rewrite.Prelower changed the query before
 	// lowering.
 	Rewritten bool
@@ -105,19 +166,49 @@ type Plan struct {
 
 func (p *Plan) String() string {
 	if p.Native {
-		return fmt.Sprintf("native (worlds=%s, new components=%d, rewritten=%v)",
+		s := fmt.Sprintf("native (worlds=%s, new components=%d, rewritten=%v)",
 			p.InputWorlds, p.NewComponents, p.Rewritten)
+		for _, m := range p.Merges {
+			s += fmt.Sprintf("; merged components %v (cost %d) at %s", m.Components, m.Cost, m.Op)
+		}
+		return s
 	}
-	return fmt.Sprintf("fallback at %s via %s engine (worlds=%s)",
+	s := fmt.Sprintf("fallback at %s via %s engine (worlds=%s)",
 		p.FallbackOp, p.FallbackEngine, p.InputWorlds)
+	if len(p.FallbackComponents) > 0 {
+		s += fmt.Sprintf("; entangled components %v", p.FallbackComponents)
+	}
+	if len(p.FallbackRelations) > 0 {
+		s += fmt.Sprintf(" over relations %v", p.FallbackRelations)
+	}
+	return s
 }
 
 // entangleError is the internal signal that an operator's result cannot
-// be expressed in the additive factored form.
-type entangleError struct{ op string }
+// be expressed in the additive factored form without merging more
+// component choices than the budget allows. It carries the coupled
+// component ids and the relation names they range over, so fallback
+// diagnostics name the culprits instead of a bare operator.
+type entangleError struct {
+	op     string
+	comps  []int
+	rels   []string
+	cost   *big.Int // merge cost; nil when the operator cannot merge at all
+	budget int
+}
 
 func (e *entangleError) Error() string {
-	return fmt.Sprintf("wsdexec: %s entangles decomposition components", e.op)
+	msg := fmt.Sprintf("wsdexec: %s entangles decomposition components", e.op)
+	if len(e.comps) > 0 {
+		msg += fmt.Sprintf(" %v", e.comps)
+	}
+	if len(e.rels) > 0 {
+		msg += fmt.Sprintf(" (relations %v)", e.rels)
+	}
+	if e.cost != nil {
+		msg += fmt.Sprintf("; merge cost %s exceeds expand budget %d", e.cost, e.budget)
+	}
+	return msg
 }
 
 // Eval evaluates q over the decomposition and returns the decomposition
@@ -138,27 +229,53 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 		// only its bound copies (wsa.BindParams) evaluate.
 		return nil, nil, fmt.Errorf("wsdexec: plan holds unbound parameter $%d (bind it before evaluation)", n)
 	}
-	plan := &Plan{InputWorlds: db.Worlds()}
+	plan := &Plan{InputWorlds: db.Worlds(), MergeCost: 1}
 	run := q
 	if opt == nil || !opt.NoRewrite {
 		if r := rewrite.Prelower(q, env); !wsa.Equal(r, q) {
 			run, plan.Rewritten = r, true
 		}
 	}
-	e := &engine{db: db, env: env}
+	e := &engine{db: db, env: env, budget: opt.budget(), slaved: map[int]slaveRef{}}
+	if opt != nil && opt.NoMerge {
+		e.budget = 0 // every merge attempt exceeds a zero budget
+	}
 	for _, c := range db.Components {
 		e.arity = append(e.arity, len(c.Alternatives))
 	}
-	ans, err := e.eval(run)
+	var ans *frel
+	var err error
+	if opt != nil && opt.AssumeFallback != "" {
+		err = &entangleError{op: opt.AssumeFallback}
+	} else {
+		ans, err = e.eval(run)
+	}
 	if err == nil {
 		plan.Native = true
-		plan.NewComponents = len(e.arity) - len(db.Components)
+		plan.Merges = e.merges
+		for _, m := range e.merges {
+			if m.Cost > plan.MergeCost {
+				plan.MergeCost = m.Cost
+			}
+		}
+		for ci := len(db.Components); ci < len(e.arity); ci++ {
+			if _, slaved := e.slaved[ci]; !slaved {
+				plan.NewComponents++
+			}
+		}
+		for ci := range db.Components {
+			if _, slaved := e.slaved[ci]; slaved {
+				plan.NewComponents--
+			}
+		}
 		return e.buildOutput(ans), plan, nil
 	}
 	var ent *entangleError
 	if !errors.As(err, &ent) {
 		return nil, nil, err
 	}
+	plan.FallbackComponents = ent.comps
+	plan.FallbackRelations = ent.rels
 	if opt != nil && opt.NoFallback {
 		return nil, nil, fmt.Errorf("wsdexec: fallback disabled: %w", err)
 	}
@@ -166,7 +283,7 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 	// engine that can run the query.
 	ws, xerr := db.Expand(opt.budget())
 	if xerr != nil {
-		return nil, nil, fmt.Errorf("wsdexec: %s and the input is not enumerable: %w", ent.op, xerr)
+		return nil, nil, fmt.Errorf("wsdexec: %v; the input is not enumerable: %w", ent, xerr)
 	}
 	// The rewritten form is equivalent and often cheaper (Prelower may
 	// have eliminated the very repair-by-key that would force the
@@ -211,13 +328,26 @@ func EvalWorldSet(q wsa.Expr, ws *worldset.WorldSet) (*worldset.WorldSet, error)
 	return out.Expand(0)
 }
 
+// slaveRef records that a component was absorbed into a merged root:
+// the root's choice m selects this component's alternative altMap[m].
+// The maps compose at merge time (path compression), so a slaved entry
+// always points at a live root directly.
+type slaveRef struct {
+	root   int
+	altMap []int
+}
+
 // engine carries the evaluation state: the input decomposition and the
 // component universe (the input's components plus those created by
-// choice-of and repair-by-key, identified by index into arity).
+// choice-of, repair-by-key and bounded merging, identified by index
+// into arity), plus the slaved-component registry of performed merges.
 type engine struct {
-	db    *wsd.DecompDB
-	env   *wsa.Env
-	arity []int
+	db     *wsd.DecompDB
+	env    *wsa.Env
+	arity  []int
+	budget int
+	slaved map[int]slaveRef
+	merges []MergeStep
 }
 
 // addComponent registers a fresh component with n alternatives and
@@ -227,22 +357,203 @@ func (e *engine) addComponent(n int) int {
 	return len(e.arity) - 1
 }
 
+// liveComps maps each component id through the slaved registry to its
+// current root and returns the sorted distinct set.
+func (e *engine) liveComps(ids []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range ids {
+		if ref, ok := e.slaved[c]; ok {
+			c = ref.root
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mergeCostBig returns the product of the components' alternative
+// counts: the arity of the component merge would build.
+func (e *engine) mergeCostBig(comps []int) *big.Int {
+	n := big.NewInt(1)
+	var m big.Int
+	for _, c := range comps {
+		n.Mul(n, m.SetInt64(int64(e.arity[c])))
+	}
+	return n
+}
+
+// compRelNames names what the given components range over: the
+// relations their alternatives contribute tuples to for input
+// components, "derived" for components created during evaluation
+// (choice-of, repair-by-key, earlier merges). Used by entanglement
+// diagnostics.
+func (e *engine) compRelNames(comps []int) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, c := range comps {
+		if c >= len(e.db.Components) {
+			add("derived")
+			continue
+		}
+		ris := map[int]bool{}
+		for _, a := range e.db.Components[c].Alternatives {
+			for ri, r := range a.Rels {
+				if r != nil && r.Len() > 0 {
+					ris[ri] = true
+				}
+			}
+		}
+		for ri := range ris {
+			add(e.db.Names[ri])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// merge collapses the given live components (sorted, at least two) into
+// a fresh component whose alternatives enumerate their choice
+// combinations in the wsd.MergeComponents mixed-radix layout, recording
+// the members as slaved to the new root. It fails with a detailed
+// entangleError when the combined alternative count exceeds the
+// expansion budget — the caller propagates it and the top level falls
+// back to enumeration.
+func (e *engine) merge(op string, comps []int) (int, error) {
+	cost := e.mergeCostBig(comps)
+	if !cost.IsInt64() || cost.Int64() > int64(e.budget) {
+		return 0, &entangleError{
+			op:     op,
+			comps:  append([]int{}, comps...),
+			rels:   e.compRelNames(comps),
+			cost:   cost,
+			budget: e.budget,
+		}
+	}
+	n := int(cost.Int64())
+	arities := make([]int, len(comps))
+	for k, c := range comps {
+		arities[k] = e.arity[c]
+	}
+	root := e.addComponent(n)
+	members := map[int]bool{}
+	for k, c := range comps {
+		am := make([]int, n)
+		for m := 0; m < n; m++ {
+			am[m] = wsd.MergeAlt(arities, k, m)
+		}
+		e.slaved[c] = slaveRef{root: root, altMap: am}
+		members[c] = true
+	}
+	// Path-compress: components previously slaved to a member now chain
+	// through it; rewrite them to point at the new root directly.
+	for id, ref := range e.slaved {
+		if !members[ref.root] {
+			continue
+		}
+		inner := e.slaved[ref.root]
+		nm := make([]int, n)
+		for m := 0; m < n; m++ {
+			nm[m] = ref.altMap[inner.altMap[m]]
+		}
+		e.slaved[id] = slaveRef{root: root, altMap: nm}
+	}
+	e.merges = append(e.merges, MergeStep{Op: op, Components: append([]int{}, comps...), Cost: n})
+	return root, nil
+}
+
+// promote rewrites f in place so that no part is keyed on a slaved
+// component: parts of merged members are folded onto the corresponding
+// alternatives of their root. Component-interpreting operators call it
+// on every operand before inspecting uncertainComps or per-alternative
+// coverage — a merge performed while evaluating a sibling subtree may
+// have slaved components an already-evaluated frel still references,
+// and treating two slaved siblings as independent would misjudge
+// certainty. Structural operators (σ, π, ρ, ∪) need not promote: they
+// distribute over parts regardless of which component keys them.
+func (e *engine) promote(f *frel) {
+	if len(e.slaved) == 0 {
+		return
+	}
+	for _, c := range f.compIDs() {
+		ref, ok := e.slaved[c]
+		if !ok {
+			continue
+		}
+		parts := f.parts[c]
+		delete(f.parts, c)
+		n := e.arity[ref.root]
+		for m := 0; m < n; m++ {
+			p := parts[ref.altMap[m]]
+			if p == nil || p.Len() == 0 {
+				continue
+			}
+			slot := f.slot(ref.root, n, m)
+			p.Each(func(t relation.Tuple) { slot.Insert(t) })
+		}
+	}
+}
+
 // buildOutput assembles the extended decomposition ⟨R1, …, Rk, $ans⟩
-// from the input and the answer's factored form.
+// from the input and the answer's factored form. Components slaved to a
+// merge root are omitted: the root's alternatives re-emit their
+// relation contributions at the member alternative each combined choice
+// selects, so the output represents exactly the input world-set (merged
+// combinations may coincide in content, making Worlds an upper bound —
+// the Normalize caveat; Expand still deduplicates).
 func (e *engine) buildOutput(ans *frel) *wsd.DecompDB {
+	e.promote(ans)
 	k := len(e.db.Names)
 	out := &wsd.DecompDB{
 		Names:   append(append([]string{}, e.db.Names...), wsa.AnswerName),
 		Schemas: append(append([]relation.Schema{}, e.db.Schemas...), ans.schema),
 		Certain: append(append([]*relation.Relation{}, e.db.Certain...), ans.cert),
 	}
+	// Input components absorbed by each merge root, for re-emitting
+	// their relation contributions under the root's combined choices.
+	members := map[int][]int{}
+	for id, ref := range e.slaved {
+		if id < len(e.db.Components) {
+			members[ref.root] = append(members[ref.root], id)
+		}
+	}
+	for _, ms := range members {
+		sort.Ints(ms)
+	}
 	for ci, m := range e.arity {
+		if _, slaved := e.slaved[ci]; slaved {
+			continue
+		}
 		comp := wsd.DBComponent{Alternatives: make([]wsd.DBAlternative, m)}
 		for a := 0; a < m; a++ {
 			alt := wsd.DBAlternative{Rels: map[int]*relation.Relation{}}
 			if ci < len(e.db.Components) {
 				for ri, r := range e.db.Components[ci].Alternatives[a].Rels {
 					alt.Rels[ri] = r
+				}
+			}
+			for _, b := range members[ci] {
+				ref := e.slaved[b]
+				for ri, r := range e.db.Components[b].Alternatives[ref.altMap[a]].Rels {
+					if r == nil || r.Len() == 0 {
+						continue
+					}
+					if cur := alt.Rels[ri]; cur == nil {
+						alt.Rels[ri] = r
+					} else {
+						u := cur.Clone()
+						r.Each(func(t relation.Tuple) { u.Insert(t) })
+						alt.Rels[ri] = u
+					}
 				}
 			}
 			if p := ans.part(ci, a); p != nil && p.Len() > 0 {
@@ -451,9 +762,20 @@ func (e *engine) evalProduct(lq, rq wsa.Expr, pred ra.Pred, outSchema relation.S
 	if err != nil {
 		return nil, err
 	}
+	e.promote(lf)
+	e.promote(rf)
 	lu, ru := lf.uncertainComps(), rf.uncertainComps()
 	if len(lu) > 0 && len(ru) > 0 && !(len(lu) == 1 && len(ru) == 1 && lu[0] == ru[0]) {
-		return nil, &entangleError{op: "product of subqueries uncertain in distinct components"}
+		// Entangled: merge exactly the coupled components, promote both
+		// operands onto the merged root, and continue on the
+		// same-component path.
+		if _, err := e.merge("product of subqueries uncertain in distinct components",
+			e.liveComps(append(append([]int{}, lu...), ru...))); err != nil {
+			return nil, err
+		}
+		e.promote(lf)
+		e.promote(rf)
+		lu, ru = lf.uncertainComps(), rf.uncertainComps()
 	}
 	combine := func(a, b *relation.Relation) (*relation.Relation, error) {
 		if a == nil || b == nil || a.Len() == 0 || b.Len() == 0 {
@@ -547,6 +869,34 @@ func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relati
 	if err != nil {
 		return nil, err
 	}
+	opName := "intersection of subqueries uncertain in distinct components"
+	if kind == wsa.OpDiff {
+		opName = "difference of subqueries uncertain in distinct components"
+	}
+	// Tuples whose presence condition couples several components are
+	// resolved by merging exactly those components and re-running the
+	// combination; every round with entangled tuples merges at least
+	// two live components, so the loop terminates.
+	for {
+		e.promote(lf)
+		e.promote(rf)
+		out, needs := e.combineSetOp(kind, lf, rf, outSchema)
+		if len(needs) == 0 {
+			return out, nil
+		}
+		if err := e.mergeCoupled(opName, needs); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// combineSetOp runs one pass of the per-tuple condition combination for
+// ∩ and −. It returns the combined frel when every tuple stayed
+// additive; otherwise it returns the coupled component sets (needs)
+// that blocked additivity, for the caller to merge and retry. Every
+// entangled tuple's coupling is collected — rather than aborting at the
+// first — so the merges chosen are independent of map iteration order.
+func (e *engine) combineSetOp(kind wsa.BinOpKind, lf, rf *frel, outSchema relation.Schema) (*frel, [][]int) {
 	// Accumulate conditions per distinct tuple (positional comparison,
 	// like ra's set operators), collision-verified.
 	buckets := map[uint64][]*cond{}
@@ -613,12 +963,18 @@ func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relati
 			}
 		}
 	}
-	var entangled error
+	var needs [][]int
+	couple := func(ms ...map[int]map[int]bool) {
+		var ids []int
+		for _, m := range ms {
+			for ci := range m {
+				ids = append(ids, ci)
+			}
+		}
+		needs = append(needs, ids)
+	}
 	for _, bucket := range buckets {
 		for _, c := range bucket {
-			if entangled != nil {
-				break
-			}
 			presentL := c.cert[0] || len(c.comps[0]) > 0
 			presentR := c.cert[1] || len(c.comps[1]) > 0
 			if kind == wsa.OpIntersect {
@@ -637,7 +993,7 @@ func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relati
 					lc, lok := singleComp(c, 0)
 					rc, rok := singleComp(c, 1)
 					if !lok || !rok || lc != rc {
-						entangled = &entangleError{op: "intersection of subqueries uncertain in distinct components"}
+						couple(c.comps[0], c.comps[1])
 						break
 					}
 					for a := range c.comps[0][lc] {
@@ -664,11 +1020,17 @@ func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relati
 				continue
 			}
 			// R is strictly uncertain: ¬R is a conjunction across R's
-			// components, additive only within a single one.
+			// components, additive only within a single one. When L is
+			// TRUE only R's components need merging; otherwise the
+			// conjunction couples both sides' components.
 			rc, rok := singleComp(c, 1)
 			if !rok {
-				entangled = &entangleError{op: "difference against a subquery uncertain in several components"}
-				break
+				if isTrue(c, 0) {
+					couple(c.comps[1])
+				} else {
+					couple(c.comps[0], c.comps[1])
+				}
+				continue
 			}
 			switch {
 			case isTrue(c, 0):
@@ -680,7 +1042,7 @@ func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relati
 			default:
 				lc, lok := singleComp(c, 0)
 				if !lok || lc != rc {
-					entangled = &entangleError{op: "difference of subqueries uncertain in distinct components"}
+					couple(c.comps[0], c.comps[1])
 				} else {
 					for a := range c.comps[0][lc] {
 						if !c.comps[1][rc][a] {
@@ -690,14 +1052,59 @@ func (e *engine) evalSetOp(kind wsa.BinOpKind, lq, rq wsa.Expr, outSchema relati
 				}
 			}
 		}
-		if entangled != nil {
-			break
-		}
 	}
-	if entangled != nil {
-		return nil, entangled
+	if len(needs) > 0 {
+		return nil, needs
 	}
 	return out, nil
+}
+
+// mergeCoupled resolves the coupled component sets to live roots,
+// groups overlapping sets into connected groups (they must merge
+// together), and performs one merge per group, smallest member first.
+func (e *engine) mergeCoupled(op string, needs [][]int) error {
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, set := range needs {
+		live := e.liveComps(set)
+		for _, c := range live {
+			if _, ok := parent[c]; !ok {
+				parent[c] = c
+			}
+		}
+		for _, c := range live[1:] {
+			parent[find(live[0])] = find(c)
+		}
+	}
+	groups := map[int][]int{}
+	for x := range parent {
+		r := find(x)
+		groups[r] = append(groups[r], x)
+	}
+	gs := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i][0] < gs[j][0] })
+	for _, g := range gs {
+		// A singleton group cannot arise: every coupled set spans at
+		// least two live components (see combineSetOp's call sites).
+		if len(g) < 2 {
+			continue
+		}
+		if _, err := e.merge(op, g); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // evalChoice implements χ_U. On a certain answer — identical in every
@@ -711,8 +1118,11 @@ func (e *engine) evalChoice(n *wsa.Choice, outSchema relation.Schema) (*frel, er
 	if err != nil {
 		return nil, err
 	}
-	if len(sub.uncertainComps()) > 0 {
-		return nil, &entangleError{op: "choice-of over an uncertain answer"}
+	e.promote(sub)
+	if uc := sub.uncertainComps(); len(uc) > 0 {
+		live := e.liveComps(uc)
+		return nil, &entangleError{op: "choice-of over an uncertain answer",
+			comps: live, rels: e.compRelNames(live)}
 	}
 	if sub.cert.Empty() {
 		// Empty answer: every world survives with the empty answer.
@@ -749,6 +1159,11 @@ func (e *engine) evalClose(n *wsa.Close, outSchema relation.Schema) (*frel, erro
 	if err != nil {
 		return nil, err
 	}
+	// Certainty is judged per component: parts still keyed on merged
+	// members must be promoted first, or two correlated members could
+	// jointly cover every root alternative without either covering its
+	// own, under-approximating cert.
+	e.promote(sub)
 	comps := sub.compIDs()
 	partial := make([]*relation.Relation, len(comps))
 	relation.ParallelChunks(len(comps), relation.NumParts(sub.size()), func(_, lo, hi int) {
@@ -814,6 +1229,7 @@ func (e *engine) evalGroup(n *wsa.Group, outSchema relation.Schema) (*frel, erro
 	if err != nil {
 		return nil, err
 	}
+	e.promote(sub)
 	uc := sub.uncertainComps()
 	if len(uc) == 0 {
 		out := newFrel(outSchema)
@@ -821,7 +1237,15 @@ func (e *engine) evalGroup(n *wsa.Group, outSchema relation.Schema) (*frel, erro
 		return out, nil
 	}
 	if len(uc) > 1 {
-		return nil, &entangleError{op: "group-worlds-by over an answer uncertain in several components"}
+		// Native multi-component aggregation: merge the components the
+		// answer depends on, promote onto the merged root, and run the
+		// single-component signature-class aggregation over it.
+		if _, err := e.merge("group-worlds-by over an answer uncertain in several components",
+			e.liveComps(uc)); err != nil {
+			return nil, err
+		}
+		e.promote(sub)
+		uc = sub.uncertainComps()
 	}
 	c := uc[0]
 	m := e.arity[c]
@@ -877,8 +1301,11 @@ func (e *engine) evalRepair(n *wsa.RepairKey, outSchema relation.Schema) (*frel,
 	if err != nil {
 		return nil, err
 	}
-	if len(sub.uncertainComps()) > 0 {
-		return nil, &entangleError{op: "repair-by-key over an uncertain answer"}
+	e.promote(sub)
+	if uc := sub.uncertainComps(); len(uc) > 0 {
+		live := e.liveComps(uc)
+		return nil, &entangleError{op: "repair-by-key over an uncertain answer",
+			comps: live, rels: e.compRelNames(live)}
 	}
 	idx, err := sub.schema.Indexes(n.Attrs)
 	if err != nil {

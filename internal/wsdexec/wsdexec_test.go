@@ -158,10 +158,10 @@ func TestGroupWorldsBySingleComponent(t *testing.T) {
 	}
 }
 
-// TestGroupWorldsByMultiComponentFallsBack: with two key violations the
+// TestGroupWorldsByMultiComponentMerges: with two key violations the
 // group signature depends on two independent choices — the engine must
-// fall back and still agree.
-func TestGroupWorldsByMultiComponentFallsBack(t *testing.T) {
+// merge exactly those components, stay native, and still agree.
+func TestGroupWorldsByMultiComponentMerges(t *testing.T) {
 	census := datagen.PaperCensus()
 	db := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
 	ws, err := db.Expand(0)
@@ -170,15 +170,15 @@ func TestGroupWorldsByMultiComponentFallsBack(t *testing.T) {
 	}
 	repair := &wsa.RepairKey{Attrs: []string{"SSN"}, From: &wsa.Rel{Name: "Census"}}
 	q := wsa.NewPossGroup([]string{"POB"}, []string{"Name"}, repair)
-	out, plan, err := EvalOpts(q, db, &Options{NoRewrite: true})
+	out, plan, err := EvalOpts(q, db, &Options{NoRewrite: true, NoFallback: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.Native {
-		t.Fatalf("expected fallback, got native plan %v", plan)
+	if !plan.Native || len(plan.Merges) == 0 {
+		t.Fatalf("expected a native plan with a recorded merge, got %v", plan)
 	}
-	if plan.FallbackEngine != "reference" {
-		t.Fatalf("repair query must fall back to the reference engine, got %q", plan.FallbackEngine)
+	if plan.MergeCost < 2 {
+		t.Fatalf("merge cost must reflect the merged alternatives, got plan %v", plan)
 	}
 	want, err := wsa.Eval(q, ws)
 	if err != nil {
@@ -189,13 +189,15 @@ func TestGroupWorldsByMultiComponentFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !got.EqualWorlds(want) {
-		t.Fatalf("fallback disagrees with reference\ngot:\n%s\nwant:\n%s", got, want)
+		t.Fatalf("merged evaluation disagrees with reference\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 
 // TestEntangledFallback: a self-join of the repaired relation pairs
-// tuples across key groups — genuinely entangling two components — so
-// the engine must record a fallback and still agree with the reference.
+// tuples across key groups — genuinely entangling two components. With
+// merging disabled the engine must record a fallback (with component
+// detail) and still agree with the reference; with merging it must stay
+// native and agree too.
 func TestEntangledFallback(t *testing.T) {
 	census := datagen.PaperCensus()
 	db := wsd.FromComplete([]string{"Census"}, []*relation.Relation{census})
@@ -205,15 +207,8 @@ func TestEntangledFallback(t *testing.T) {
 		From: &wsa.Project{Columns: []string{"Name"}, From: repair}}
 	q := wsa.NewProduct(left, right)
 
-	if _, _, err := EvalOpts(q, db, &Options{NoFallback: true}); err == nil {
-		t.Fatal("expected an entanglement error with fallback disabled")
-	}
-	out, plan, err := Eval(q, db)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if plan.Native || plan.FallbackOp == "" || plan.FallbackEngine == "" {
-		t.Fatalf("expected a recorded fallback, got plan %v", plan)
+	if _, _, err := EvalOpts(q, db, &Options{NoFallback: true, NoMerge: true}); err == nil {
+		t.Fatal("expected an entanglement error with fallback and merging disabled")
 	}
 	ws, err := db.Expand(0)
 	if err != nil {
@@ -223,13 +218,37 @@ func TestEntangledFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := out.Expand(0)
+	check := func(out *wsd.DecompDB, label string) {
+		t.Helper()
+		got, err := out.Expand(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualWorlds(want) {
+			t.Fatalf("%s result disagrees with reference\ngot:\n%s\nwant:\n%s", label, got, want)
+		}
+	}
+
+	out, plan, err := EvalOpts(q, db, &Options{NoMerge: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.EqualWorlds(want) {
-		t.Fatalf("fallback result disagrees with reference\ngot:\n%s\nwant:\n%s", got, want)
+	if plan.Native || plan.FallbackOp == "" || plan.FallbackEngine == "" {
+		t.Fatalf("expected a recorded fallback, got plan %v", plan)
 	}
+	if len(plan.FallbackComponents) == 0 {
+		t.Fatalf("fallback plan must name the entangled components, got %v", plan)
+	}
+	check(out, "fallback")
+
+	out, plan, err = Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Native || len(plan.Merges) == 0 {
+		t.Fatalf("expected a native merged plan, got %v", plan)
+	}
+	check(out, "merged")
 }
 
 // TestFallbackRefusedBeyondBudget: when an entangling query meets an
