@@ -4,7 +4,7 @@
 // Usage:
 //
 //	isqld [-addr host:port] [-demo name] [-load file.wsd] [-save file.wsd]
-//	      [-engine name] [-wal dir] [-checkpoint-every n]
+//	      [-engine name] [-wal dir] [-checkpoint-every n] [-shards n]
 //
 // The catalog starts empty, from one of the paper's demo datasets
 // (-demo flights | acquisition | census | lineitem), or from a .wsd
@@ -27,6 +27,18 @@
 // checkpoint only on graceful shutdown). When the directory already
 // holds state, it wins over -demo/-load; a fresh directory is seeded
 // from them and checkpointed immediately so the seed itself is durable.
+//
+// # Sharding
+//
+// With -shards n (n > 1), the catalog is component-sharded: relations
+// hash to one of n shards, commits touching disjoint shards execute
+// and fsync fully in parallel, and with -wal each shard logs to its own
+// dir/wal-<i>.log segment (cross-shard commits use a two-phase
+// stage+marker protocol; recovery merges the segments by epoch). The
+// shard count is a runtime property: restarting with a different
+// -shards is allowed after a clean shutdown (the checkpoint carries no
+// shard layout), but segments written at one count must be recovered at
+// the same count before changing it.
 package main
 
 import (
@@ -57,17 +69,33 @@ func main() {
 	walDir := flag.String("wal", "", "directory for WAL-backed durability (checkpoint.wsd + wal.log)")
 	ckptEvery := flag.Int("checkpoint-every", 256, "with -wal: checkpoint after this many logged commits (0 = only on shutdown)")
 	txnRetries := flag.Int("txn-retries", 16, "automatic conflict retries per transaction (0 = surface conflicts immediately)")
+	shards := flag.Int("shards", 1, "component shards: commits on disjoint shards run in parallel, each with its own WAL segment (1 = unsharded)")
 	flag.Parse()
 
-	cat, wal, ckptPath, err := openCatalog(*demo, *load, *walDir)
+	cat, wals, ckptPath, err := openCatalog(*demo, *load, *walDir, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := isqld.New(cat, isqld.WithEngine(*engine), isqld.WithTxnRetries(*txnRetries))
 
-	// Bound WAL replay work: checkpoint once enough commits accumulated.
+	appended := func() int {
+		n := 0
+		for _, w := range wals {
+			n += w.Appended()
+		}
+		return n
+	}
+	checkpoint := func() error {
+		if cat.Shards() > 1 {
+			return cat.CheckpointAll(ckptPath)
+		}
+		return cat.Checkpoint(wals[0], ckptPath)
+	}
+
+	// Bound WAL replay work: checkpoint once enough commits accumulated
+	// across all segments.
 	stopCkpt := make(chan struct{})
-	if wal != nil && *ckptEvery > 0 {
+	if len(wals) > 0 && *ckptEvery > 0 {
 		go func() {
 			tick := time.NewTicker(time.Second)
 			defer tick.Stop()
@@ -76,8 +104,8 @@ func main() {
 				case <-stopCkpt:
 					return
 				case <-tick.C:
-					if wal.Appended() >= *ckptEvery {
-						if err := cat.Checkpoint(wal, ckptPath); err != nil {
+					if appended() >= *ckptEvery {
+						if err := checkpoint(); err != nil {
 							log.Printf("isqld: checkpoint: %v", err)
 						} else {
 							log.Printf("isqld: checkpointed catalog v%d, WAL truncated", cat.Snapshot().Version)
@@ -91,8 +119,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		snap := cat.Snapshot()
-		log.Printf("isqld: serving on http://%s — %d relation(s), %s world(s), size %d, version %d",
-			*addr, len(snap.DB.Names), snap.DB.Worlds(), snap.DB.Size(), snap.Version)
+		log.Printf("isqld: serving on http://%s — %d relation(s), %s world(s), size %d, version %d, %d shard(s)",
+			*addr, len(snap.DB.Names), snap.DB.Worlds(), snap.DB.Size(), snap.Version, cat.Shards())
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -108,11 +136,13 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("isqld: shutdown: %v", err)
 	}
-	if wal != nil {
-		if err := cat.Checkpoint(wal, ckptPath); err != nil {
+	if len(wals) > 0 {
+		if err := checkpoint(); err != nil {
 			log.Fatalf("isqld: final checkpoint: %v", err)
 		}
-		wal.Close()
+		for _, w := range wals {
+			w.Close()
+		}
 		log.Printf("isqld: checkpointed to %s", ckptPath)
 	}
 	if *save != "" {
@@ -123,19 +153,27 @@ func main() {
 	}
 }
 
-// openCatalog builds the serving catalog. Without -wal it is the PR 3
-// behavior (empty, demo, or loaded file, all in-memory). With -wal,
-// existing durable state (checkpoint and/or log) is recovered and wins;
-// otherwise the seed is installed and immediately checkpointed.
-func openCatalog(demo, load, walDir string) (*store.Catalog, *store.WAL, string, error) {
+// openCatalog builds the serving catalog. Without -wal it is in-memory
+// (empty, demo, or loaded file), sharded on request. With -wal,
+// existing durable state (checkpoint and/or log segments) is recovered
+// and wins; otherwise the seed is installed and immediately
+// checkpointed. A nil/empty WAL slice means not durable.
+func openCatalog(demo, load, walDir string, shards int) (*store.Catalog, []*store.WAL, string, error) {
 	if walDir == "" {
 		cat, err := newCatalog(demo, load)
-		return cat, nil, "", err
+		if err != nil {
+			return nil, nil, "", err
+		}
+		cat.Reshard(shards)
+		return cat, nil, "", nil
 	}
 	if err := os.MkdirAll(walDir, 0o755); err != nil {
 		return nil, nil, "", err
 	}
 	ckptPath := filepath.Join(walDir, "checkpoint.wsd")
+	if shards > 1 {
+		return openShardedCatalog(demo, load, walDir, ckptPath, shards)
+	}
 	walPath := filepath.Join(walDir, "wal.log")
 	_, ckErr := os.Stat(ckptPath)
 	wi, wErr := os.Stat(walPath)
@@ -144,7 +182,10 @@ func openCatalog(demo, load, walDir string) (*store.Catalog, *store.WAL, string,
 			log.Printf("isqld: %s already holds catalog state; ignoring -demo/-load", walDir)
 		}
 		cat, wal, err := isql.OpenStore(ckptPath, walPath)
-		return cat, wal, ckptPath, err
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return cat, []*store.WAL{wal}, ckptPath, nil
 	}
 	cat, err := newCatalog(demo, load)
 	if err != nil {
@@ -161,7 +202,53 @@ func openCatalog(demo, load, walDir string) (*store.Catalog, *store.WAL, string,
 		return nil, nil, "", err
 	}
 	cat.SetLogger(wal)
-	return cat, wal, ckptPath, nil
+	return cat, []*store.WAL{wal}, ckptPath, nil
+}
+
+// openShardedCatalog is openCatalog's durable sharded arm: per-shard
+// wal-<i>.log segments, merged epoch recovery (isql.OpenStoreSharded)
+// when the directory holds state, seed + immediate checkpoint when not.
+func openShardedCatalog(demo, load, walDir, ckptPath string, shards int) (*store.Catalog, []*store.WAL, string, error) {
+	exists := false
+	if _, err := os.Stat(ckptPath); err == nil {
+		exists = true
+	}
+	for si := 0; si < shards && !exists; si++ {
+		if wi, err := os.Stat(store.SegmentPath(walDir, si)); err == nil && wi.Size() > 0 {
+			exists = true
+		}
+	}
+	if exists {
+		if demo != "" || load != "" {
+			log.Printf("isqld: %s already holds catalog state; ignoring -demo/-load", walDir)
+		}
+		cat, wals, err := isql.OpenStoreSharded(ckptPath, walDir, shards)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return cat, wals, ckptPath, nil
+	}
+	cat, err := newCatalog(demo, load)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	cat.Reshard(shards)
+	if err := store.SaveFile(ckptPath, cat.Snapshot()); err != nil {
+		return nil, nil, "", fmt.Errorf("isqld: checkpointing seed: %w", err)
+	}
+	wals := make([]*store.WAL, shards)
+	for si := range wals {
+		w, _, err := store.OpenWAL(store.SegmentPath(walDir, si))
+		if err != nil {
+			for _, o := range wals[:si] {
+				o.Close()
+			}
+			return nil, nil, "", err
+		}
+		wals[si] = w
+	}
+	cat.SetShardLoggers(wals)
+	return cat, wals, ckptPath, nil
 }
 
 func newCatalog(demo, load string) (*store.Catalog, error) {

@@ -129,7 +129,11 @@ func CheckDecomp(q wsa.Expr, db *wsd.DecompDB) error {
 // byte-identically to the reference evaluation of the enumeration.
 // Where CheckDecomp pins the factorized engine, CheckStore additionally
 // pins the snapshot plumbing and the re-factorization of fallback
-// outputs (every entangling query exercises Refactor here).
+// outputs (every entangling query exercises Refactor here). The same
+// query then runs once more through a 4-way component-sharded snapshot,
+// where store.Query hands the engine the component-to-shard map and its
+// parallel scans chunk along shard boundaries: sharding may change the
+// scatter scheduling, never the rendered answer.
 func CheckStore(q wsa.Expr, db *wsd.DecompDB) error {
 	ws, err := db.Expand(0)
 	if err != nil {
@@ -151,6 +155,19 @@ func CheckStore(q wsa.Expr, db *wsd.DecompDB) error {
 	if g, w := got.String(), ref.String(); g != w {
 		return fmt.Errorf("store path (plan %v) disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\nstore:\n%s",
 			plan, q, db, w, g)
+	}
+	snap4 := store.NewSharded(db, 4).Snapshot()
+	out4, plan4, err := store.Query(snap4, "", q, 0)
+	if err != nil {
+		return fmt.Errorf("sharded store path failed for %s where the reference succeeded: %w", q, err)
+	}
+	got4, err := out4.Expand(0)
+	if err != nil {
+		return fmt.Errorf("sharded store result of %s not expandable (plan %v): %w", q, plan4, err)
+	}
+	if g, w := got4.String(), ref.String(); g != w {
+		return fmt.Errorf("sharded store path (plan %v) disagrees with the reference for %s\ninput:\n%s\nreference:\n%s\nsharded store:\n%s",
+			plan4, q, db, w, g)
 	}
 	return nil
 }
@@ -327,28 +344,13 @@ func CheckTxn(names []string, rels []*relation.Relation, stmts []string) error {
 // byte-identical (content-compared; versions are normalized away) to a
 // single-writer session executing the competing statement first and the
 // transaction's statements after it — i.e. the retried commit equals the
-// serial schedule it logically becomes.
+// serial schedule it logically becomes. The retried run is swept over
+// shard counts {1, 4}: on the component-sharded catalog the interloper
+// and the transaction touch the same relations, hence the same shards,
+// so shard-level validation must still detect the conflict, and the
+// retried commit must converge on the same serial schedule whatever the
+// shard layout (the persisted form carries none).
 func CheckTxnRetry(names []string, rels []*relation.Relation, stmts []string, interloper string) error {
-	retried := isql.FromDB(names, rels)
-	retried.RetryConflicts = 3
-	if err := retried.Begin(); err != nil {
-		return err
-	}
-	for _, sql := range stmts {
-		if _, err := retried.ExecString(sql); err != nil {
-			return fmt.Errorf("difftest: %q inside the transaction: %w", sql, err)
-		}
-	}
-	// A competing writer on the same catalog commits between Begin and
-	// Commit, forcing the first-committer-wins loss.
-	comp := isql.FromCatalog(retried.Catalog())
-	if _, err := comp.ExecString(interloper); err != nil {
-		return fmt.Errorf("difftest: interloper %q: %w", interloper, err)
-	}
-	if err := retried.Commit(); err != nil {
-		return fmt.Errorf("difftest: conflicted commit did not retry to success for script %q: %w", stmts, err)
-	}
-
 	// Serial reference: interloper first, then the transaction.
 	seq := isql.FromDB(names, rels)
 	if _, err := seq.ExecString(interloper); err != nil {
@@ -359,17 +361,41 @@ func CheckTxnRetry(names []string, rels []*relation.Relation, stmts []string, in
 			return fmt.Errorf("difftest: %q in the serial reference: %w", sql, err)
 		}
 	}
-	a, err := normCatalogBytes(retried.Catalog().Snapshot())
+	want, err := normCatalogBytes(seq.Catalog().Snapshot())
 	if err != nil {
 		return err
 	}
-	b, err := normCatalogBytes(seq.Catalog().Snapshot())
-	if err != nil {
-		return err
-	}
-	if !bytes.Equal(a, b) {
-		return fmt.Errorf("difftest: retried commit differs from the serial schedule for script %q after %q\nretried:\n%s\nserial:\n%s",
-			stmts, interloper, a, b)
+
+	for _, shards := range []int{1, 4} {
+		cat := store.FromComplete(names, rels)
+		cat.Reshard(shards)
+		retried := isql.FromCatalog(cat)
+		retried.RetryConflicts = 3
+		if err := retried.Begin(); err != nil {
+			return err
+		}
+		for _, sql := range stmts {
+			if _, err := retried.ExecString(sql); err != nil {
+				return fmt.Errorf("difftest: %q inside the transaction (%d shards): %w", sql, shards, err)
+			}
+		}
+		// A competing writer on the same catalog commits between Begin
+		// and Commit, forcing the first-committer-wins loss.
+		comp := isql.FromCatalog(retried.Catalog())
+		if _, err := comp.ExecString(interloper); err != nil {
+			return fmt.Errorf("difftest: interloper %q (%d shards): %w", interloper, shards, err)
+		}
+		if err := retried.Commit(); err != nil {
+			return fmt.Errorf("difftest: conflicted commit did not retry to success for script %q (%d shards): %w", stmts, shards, err)
+		}
+		got, err := normCatalogBytes(retried.Catalog().Snapshot())
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("difftest: retried commit differs from the serial schedule for script %q after %q at %d shards\nretried:\n%s\nserial:\n%s",
+				stmts, interloper, shards, got, want)
+		}
 	}
 	return nil
 }

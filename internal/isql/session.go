@@ -333,6 +333,15 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 	if err != nil {
 		return nil, err
 	}
+	if s.txn != nil {
+		// Record the relations this select reads (views expanded): on a
+		// sharded catalog their shards join commit-time validation, so
+		// read-write transactions stay serializable, not just
+		// write-consistent.
+		refs := map[string]bool{}
+		s.stmtRelations(sel, refs)
+		s.txn.MarkReads(refs)
+	}
 	var fragErr error
 	if s.Engine != legacyEngine {
 		var q wsa.Expr
@@ -426,7 +435,7 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 		return nil, fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", p)
 	}
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
 			return err
@@ -511,7 +520,7 @@ func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
 		return nil, fmt.Errorf("isql: view body holds unbound parameter $%d", p)
 	}
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		snap := tx.Snap()
 		if err := s.refreshViewsFrom(snap); err != nil {
@@ -537,7 +546,7 @@ func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
 
 func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		if tx.Snap().HasRelation(n.Name) {
 			return fmt.Errorf("isql: relation %q already exists", n.Name)
@@ -555,7 +564,7 @@ func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
 
 func (s *Session) execDropTable(n *DropTableStmt) (*Result, error) {
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		db := tx.DB()
 		idx := db.IndexOf(n.Name)
@@ -590,7 +599,7 @@ func (s *Session) execInsert(n *InsertStmt) (*Result, error) {
 		return nil, err
 	}
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted([]string{n.Table}, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		db := tx.DB()
 		idx := db.IndexOf(n.Table)
@@ -704,7 +713,7 @@ func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
 func (s *Session) mutateNative(stmt, table string, prepare func(relation.Schema) error,
 	perTuple func(*evalCtx, relation.Tuple) (relation.Tuple, bool, error)) (*Result, error) {
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted([]string{table}, func(tx *store.Tx) error {
 		tx.Log(stmt)
 		db := tx.DB()
 		idx := db.IndexOf(table)
@@ -767,7 +776,7 @@ func (s *Session) mutateNative(stmt, table string, prepare func(relation.Schema)
 // next catalog version.
 func (s *Session) legacyDML(stmt string, apply func(*worldset.WorldSet) (*worldset.WorldSet, int, error)) (*Result, error) {
 	var res *Result
-	err := s.target().Update(func(tx *store.Tx) error {
+	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(stmt)
 		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
 			return err

@@ -24,6 +24,12 @@ import (
 type execTarget interface {
 	Snapshot() *store.Snapshot
 	Update(fn func(*store.Tx) error) error
+	// UpdateRouted is Update carrying the statement's relation
+	// references: on a sharded catalog the commit takes only the locks
+	// of the shards those relations (and their component closure) route
+	// to. nil refs means the statement has no routing information (DDL,
+	// CTAS, legacy DML) and commits against every shard.
+	UpdateRouted(refs []string, fn func(*store.Tx) error) error
 }
 
 // target returns the session's current execution target.
@@ -183,4 +189,13 @@ func ReplayRecord(cat *store.Catalog, rec store.WALRecord) error {
 // logged and fsynced before it becomes visible.
 func OpenStore(wsdPath, walPath string) (*store.Catalog, *store.WAL, error) {
 	return store.Open(wsdPath, walPath, ReplayRecord)
+}
+
+// OpenStoreSharded opens a component-sharded WAL-backed catalog: the
+// last checkpoint at wsdPath plus the merged replay of the per-shard
+// statement-log segments wal-<i>.log under walDir (see
+// store.OpenSharded). nshards <= 1 degrades to the single-segment
+// OpenStore layout.
+func OpenStoreSharded(wsdPath, walDir string, nshards int) (*store.Catalog, []*store.WAL, error) {
+	return store.OpenSharded(wsdPath, walDir, nshards, ReplayRecord)
 }

@@ -1,0 +1,973 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsd"
+)
+
+// Component-sharded catalog: the decomposition's independence structure
+// used as a physical partitioning key. Every relation has a home shard
+// (FNV-1a of its name mod N), and a component belongs to the shards of
+// the relations it touches. Each shard has its own writer lock, its own
+// WAL segment (wal-<shard>.log) with its own group-commit queue, and
+// its own portion of the merged snapshot, so commits touching disjoint
+// shards execute, fsync and publish fully in parallel.
+//
+// # Routing
+//
+// A statement routes by the relations it references plus the relations
+// co-touched by any component touching them (the same dependent-
+// component closure the bounded evaluator in internal/isql uses): a
+// commit that modifies a component touching relations R and S writes to
+// both relations' factored content, so it must hold both homes. The
+// closure is re-derived under the candidate locks until stable — the
+// component topology around a relation only changes under its home
+// shard's lock, so a stable derivation cannot be invalidated while the
+// locks are held. Statements without routing information (DDL, CTAS,
+// view changes, legacy DML — anything that can create components or
+// reshape the schema) serialize against all shards.
+//
+// # Snapshots and epochs
+//
+// Readers stay wait-free: one atomic merged Snapshot spans all shards.
+// Commits are assigned a global epoch (monotone per shard, since it is
+// taken under the shard locks) and publish by diffing onto the evolving
+// merged snapshot — replace the certain relations homed at the
+// participant shards, replace or drop the touched components by their
+// stable IDs (routed commits never create components: the native DML
+// paths only rewrite or fold existing ones, and every creating
+// statement is all-shard). Snapshot.Version is the highest published
+// epoch; shardVers carries the per-shard read timestamps staged
+// transactions validate against.
+//
+// # Cross-shard two-phase publish
+//
+// A multi-shard commit drains the participant queues while holding
+// their locks, stages one record per participant segment (each carrying
+// the full participant list), fsyncs them in parallel, then appends a
+// commit marker to the coordinator segment (the lowest participant).
+// Recovery (OpenSharded) merges all segments by epoch and discards
+// cross-shard epochs whose marker is absent — a crash between staging
+// and the marker rolls the transaction back on every shard, never on
+// just some.
+type shardState struct {
+	mu  sync.Mutex // writer lock for commits touching this shard
+	wal *WAL       // per-shard log segment; nil = not durable
+
+	// head is the newest assigned (possibly unpublished) merged view
+	// with this shard's portion current — single-shard commits chain on
+	// it exactly like the unsharded catalog chains on its head. nil
+	// means the published snapshot is current for this shard.
+	hmu     sync.Mutex
+	head    *Snapshot
+	headVer uint64 // epoch of the newest assigned commit on this shard
+	pubVer  uint64 // epoch of the newest published commit on this shard
+
+	// Per-shard group-commit queue, the same leader/batch protocol as
+	// the unsharded catalog's.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	queue    []*shardReq
+	flushing bool
+
+	// stats, guarded by hmu (cheap, already taken on every commit).
+	commits   uint64
+	conflicts uint64
+}
+
+// shardReq is one enqueued single-shard commit awaiting durability.
+type shardReq struct {
+	epoch   uint64
+	baseVer uint64 // headVer the commit chained on (stale-abort check)
+	db      *wsd.DecompDB
+	wset    map[uint64]bool // component IDs the commit may replace
+	stmts   []string
+	done    chan error
+}
+
+// NewSharded returns a catalog over db partitioned into nshards
+// component shards. nshards <= 1 is the plain unsharded catalog.
+func NewSharded(db *wsd.DecompDB, nshards int) *Catalog {
+	c := New(db)
+	c.shard(nshards)
+	return c
+}
+
+// Reshard converts a freshly constructed catalog (no concurrent users
+// yet — server/bench wiring, before serving starts) into an nshards-way
+// sharded one. nshards <= 1 leaves it unsharded. The shard count is a
+// runtime property, not a persisted one: Save/Load carry no shard
+// layout, so the same catalog file can be reopened at any count.
+func (c *Catalog) Reshard(nshards int) { c.shard(nshards) }
+
+// shard converts a freshly constructed (or freshly recovered,
+// single-threaded) catalog into an nshards-way sharded one: assigns
+// component IDs, initializes the per-shard states and stamps the
+// current snapshot with per-shard versions.
+func (c *Catalog) shard(nshards int) {
+	if nshards <= 1 {
+		return
+	}
+	c.nshards = nshards
+	c.shards = make([]*shardState, nshards)
+	for i := range c.shards {
+		sh := &shardState{}
+		sh.qcond = sync.NewCond(&sh.qmu)
+		c.shards[i] = sh
+	}
+	c.resetSharded(c.cur.Load())
+}
+
+// resetSharded republishes snap as the sharded catalog's current state
+// with every shard at snap.Version. Single-threaded use only
+// (construction and recovery).
+func (c *Catalog) resetSharded(snap *Snapshot) {
+	for i := range snap.DB.Components {
+		if snap.DB.Components[i].ID == 0 {
+			c.compID++
+			snap.DB.Components[i].ID = c.compID
+		} else if snap.DB.Components[i].ID > c.compID {
+			c.compID = snap.DB.Components[i].ID
+		}
+	}
+	vers := make([]uint64, c.nshards)
+	for i := range vers {
+		vers[i] = snap.Version
+	}
+	ns := &Snapshot{Version: snap.Version, DB: snap.DB, Views: snap.Views,
+		shardVers: vers, nshards: c.nshards}
+	c.hmu.Lock()
+	c.head = ns
+	c.hmu.Unlock()
+	c.cur.Store(ns)
+	c.epoch.Store(snap.Version)
+	for _, sh := range c.shards {
+		sh.hmu.Lock()
+		sh.head, sh.headVer, sh.pubVer = nil, snap.Version, snap.Version
+		sh.hmu.Unlock()
+	}
+}
+
+// Shards reports the catalog's shard count (1 when unsharded).
+func (c *Catalog) Shards() int {
+	if c.nshards <= 1 {
+		return 1
+	}
+	return c.nshards
+}
+
+// ShardOf returns the home shard of a relation name.
+func (c *Catalog) ShardOf(name string) int {
+	if c.nshards <= 1 {
+		return 0
+	}
+	return shardOfName(name, c.nshards)
+}
+
+func shardOfName(name string, nshards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(nshards))
+}
+
+// SetShardLoggers attaches one WAL segment per shard. Must be called
+// before concurrent use (cmd wiring attaches them once, after
+// recovery), with exactly Shards() entries.
+func (c *Catalog) SetShardLoggers(wals []*WAL) {
+	if len(wals) != c.Shards() {
+		panic(fmt.Sprintf("store: %d WAL segments for %d shards", len(wals), c.Shards()))
+	}
+	if c.nshards <= 1 {
+		c.SetLogger(wals[0])
+		return
+	}
+	for i, sh := range c.shards {
+		sh.wal = wals[i]
+	}
+}
+
+// refShards returns, sorted, the shards a statement referencing refs
+// can read or write: the homes of the refs plus the homes of every
+// relation co-touched by a component touching a ref.
+func (c *Catalog) refShards(db *wsd.DecompDB, refs []string) []int {
+	set := map[int]bool{}
+	refIdx := map[int]bool{}
+	for _, name := range refs {
+		set[shardOfName(name, c.nshards)] = true
+		if i := db.IndexOf(name); i >= 0 {
+			refIdx[i] = true
+		}
+	}
+	for _, comp := range db.Components {
+		touchesRef := false
+		var touched []int
+		for _, a := range comp.Alternatives {
+			for ri, r := range a.Rels {
+				if r == nil || r.Len() == 0 {
+					continue
+				}
+				touched = append(touched, ri)
+				if refIdx[ri] {
+					touchesRef = true
+				}
+			}
+		}
+		if touchesRef {
+			for _, ri := range touched {
+				set[shardOfName(db.Names[ri], c.nshards)] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// compIDsTouching returns the IDs of the components contributing at
+// least one tuple to any of the given relation indices — the components
+// a commit referencing those relations is allowed to replace.
+func compIDsTouching(db *wsd.DecompDB, refIdx map[int]bool) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, comp := range db.Components {
+		for _, a := range comp.Alternatives {
+			hit := false
+			for ri, r := range a.Rels {
+				if refIdx[ri] && r != nil && r.Len() > 0 {
+					out[comp.ID] = true
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (c *Catalog) lockShards(ps []int) {
+	for _, p := range ps {
+		c.shards[p].mu.Lock()
+	}
+}
+
+func (c *Catalog) unlockShards(ps []int) {
+	for i := len(ps) - 1; i >= 0; i-- {
+		c.shards[ps[i]].mu.Unlock()
+	}
+}
+
+func (c *Catalog) allShards() []int {
+	all := make([]int, c.nshards)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// lockRoute locks the shards refs route to, re-deriving the route under
+// the locks until it is stable. Component topology around a relation
+// only changes while its home shard's lock is held, so once the
+// re-derivation adds nothing outside the held set, the route cannot be
+// invalidated until the locks are released. Returns the sorted locked
+// set; escalates to all shards if the route refuses to converge.
+func (c *Catalog) lockRoute(refs []string) []int {
+	ps := map[int]bool{}
+	for _, name := range refs {
+		ps[shardOfName(name, c.nshards)] = true
+	}
+	hold := setToSorted(ps)
+	for try := 0; ; try++ {
+		if try >= 4 || len(hold) == c.nshards {
+			hold = c.allShards()
+			c.lockShards(hold)
+			return hold
+		}
+		c.lockShards(hold)
+		again := c.refShards(c.cur.Load().DB, refs)
+		grew := false
+		for _, p := range again {
+			if !ps[p] {
+				ps[p] = true
+				grew = true
+			}
+		}
+		if !grew {
+			return hold
+		}
+		c.unlockShards(hold)
+		hold = setToSorted(ps)
+	}
+}
+
+func setToSorted(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UpdateRouted is Update with routing information: refs names every
+// relation the transaction can read or write. Statements whose route
+// resolves to one shard take that shard's write path (group commit on
+// its WAL segment); statements spanning shards commit through the
+// two-phase publish; refs == nil (no routing information) serializes
+// against all shards. On an unsharded catalog it is exactly Update.
+func (c *Catalog) UpdateRouted(refs []string, fn func(*Tx) error) error {
+	if c.nshards <= 1 {
+		return c.Update(fn)
+	}
+	if refs == nil {
+		return c.updateAll(fn)
+	}
+	ps := c.lockRoute(refs)
+	if len(ps) == 1 {
+		return c.updateShard(ps[0], refs, fn)
+	}
+	return c.updateMulti(ps, refs, fn)
+}
+
+// shardHead returns the base the next commit on sh must build on: the
+// shard's assigned head when a group commit is in flight, the published
+// snapshot otherwise. Callers hold sh.mu.
+func (c *Catalog) shardHead(sh *shardState) *Snapshot {
+	sh.hmu.Lock()
+	defer sh.hmu.Unlock()
+	if sh.head != nil {
+		return sh.head
+	}
+	return c.cur.Load()
+}
+
+// updateShard runs a single-shard commit. Called with shard si's lock
+// held; releases it on every path.
+func (c *Catalog) updateShard(si int, refs []string, fn func(*Tx) error) error {
+	sh := c.shards[si]
+	locked := true
+	defer func() {
+		if locked {
+			sh.mu.Unlock()
+		}
+	}()
+	base := c.shardHead(sh)
+	tx := &Tx{base: base}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.views != nil {
+		// Routed statements never change views; a caller that does has
+		// mis-routed (views are global) — escalate rather than tear.
+		sh.mu.Unlock()
+		locked = false
+		return c.updateAll(fn)
+	}
+	if tx.db == nil {
+		return nil
+	}
+	refIdx := map[int]bool{}
+	for _, name := range refs {
+		if i := base.DB.IndexOf(name); i >= 0 {
+			refIdx[i] = true
+		}
+	}
+	wset := compIDsTouching(base.DB, refIdx)
+	done, err := c.enqueueShard(si, base, tx.db, wset, tx.stmts)
+	if err != nil {
+		return err
+	}
+	sh.mu.Unlock()
+	locked = false
+	if done == nil {
+		return nil // published inline (not durable)
+	}
+	c.flushShard(si)
+	return <-done
+}
+
+// enqueueShard assigns the commit's epoch, advances the shard head and
+// either publishes inline (no WAL) or enqueues for the shard's group
+// commit. Called with shard si's lock held. A nil done channel with nil
+// error means the commit is already published.
+func (c *Catalog) enqueueShard(si int, base *Snapshot, db *wsd.DecompDB, wset map[uint64]bool, stmts []string) (chan error, error) {
+	sh := c.shards[si]
+	if sh.wal != nil && len(stmts) == 0 {
+		return nil, fmt.Errorf("store: refusing to log a commit with no statement records (writer did not call Tx.Log)")
+	}
+	epoch := c.epoch.Add(1)
+	vers := append([]uint64{}, base.shardVers...)
+	vers[si] = epoch
+	head := &Snapshot{Version: epoch, DB: db, Views: base.Views,
+		shardVers: vers, nshards: c.nshards}
+	req := &shardReq{epoch: epoch, db: db, wset: wset, stmts: stmts}
+	sh.hmu.Lock()
+	req.baseVer = sh.headVer
+	sh.head, sh.headVer = head, epoch
+	sh.hmu.Unlock()
+	if sh.wal == nil {
+		c.publishShard(si, req)
+		return nil, nil
+	}
+	req.done = make(chan error, 1)
+	sh.qmu.Lock()
+	sh.queue = append(sh.queue, req)
+	sh.qmu.Unlock()
+	return req.done, nil
+}
+
+// flushShard elects a group-commit leader for one shard — the same
+// leader/batch/handoff protocol as the unsharded catalog's flush, per
+// shard, so disjoint shards fsync concurrently.
+func (c *Catalog) flushShard(si int) {
+	sh := c.shards[si]
+	sh.qmu.Lock()
+	if sh.flushing || len(sh.queue) == 0 {
+		sh.qmu.Unlock()
+		return
+	}
+	sh.flushing = true
+	batch := sh.queue
+	sh.queue = nil
+	sh.qmu.Unlock()
+	c.flushShardBatch(si, batch)
+	sh.qmu.Lock()
+	sh.flushing = false
+	sh.qcond.Broadcast()
+	if len(sh.queue) > 0 {
+		go c.flushShard(si)
+	}
+	sh.qmu.Unlock()
+}
+
+// flushShardBatch persists one drained batch to the shard's segment
+// with a single fsync and publishes its epochs in order. Requests
+// staged on an aborted chain (their base epoch no longer matches the
+// published chain) are failed without being written.
+func (c *Catalog) flushShardBatch(si int, batch []*shardReq) {
+	sh := c.shards[si]
+	sh.hmu.Lock()
+	expect := sh.pubVer
+	sh.hmu.Unlock()
+	n := 0
+	for n < len(batch) && batch[n].baseVer == expect {
+		expect = batch[n].epoch
+		n++
+	}
+	ok, stale := batch[:n], batch[n:]
+	if len(ok) > 0 {
+		recs := make([]WALRecord, len(ok))
+		for i, r := range ok {
+			recs[i] = WALRecord{Version: r.epoch, Stmts: r.stmts, Shard: si}
+		}
+		if err := sh.wal.AppendBatch(recs); err != nil {
+			c.abortShard(si, batch, fmt.Errorf("store: logging shard %d commit batch e%d..e%d: %w",
+				si, recs[0].Version, recs[len(recs)-1].Version, err))
+			return
+		}
+		for _, r := range ok {
+			c.publishShard(si, r)
+			r.done <- nil
+		}
+	}
+	if len(stale) > 0 {
+		c.abortShard(si, stale, fmt.Errorf("store: commit aborted: it was staged on a shard version whose log write failed"))
+	}
+}
+
+// abortShard fails queued commits on one shard after a log-write
+// failure and rolls the shard head back to its published state.
+func (c *Catalog) abortShard(si int, failed []*shardReq, err error) {
+	sh := c.shards[si]
+	sh.hmu.Lock()
+	sh.head, sh.headVer = nil, sh.pubVer
+	sh.hmu.Unlock()
+	sh.qmu.Lock()
+	trailing := sh.queue
+	sh.queue = nil
+	sh.qmu.Unlock()
+	for _, r := range failed {
+		if r.done != nil {
+			r.done <- err
+		}
+	}
+	for _, r := range trailing {
+		if r.done != nil {
+			r.done <- err
+		}
+	}
+}
+
+// publishShard merges one single-shard commit into the reader-visible
+// snapshot: participant certain relations and wset components come from
+// the commit, everything else from the current snapshot.
+func (c *Catalog) publishShard(si int, req *shardReq) {
+	c.pub.Lock()
+	cur := c.cur.Load()
+	db := c.applyShardDiff(cur.DB, req.db, []int{si}, req.wset)
+	c.storeMerged(cur, db, cur.Views, []int{si}, req.epoch)
+	c.pub.Unlock()
+	sh := c.shards[si]
+	sh.hmu.Lock()
+	sh.pubVer = req.epoch
+	if sh.headVer == req.epoch {
+		sh.head = nil // chain drained: next base is the merged snapshot
+	}
+	sh.commits++
+	sh.hmu.Unlock()
+}
+
+// storeMerged publishes a merged snapshot. Caller holds pub.
+func (c *Catalog) storeMerged(cur *Snapshot, db *wsd.DecompDB, views map[string]string, ps []int, epoch uint64) {
+	vers := append([]uint64{}, cur.shardVers...)
+	for _, p := range ps {
+		vers[p] = epoch
+	}
+	ver := cur.Version
+	if epoch > ver {
+		ver = epoch
+	}
+	c.cur.Store(&Snapshot{Version: ver, DB: db, Views: views,
+		shardVers: vers, nshards: c.nshards})
+}
+
+// applyShardDiff overlays a commit's staged decomposition onto the
+// current merged one: certain relations homed at a participant shard
+// and components in wset (by stable ID) come from next; everything else
+// keeps the current snapshot's pointers. Routed commits never create
+// components, so the overlay only replaces or drops — the merged
+// component order is the current order with touched entries substituted
+// in place, which keeps publication order-independent across shards.
+func (c *Catalog) applyShardDiff(base, next *wsd.DecompDB, ps []int, wset map[uint64]bool) *wsd.DecompDB {
+	inP := map[int]bool{}
+	for _, p := range ps {
+		inP[p] = true
+	}
+	out := &wsd.DecompDB{
+		Names:   base.Names,
+		Schemas: base.Schemas,
+		Certain: make([]*relation.Relation, len(base.Certain)),
+	}
+	for i := range base.Certain {
+		if inP[shardOfName(base.Names[i], c.nshards)] {
+			out.Certain[i] = next.Certain[i]
+		} else {
+			out.Certain[i] = base.Certain[i]
+		}
+	}
+	repl := map[uint64]wsd.DBComponent{}
+	for _, comp := range next.Components {
+		if wset[comp.ID] {
+			repl[comp.ID] = comp
+		}
+	}
+	out.Components = make([]wsd.DBComponent, 0, len(base.Components))
+	for _, comp := range base.Components {
+		if wset[comp.ID] {
+			if nc, hit := repl[comp.ID]; hit {
+				out.Components = append(out.Components, nc)
+			}
+			continue // absent in next: the commit folded or emptied it
+		}
+		out.Components = append(out.Components, comp)
+	}
+	return out
+}
+
+// drain blocks until no group commit is queued or mid-flush on the
+// shard. Callers hold sh.mu, so nothing new can be enqueued meanwhile;
+// once drained, the shard's head is nil and the published snapshot is
+// current for it.
+func (sh *shardState) drain() {
+	sh.qmu.Lock()
+	for sh.flushing || len(sh.queue) > 0 {
+		sh.qcond.Wait()
+	}
+	sh.qmu.Unlock()
+}
+
+// updateMulti runs a cross-shard commit over the locked participant set
+// ps (1 < len(ps)). Called with the locks held; releases them.
+func (c *Catalog) updateMulti(ps []int, refs []string, fn func(*Tx) error) error {
+	defer c.unlockShards(ps)
+	for _, p := range ps {
+		c.shards[p].drain()
+	}
+	base := c.cur.Load()
+	tx := &Tx{base: base}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.views != nil {
+		return fmt.Errorf("store: routed commit staged view changes (views are global; commit with refs == nil)")
+	}
+	if tx.db == nil {
+		return nil
+	}
+	refIdx := map[int]bool{}
+	for _, name := range refs {
+		if i := base.DB.IndexOf(name); i >= 0 {
+			refIdx[i] = true
+		}
+	}
+	wset := compIDsTouching(base.DB, refIdx)
+	epoch := c.epoch.Add(1)
+	if err := c.stageAndMark(ps, epoch, tx.stmts); err != nil {
+		return err
+	}
+	c.pub.Lock()
+	cur := c.cur.Load()
+	db := c.applyShardDiff(cur.DB, tx.db, ps, wset)
+	c.storeMerged(cur, db, cur.Views, ps, epoch)
+	c.pub.Unlock()
+	c.finishShards(ps, epoch)
+	return nil
+}
+
+// updateAll runs a commit serialized against every shard: DDL, CTAS,
+// view changes and legacy DML — anything that can create components,
+// reshape the schema or read the whole catalog. The staged state
+// replaces the merged snapshot wholesale; new components get IDs here.
+func (c *Catalog) updateAll(fn func(*Tx) error) error {
+	all := c.allShards()
+	c.lockShards(all)
+	defer c.unlockShards(all)
+	for _, p := range all {
+		c.shards[p].drain()
+	}
+	base := c.cur.Load()
+	tx := &Tx{base: base}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.db == nil && tx.views == nil {
+		return nil
+	}
+	db := tx.DB()
+	epoch := c.epoch.Add(1)
+	if err := c.stageAndMark(all, epoch, tx.stmts); err != nil {
+		return err
+	}
+	c.pub.Lock()
+	for i := range db.Components {
+		if db.Components[i].ID == 0 {
+			c.compID++
+			db.Components[i].ID = c.compID
+		}
+	}
+	vers := make([]uint64, c.nshards)
+	for i := range vers {
+		vers[i] = epoch
+	}
+	c.cur.Store(&Snapshot{Version: epoch, DB: db, Views: tx.Views(),
+		shardVers: vers, nshards: c.nshards})
+	c.pub.Unlock()
+	c.finishShards(all, epoch)
+	return nil
+}
+
+// finishShards advances participant shards past a published cross-shard
+// epoch. Caller holds the participant locks.
+func (c *Catalog) finishShards(ps []int, epoch uint64) {
+	for _, p := range ps {
+		sh := c.shards[p]
+		sh.hmu.Lock()
+		sh.head, sh.headVer, sh.pubVer = nil, epoch, epoch
+		sh.commits++
+		sh.hmu.Unlock()
+	}
+}
+
+// stageAndMark is the two-phase durability protocol for a cross-shard
+// commit: stage one record per participant segment (fsynced in
+// parallel, each carrying the full participant list), then append the
+// commit marker to the coordinator segment — the lowest participant.
+// Recovery discards staged cross-shard epochs without their marker, so
+// a failure (or crash) anywhere before the marker aborts the commit on
+// every shard; after the marker it is durable on every shard.
+func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string) error {
+	if c.shards[ps[0]].wal == nil {
+		return nil
+	}
+	if len(stmts) == 0 {
+		return fmt.Errorf("store: refusing to log a commit with no statement records (writer did not call Tx.Log)")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(ps))
+	for i, p := range ps {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			errs[i] = c.shards[p].wal.AppendBatch([]WALRecord{
+				{Version: epoch, Stmts: stmts, Shard: p, Parts: ps}})
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Staged records without a marker are discarded by recovery;
+			// nothing needs undoing on the shards that did fsync.
+			return fmt.Errorf("store: staging cross-shard commit e%d: %w", epoch, err)
+		}
+	}
+	if err := c.shards[ps[0]].wal.AppendBatch([]WALRecord{
+		{Version: epoch, Shard: ps[0], Parts: ps, Marker: true}}); err != nil {
+		return fmt.Errorf("store: writing commit marker for e%d: %w", epoch, err)
+	}
+	return nil
+}
+
+// waitPublishedSharded blocks until the merged snapshot reaches version
+// v or every shard's group-commit queue goes idle (the commit that
+// would have produced v was aborted).
+func (c *Catalog) waitPublishedSharded(v uint64) {
+	for {
+		if c.cur.Load().Version >= v {
+			return
+		}
+		busy := false
+		for _, sh := range c.shards {
+			sh.qmu.Lock()
+			if sh.flushing || len(sh.queue) > 0 {
+				busy = true
+				if c.cur.Load().Version < v {
+					sh.qcond.Wait() // woken after every flushed batch
+				}
+			}
+			sh.qmu.Unlock()
+			if busy {
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+	}
+}
+
+// CheckpointAll persists the merged snapshot as the new recovery base
+// and truncates every shard segment, with all shard locks held and all
+// queues drained so no commit can land between the snapshot read and
+// the truncates. The unsharded catalog keeps using Checkpoint.
+func (c *Catalog) CheckpointAll(wsdPath string) error {
+	if c.nshards <= 1 {
+		return fmt.Errorf("store: CheckpointAll requires a sharded catalog (use Checkpoint)")
+	}
+	all := c.allShards()
+	c.lockShards(all)
+	defer c.unlockShards(all)
+	for _, p := range all {
+		c.shards[p].drain()
+	}
+	snap := c.cur.Load()
+	if err := SaveFile(wsdPath, snap); err != nil {
+		return fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	for _, sh := range c.shards {
+		if sh.wal == nil {
+			continue
+		}
+		if err := sh.wal.reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompShards maps each component of the snapshot's decomposition to its
+// home shard — the shard of the lowest-indexed relation it contributes
+// tuples to (shard 0 for a component contributing nowhere). nil when
+// the snapshot is not from a sharded catalog; query execution uses the
+// map to align its parallel scan chunks with shard boundaries
+// (wsdexec.Options.Shards).
+func (s *Snapshot) CompShards() []int {
+	if s.nshards <= 1 {
+		return nil
+	}
+	out := make([]int, len(s.DB.Components))
+	for ci, c := range s.DB.Components {
+		home := 0
+		first := -1
+		for _, a := range c.Alternatives {
+			for ri, r := range a.Rels {
+				if r == nil || r.Len() == 0 {
+					continue
+				}
+				if first < 0 || ri < first {
+					first = ri
+				}
+			}
+		}
+		if first >= 0 {
+			home = shardOfName(s.DB.Names[first], s.nshards)
+		}
+		out[ci] = home
+	}
+	return out
+}
+
+// commitSharded publishes a staged transaction on a sharded catalog
+// with shard-level first-committer-wins: the shards the transaction's
+// reads and writes route to are locked and validated against the
+// transaction's per-shard read timestamps (base.shardVers); commits
+// that touched disjoint shards since Begin do not conflict. Validation
+// happens under the locks at the serialization point, covering reads as
+// well as writes, so a successful commit is equivalent to running the
+// whole transaction at its commit epoch.
+func (s *Staged) commitSharded() error {
+	c := s.cat
+	all := s.all || len(s.writes) == 0 // no routing info (direct Staged.Update): conservative
+	var ps []int
+	if all {
+		ps = c.allShards()
+		c.lockShards(ps)
+	} else {
+		refs := make([]string, 0, len(s.reads)+len(s.writes))
+		for r := range s.reads {
+			refs = append(refs, r)
+		}
+		for r := range s.writes {
+			if !s.reads[r] {
+				refs = append(refs, r)
+			}
+		}
+		ps = c.lockRoute(refs)
+	}
+	// Validate: every touched shard must still be at the epoch the
+	// transaction read it at. headVer (not pubVer) — a conflicting
+	// commit awaiting its group-commit fsync already wins.
+	curV := c.cur.Load().Version
+	for _, p := range ps {
+		sh := c.shards[p]
+		sh.hmu.Lock()
+		hv := sh.headVer
+		if hv != s.base.shardVers[p] {
+			sh.conflicts++
+			sh.hmu.Unlock()
+			c.unlockShards(ps)
+			// Wait out the winner's group-commit flush before reporting
+			// the conflict. The retry re-begins from the published
+			// snapshot; returning while the winning epoch is still queued
+			// would make the retried transaction conflict against the
+			// same head again — a validation spin instead of one wait for
+			// the in-flight fsync. (The unsharded path gets this from
+			// WaitPublished on the global version, which cannot see
+			// per-shard heads.)
+			sh.drain()
+			if hv > curV {
+				curV = hv
+			}
+			return &ConflictError{Base: s.base.Version, Current: curV}
+		}
+		sh.hmu.Unlock()
+	}
+	if all {
+		defer c.unlockShards(ps)
+		for _, p := range ps {
+			c.shards[p].drain()
+		}
+		db := s.cur.DB
+		epoch := c.epoch.Add(1)
+		if err := c.stageAndMark(ps, epoch, s.stmts); err != nil {
+			return err
+		}
+		c.pub.Lock()
+		for i := range db.Components {
+			if db.Components[i].ID == 0 {
+				c.compID++
+				db.Components[i].ID = c.compID
+			}
+		}
+		vers := make([]uint64, c.nshards)
+		for i := range vers {
+			vers[i] = epoch
+		}
+		c.cur.Store(&Snapshot{Version: epoch, DB: db, Views: s.cur.Views,
+			shardVers: vers, nshards: c.nshards})
+		c.pub.Unlock()
+		c.finishShards(ps, epoch)
+		return nil
+	}
+	wrefs := make([]string, 0, len(s.writes))
+	wIdx := map[int]bool{}
+	for r := range s.writes {
+		wrefs = append(wrefs, r)
+		if i := s.base.DB.IndexOf(r); i >= 0 {
+			wIdx[i] = true
+		}
+	}
+	wset := compIDsTouching(s.base.DB, wIdx)
+	wps := c.refShards(s.base.DB, wrefs)
+	if len(wps) == 1 {
+		si := wps[0]
+		done, err := c.enqueueShard(si, c.shardHead(c.shards[si]), s.cur.DB, wset, s.stmts)
+		c.unlockShards(ps)
+		if err != nil {
+			return err
+		}
+		if done == nil {
+			return nil
+		}
+		c.flushShard(si)
+		return <-done
+	}
+	defer c.unlockShards(ps)
+	for _, p := range wps {
+		c.shards[p].drain()
+	}
+	epoch := c.epoch.Add(1)
+	if err := c.stageAndMark(wps, epoch, s.stmts); err != nil {
+		return err
+	}
+	c.pub.Lock()
+	cur := c.cur.Load()
+	db := c.applyShardDiff(cur.DB, s.cur.DB, wps, wset)
+	c.storeMerged(cur, db, cur.Views, wps, epoch)
+	c.pub.Unlock()
+	c.finishShards(wps, epoch)
+	return nil
+}
+
+// ShardStat is one shard's commit statistics.
+type ShardStat struct {
+	Shard     int    `json:"shard"`
+	Version   uint64 `json:"version"`   // newest published epoch
+	Commits   uint64 `json:"commits"`   // commits published
+	Conflicts uint64 `json:"conflicts"` // staged commits refused validation
+	Pending   int    `json:"pending"`   // queued for group commit
+	Syncs     uint64 `json:"syncs"`     // WAL fsyncs on this segment
+}
+
+// ShardStats reports per-shard commit statistics (one entry for the
+// whole catalog when unsharded).
+func (c *Catalog) ShardStats() []ShardStat {
+	if c.nshards <= 1 {
+		st := ShardStat{Shard: 0, Version: c.cur.Load().Version, Pending: c.PendingCommits()}
+		if w, ok := c.logger.(*WAL); ok && w != nil {
+			st.Syncs = w.Syncs()
+		}
+		return []ShardStat{st}
+	}
+	out := make([]ShardStat, c.nshards)
+	for i, sh := range c.shards {
+		sh.hmu.Lock()
+		out[i] = ShardStat{Shard: i, Version: sh.pubVer, Commits: sh.commits, Conflicts: sh.conflicts}
+		sh.hmu.Unlock()
+		sh.qmu.Lock()
+		out[i].Pending = len(sh.queue)
+		sh.qmu.Unlock()
+		if sh.wal != nil {
+			out[i].Syncs = sh.wal.Syncs()
+		}
+	}
+	return out
+}

@@ -1,0 +1,672 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsd"
+)
+
+// shardNames returns nshards relation names such that name i homes on
+// shard i — test fixtures place one relation per shard deterministically.
+func shardNames(nshards int) []string {
+	names := make([]string, nshards)
+	for i := range names {
+		for j := 0; ; j++ {
+			name := fmt.Sprintf("T%d_%d", i, j)
+			if shardOfName(name, nshards) == i {
+				names[i] = name
+				break
+			}
+		}
+	}
+	return names
+}
+
+// insInto stages "insert v into table" on tx: certain-tuple insert, the
+// shape of the session's native DML, logged as "ins <table> <v>".
+func insInto(tx *Tx, table string, v int) error {
+	tx.Log(fmt.Sprintf("ins %s %d", table, v))
+	db := tx.DB()
+	i := db.IndexOf(table)
+	if i < 0 {
+		return fmt.Errorf("no relation %q", table)
+	}
+	nr := db.Certain[i].Clone()
+	nr.Insert(relation.Tuple{value.Int(int64(v))})
+	tx.SetDB(db.WithCertain(i, nr).Normalize())
+	return nil
+}
+
+// mkTable stages "create table name" on tx, logged as "mk <name>".
+func mkTable(tx *Tx, name string) error {
+	tx.Log("mk " + name)
+	tx.SetDB(tx.DB().WithRelation(name, relation.NewSchema("X"), nil))
+	return nil
+}
+
+// shardApplier replays the "mk <name>" / "ins <table> <v>" records the
+// sharded tests log — the store-level stand-in for isql.ReplayRecord.
+// "ins" creates the relation when absent so any filtered subset of a
+// crash sweep replays deterministically.
+func shardApplier(cat *Catalog, rec WALRecord) error {
+	txn := cat.Begin()
+	for _, stmt := range rec.Stmts {
+		f := strings.Fields(stmt)
+		var err error
+		switch f[0] {
+		case "mk":
+			err = txn.UpdateRouted(nil, func(tx *Tx) error { return mkTable(tx, f[1]) })
+		case "ins":
+			v, _ := strconv.Atoi(f[2])
+			err = txn.UpdateRouted([]string{f[1]}, func(tx *Tx) error {
+				if tx.DB().IndexOf(f[1]) < 0 {
+					if err := mkTable(tx, f[1]); err != nil {
+						return err
+					}
+				}
+				return insInto(tx, f[1], v)
+			})
+		default:
+			err = fmt.Errorf("unknown test statement %q", stmt)
+		}
+		if err != nil {
+			txn.Rollback()
+			return err
+		}
+	}
+	return txn.Commit()
+}
+
+// dbBytes serializes a snapshot's database content without the version
+// stamp, for byte-identity comparison across differently numbered
+// histories.
+func dbBytes(t *testing.T, snap *Snapshot) []byte {
+	t.Helper()
+	return saveBytes(t, &Snapshot{DB: snap.DB, Views: snap.Views})
+}
+
+func newShardedFixture(t *testing.T, nshards int) (*Catalog, []string) {
+	t.Helper()
+	names := shardNames(nshards)
+	rels := make([]*relation.Relation, len(names))
+	for i := range rels {
+		rels[i] = relation.New(relation.NewSchema("X"))
+	}
+	c := NewSharded(wsd.FromComplete(names, rels), nshards)
+	return c, names
+}
+
+// TestRoutedCommitAdvancesOneShard: a single-table commit bumps only
+// its home shard's version; the other shards' read timestamps are
+// untouched, which is what lets disjoint committers skip each other.
+func TestRoutedCommitAdvancesOneShard(t *testing.T) {
+	c, names := newShardedFixture(t, 4)
+	before := c.ShardStats()
+	err := c.UpdateRouted([]string{names[2]}, func(tx *Tx) error { return insInto(tx, names[2], 7) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.ShardStats()
+	for i := range after {
+		if i == 2 {
+			if after[i].Version <= before[i].Version || after[i].Commits != before[i].Commits+1 {
+				t.Fatalf("home shard stats unchanged: %+v -> %+v", before[i], after[i])
+			}
+			continue
+		}
+		if after[i].Version != before[i].Version || after[i].Commits != before[i].Commits {
+			t.Fatalf("shard %d moved on a foreign commit: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	snap := c.Snapshot()
+	if got := snap.DB.Certain[snap.DB.IndexOf(names[2])].Len(); got != 1 {
+		t.Fatalf("inserted tuple missing: len %d", got)
+	}
+}
+
+// TestShardedDisjointWritersParallel: writers on distinct shards commit
+// concurrently; every commit lands, the merged snapshot holds all of
+// them, and per-shard commit counters attribute them correctly.
+func TestShardedDisjointWritersParallel(t *testing.T) {
+	const perWriter = 50
+	c, names := newShardedFixture(t, 4)
+	var wg sync.WaitGroup
+	errs := make([]error, len(names))
+	for w := range names {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWriter; k++ {
+				err := c.UpdateRouted([]string{names[w]}, func(tx *Tx) error {
+					return insInto(tx, names[w], k)
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	snap := c.Snapshot()
+	for w, name := range names {
+		if got := snap.DB.Certain[snap.DB.IndexOf(name)].Len(); got != perWriter {
+			t.Fatalf("relation %s (writer %d) has %d tuples, want %d", name, w, got, perWriter)
+		}
+	}
+	for i, st := range c.ShardStats() {
+		if st.Commits != perWriter {
+			t.Fatalf("shard %d counted %d commits, want %d", i, st.Commits, perWriter)
+		}
+		if st.Conflicts != 0 {
+			t.Fatalf("shard %d reported %d conflicts on a disjoint workload", i, st.Conflicts)
+		}
+	}
+}
+
+// TestStagedDisjointShardsNoConflict: a staged transaction writing
+// shard A commits after an interloper committed on shard B — under
+// shard-level validation the disjoint interloper is not a conflict.
+// The same interleaving on one shard still conflicts.
+func TestStagedDisjointShardsNoConflict(t *testing.T) {
+	c, names := newShardedFixture(t, 4)
+	txn := c.Begin()
+	if err := txn.UpdateRouted([]string{names[0]}, func(tx *Tx) error { return insInto(tx, names[0], 1) }); err != nil {
+		t.Fatal(err)
+	}
+	// Interloper on a different shard.
+	if err := c.UpdateRouted([]string{names[3]}, func(tx *Tx) error { return insInto(tx, names[3], 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("disjoint interloper caused a conflict: %v", err)
+	}
+	snap := c.Snapshot()
+	if snap.DB.Certain[snap.DB.IndexOf(names[0])].Len() != 1 || snap.DB.Certain[snap.DB.IndexOf(names[3])].Len() != 1 {
+		t.Fatal("one of the disjoint commits is missing")
+	}
+
+	txn2 := c.Begin()
+	if err := txn2.UpdateRouted([]string{names[0]}, func(tx *Tx) error { return insInto(tx, names[0], 3) }); err != nil {
+		t.Fatal(err)
+	}
+	// Interloper on the SAME shard: first committer wins.
+	if err := c.UpdateRouted([]string{names[0]}, func(tx *Tx) error { return insInto(tx, names[0], 4) }); err != nil {
+		t.Fatal(err)
+	}
+	err := txn2.Commit()
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("same-shard interloper: want *ConflictError, got %v", err)
+	}
+	found := false
+	for _, st := range c.ShardStats() {
+		if st.Conflicts > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("conflict not attributed to any shard")
+	}
+}
+
+// TestStagedReadShardValidated: a transaction that only READ a shard
+// conflicts when that shard moves before commit — reads are part of the
+// validation set, keeping staged transactions serializable rather than
+// merely write-consistent.
+func TestStagedReadShardValidated(t *testing.T) {
+	c, names := newShardedFixture(t, 4)
+	txn := c.Begin()
+	txn.MarkReads(map[string]bool{names[1]: true})
+	if err := txn.UpdateRouted([]string{names[0]}, func(tx *Tx) error { return insInto(tx, names[0], 1) }); err != nil {
+		t.Fatal(err)
+	}
+	// Interloper commits on the READ shard.
+	if err := c.UpdateRouted([]string{names[1]}, func(tx *Tx) error { return insInto(tx, names[1], 9) }); err != nil {
+		t.Fatal(err)
+	}
+	err := txn.Commit()
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("stale read shard: want *ConflictError, got %v", err)
+	}
+}
+
+// TestCrossShardComponentRoutes: a component spanning relations homed on
+// two shards pulls both shards into any route touching either relation,
+// so a routed DML that rewrites the component can never tear it.
+func TestCrossShardComponentRoutes(t *testing.T) {
+	names := shardNames(4)
+	rels := make([]*relation.Relation, len(names))
+	for i := range rels {
+		rels[i] = relation.New(relation.NewSchema("X"))
+	}
+	db := wsd.FromComplete(names, rels)
+	// One component contributing to relations 0 and 1 (shards 0 and 1).
+	alt := func(vals map[int]int) wsd.DBAlternative {
+		m := map[int]*relation.Relation{}
+		for ri, v := range vals {
+			m[ri] = relation.FromRows(relation.NewSchema("X"), relation.Tuple{value.Int(int64(v))})
+		}
+		return wsd.DBAlternative{Rels: m}
+	}
+	db.Components = append(db.Components, wsd.DBComponent{Alternatives: []wsd.DBAlternative{
+		alt(map[int]int{0: 1, 1: 10}),
+		alt(map[int]int{0: 2, 1: 20}),
+	}})
+	c := NewSharded(db, 4)
+	ps := c.refShards(c.Snapshot().DB, []string{names[0]})
+	if len(ps) != 2 || ps[0] != 0 || ps[1] != 1 {
+		t.Fatalf("route of %s = %v, want [0 1] (component closure)", names[0], ps)
+	}
+	// A routed delete on relation 0 that rewrites the component commits
+	// through the multi-shard path and stays consistent: alternatives
+	// keep pairing 2 with 20.
+	err := c.UpdateRouted([]string{names[0]}, func(tx *Tx) error {
+		tx.Log("del")
+		db := tx.DB()
+		next, err := db.MapRelation(0, func(r *relation.Relation) (*relation.Relation, error) {
+			nr := relation.New(r.Schema())
+			r.Each(func(t relation.Tuple) {
+				if t[0] != value.Int(1) {
+					nr.Insert(t)
+				}
+			})
+			return nr, nil
+		})
+		if err != nil {
+			return err
+		}
+		tx.SetDB(next.Normalize())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	ws, err := snap.DB.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws.Worlds() {
+		has := func(ri, v int) bool { return w[ri].Contains(relation.Tuple{value.Int(int64(v))}) }
+		if has(0, 2) != has(1, 20) {
+			t.Fatalf("torn component: world pairs 2-with-20 broken\n%v", w)
+		}
+	}
+}
+
+// TestMergeComponentsSnapshotRace: a reader merging components that
+// span shards, racing commits that rewrite those same components, must
+// see only its immutable snapshot — the merge result is byte-identical
+// to the serial merge of the same snapshot, every iteration, under
+// -race. This is the cross-shard snapshot-isolation guarantee for
+// wsd.MergeComponents.
+func TestMergeComponentsSnapshotRace(t *testing.T) {
+	names := shardNames(4)
+	rels := make([]*relation.Relation, len(names))
+	for i := range rels {
+		rels[i] = relation.New(relation.NewSchema("X"))
+	}
+	db := wsd.FromComplete(names, rels)
+	alt1 := func(ri, v int) wsd.DBAlternative {
+		return wsd.DBAlternative{Rels: map[int]*relation.Relation{
+			ri: relation.FromRows(relation.NewSchema("X"), relation.Tuple{value.Int(int64(v))})}}
+	}
+	// Component 0 on shard 0's relation, component 1 on shard 1's: the
+	// merge spans shards.
+	db.Components = append(db.Components,
+		wsd.DBComponent{Alternatives: []wsd.DBAlternative{alt1(0, 1), alt1(0, 2)}},
+		wsd.DBComponent{Alternatives: []wsd.DBAlternative{alt1(1, 10), alt1(1, 20)}},
+	)
+	c := NewSharded(db, 4)
+	snap := c.Snapshot()
+	ref, err := wsd.MergeComponents(snap.DB, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStr := ref.String()
+
+	stop := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The writer rewrites BOTH merged components (inserting into
+		// relations 0 and 1 makes their alternatives' tuples certain and
+		// Normalize rewrites the components) plus an unrelated shard.
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			target := names[k%3]
+			if err := c.UpdateRouted([]string{target}, func(tx *Tx) error {
+				return insInto(tx, target, 100+k)
+			}); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		merged, err := wsd.MergeComponents(snap.DB, []int{0, 1})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got := merged.String(); got != refStr {
+			t.Fatalf("iteration %d: racing merge differs from serial merge of the same snapshot\n--- got ---\n%s\n--- want ---\n%s", i, got, refStr)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+}
+
+// TestShardedWALGroupCommitPerShard: durable sharded catalog; commits
+// on one shard coalesce fsyncs on that shard's segment while another
+// shard's segment syncs independently.
+func TestShardedWALGroupCommitPerShard(t *testing.T) {
+	dir := t.TempDir()
+	cat, wals, err := OpenSharded("", dir, 4, shardApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range wals {
+			w.Close()
+		}
+	}()
+	names := shardNames(4)
+	for _, n := range names {
+		if err := cat.UpdateRouted(nil, func(tx *Tx) error { return mkTable(tx, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const writers, per = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := names[w%len(names)]
+			for k := 0; k < per; k++ {
+				if err := cat.UpdateRouted([]string{name}, func(tx *Tx) error {
+					return insInto(tx, name, w*per+k)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := dbBytes(t, cat.Snapshot())
+	wantVer := cat.Snapshot().Version
+
+	// Crash (drop the segments without checkpointing) and recover.
+	for _, w := range wals {
+		w.Close()
+	}
+	cat2, wals2, err := OpenSharded("", dir, 4, shardApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range wals2 {
+			w.Close()
+		}
+	}()
+	if got := dbBytes(t, cat2.Snapshot()); !bytes.Equal(got, want) {
+		t.Fatalf("recovered catalog differs from pre-crash state\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if got := cat2.Snapshot().Version; got != wantVer {
+		t.Fatalf("recovered version %d, want last durable epoch %d", got, wantVer)
+	}
+}
+
+// copyDir duplicates a WAL directory for destructive truncation.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(src + "/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst+"/"+e.Name(), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedCrashSweepEveryCutPoint is the sharded crash-recovery
+// acceptance sweep: run a workload mixing single-shard commits, an
+// all-shard DDL and a cross-shard staged transaction over per-shard
+// segments, then for every segment and every torn-tail cut point (each
+// line boundary and mid-line) recover the truncated directory and
+// require the result byte-identical to an independent deterministic
+// replay of the surviving epochs — including the cut that severs the
+// cross-shard commit marker, which must roll the transaction back on
+// every shard.
+func TestShardedCrashSweepEveryCutPoint(t *testing.T) {
+	const nshards = 4
+	dir := t.TempDir()
+	cat, wals, err := OpenSharded("", dir, nshards, shardApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := shardNames(nshards)
+	for _, n := range names {
+		if err := cat.UpdateRouted(nil, func(tx *Tx) error { return mkTable(tx, n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		for _, n := range names {
+			n := n
+			if err := cat.UpdateRouted([]string{n}, func(tx *Tx) error { return insInto(tx, n, k) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Cross-shard staged transaction, the LAST commit: truncating the
+	// coordinator's marker simulates a crash mid two-phase publish.
+	txn := cat.Begin()
+	if err := txn.UpdateRouted([]string{names[0]}, func(tx *Tx) error { return insInto(tx, names[0], 777) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.UpdateRouted([]string{names[2]}, func(tx *Tx) error { return insInto(tx, names[2], 888) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range wals {
+		w.Close()
+	}
+
+	for si := 0; si < nshards; si++ {
+		data, err := os.ReadFile(SegmentPath(dir, si))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every line boundary, plus a point inside each line.
+		cuts := []int{0}
+		for off, b := range data {
+			if b == '\n' {
+				cuts = append(cuts, off+1)
+				if off+1 < len(data) {
+					cuts = append(cuts, off+3) // mid next line: torn record
+				}
+			}
+		}
+		for _, cut := range cuts {
+			if cut > len(data) {
+				continue
+			}
+			cdir := fmt.Sprintf("%s-s%d-c%d", dir, si, cut)
+			copyDir(t, dir, cdir)
+			if err := os.WriteFile(SegmentPath(cdir, si), data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rec, rwals, err := OpenSharded("", cdir, nshards, shardApplier)
+			if err != nil {
+				t.Fatalf("shard %d cut %d: recovery failed: %v", si, cut, err)
+			}
+			got := dbBytes(t, rec.Snapshot())
+			want, lastEpoch := sweepReference(t, cdir, nshards)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("shard %d cut %d: recovery differs from deterministic replay\n--- got ---\n%s\n--- want ---\n%s", si, cut, got, want)
+			}
+			if lastEpoch > 0 && rec.Snapshot().Version != lastEpoch {
+				t.Fatalf("shard %d cut %d: recovered version %d, want %d", si, cut, rec.Snapshot().Version, lastEpoch)
+			}
+			// Atomicity of the cross-shard tail: 777 and 888 appear
+			// together or not at all.
+			db := rec.Snapshot().DB
+			h7 := db.IndexOf(names[0]) >= 0 && db.Certain[db.IndexOf(names[0])].Contains(relation.Tuple{value.Int(777)})
+			h8 := db.IndexOf(names[2]) >= 0 && db.Certain[db.IndexOf(names[2])].Contains(relation.Tuple{value.Int(888)})
+			if h7 != h8 {
+				t.Fatalf("shard %d cut %d: torn cross-shard commit (777=%v, 888=%v)", si, cut, h7, h8)
+			}
+			for _, w := range rwals {
+				w.Close()
+			}
+			os.RemoveAll(cdir)
+		}
+	}
+}
+
+// sweepReference independently computes the state recovery must produce
+// from a (possibly truncated) segment directory: scan each segment,
+// merge records by epoch, drop cross-shard epochs without a marker,
+// replay ascending onto a fresh sharded catalog. A deliberate
+// reimplementation of the recovery contract, not a call into it.
+func sweepReference(t *testing.T, dir string, nshards int) ([]byte, uint64) {
+	t.Helper()
+	type er struct {
+		stmts  []string
+		parts  []int
+		marked bool
+	}
+	epochs := map[uint64]*er{}
+	for si := 0; si < nshards; si++ {
+		w, recs, err := OpenWAL(SegmentPath(dir, si))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		for _, rec := range recs {
+			e := epochs[rec.Version]
+			if e == nil {
+				e = &er{}
+				epochs[rec.Version] = e
+			}
+			if rec.Marker {
+				e.marked = true
+			} else {
+				e.stmts = rec.Stmts
+				e.parts = rec.Parts
+			}
+		}
+	}
+	var order []uint64
+	for v, e := range epochs {
+		if len(e.parts) > 1 && !e.marked {
+			continue
+		}
+		if len(e.stmts) == 0 {
+			continue
+		}
+		order = append(order, v)
+	}
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	ref := NewSharded(nil, nshards)
+	for _, v := range order {
+		if err := shardApplier(ref, WALRecord{Version: v, Stmts: epochs[v].stmts}); err != nil {
+			t.Fatalf("reference replay of e%d: %v", v, err)
+		}
+	}
+	var last uint64
+	if len(order) > 0 {
+		last = order[len(order)-1]
+	}
+	return dbBytes(t, ref.Snapshot()), last
+}
+
+// TestCheckpointAllTruncatesSegments: CheckpointAll persists the merged
+// snapshot and truncates every segment; recovery from the checkpoint
+// alone reproduces the state.
+func TestCheckpointAllTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	wsdPath := dir + "/checkpoint.wsd"
+	cat, wals, err := OpenSharded(wsdPath, dir, 2, shardApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := shardNames(2)
+	for _, n := range names {
+		if err := cat.UpdateRouted(nil, func(tx *Tx) error { return mkTable(tx, n) }); err != nil {
+			t.Fatal(err)
+		}
+		n := n
+		if err := cat.UpdateRouted([]string{n}, func(tx *Tx) error { return insInto(tx, n, 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dbBytes(t, cat.Snapshot())
+	if err := cat.CheckpointAll(wsdPath); err != nil {
+		t.Fatal(err)
+	}
+	for si := range wals {
+		if fi, err := os.Stat(SegmentPath(dir, si)); err != nil || fi.Size() != 0 {
+			t.Fatalf("segment %d not truncated after checkpoint (err %v)", si, err)
+		}
+	}
+	for _, w := range wals {
+		w.Close()
+	}
+	cat2, wals2, err := OpenSharded(wsdPath, dir, 2, shardApplier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range wals2 {
+			w.Close()
+		}
+	}()
+	if got := dbBytes(t, cat2.Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("checkpoint-only recovery differs from checkpointed state")
+	}
+}

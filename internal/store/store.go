@@ -28,6 +28,15 @@
 // session and Expand report) and their output is re-factorized with
 // wsd.Refactor, so even a fallback step hands the next statement a
 // decomposition, not an enumeration.
+//
+// # Sharding
+//
+// Reshard(n) splits the catalog into n component shards, each with its
+// own version chain, writer lock, group-commit queue, and WAL segment:
+// commits touching disjoint shards run fully in parallel, cross-shard
+// transactions commit atomically through a staged two-phase record,
+// and readers still get one wait-free merged Snapshot. See shard.go
+// for the routing, epoch, and recovery rules.
 package store
 
 import (
@@ -46,12 +55,23 @@ import (
 // Neither the decomposition nor the view map may be mutated; editing
 // happens by committing a new version through Catalog.Update.
 type Snapshot struct {
-	// Version increases by one per committed transaction.
+	// Version increases by one per committed transaction. On a sharded
+	// catalog it is the highest commit epoch published so far (epochs
+	// are global across shards, so it stays monotone even though shards
+	// publish independently).
 	Version uint64
 	// DB is the decomposition backing all named tables.
 	DB *wsd.DecompDB
 	// Views maps view names to their I-SQL select text.
 	Views map[string]string
+
+	// shardVers, on a sharded catalog, records per shard the epoch of
+	// the newest commit included in this snapshot — the read timestamps
+	// staged transactions validate against at commit. Nil when the
+	// catalog is unsharded.
+	shardVers []uint64
+	// nshards is the owning catalog's shard count (0 or 1 = unsharded).
+	nshards int
 }
 
 // HasRelation reports whether a table or view of that name exists.
@@ -97,6 +117,16 @@ type Catalog struct {
 	qcond    *sync.Cond // signaled when the flush loop goes idle
 	queue    []*commitReq
 	flushing bool
+
+	// Component sharding (shard.go). nshards <= 1 leaves every path in
+	// this file exactly as it was; nshards > 1 redirects Update through
+	// the routed scatter/gather commit paths, with one writer lock, WAL
+	// segment and group-commit queue per shard.
+	nshards int
+	shards  []*shardState
+	epoch   atomic.Uint64 // global commit epoch counter
+	pub     sync.Mutex    // serializes merged-snapshot publication
+	compID  uint64        // component ID counter, guarded by pub
 }
 
 // commitReq is one enqueued commit awaiting durability.
@@ -259,6 +289,11 @@ func (tx *Tx) cowViews() {
 // committer waiting at that moment (group commit); Update still returns
 // only once its own version is durable and published.
 func (c *Catalog) Update(fn func(*Tx) error) error {
+	if c.nshards > 1 {
+		// No routing information: the commit may touch anything, so it
+		// serializes against every shard (DDL, CTAS and legacy DML do).
+		return c.updateAll(fn)
+	}
 	c.writer.Lock()
 	locked := true
 	defer func() {
@@ -361,6 +396,10 @@ func (c *Catalog) WaitPublished(v uint64) {
 	if c.cur.Load().Version >= v {
 		return
 	}
+	if c.nshards > 1 {
+		c.waitPublishedSharded(v)
+		return
+	}
 	c.qmu.Lock()
 	for c.cur.Load().Version < v && (c.flushing || len(c.queue) > 0) {
 		c.qcond.Wait()
@@ -438,6 +477,15 @@ func (c *Catalog) waitFlushed() {
 // PendingCommits reports how many commits are enqueued for group
 // commit but not yet durable (statistics and tests).
 func (c *Catalog) PendingCommits() int {
+	if c.nshards > 1 {
+		n := 0
+		for _, sh := range c.shards {
+			sh.qmu.Lock()
+			n += len(sh.queue)
+			sh.qmu.Unlock()
+		}
+		return n
+	}
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	return len(c.queue)
@@ -463,6 +511,17 @@ func Query(snap *Snapshot, engine string, q wsa.Expr, budget int) (*wsd.DecompDB
 // the rewrite search entirely.
 func QueryOpts(snap *Snapshot, engine string, q wsa.Expr, opt *wsdexec.Options) (*wsd.DecompDB, *wsdexec.Plan, error) {
 	if engine == "" || engine == "wsdexec" {
+		if sh := snap.CompShards(); sh != nil && (opt == nil || opt.Shards == nil) {
+			// Scatter/gather on a sharded snapshot: hand the engine the
+			// component-to-shard map so its parallel scans chunk along
+			// shard boundaries. Copy — opt may be a caller's cached value.
+			o := wsdexec.Options{}
+			if opt != nil {
+				o = *opt
+			}
+			o.Shards = sh
+			opt = &o
+		}
 		return wsdexec.EvalOpts(q, snap.DB, opt)
 	}
 	plan := &wsdexec.Plan{

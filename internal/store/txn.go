@@ -21,6 +21,15 @@ type Staged struct {
 	cur   *Snapshot // head of the private staging chain
 	stmts []string  // statement records for the commit log
 	done  bool
+
+	// Shard-level conflict tracking (sharded catalogs): the relations
+	// the transaction read and wrote, and whether any statement had no
+	// routing information (DDL/CTAS/legacy — validates against every
+	// shard). Commit validates that the shards these route to are
+	// unchanged since base; commits on disjoint shards don't conflict.
+	reads  map[string]bool
+	writes map[string]bool
+	all    bool
 }
 
 // ConflictError reports an optimistic-concurrency failure: another
@@ -51,6 +60,42 @@ func (s *Staged) Snapshot() *Snapshot { return s.cur }
 // Base returns the committed snapshot the transaction started from.
 func (s *Staged) Base() *Snapshot { return s.base }
 
+// UpdateRouted is Update with routing information, mirroring
+// Catalog.UpdateRouted so session statements execute identically inside
+// and outside a transaction: refs names the relations the statement
+// touches (recorded as the transaction's write set for shard-level
+// conflict validation at Commit); nil means the statement has no
+// routing information and the commit will validate against every shard.
+func (s *Staged) UpdateRouted(refs []string, fn func(*Tx) error) error {
+	if refs == nil {
+		s.all = true
+	} else {
+		if s.writes == nil {
+			s.writes = map[string]bool{}
+		}
+		for _, r := range refs {
+			s.writes[r] = true
+		}
+	}
+	return s.Update(fn)
+}
+
+// MarkReads records relations a statement inside the transaction read
+// (selects). On a sharded catalog the shards they route to join the
+// commit-time validation set, so the transaction stays serializable:
+// its reads are revalidated at the commit point, not just its writes.
+func (s *Staged) MarkReads(refs map[string]bool) {
+	if len(refs) == 0 {
+		return
+	}
+	if s.reads == nil {
+		s.reads = map[string]bool{}
+	}
+	for r := range refs {
+		s.reads[r] = true
+	}
+}
+
 // Update runs fn against the staging head and, if it staged anything,
 // extends the private chain with a new staging snapshot. Nothing is
 // published to the catalog; versions on the chain are private
@@ -67,6 +112,12 @@ func (s *Staged) Update(fn func(*Tx) error) error {
 	}
 	if tx.db == nil && tx.views == nil {
 		return nil
+	}
+	if tx.views != nil {
+		// Views are global, not homed on a shard: a transaction that
+		// changes them commits against every shard whatever else it
+		// routed (no-op on an unsharded catalog).
+		s.all = true
 	}
 	s.stmts = append(s.stmts, tx.stmts...)
 	s.cur = &Snapshot{
@@ -95,6 +146,9 @@ func (s *Staged) Commit() error {
 		return nil // read-only: nothing staged, nothing to publish
 	}
 	c := s.cat
+	if c.nshards > 1 {
+		return s.commitSharded()
+	}
 	c.writer.Lock()
 	if latest := c.headSnap(); latest != s.base {
 		c.writer.Unlock()

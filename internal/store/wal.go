@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -35,30 +37,67 @@ import (
 
 // WALRecord is one committed transaction in the log.
 type WALRecord struct {
-	// Version is the catalog version the transaction committed as.
+	// Version is the catalog version (on a sharded catalog: the global
+	// commit epoch) the transaction committed as.
 	Version uint64
 	// Stmts are the statement texts that produced it, in execution order.
 	Stmts []string
+	// Shard is the shard whose segment holds the record (sharded
+	// catalogs only; 0 otherwise).
+	Shard int
+	// Parts, when the commit spans shards, lists every participant
+	// shard. A cross-shard record is staged once per participant
+	// segment and is only valid if its epoch's commit marker exists.
+	Parts []int
+	// Marker marks the commit record of a cross-shard epoch: appended
+	// to the coordinator segment after every participant's stage record
+	// is durable. A staged cross-shard epoch without its marker is
+	// discarded by recovery — the commit rolls back on all shards.
+	Marker bool
 }
 
-// walLine is the on-disk framing of a record.
+// walLine is the on-disk framing of a record. The shard fields are
+// omitted when empty, so unsharded logs keep the historical format
+// byte-for-byte.
 type walLine struct {
 	Version uint64   `json:"v"`
 	Stmts   []string `json:"stmts"`
+	Shard   int      `json:"shard,omitempty"`
+	Parts   []int    `json:"parts,omitempty"`
+	Marker  bool     `json:"m,omitempty"`
 	CRC     uint32   `json:"crc"`
 }
 
 // crcOf sums the record content: version plus length-prefixed statement
-// texts (the prefix keeps ["ab","c"] distinct from ["a","bc"]).
+// texts (the prefix keeps ["ab","c"] distinct from ["a","bc"]), plus —
+// only when present, so historical records keep their sums — the
+// cross-shard participant list and the marker flag.
 func crcOf(version uint64, stmts []string) uint32 {
+	return crcOfRecord(WALRecord{Version: version, Stmts: stmts})
+}
+
+func crcOfRecord(rec WALRecord) uint32 {
 	h := crc32.NewIEEE()
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], version)
+	binary.LittleEndian.PutUint64(buf[:], rec.Version)
 	h.Write(buf[:])
-	for _, s := range stmts {
+	for _, s := range rec.Stmts {
 		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
 		h.Write(buf[:])
 		io.WriteString(h, s)
+	}
+	if len(rec.Parts) > 0 || rec.Marker {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(rec.Parts)))
+		h.Write(buf[:])
+		for _, p := range rec.Parts {
+			binary.LittleEndian.PutUint64(buf[:], uint64(p))
+			h.Write(buf[:])
+		}
+		if rec.Marker {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
 	}
 	return h.Sum32()
 }
@@ -133,10 +172,12 @@ func scanWAL(f *os.File) ([]WALRecord, int64, error) {
 		if err := json.Unmarshal(line[:len(line)-1], &rec); err != nil {
 			break // torn or corrupt tail
 		}
-		if rec.CRC != crcOf(rec.Version, rec.Stmts) {
+		decoded := WALRecord{Version: rec.Version, Stmts: rec.Stmts,
+			Shard: rec.Shard, Parts: rec.Parts, Marker: rec.Marker}
+		if rec.CRC != crcOfRecord(decoded) {
 			break
 		}
-		records = append(records, WALRecord{Version: rec.Version, Stmts: rec.Stmts})
+		records = append(records, decoded)
 		valid += int64(len(line))
 	}
 	return records, valid, nil
@@ -171,13 +212,16 @@ func (w *WAL) AppendBatch(recs []WALRecord) error {
 	}
 	var buf []byte
 	for _, rec := range recs {
-		if len(rec.Stmts) == 0 {
+		if len(rec.Stmts) == 0 && !rec.Marker {
 			// A record with no statements cannot replay to a new version;
 			// logging it would brick recovery. The caller staged changes
-			// without Tx.Log — surface the bug at commit time.
+			// without Tx.Log — surface the bug at commit time. (Marker
+			// records are the exception: they carry a decision, not
+			// statements.)
 			return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", rec.Version)
 		}
-		line, err := json.Marshal(walLine{Version: rec.Version, Stmts: rec.Stmts, CRC: crcOf(rec.Version, rec.Stmts)})
+		line, err := json.Marshal(walLine{Version: rec.Version, Stmts: rec.Stmts,
+			Shard: rec.Shard, Parts: rec.Parts, Marker: rec.Marker, CRC: crcOfRecord(rec)})
 		if err != nil {
 			return err
 		}
@@ -234,6 +278,11 @@ func (w *WAL) Checkpoint(snap *Snapshot, wsdPath string) error {
 	if err := SaveFile(wsdPath, snap); err != nil {
 		return fmt.Errorf("store: writing checkpoint: %w", err)
 	}
+	return w.reset()
+}
+
+// reset truncates the log to empty after a checkpoint save.
+func (w *WAL) reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -329,4 +378,114 @@ func Open(wsdPath, walPath string, applier Applier) (*Catalog, *WAL, error) {
 	}
 	cat.SetLogger(wal)
 	return cat, wal, nil
+}
+
+// SegmentPath returns the path of shard si's WAL segment under walDir.
+func SegmentPath(walDir string, si int) string {
+	return filepath.Join(walDir, fmt.Sprintf("wal-%d.log", si))
+}
+
+// OpenSharded recovers a sharded WAL-backed catalog: load the last
+// checkpoint from wsdPath, scan every shard segment wal-<i>.log under
+// walDir (torn tails truncated per segment), merge the intact records
+// by epoch, discard cross-shard epochs whose commit marker is absent
+// (the two-phase publish never finished — the transaction rolls back on
+// every shard), replay the surviving epochs in ascending order through
+// applier, and return the catalog with one WAL segment per shard
+// attached. Epoch order is a valid serialization of the pre-crash
+// execution: single-shard commits read only their shard and epochs are
+// assigned under the shard locks, so replaying the merged sequence
+// serially reproduces the per-shard states byte-identically.
+//
+// nshards == 1 delegates to Open on wal-0.log (the strict
+// density-checked single-log recovery).
+func OpenSharded(wsdPath, walDir string, nshards int, applier Applier) (*Catalog, []*WAL, error) {
+	if nshards <= 1 {
+		cat, wal, err := Open(wsdPath, SegmentPath(walDir, 0), applier)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cat, []*WAL{wal}, nil
+	}
+	var cat *Catalog
+	switch _, err := os.Stat(wsdPath); {
+	case err == nil:
+		cat, err = LoadFile(wsdPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: loading checkpoint: %w", err)
+		}
+	case os.IsNotExist(err):
+		cat = New(nil)
+	default:
+		return nil, nil, err
+	}
+	cat.shard(nshards)
+	wals := make([]*WAL, nshards)
+	closeAll := func() {
+		for _, w := range wals {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	type epochRec struct {
+		stmts  []string
+		parts  []int
+		staged map[int]bool // shards whose segment holds the stage record
+		marked bool
+	}
+	epochs := map[uint64]*epochRec{}
+	for si := 0; si < nshards; si++ {
+		wal, records, err := OpenWAL(SegmentPath(walDir, si))
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		wals[si] = wal
+		for _, rec := range records {
+			er := epochs[rec.Version]
+			if er == nil {
+				er = &epochRec{staged: map[int]bool{}}
+				epochs[rec.Version] = er
+			}
+			if rec.Marker {
+				er.marked = true
+				continue
+			}
+			er.stmts = rec.Stmts
+			er.parts = rec.Parts
+			er.staged[si] = true
+		}
+	}
+	base := cat.Snapshot().Version
+	var order []uint64
+	for e, er := range epochs {
+		if e <= base {
+			continue // already in the checkpoint (crash between save and truncate)
+		}
+		if len(er.parts) > 1 && !er.marked {
+			continue // unmarked cross-shard prefix: rolls back everywhere
+		}
+		if len(er.stmts) == 0 {
+			continue // marker without any surviving stage record
+		}
+		order = append(order, e)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, e := range order {
+		if err := applier(cat, WALRecord{Version: e, Stmts: epochs[e].stmts}); err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("store: replaying WAL epoch e%d: %w", e, err)
+		}
+	}
+	// Re-stamp the catalog at the last durable epoch so the recovered
+	// Version (which Save persists) matches the pre-crash published
+	// state rather than the compressed replay count.
+	last := base
+	if len(order) > 0 {
+		last = order[len(order)-1]
+	}
+	cat.resetSharded(&Snapshot{Version: last, DB: cat.Snapshot().DB, Views: cat.Snapshot().Views})
+	cat.SetShardLoggers(wals)
+	return cat, wals, nil
 }

@@ -40,6 +40,15 @@ func (a DBAlternative) Rel(i int) *relation.Relation { return a.Rels[i] }
 // alternatives makes the represented world-set empty.
 type DBComponent struct {
 	Alternatives []DBAlternative
+	// ID is a stable identity across copy-on-write edits: clone,
+	// MapRelation, DropRelation and Normalize carry it through, so a
+	// caller holding two versions of a decomposition can match the
+	// surviving components without comparing content. Zero means
+	// unassigned (operations that build new components — Refactor,
+	// merging, world-set lifting — leave it zero); the sharded catalog
+	// assigns IDs at snapshot admission and diffs commits by them. IDs
+	// never affect the represented world-set.
+	ID uint64
 }
 
 // DecompDB is a world-set decomposition of a multi-relation world-set.

@@ -27,7 +27,7 @@ func (db *DecompDB) clone() *DecompDB {
 		Certain: append([]*relation.Relation{}, db.Certain...),
 	}
 	for _, c := range db.Components {
-		comp := DBComponent{Alternatives: make([]DBAlternative, len(c.Alternatives))}
+		comp := DBComponent{ID: c.ID, Alternatives: make([]DBAlternative, len(c.Alternatives))}
 		for ai, a := range c.Alternatives {
 			rels := make(map[int]*relation.Relation, len(a.Rels))
 			for ri, r := range a.Rels {
@@ -82,7 +82,7 @@ func (db *DecompDB) DropRelation(i int) *DecompDB {
 		Certain: append(append([]*relation.Relation{}, db.Certain[:i]...), db.Certain[i+1:]...),
 	}
 	for _, c := range db.Components {
-		comp := DBComponent{Alternatives: make([]DBAlternative, len(c.Alternatives))}
+		comp := DBComponent{ID: c.ID, Alternatives: make([]DBAlternative, len(c.Alternatives))}
 		for ai, a := range c.Alternatives {
 			rels := make(map[int]*relation.Relation, len(a.Rels))
 			for ri, r := range a.Rels {
@@ -169,10 +169,10 @@ func (db *DecompDB) Normalize() *DecompDB {
 	}
 	for _, c := range db.Components {
 		if len(c.Alternatives) == 0 {
-			out.Components = append(out.Components, DBComponent{})
+			out.Components = append(out.Components, DBComponent{ID: c.ID})
 			continue
 		}
-		comp := DBComponent{}
+		comp := DBComponent{ID: c.ID}
 		seen := map[string]bool{}
 		for _, a := range c.Alternatives {
 			stripped := stripCertain(a, out.Certain)

@@ -113,6 +113,14 @@ type Options struct {
 	// fallback — the same query on the same decomposition shape
 	// entangles (or not) identically.
 	AssumeFallback string
+	// Shards, when non-nil, maps each component index of the input
+	// decomposition to its home shard in a sharded catalog
+	// (store.Snapshot.CompShards). Per-piece parallel scans order their
+	// work units by shard so chunk boundaries align with shard
+	// boundaries — the scatter half of scatter/gather query execution.
+	// Results are gathered into fixed per-piece cells, so the ordering
+	// never changes what a query answers.
+	Shards []int
 }
 
 func (o *Options) budget() int {
@@ -237,6 +245,9 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 		}
 	}
 	e := &engine{db: db, env: env, budget: opt.budget(), slaved: map[int]slaveRef{}}
+	if opt != nil {
+		e.shards = opt.Shards
+	}
 	if opt != nil && opt.NoMerge {
 		e.budget = 0 // every merge attempt exceeds a zero budget
 	}
@@ -346,6 +357,7 @@ type engine struct {
 	env    *wsa.Env
 	arity  []int
 	budget int
+	shards []int // component index -> home shard (Options.Shards); nil when unsharded
 	slaved map[int]slaveRef
 	merges []MergeStep
 }
@@ -691,6 +703,22 @@ func (e *engine) mapUnaryPrep(from wsa.Expr, outSchema relation.Schema,
 				slots = append(slots, slot{c, a, p})
 			}
 		}
+	}
+	if sh := e.shards; sh != nil && len(slots) > 2 {
+		// Scatter: group the per-piece work units by the owning shard so
+		// parallel chunks align with catalog shards. Stable, and results
+		// gather into per-slot cells, so the answer is order-independent.
+		sort.SliceStable(slots[1:], func(i, j int) bool {
+			a, b := slots[1+i].c, slots[1+j].c
+			sa, sb := 0, 0
+			if a >= 0 && a < len(sh) {
+				sa = sh[a]
+			}
+			if b >= 0 && b < len(sh) {
+				sb = sh[b]
+			}
+			return sa < sb
+		})
 	}
 	results := make([]*relation.Relation, len(slots))
 	errs := make([]error, len(slots))
