@@ -5,6 +5,7 @@
 //
 //	isqld [-addr host:port] [-demo name] [-load file.wsd] [-save file.wsd]
 //	      [-engine name] [-wal dir] [-checkpoint-every n] [-shards n]
+//	      [-slow-query dur] [-debug-addr host:port]
 //
 // The catalog starts empty, from one of the paper's demo datasets
 // (-demo flights | acquisition | census | lineitem), or from a .wsd
@@ -15,6 +16,18 @@
 // /execute, and read catalog statistics from /stats:
 //
 //	curl --data-binary 'select certain Name from Clean;' http://localhost:8486/exec
+//
+// # Observability
+//
+// GET /metrics serves Prometheus text exposition (request and
+// execution counters, per-shard commit-queue and WAL-fsync latency
+// histograms, per-relation decomposition gauges); GET /healthz a JSON
+// liveness document with the shard count and last durable epoch per
+// shard. With -slow-query, any statement slower than the threshold
+// writes its full span tree (parse → compile → per-operator
+// evaluation → commit → fsync) to stderr as one JSON line. With
+// -debug-addr, a second listener serves net/http/pprof profiles —
+// keep it on a loopback or otherwise private address.
 //
 // # Durability
 //
@@ -48,6 +61,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,13 +84,31 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 256, "with -wal: checkpoint after this many logged commits (0 = only on shutdown)")
 	txnRetries := flag.Int("txn-retries", 16, "automatic conflict retries per transaction (0 = surface conflicts immediately)")
 	shards := flag.Int("shards", 1, "component shards: commits on disjoint shards run in parallel, each with its own WAL segment (1 = unsharded)")
+	slowQuery := flag.Duration("slow-query", 0, "log the span tree of statements slower than this as JSON lines on stderr (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on a second listener (keep it private)")
 	flag.Parse()
 
 	cat, wals, ckptPath, err := openCatalog(*demo, *load, *walDir, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := isqld.New(cat, isqld.WithEngine(*engine), isqld.WithTxnRetries(*txnRetries))
+	opts := []isqld.Option{isqld.WithEngine(*engine), isqld.WithTxnRetries(*txnRetries)}
+	if *slowQuery > 0 {
+		opts = append(opts, isqld.WithSlowQuery(*slowQuery, os.Stderr))
+	}
+	srv := isqld.New(cat, opts...)
+
+	if *debugAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; serve that
+		// mux on the debug listener only — the main handler never exposes
+		// profiles.
+		go func() {
+			log.Printf("isqld: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("isqld: debug listener: %v", err)
+			}
+		}()
+	}
 
 	appended := func() int {
 		n := 0

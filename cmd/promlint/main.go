@@ -1,0 +1,60 @@
+// Command promlint validates Prometheus text exposition data — the
+// output of isqld's GET /metrics — and optionally asserts required
+// series are present. CI pipes the live endpoint through it:
+//
+//	curl -fs http://127.0.0.1:8486/metrics | promlint \
+//	  -require wsdb_wal_fsync_seconds,wsdb_relation_components
+//
+// It exits nonzero on malformed exposition text (bad HELP/TYPE
+// comments, unparseable samples, incomplete histogram series) or on
+// any missing required series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"worldsetdb/internal/obs"
+)
+
+func main() {
+	file := flag.String("f", "", "read exposition text from this file instead of stdin")
+	require := flag.String("require", "", "comma-separated metric names that must have at least one sample")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *file != "" {
+		data, err = os.ReadFile(*file)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	if err := obs.LintProm(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint: invalid exposition:", err)
+		os.Exit(1)
+	}
+	missing := 0
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !obs.HasSeries(data, name) {
+				fmt.Fprintf(os.Stderr, "promlint: required series %s has no samples\n", name)
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: ok (%d bytes)\n", len(data))
+}

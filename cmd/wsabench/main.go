@@ -39,6 +39,7 @@ import (
 	"worldsetdb/internal/inline"
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/isqld"
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/physical"
 	"worldsetdb/internal/ra"
 	"worldsetdb/internal/relation"
@@ -65,16 +66,66 @@ var (
 		"comma-separated op prefixes whose regressions are blocking: any flagged op matching one makes wsabench exit nonzero (e.g. -gate TXN/)")
 )
 
-// benchRow is one measured operation in the JSON report.
+// benchRow is one measured operation in the JSON report. The quantile
+// fields appear only on the per-family latency-quantiles rows; the
+// regression diff reads op and ns_per_op only, so they are additive.
 type benchRow struct {
 	Op          string `json:"op"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
 	Worlds      int    `json:"worlds"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
+	P50Ns       int64  `json:"p50_ns,omitempty"`
+	P95Ns       int64  `json:"p95_ns,omitempty"`
+	P99Ns       int64  `json:"p99_ns,omitempty"`
+	Samples     uint64 `json:"samples,omitempty"`
 }
 
 var benchRows []benchRow
+
+// famHists accumulates every measured iteration of every op in a
+// family (the op-name prefix before "/") into one latency histogram,
+// so the report carries per-family p50/p95/p99 across iterations —
+// min-of-5 ns/op alone hides tail latency.
+var famHists = map[string]*obs.Histogram{}
+
+func famHist(op string) *obs.Histogram {
+	fam := op
+	if i := strings.IndexByte(op, '/'); i >= 0 {
+		fam = op[:i]
+	}
+	h := famHists[fam]
+	if h == nil {
+		h = &obs.Histogram{}
+		famHists[fam] = h
+	}
+	return h
+}
+
+// quantileRows appends one latency-quantiles row per family. NsPerOp
+// stays 0 so the regression diff skips these rows (quantiles across
+// heterogeneous ops are a profile, not a regression signal).
+func quantileRows() {
+	fams := make([]string, 0, len(famHists))
+	for f := range famHists {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		h := famHists[f]
+		if h.Count() == 0 {
+			continue
+		}
+		benchRows = append(benchRows, benchRow{
+			Op:         f + "/latency-quantiles",
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			P50Ns:      h.Quantile(0.50).Nanoseconds(),
+			P95Ns:      h.Quantile(0.95).Nanoseconds(),
+			P99Ns:      h.Quantile(0.99).Nanoseconds(),
+			Samples:    h.Count(),
+		})
+	}
+}
 
 // acceptanceFailures collects violated intra-run acceptance floors
 // (ratios between ops of the same run, immune to machine speed); any
@@ -93,7 +144,7 @@ func acceptRatio(name string, got, floor float64) {
 // worlds may point at a counter the closure fills in (the world count
 // the operation handled); nil means not applicable.
 func bench(op string, worlds *int, f func()) time.Duration {
-	d, allocs := timedAllocs(f)
+	d, allocs := timedAllocsInto(famHist(op), f)
 	w := 0
 	if worlds != nil {
 		w = *worlds
@@ -264,6 +315,7 @@ func main() {
 	}
 	// Read the baseline before writeJSON possibly overwrites it.
 	baseline := loadBaseline(*prevPath)
+	quantileRows()
 	writeJSON(*jsonPath)
 	regressed := diffBaseline(baseline, *regress)
 	failed := false
@@ -296,6 +348,13 @@ func timed(f func()) time.Duration {
 
 // timedAllocs is timed plus the mean heap allocations per run.
 func timedAllocs(f func()) (time.Duration, uint64) {
+	return timedAllocsInto(nil, f)
+}
+
+// timedAllocsInto is timedAllocs with every iteration's duration
+// additionally recorded into h (nil skips recording) — the feed for
+// the per-family latency quantiles in the JSON report.
+func timedAllocsInto(h *obs.Histogram, f func()) (time.Duration, uint64) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m0 := ms.Mallocs
@@ -306,6 +365,7 @@ func timedAllocs(f func()) (time.Duration, uint64) {
 		start := time.Now()
 		f()
 		d := time.Since(start)
+		h.Observe(d)
 		runs++
 		if best == 0 || d < best {
 			best = d

@@ -146,6 +146,35 @@
 // with deterministic merges — by world partition in internal/physical,
 // by decomposition component in internal/wsdexec.
 //
+// # Observability
+//
+// internal/obs is the low-overhead observability layer threaded
+// through the whole statement lifecycle: nil-safe pooled trace spans
+// (zero allocation when tracing is off — the nil *Span no-ops every
+// method) and lock-free atomic counters and fixed-bucket latency
+// histograms. One traced statement yields a span tree covering parse,
+// compile (with plan-cache hit/miss), the rewrite search, every
+// wsdexec operator (with component counts, merge events and their
+// costs, fallback expansion), commit staging, the group-commit queue
+// wait, the WAL fsync (with batch size) and the cross-shard 2PC
+// stages.
+//
+// Three surfaces expose it. EXPLAIN ANALYZE <stmt> in I-SQL executes
+// the statement for real and renders the span tree (bare EXPLAIN
+// prints the compiled and prelowered algebra without executing).
+// isqld serves GET /metrics in Prometheus text exposition — request
+// and execution-path counters, per-shard commit-queue and WAL-fsync
+// latency histograms, and per-relation decomposition-statistics
+// gauges (certain vs alternative cardinality, components touched) —
+// validated by obs.LintProm, which cmd/promlint wires into CI against
+// the live endpoint; GET /healthz reports the shard count and last
+// durable epoch per shard. And the isqld -slow-query flag logs the
+// span tree of any statement over the threshold as one JSON line on
+// stderr, while -debug-addr serves net/http/pprof on a separate
+// (private) listener. cmd/wsabench records per-family p50/p95/p99
+// latency quantiles into BENCH_results.json through the same
+// histograms.
+//
 // # Correctness harnesses
 //
 // internal/difftest runs every query through all four engines on

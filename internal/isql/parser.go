@@ -139,8 +139,27 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.isKw("execute"):
 		p.next()
 		return p.parseExecuteCall()
+	case p.isKw("explain"):
+		return p.parseExplain()
 	}
 	return nil, errf(p.peek().Pos, "expected a statement, got %q", p.peek().Text)
+}
+
+// parseExplain parses `explain [analyze] <statement>`.
+func (p *parser) parseExplain() (Statement, error) {
+	if err := p.expectKw("explain"); err != nil {
+		return nil, err
+	}
+	analyze := p.acceptKw("analyze")
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt, *PrepareStmt, *ExplainStmt:
+		return nil, errf(p.peek().Pos, "cannot explain a %s statement", st)
+	}
+	return &ExplainStmt{Analyze: analyze, Stmt: st}, nil
 }
 
 // parsePrepare parses `prepare <name> as <statement>`.
@@ -160,7 +179,7 @@ func (p *parser) parsePrepare() (Statement, error) {
 		return nil, err
 	}
 	switch st.(type) {
-	case *BeginStmt, *CommitStmt, *RollbackStmt, *PrepareStmt, *ExecuteStmt:
+	case *BeginStmt, *CommitStmt, *RollbackStmt, *PrepareStmt, *ExecuteStmt, *ExplainStmt:
 		return nil, errf(p.peek().Pos, "cannot prepare a %s statement", st)
 	}
 	return &PrepareStmt{Name: name, Stmt: st}, nil

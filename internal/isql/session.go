@@ -7,6 +7,7 @@ import (
 	"math/big"
 	"sort"
 
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/store"
 	"worldsetdb/internal/value"
@@ -82,7 +83,17 @@ type Session struct {
 	// runs every statement through the explicit world-set evaluator —
 	// the pre-store execution path, kept for comparison.
 	Engine string
+
+	// span is the root of the current statement's trace. nil — the
+	// default — disables tracing entirely (every instrumented call site
+	// no-ops on the nil span). EXPLAIN ANALYZE and the server's
+	// slow-query log set it around one statement via SetTrace.
+	span *obs.Span
 }
+
+// SetTrace attaches a trace root: subsequent statements record their
+// stage and operator spans as children. Pass nil to disable.
+func (s *Session) SetTrace(sp *obs.Span) { s.span = sp }
 
 // legacyEngine routes every statement through the explicit world-set
 // evaluator.
@@ -298,8 +309,30 @@ func (s *Session) Exec(st Statement) (*Result, error) {
 		return s.execPrepare(n)
 	case *ExecuteStmt:
 		return s.execExecute(n)
+	case *ExplainStmt:
+		return s.execExplain(n)
 	}
 	return nil, fmt.Errorf("isql: unsupported statement %T", st)
+}
+
+// updateRouted wraps the execution target's UpdateRouted with a commit
+// span: when the session carries a trace, the store's WAL append, group
+// commit queue wait, fsync and 2PC stages attach under it via
+// Tx.SetTrace. The statement's own spans inside the closure (a CTAS
+// compiles and evaluates there, under the writer) nest below it too —
+// the span stands for the whole staged write, not just the publish.
+func (s *Session) updateRouted(refs []string, fn func(*store.Tx) error) error {
+	sp := s.span.Child("commit")
+	prev := s.span
+	s.span = sp
+	defer func() {
+		s.span = prev
+		sp.End()
+	}()
+	return s.target().UpdateRouted(refs, func(tx *store.Tx) error {
+		tx.SetTrace(sp)
+		return fn(tx)
+	})
 }
 
 // execSelect evaluates a select: natively on the snapshot decomposition
@@ -348,10 +381,13 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 		var err error
 		opts := &wsdexec.Options{ExpandBudget: s.maxWorlds()}
 		onDecomp := s.engineName() == "" || s.engineName() == "wsdexec"
+		csp := s.span.Child("compile")
 		if pre != nil {
 			// Cached plans are prelowered at compile time; skip the
 			// per-request rewrite search.
+			before := pre.Compiles()
 			q, err = pre.planFor(s, snap)
+			csp.Set("plan-cache", cacheLabel(pre.Compiles() == before))
 			opts.NoRewrite = true
 			if err == nil {
 				if onDecomp {
@@ -362,17 +398,30 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 				}
 				q, err = pre.bindPlan(q, args)
 				if err != nil {
+					csp.End()
 					return nil, err
 				}
 			}
 		} else {
 			q, err = s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
 		}
+		csp.End()
 		if err != nil && !isFragmentError(err) {
 			return nil, err
 		}
 		if err == nil {
+			xsp := s.span.Child("exec")
+			opts.Trace = xsp
 			out, plan, err := store.QueryOpts(snap, s.engineName(), q, opts)
+			if plan != nil {
+				xsp.SetInt("merges", int64(len(plan.Merges)))
+				if plan.FallbackEngine == "" {
+					xsp.Set("path", "native")
+				} else {
+					xsp.Set("path", "fallback:"+plan.FallbackEngine)
+				}
+			}
+			xsp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -414,11 +463,15 @@ func (s *Session) execSelectWith(sel *SelectStmt, pre *Prepared, args []value.Va
 	// enumerated, so an aggregate over a small uncertain region answers
 	// in time independent of the catalog's world count.
 	s.Stats.recordLegacy(fragmentOp(fragErr))
+	bsp := s.span.Child("exec.bounded").Set("fragment-op", fragmentOp(fragErr))
 	ws, deps, err := s.boundedInput(snap.DB, lsel)
 	if err != nil {
+		bsp.End()
 		return nil, err
 	}
+	bsp.SetInt("components", int64(len(deps)))
 	out, err := s.evalSelect(lsel, ws, nil)
+	bsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +488,7 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 		return nil, fmt.Errorf("isql: unbound parameter $%d (bind it with execute)", p)
 	}
 	var res *Result
-	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
+	err := s.updateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
 			return err
@@ -445,12 +498,17 @@ func (s *Session) execCreateTableAs(n *CreateTableAsStmt) (*Result, error) {
 		}
 		var fragErr error
 		if s.Engine != legacyEngine {
+			csp := s.span.Child("compile")
 			q, err := s.compileOn(tx.Snap().DB.Names, tx.Snap().DB.Schemas, n.Query)
+			csp.End()
 			if err != nil && !isFragmentError(err) {
 				return err
 			}
 			if err == nil {
-				out, plan, err := store.Query(tx.Snap(), s.engineName(), q, s.maxWorlds())
+				xsp := s.span.Child("exec")
+				out, plan, err := store.QueryOpts(tx.Snap(), s.engineName(), q,
+					&wsdexec.Options{ExpandBudget: s.maxWorlds(), Trace: xsp})
+				xsp.End()
 				if err != nil {
 					return err
 				}
@@ -520,7 +578,7 @@ func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
 		return nil, fmt.Errorf("isql: view body holds unbound parameter $%d", p)
 	}
 	var res *Result
-	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
+	err := s.updateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		snap := tx.Snap()
 		if err := s.refreshViewsFrom(snap); err != nil {
@@ -546,7 +604,7 @@ func (s *Session) execCreateView(n *CreateViewStmt) (*Result, error) {
 
 func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
 	var res *Result
-	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
+	err := s.updateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		if tx.Snap().HasRelation(n.Name) {
 			return fmt.Errorf("isql: relation %q already exists", n.Name)
@@ -564,7 +622,7 @@ func (s *Session) execCreateTable(n *CreateTableStmt) (*Result, error) {
 
 func (s *Session) execDropTable(n *DropTableStmt) (*Result, error) {
 	var res *Result
-	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
+	err := s.updateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		db := tx.DB()
 		idx := db.IndexOf(n.Name)
@@ -599,7 +657,7 @@ func (s *Session) execInsert(n *InsertStmt) (*Result, error) {
 		return nil, err
 	}
 	var res *Result
-	err := s.target().UpdateRouted([]string{n.Table}, func(tx *store.Tx) error {
+	err := s.updateRouted([]string{n.Table}, func(tx *store.Tx) error {
 		tx.Log(n.String())
 		db := tx.DB()
 		idx := db.IndexOf(n.Table)
@@ -713,7 +771,7 @@ func (s *Session) execUpdate(n *UpdateStmt) (*Result, error) {
 func (s *Session) mutateNative(stmt, table string, prepare func(relation.Schema) error,
 	perTuple func(*evalCtx, relation.Tuple) (relation.Tuple, bool, error)) (*Result, error) {
 	var res *Result
-	err := s.target().UpdateRouted([]string{table}, func(tx *store.Tx) error {
+	err := s.updateRouted([]string{table}, func(tx *store.Tx) error {
 		tx.Log(stmt)
 		db := tx.DB()
 		idx := db.IndexOf(table)
@@ -776,7 +834,7 @@ func (s *Session) mutateNative(stmt, table string, prepare func(relation.Schema)
 // next catalog version.
 func (s *Session) legacyDML(stmt string, apply func(*worldset.WorldSet) (*worldset.WorldSet, int, error)) (*Result, error) {
 	var res *Result
-	err := s.target().UpdateRouted(nil, func(tx *store.Tx) error {
+	err := s.updateRouted(nil, func(tx *store.Tx) error {
 		tx.Log(stmt)
 		if err := s.refreshViewsFrom(tx.Snap()); err != nil {
 			return err
@@ -950,6 +1008,14 @@ func renameLastRelation(ws *worldset.WorldSet, name string) *worldset.WorldSet {
 	out := worldset.New(names, ws.Schemas())
 	ws.Each(func(w worldset.World) { out.Add(w) })
 	return out
+}
+
+// cacheLabel names a plan-cache outcome for trace attributes.
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 // satInt converts a world-weighted count to an int, saturating.

@@ -30,7 +30,13 @@
 //	GET  /stats    JSON: catalog version, world count, decomposition
 //	               size, relation and view names, prepared statements,
 //	               live transactional sessions.
-//	GET  /healthz  "ok" once the server is up.
+//	GET  /metrics  Prometheus text exposition (0.0.4): request and
+//	               execution counters, per-shard commit-queue and WAL
+//	               fsync latency histograms, per-relation decomposition
+//	               statistics gauges.
+//	GET  /healthz  JSON liveness document once the server is up:
+//	               status, catalog version, shard count and the last
+//	               durable epoch per shard.
 //
 // # Transactional sessions
 //
@@ -66,6 +72,7 @@ import (
 	"time"
 
 	"worldsetdb/internal/isql"
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/store"
 
 	// An isqld server can be asked for any registered engine; link all
@@ -103,6 +110,14 @@ type Server struct {
 	// fallback / legacy, attributed per operator), shared by every
 	// session the server creates.
 	exec *isql.ExecStats
+	// Request-latency histograms per endpoint; their counts double as
+	// the per-endpoint request counters on /metrics.
+	histExec, histPrepare, histExecute obs.Histogram
+	// Slow-query log: statements slower than slowQuery write their span
+	// tree to slowW as one JSON line (0 disables; see WithSlowQuery).
+	slowQuery time.Duration
+	slowW     io.Writer
+	slowMu    sync.Mutex
 }
 
 // stickySession is one token's persistent session. Its mutex serializes
@@ -192,9 +207,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("POST /execute", s.handleExecute)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
@@ -275,6 +289,7 @@ func (s *Server) body(w http.ResponseWriter, r *http.Request) (string, bool) {
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest("exec", time.Now())
 	script, ok := s.body(w, r)
 	if !ok {
 		return
@@ -282,13 +297,14 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	s.execs.Add(1)
 	sess, release := s.acquire(r)
 	defer release()
-	out, err := RunScript(sess, script)
+	out, err := s.runScript(sess, script)
 	s.reply(w, out, err)
 }
 
 // handlePrepare registers `prepare <name> as <statement>` statements in
 // the server-wide plan cache.
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest("prepare", time.Now())
 	script, ok := s.body(w, r)
 	if !ok {
 		return
@@ -320,6 +336,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 // form `name` or `name(arg, ...)` — no statement grammar to parse, and
 // for cached fragment selects no compilation either.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest("execute", time.Now())
 	body, ok := s.body(w, r)
 	if !ok {
 		return
@@ -332,7 +349,12 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	s.execs.Add(1)
 	sess, release := s.acquire(r)
 	defer release()
-	res, err := sess.Exec(call)
+	var res *isql.Result
+	if s.slowQuery > 0 {
+		res, err = s.execTraced(sess, call)
+	} else {
+		res, err = sess.Exec(call)
+	}
 	if err != nil {
 		s.reply(w, "", err)
 		return

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotone atomic counter. The zero value is ready to use;
+// a nil *Counter is a no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram bucket layout: power-of-two nanosecond boundaries starting
+// at 256ns. Bucket i < histBuckets-1 holds durations whose nanosecond
+// count fits in histMinShift+i bits (≤ 2^(histMinShift+i) - 1); the
+// last bucket is the +Inf overflow. 28 buckets span 256ns to ~34s —
+// fsyncs, operator evaluations and whole-request latencies all land in
+// range with ~2x resolution, enough for p50/p95/p99 at fixed size.
+const (
+	histBuckets  = 28
+	histMinShift = 8
+)
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe. The zero value is ready to use — it embeds by value into
+// hot-path structs (WAL, shard state) with no constructor and no
+// allocation. A nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns)) - histMinShift
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i; the last
+// bucket is unbounded and reports the largest finite boundary (its
+// Prometheus exposition uses +Inf).
+func BucketBound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		i = histBuckets - 1
+	}
+	return time.Duration(uint64(1)<<(histMinShift+i)) - 1
+}
+
+// NumBuckets reports the fixed bucket count.
+func NumBuckets() int { return histBuckets }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.count.Add(1)
+	if ns > 0 {
+		h.sum.Add(uint64(ns))
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Count   uint64
+	SumNs   uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram's counters. Concurrent observers may
+// land between the loads; each bucket value is individually exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the q*count-th observation — an overestimate by at
+// most one bucket width (~2x). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile on a snapshot (same estimate as Histogram.Quantile).
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	cum := uint64(0)
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}

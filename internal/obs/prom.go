@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prom accumulates metrics in the Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE header pair per metric name, samples
+// below it. Emit samples for one name contiguously — the builder writes
+// the header the first time a name appears.
+type Prom struct {
+	buf   bytes.Buffer
+	typed map[string]string
+}
+
+func (p *Prom) header(name, help, typ string) {
+	if p.typed == nil {
+		p.typed = map[string]string{}
+	}
+	if _, ok := p.typed[name]; ok {
+		return
+	}
+	p.typed[name] = typ
+	fmt.Fprintf(&p.buf, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(&p.buf, "# TYPE %s %s\n", name, typ)
+}
+
+func sample(b *bytes.Buffer, name, labels string, val string) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(val)
+	b.WriteByte('\n')
+}
+
+// Counter emits one counter sample. labels is the rendered label list
+// without braces (e.g. `shard="0"`), "" for none.
+func (p *Prom) Counter(name, help, labels string, v uint64) {
+	p.header(name, help, "counter")
+	sample(&p.buf, name, labels, strconv.FormatUint(v, 10))
+}
+
+// Gauge emits one gauge sample.
+func (p *Prom) Gauge(name, help, labels string, v float64) {
+	p.header(name, help, "gauge")
+	sample(&p.buf, name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Histogram emits one histogram series (cumulative le buckets in
+// seconds, +Inf, _sum, _count) from a snapshot.
+func (p *Prom) Histogram(name, help, labels string, s HistSnapshot) {
+	p.header(name, help, "histogram")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i := 0; i < histBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := strconv.FormatFloat(float64(BucketBound(i)+1)/1e9, 'g', -1, 64)
+		sample(&p.buf, name+"_bucket", labels+sep+`le="`+le+`"`, strconv.FormatUint(cum, 10))
+	}
+	cum += s.Buckets[histBuckets-1]
+	sample(&p.buf, name+"_bucket", labels+sep+`le="+Inf"`, strconv.FormatUint(cum, 10))
+	sample(&p.buf, name+"_sum", labels, strconv.FormatFloat(float64(s.SumNs)/1e9, 'g', -1, 64))
+	sample(&p.buf, name+"_count", labels, strconv.FormatUint(s.Count, 10))
+}
+
+// Bytes returns the accumulated exposition text.
+func (p *Prom) Bytes() []byte { return p.buf.Bytes() }
+
+// Label escapes a label value and renders one key="value" pair.
+func Label(key, val string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(val) + `"`
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)( \d+)?$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// LintProm validates Prometheus text exposition data: well-formed HELP/
+// TYPE comments, TYPE declared before a name's first sample, parseable
+// sample lines and values, and complete histogram series (a +Inf
+// bucket, _sum and _count for every TYPE histogram name). CI runs it
+// against the live /metrics output and fails the smoke job on any
+// error.
+func LintProm(data []byte) error {
+	types := map[string]string{}
+	seen := map[string]bool{}
+	histSuffix := map[string]map[string]bool{} // base name -> suffixes seen
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !promNameRe.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q in %s comment", lineno, name, fields[1])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE comment missing type", lineno)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %s", lineno, fields[3], name)
+				}
+				if seen[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineno, name)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineno, name)
+				}
+				types[name] = fields[3]
+				if fields[3] == "histogram" {
+					histSuffix[name] = map[string]bool{}
+				}
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparseable sample line %q", lineno, line)
+		}
+		name, labels, val := m[1], m[3], m[4]
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !promLabelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: bad label %q", lineno, pair)
+				}
+			}
+		}
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(val, "+"), 64); err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+			return fmt.Errorf("line %d: unparseable value %q", lineno, val)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+				histSuffix[base][suf] = true
+				if suf == "_bucket" {
+					if !strings.Contains(labels, `le="`) {
+						return fmt.Errorf("line %d: histogram bucket %s without le label", lineno, name)
+					}
+					if strings.Contains(labels, `le="+Inf"`) {
+						histSuffix[base]["+Inf"] = true
+					}
+				}
+				break
+			}
+		}
+		if base == name {
+			if _, ok := types[name]; !ok {
+				return fmt.Errorf("line %d: sample for %s before its TYPE", lineno, name)
+			}
+		}
+		seen[base] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name := range histSuffix {
+		if !seen[name] {
+			continue // declared but no samples: legal
+		}
+		for _, want := range []string{"_bucket", "+Inf", "_sum", "_count"} {
+			if !histSuffix[name][want] {
+				return fmt.Errorf("histogram %s incomplete: missing %s", name, want)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a rendered label list on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// HasSeries reports whether the exposition data contains at least one
+// sample line for the metric name (exact name or histogram/summary
+// component of it). CI uses it for required-series checks.
+func HasSeries(data []byte, name string) bool {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		got := m[1]
+		if got == name || got == name+"_bucket" || got == name+"_sum" || got == name+"_count" {
+			return true
+		}
+	}
+	return false
+}

@@ -5,7 +5,9 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/wsd"
 )
@@ -78,6 +80,10 @@ type shardState struct {
 	// stats, guarded by hmu (cheap, already taken on every commit).
 	commits   uint64
 	conflicts uint64
+
+	// queueHist measures group-commit queue wait on this shard (enqueue
+	// to flush start). Zero-value usable, exported at isqld /metrics.
+	queueHist obs.Histogram
 }
 
 // shardReq is one enqueued single-shard commit awaiting durability.
@@ -88,6 +94,8 @@ type shardReq struct {
 	wset    map[uint64]bool // component IDs the commit may replace
 	stmts   []string
 	done    chan error
+	enq     time.Time // when the commit entered the queue
+	trace   *obs.Span // committer's trace; the flush leader attaches spans
 }
 
 // NewSharded returns a catalog over db partitioned into nshards
@@ -382,7 +390,7 @@ func (c *Catalog) updateShard(si int, refs []string, fn func(*Tx) error) error {
 		}
 	}
 	wset := compIDsTouching(base.DB, refIdx)
-	done, err := c.enqueueShard(si, base, tx.db, wset, tx.stmts)
+	done, err := c.enqueueShard(si, base, tx.db, wset, tx.stmts, tx.trace)
 	if err != nil {
 		return err
 	}
@@ -399,7 +407,7 @@ func (c *Catalog) updateShard(si int, refs []string, fn func(*Tx) error) error {
 // either publishes inline (no WAL) or enqueues for the shard's group
 // commit. Called with shard si's lock held. A nil done channel with nil
 // error means the commit is already published.
-func (c *Catalog) enqueueShard(si int, base *Snapshot, db *wsd.DecompDB, wset map[uint64]bool, stmts []string) (chan error, error) {
+func (c *Catalog) enqueueShard(si int, base *Snapshot, db *wsd.DecompDB, wset map[uint64]bool, stmts []string, trace *obs.Span) (chan error, error) {
 	sh := c.shards[si]
 	if sh.wal != nil && len(stmts) == 0 {
 		return nil, fmt.Errorf("store: refusing to log a commit with no statement records (writer did not call Tx.Log)")
@@ -409,7 +417,9 @@ func (c *Catalog) enqueueShard(si int, base *Snapshot, db *wsd.DecompDB, wset ma
 	vers[si] = epoch
 	head := &Snapshot{Version: epoch, DB: db, Views: base.Views,
 		shardVers: vers, nshards: c.nshards}
-	req := &shardReq{epoch: epoch, db: db, wset: wset, stmts: stmts}
+	req := &shardReq{epoch: epoch, db: db, wset: wset, stmts: stmts,
+		enq: time.Now(), trace: trace}
+	trace.SetInt("shard", int64(si))
 	sh.hmu.Lock()
 	req.baseVer = sh.headVer
 	sh.head, sh.headVer = head, epoch
@@ -469,12 +479,23 @@ func (c *Catalog) flushShardBatch(si int, batch []*shardReq) {
 		for i, r := range ok {
 			recs[i] = WALRecord{Version: r.epoch, Stmts: r.stmts, Shard: si}
 		}
-		if err := sh.wal.AppendBatch(recs); err != nil {
+		flushStart := time.Now()
+		err := sh.wal.AppendBatch(recs)
+		flushDur := time.Since(flushStart)
+		if err != nil {
 			c.abortShard(si, batch, fmt.Errorf("store: logging shard %d commit batch e%d..e%d: %w",
 				si, recs[0].Version, recs[len(recs)-1].Version, err))
 			return
 		}
 		for _, r := range ok {
+			sh.queueHist.Observe(flushStart.Sub(r.enq))
+			if r.trace != nil {
+				// The done-channel send below orders these attaches before
+				// the committer reads its trace.
+				r.trace.ChildSpan("wal.queue", r.enq, flushStart.Sub(r.enq))
+				r.trace.ChildSpan("wal.fsync", flushStart, flushDur).
+					SetInt("batch", int64(len(ok)))
+			}
 			c.publishShard(si, r)
 			r.done <- nil
 		}
@@ -621,7 +642,7 @@ func (c *Catalog) updateMulti(ps []int, refs []string, fn func(*Tx) error) error
 	}
 	wset := compIDsTouching(base.DB, refIdx)
 	epoch := c.epoch.Add(1)
-	if err := c.stageAndMark(ps, epoch, tx.stmts); err != nil {
+	if err := c.stageAndMark(ps, epoch, tx.stmts, tx.trace); err != nil {
 		return err
 	}
 	c.pub.Lock()
@@ -654,7 +675,7 @@ func (c *Catalog) updateAll(fn func(*Tx) error) error {
 	}
 	db := tx.DB()
 	epoch := c.epoch.Add(1)
-	if err := c.stageAndMark(all, epoch, tx.stmts); err != nil {
+	if err := c.stageAndMark(all, epoch, tx.stmts, tx.trace); err != nil {
 		return err
 	}
 	c.pub.Lock()
@@ -694,13 +715,14 @@ func (c *Catalog) finishShards(ps []int, epoch uint64) {
 // Recovery discards staged cross-shard epochs without their marker, so
 // a failure (or crash) anywhere before the marker aborts the commit on
 // every shard; after the marker it is durable on every shard.
-func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string) error {
+func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string, trace *obs.Span) error {
 	if c.shards[ps[0]].wal == nil {
 		return nil
 	}
 	if len(stmts) == 0 {
 		return fmt.Errorf("store: refusing to log a commit with no statement records (writer did not call Tx.Log)")
 	}
+	stage := trace.Child("txn.2pc.stage").SetInt("participants", int64(len(ps)))
 	var wg sync.WaitGroup
 	errs := make([]error, len(ps))
 	for i, p := range ps {
@@ -712,6 +734,7 @@ func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string) error {
 		}(i, p)
 	}
 	wg.Wait()
+	stage.End()
 	for _, err := range errs {
 		if err != nil {
 			// Staged records without a marker are discarded by recovery;
@@ -719,10 +742,13 @@ func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string) error {
 			return fmt.Errorf("store: staging cross-shard commit e%d: %w", epoch, err)
 		}
 	}
+	mark := trace.Child("txn.2pc.marker").SetInt("coordinator", int64(ps[0]))
 	if err := c.shards[ps[0]].wal.AppendBatch([]WALRecord{
 		{Version: epoch, Shard: ps[0], Parts: ps, Marker: true}}); err != nil {
+		mark.End()
 		return fmt.Errorf("store: writing commit marker for e%d: %w", epoch, err)
 	}
+	mark.End()
 	return nil
 }
 
@@ -877,7 +903,7 @@ func (s *Staged) commitSharded() error {
 		}
 		db := s.cur.DB
 		epoch := c.epoch.Add(1)
-		if err := c.stageAndMark(ps, epoch, s.stmts); err != nil {
+		if err := c.stageAndMark(ps, epoch, s.stmts, nil); err != nil {
 			return err
 		}
 		c.pub.Lock()
@@ -909,7 +935,7 @@ func (s *Staged) commitSharded() error {
 	wps := c.refShards(s.base.DB, wrefs)
 	if len(wps) == 1 {
 		si := wps[0]
-		done, err := c.enqueueShard(si, c.shardHead(c.shards[si]), s.cur.DB, wset, s.stmts)
+		done, err := c.enqueueShard(si, c.shardHead(c.shards[si]), s.cur.DB, wset, s.stmts, nil)
 		c.unlockShards(ps)
 		if err != nil {
 			return err
@@ -925,7 +951,7 @@ func (s *Staged) commitSharded() error {
 		c.shards[p].drain()
 	}
 	epoch := c.epoch.Add(1)
-	if err := c.stageAndMark(wps, epoch, s.stmts); err != nil {
+	if err := c.stageAndMark(wps, epoch, s.stmts, nil); err != nil {
 		return err
 	}
 	c.pub.Lock()
@@ -945,6 +971,33 @@ type ShardStat struct {
 	Conflicts uint64 `json:"conflicts"` // staged commits refused validation
 	Pending   int    `json:"pending"`   // queued for group commit
 	Syncs     uint64 `json:"syncs"`     // WAL fsyncs on this segment
+}
+
+// ShardObs exposes one shard's latency histograms: group-commit queue
+// wait and WAL fsync. Fsync is nil when the shard is not durable.
+type ShardObs struct {
+	Shard int
+	Queue *obs.Histogram
+	Fsync *obs.Histogram
+}
+
+// ObsShards returns the live latency histograms per shard (one entry
+// for the whole catalog when unsharded). The histograms are the
+// catalog's own — concurrent commits keep updating them — so callers
+// snapshot before exporting.
+func (c *Catalog) ObsShards() []ShardObs {
+	if c.nshards <= 1 {
+		o := ShardObs{Shard: 0, Queue: &c.queueHist}
+		if w, ok := c.logger.(*WAL); ok {
+			o.Fsync = w.FsyncHist()
+		}
+		return []ShardObs{o}
+	}
+	out := make([]ShardObs, c.nshards)
+	for i, sh := range c.shards {
+		out[i] = ShardObs{Shard: i, Queue: &sh.queueHist, Fsync: sh.wal.FsyncHist()}
+	}
+	return out
 }
 
 // ShardStats reports per-shard commit statistics (one entry for the

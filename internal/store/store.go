@@ -43,7 +43,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/wsa"
 	"worldsetdb/internal/wsd"
@@ -127,6 +129,10 @@ type Catalog struct {
 	epoch   atomic.Uint64 // global commit epoch counter
 	pub     sync.Mutex    // serializes merged-snapshot publication
 	compID  uint64        // component ID counter, guarded by pub
+
+	// queueHist measures group-commit queue wait (enqueue to flush
+	// start) on the unsharded path; sharded catalogs keep one per shard.
+	queueHist obs.Histogram
 }
 
 // commitReq is one enqueued commit awaiting durability.
@@ -134,6 +140,8 @@ type commitReq struct {
 	snap  *Snapshot
 	stmts []string
 	done  chan error
+	enq   time.Time // when the commit entered the queue
+	trace *obs.Span // committer's trace; the flush leader attaches spans
 }
 
 // TxLogger receives committed transactions for durability. AppendCommit
@@ -224,12 +232,21 @@ type Tx struct {
 	db    *wsd.DecompDB     // staged decomposition; nil = unchanged
 	views map[string]string // staged view map; nil = unchanged
 	stmts []string          // statement records for the commit log
+	trace *obs.Span         // commit trace root; nil = tracing off
 }
 
 // Log records the statement text that produced the staged edits, so a
 // commit logger (WAL) can persist the transaction as replayable
 // statements. Call once per executed statement.
 func (tx *Tx) Log(stmt string) { tx.stmts = append(tx.stmts, stmt) }
+
+// SetTrace attaches a span the commit machinery annotates with its
+// durability stages (group-commit queue wait, WAL fsync, cross-shard
+// staging and marker). nil leaves the commit untraced.
+func (tx *Tx) SetTrace(sp *obs.Span) { tx.trace = sp }
+
+// Trace returns the attached commit span (nil when untraced).
+func (tx *Tx) Trace() *obs.Span { return tx.trace }
 
 // Snap returns the snapshot the transaction started from (the latest
 // committed version; no writer can interleave).
@@ -314,7 +331,7 @@ func (c *Catalog) Update(fn func(*Tx) error) error {
 		Views:   tx.Views(),
 	}
 	locked = false
-	return c.commitLocked(tx.base, next, tx.stmts)
+	return c.commitLocked(tx.base, next, tx.stmts, tx.trace)
 }
 
 // commitLocked makes next the new catalog version. Called with the
@@ -324,14 +341,17 @@ func (c *Catalog) Update(fn func(*Tx) error) error {
 // lock released before the flush, so concurrent committers coalesce
 // into one write + one fsync; commitLocked returns once next is durable
 // and visible to readers.
-func (c *Catalog) commitLocked(base, next *Snapshot, stmts []string) error {
+func (c *Catalog) commitLocked(base, next *Snapshot, stmts []string, trace *obs.Span) error {
 	bl, group := c.logger.(BatchTxLogger)
 	if !group {
 		defer c.writer.Unlock()
 		if c.logger != nil {
+			sp := trace.Child("wal.append")
 			if err := c.logger.AppendCommit(next.Version, stmts); err != nil {
+				sp.End()
 				return fmt.Errorf("store: logging commit v%d: %w", next.Version, err)
 			}
+			sp.End()
 		}
 		c.advanceHead(base, next)
 		c.cur.Store(next)
@@ -344,7 +364,8 @@ func (c *Catalog) commitLocked(base, next *Snapshot, stmts []string) error {
 		c.writer.Unlock()
 		return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", next.Version)
 	}
-	req := &commitReq{snap: next, stmts: stmts, done: make(chan error, 1)}
+	req := &commitReq{snap: next, stmts: stmts, done: make(chan error, 1),
+		enq: time.Now(), trace: trace}
 	c.qmu.Lock()
 	c.queue = append(c.queue, req)
 	c.qmu.Unlock()
@@ -425,12 +446,23 @@ func (c *Catalog) flushBatch(bl BatchTxLogger, batch []*commitReq) {
 		for i, r := range ok {
 			recs[i] = WALRecord{Version: r.snap.Version, Stmts: r.stmts}
 		}
-		if err := bl.AppendBatch(recs); err != nil {
+		flushStart := time.Now()
+		err := bl.AppendBatch(recs)
+		flushDur := time.Since(flushStart)
+		if err != nil {
 			c.abort(batch, fmt.Errorf("store: logging commit batch v%d..v%d: %w",
 				recs[0].Version, recs[len(recs)-1].Version, err))
 			return
 		}
 		for _, r := range ok {
+			c.queueHist.Observe(flushStart.Sub(r.enq))
+			if r.trace != nil {
+				// The done-channel send below orders these attaches before
+				// the committer reads its trace.
+				r.trace.ChildSpan("wal.queue", r.enq, flushStart.Sub(r.enq))
+				r.trace.ChildSpan("wal.fsync", flushStart, flushDur).
+					SetInt("batch", int64(len(ok)))
+			}
 			c.cur.Store(r.snap)
 			r.done <- nil
 		}

@@ -159,7 +159,7 @@ func (s *Staged) Commit() error {
 		DB:      s.cur.DB,
 		Views:   s.cur.Views,
 	}
-	return c.commitLocked(s.base, next, s.stmts)
+	return c.commitLocked(s.base, next, s.stmts, nil)
 }
 
 // Rollback discards the staging chain. The catalog never saw it.

@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"worldsetdb/internal/obs"
 )
 
 // Statement-level write-ahead log: durability for the catalog without
@@ -114,6 +117,11 @@ type WAL struct {
 	path     string
 	appended int    // records appended since open or last checkpoint
 	syncs    uint64 // fsyncs issued for record appends (not checkpoints)
+
+	// fsync measures the latency of each record-append fsync — the
+	// durability cost the group-commit leader amortizes. Zero-value
+	// usable; exported at isqld /metrics per shard segment.
+	fsync obs.Histogram
 }
 
 // OpenWAL opens (creating if absent) the log at path and returns the
@@ -241,12 +249,22 @@ func (w *WAL) AppendBatch(recs []WALRecord) error {
 	if _, err := w.f.Write(buf); err != nil {
 		return undo(fmt.Errorf("store: appending WAL batch of %d record(s): %w", len(recs), err))
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return undo(fmt.Errorf("store: fsyncing WAL batch of %d record(s): %w", len(recs), err))
 	}
+	w.fsync.Observe(time.Since(syncStart))
 	w.appended += len(recs)
 	w.syncs++
 	return nil
+}
+
+// FsyncHist exposes the record-append fsync latency histogram.
+func (w *WAL) FsyncHist() *obs.Histogram {
+	if w == nil {
+		return nil
+	}
+	return &w.fsync
 }
 
 // Syncs reports how many fsyncs record appends have issued. With group

@@ -75,6 +75,7 @@ import (
 	"math/big"
 	"sort"
 
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/physical"
 	"worldsetdb/internal/ra"
 	"worldsetdb/internal/relation"
@@ -121,6 +122,10 @@ type Options struct {
 	// Results are gathered into fixed per-piece cells, so the ordering
 	// never changes what a query answers.
 	Shards []int
+	// Trace, when non-nil, receives one child span per stage and per
+	// operator evaluated (with merge events and component counts). nil —
+	// the default — keeps evaluation allocation-free of tracing.
+	Trace *obs.Span
 }
 
 func (o *Options) budget() int {
@@ -238,13 +243,20 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 		return nil, nil, fmt.Errorf("wsdexec: plan holds unbound parameter $%d (bind it before evaluation)", n)
 	}
 	plan := &Plan{InputWorlds: db.Worlds(), MergeCost: 1}
+	var trace *obs.Span
+	if opt != nil {
+		trace = opt.Trace
+	}
 	run := q
 	if opt == nil || !opt.NoRewrite {
+		rw := trace.Child("rewrite.prelower")
 		if r := rewrite.Prelower(q, env); !wsa.Equal(r, q) {
 			run, plan.Rewritten = r, true
 		}
+		rw.Set("rewritten", fmt.Sprintf("%v", plan.Rewritten)).End()
 	}
-	e := &engine{db: db, env: env, budget: opt.budget(), slaved: map[int]slaveRef{}}
+	e := &engine{db: db, env: env, budget: opt.budget(), slaved: map[int]slaveRef{},
+		trace: trace}
 	if opt != nil {
 		e.shards = opt.Shards
 	}
@@ -292,14 +304,21 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 	}
 	// Fallback: enumerate within budget and delegate to the fastest
 	// engine that can run the query.
+	plan.FallbackOp = ent.op
+	fb := trace.Child("fallback").Set("op", ent.op)
+	if len(ent.comps) > 0 {
+		fb.Set("components", fmt.Sprintf("%v", ent.comps))
+	}
+	defer fb.End()
+	xp := fb.Child("expand")
 	ws, xerr := db.Expand(opt.budget())
+	xp.End()
 	if xerr != nil {
 		return nil, nil, fmt.Errorf("wsdexec: %v; the input is not enumerable: %w", ent, xerr)
 	}
 	// The rewritten form is equivalent and often cheaper (Prelower may
 	// have eliminated the very repair-by-key that would force the
 	// reference engine), so the fallback evaluates it, not q.
-	plan.FallbackOp = ent.op
 	var out *worldset.WorldSet
 	if physical.CanEval(run) {
 		plan.FallbackEngine = "physical"
@@ -308,13 +327,16 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 		plan.FallbackEngine = "reference"
 		out, err = wsa.Eval(run, ws)
 	}
+	fb.Set("engine", plan.FallbackEngine)
 	if err != nil {
 		return nil, nil, err
 	}
 	// Re-factorize the enumerated output so one entangled step does not
 	// permanently de-factorize a pipeline: downstream statements keep
 	// paying decomposition-size costs, not world-count costs.
+	rf := fb.Child("refactor")
 	re, err := wsd.Refactor(out)
+	rf.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -360,6 +382,7 @@ type engine struct {
 	shards []int // component index -> home shard (Options.Shards); nil when unsharded
 	slaved map[int]slaveRef
 	merges []MergeStep
+	trace  *obs.Span // current operator span; nil = tracing off
 }
 
 // addComponent registers a fresh component with n alternatives and
@@ -480,6 +503,8 @@ func (e *engine) merge(op string, comps []int) (int, error) {
 		e.slaved[id] = slaveRef{root: root, altMap: nm}
 	}
 	e.merges = append(e.merges, MergeStep{Op: op, Components: append([]int{}, comps...), Cost: n})
+	e.trace.Event("merge").Set("op", op).
+		Set("components", fmt.Sprintf("%v", comps)).SetInt("cost", int64(n))
 	return root, nil
 }
 
@@ -578,9 +603,77 @@ func (e *engine) buildOutput(ans *frel) *wsd.DecompDB {
 	return out
 }
 
-// eval is the recursive factored evaluator; every case returns the
-// answer as an frel over the engine's component universe.
+// opName names an operator for trace spans and diagnostics.
+func opName(q wsa.Expr) string {
+	switch n := q.(type) {
+	case *wsa.Rel:
+		return "rel:" + n.Name
+	case *wsa.Select:
+		return "select"
+	case *wsa.Project:
+		return "project"
+	case *wsa.Rename:
+		return "rename"
+	case *wsa.BinOp:
+		switch n.Kind {
+		case wsa.OpProduct:
+			return "product"
+		case wsa.OpUnion:
+			return "union"
+		case wsa.OpIntersect:
+			return "intersect"
+		case wsa.OpDiff:
+			return "diff"
+		}
+		return "binop"
+	case *wsa.Join:
+		return "join"
+	case *wsa.Choice:
+		return "choice-of"
+	case *wsa.Close:
+		if n.Kind == wsa.ClosePoss {
+			return "poss"
+		}
+		return "cert"
+	case *wsa.Group:
+		if n.Kind == wsa.GroupPoss {
+			return "group-poss"
+		}
+		return "group-cert"
+	case *wsa.RepairKey:
+		return "repair-by-key"
+	}
+	return fmt.Sprintf("%T", q)
+}
+
+// eval wraps the recursive evaluator with per-operator tracing: when a
+// trace is attached, each operator gets a child span annotated with the
+// components its factored result ranges over; merges performed inside
+// the operator land as events on its span. The nil-trace path is one
+// pointer test on top of evalNode.
 func (e *engine) eval(q wsa.Expr) (*frel, error) {
+	if e.trace == nil {
+		return e.evalNode(q)
+	}
+	parent := e.trace
+	sp := parent.Child("op:" + opName(q))
+	e.trace = sp
+	out, err := e.evalNode(q)
+	e.trace = parent
+	if err == nil && out != nil {
+		comps := 0
+		for range out.parts {
+			comps++
+		}
+		sp.SetInt("components", int64(comps))
+	}
+	sp.End()
+	return out, err
+}
+
+// evalNode is the recursive factored evaluator; every case returns the
+// answer as an frel over the engine's component universe.
+func (e *engine) evalNode(q wsa.Expr) (*frel, error) {
 	outSchema, err := q.Schema(e.env)
 	if err != nil {
 		return nil, err
