@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|TXN|AGG|SHARD|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
+//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|TXN|AGG|SHARD|PLAN|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
 //
 // -exp also accepts a comma-separated list (e.g. -exp TXN,AGG) so one
 // CI step can gate several families in a single run.
@@ -280,6 +280,7 @@ func main() {
 		{"TXN", "transactional write path: WAL commit latency, prepared-statement throughput, recovery replay (PR 4 tentpole)", expTxn},
 		{"AGG", "bounded component merging + world-count-independent aggregation (PR 6 tentpole)", expAgg},
 		{"SHARD", "component-sharded catalog: parallel commits, per-shard WAL group commit, scatter reads (PR 7 tentpole)", expShard},
+		{"PLAN", "cost-based planning over decomposition statistics: pruned rewrite search, ordered product chains, merge-vs-fallback decisions (PR 9 tentpole)", expPlan},
 		{"SQL3", "§2 I-SQL vs division vs double-not-exists (EXP-S2-SQL)", expThreeWays},
 		{"E56", "Examples 5.6/5.8: naive vs general vs optimized evaluation", expTranslations},
 		{"F8F9", "Figures 8/9: rewriting ablation q1→q1′, q2→q2′", expRewriting},
@@ -1340,6 +1341,162 @@ func mustPost(url, body string) {
 	}
 }
 
+// expPlan is the cost-based-planning ablation (PR 9 tentpole): the
+// three planner decisions that read decomposition statistics, each
+// measured against its pre-stats arm.
+//
+//  1. cold compile — the Figure 8 analytical queries through the served
+//     prelower search (PushSelections + bounded best-first rewrite)
+//     with the branch-and-bound bound on versus off. The bound must cut
+//     cold-compile latency by ≥1.3x while still picking a plan at least
+//     as cheap as the exhaustive search's.
+//  2. ordered product — a six-way product chain written largest-first.
+//     Stats-ordered execution rebuilds it smallest-first so every
+//     prefix intermediate stays tiny (the written order re-materializes
+//     the full cross product once per trailing single-tuple piece), and
+//     the restoring projection must keep the answer identical.
+//  3. merge decision — an entanglement whose merge cost (36) exceeds
+//     the expansion budget (20) but undercuts the input world count by
+//     orders of magnitude: the cost-based engine merges natively under
+//     the headroom rule where the pure budget test would have forced an
+//     enumeration of every world.
+func expPlan() {
+	// (1) Cold-compile latency: pruned vs exhaustive rewrite search over
+	// the served prelower rule set, seeded with plausible statistics.
+	env := wsa.NewEnv(
+		[]string{"HFlights", "Hotels"},
+		[]relation.Schema{relation.NewSchema("Dep", "Arr"), relation.NewSchema("Name", "City", "Price")})
+	st := rewrite.Stats{
+		"HFlights": {Certain: 500, Alternative: 140, Components: 40},
+		"Hotels":   {Certain: 20},
+	}
+	build := func(close wsa.CloseKind) wsa.Expr {
+		inner := wsa.NewPossGroup([]string{"Dep"}, nil,
+			&wsa.Choice{Attrs: []string{"Dep", "City"},
+				From: wsa.NewProduct(&wsa.Rel{Name: "HFlights"}, &wsa.Rel{Name: "Hotels"})})
+		return &wsa.Close{Kind: close,
+			From: &wsa.Project{Columns: []string{"City"},
+				From: &wsa.Select{Pred: ra.Eq("Arr", "City"), From: inner}}}
+	}
+	queries := []wsa.Expr{build(wsa.CloseCert), build(wsa.ClosePoss)}
+	compile := func(op string, noPrune bool) (time.Duration, rewrite.SearchStats, float64) {
+		var total rewrite.SearchStats
+		var cost float64
+		d := bench(op, nil, func() {
+			total, cost = rewrite.SearchStats{}, 0
+			for _, q := range queries {
+				var ss rewrite.SearchStats
+				best, _ := rewrite.OptimizeOpts(rewrite.PushSelections(q, env), env, false,
+					&rewrite.Options{MaxExpansions: 200, MaxSize: 60, Stats: st,
+						NoPrune: noPrune, Search: &ss})
+				total.Expanded += ss.Expanded
+				total.Pruned += ss.Pruned
+				cost += rewrite.CostOn(best, st)
+			}
+		})
+		return d, total, cost
+	}
+	fmt.Printf("%-18s %-14s %-10s %-10s %-12s\n", "search", "compile", "expanded", "pruned", "best cost")
+	dPruned, sPruned, cPruned := compile("PLAN/cold-compile/pruned", false)
+	dExh, sExh, cExh := compile("PLAN/cold-compile/exhaustive", true)
+	fmt.Printf("%-18s %-14s %-10d %-10d %-12.0f\n", "branch-and-bound", dPruned, sPruned.Expanded, sPruned.Pruned, cPruned)
+	fmt.Printf("%-18s %-14s %-10d %-10d %-12.0f\n", "exhaustive", dExh, sExh.Expanded, sExh.Pruned, cExh)
+	if cPruned > cExh {
+		must(fmt.Errorf("PLAN pruning changed the chosen plans: total cost %.1f pruned vs %.1f exhaustive", cPruned, cExh))
+	}
+	prRatio := float64(dExh) / float64(dPruned)
+	fmt.Printf("cold-compile speedup from pruning: %.2fx (floor 1.3x)\n\n", prRatio)
+	acceptRatio("cold-compile pruned vs exhaustive rewrite search", prRatio, 1.3)
+
+	// (2) Stats-ordered product chains: Big (wide) × Mid × four
+	// single-tuple pieces, written largest-first. The written order pays
+	// |Big×Mid| again for every trailing piece; smallest-first pays the
+	// final product once.
+	names := []string{"Big", "Mid", "T1", "T2", "T3", "T4"}
+	schemas := []relation.Schema{
+		relation.NewSchema("A1", "A2", "A3", "A4", "A5", "A6"),
+		relation.NewSchema("B1", "B2"),
+		relation.NewSchema("C1"), relation.NewSchema("C2"),
+		relation.NewSchema("C3"), relation.NewSchema("C4"),
+	}
+	pdb := wsd.NewDecompDB(names, schemas)
+	for i := 0; i < 300**scale; i++ {
+		pdb.Certain[0].Insert(relation.Tuple{
+			value.Int(int64(i)), value.Int(int64(i % 7)), value.Int(int64(i % 11)),
+			value.Int(int64(i % 13)), value.Int(int64(i % 17)), value.Int(int64(i % 19))})
+	}
+	for i := 0; i < 30; i++ {
+		pdb.Certain[1].Insert(relation.Tuple{value.Int(int64(i)), value.Int(int64(i % 5))})
+	}
+	for t := 2; t < len(names); t++ {
+		pdb.Certain[t].Insert(relation.Tuple{value.Int(int64(t))})
+	}
+	chain := wsa.Expr(&wsa.Rel{Name: names[0]})
+	for _, n := range names[1:] {
+		chain = wsa.NewProduct(chain, &wsa.Rel{Name: n})
+	}
+	// Answers must be identical tuple for tuple: the reorder's restoring
+	// projection undoes the column shuffle, and Tuples() is canonical.
+	ordOut, ordPlan, err := wsdexec.EvalOpts(chain, pdb, nil)
+	must(err)
+	naiveOut, naivePlan, err := wsdexec.EvalOpts(chain, pdb, &wsdexec.Options{NoReorder: true})
+	must(err)
+	if !ordPlan.Reordered || naivePlan.Reordered {
+		must(fmt.Errorf("PLAN ordered-product: reordered flags ordered=%v naive=%v, want true/false",
+			ordPlan.Reordered, naivePlan.Reordered))
+	}
+	a, b := ordOut.Certain[0].Tuples(), naiveOut.Certain[0].Tuples()
+	if len(a) != len(b) {
+		must(fmt.Errorf("PLAN ordered-product: %d tuples ordered vs %d naive", len(a), len(b)))
+	}
+	for i := range a {
+		if a[i].Less(b[i]) || b[i].Less(a[i]) {
+			must(fmt.Errorf("PLAN ordered-product: answers diverge at tuple %d: %v vs %v", i, a[i], b[i]))
+		}
+	}
+	dOrdered := bench("PLAN/ordered-product/stats-ordered", nil, func() {
+		_, plan, err := wsdexec.EvalOpts(chain, pdb, nil)
+		must(err)
+		if !plan.Reordered {
+			must(fmt.Errorf("PLAN ordered-product run was not reordered: %v", plan))
+		}
+	})
+	dWritten := bench("PLAN/ordered-product/written-order", nil, func() {
+		_, _, err := wsdexec.EvalOpts(chain, pdb, &wsdexec.Options{NoReorder: true})
+		must(err)
+	})
+	opRatio := float64(dWritten) / float64(dOrdered)
+	fmt.Printf("%-18s %-14s\n%-18s %-14s\n", "stats-ordered", dOrdered, "written order", dWritten)
+	fmt.Printf("ordered product chain speedup: %.2fx (floor 1.2x)\n\n", opRatio)
+	acceptRatio("stats-ordered product chain vs written order", opRatio, 1.2)
+
+	// (3) Merge-vs-fallback decision quality: two 6-alternative
+	// components entangled among 8 binary spectators — merge cost 36,
+	// 36·2^8 input worlds. At budget 20 the pure budget test refuses the
+	// merge; the cost comparison (36 ≪ 9216 worlds, within 4x headroom)
+	// merges natively. NoFallback makes the decision an assertion: had
+	// the engine declined the merge, the run would error.
+	mdb, mq := aggTornDB(6, 8)
+	dCost := bench("PLAN/merge-decision/cost-based", nil, func() {
+		_, plan, err := wsdexec.EvalOpts(mq, mdb, &wsdexec.Options{ExpandBudget: 20, NoFallback: true})
+		must(err)
+		if !plan.Native || len(plan.Merges) != 1 || plan.MergeCost != 36 {
+			must(fmt.Errorf("PLAN merge-decision did not merge natively at cost 36: %v", plan))
+		}
+	})
+	dEnum := bench("PLAN/merge-decision/enumerate", nil, func() {
+		_, plan, err := wsdexec.EvalOpts(mq, mdb, &wsdexec.Options{NoMerge: true, ExpandBudget: 1 << 20})
+		must(err)
+		if plan.Native {
+			must(fmt.Errorf("PLAN merge-decision NoMerge run evaluated natively: %v", plan))
+		}
+	})
+	mdRatio := float64(dEnum) / float64(dCost)
+	fmt.Printf("%-18s %-14s\n%-18s %-14s\n", "cost-based merge", dCost, "enumerate", dEnum)
+	fmt.Printf("merge decision vs enumeration at 2^13 worlds: %.0fx (floor 3x)\n", mdRatio)
+	acceptRatio("cost-based merge decision vs world enumeration", mdRatio, 3)
+}
+
 func expThreeWays() {
 	fmt.Printf("%-44s %-10s %-14s\n", "formulation", "answer", "time")
 	queries := []struct {
@@ -1405,8 +1562,11 @@ func expRewriting() {
 		[]string{"HFlights", "Hotels"},
 		[]relation.Schema{relation.NewSchema("Dep", "Arr"), relation.NewSchema("Name", "City", "Price")})
 
-	fmt.Printf("%-8s %-10s %-12s %-12s %-14s %-14s %-8s\n",
-		"query", "flights", "cost before", "cost after", "original", "optimized", "speedup")
+	// Estimated cost is reported as the before/after ratio, not two
+	// absolute columns: a ratio stays meaningful across estimator
+	// retunings, absolute cost units do not.
+	fmt.Printf("%-8s %-10s %-12s %-14s %-14s %-8s\n",
+		"query", "flights", "est ratio", "original", "optimized", "speedup")
 	for _, tc := range []struct {
 		name  string
 		close wsa.CloseKind
@@ -1423,9 +1583,9 @@ func expRewriting() {
 				func() { _, err := wsa.Eval(q, ws); must(err) })
 			dOpt := bench(fmt.Sprintf("F8F9/%s-rewritten/deps=%d", tc.name, nDep), nil,
 				func() { _, err := wsa.Eval(opt, ws); must(err) })
-			fmt.Printf("%-8s %-10d %-12.1f %-12.1f %-14s %-14s %.1fx\n",
-				tc.name, flights.Len(), rewrite.Cost(q), rewrite.Cost(opt), dOrig, dOpt,
-				float64(dOrig)/float64(dOpt))
+			fmt.Printf("%-8s %-10d %-12s %-14s %-14s %.1fx\n",
+				tc.name, flights.Len(), fmt.Sprintf("%.1fx", rewrite.Cost(q)/rewrite.Cost(opt)),
+				dOrig, dOpt, float64(dOrig)/float64(dOpt))
 		}
 	}
 }

@@ -50,7 +50,7 @@ func main() {
 
 	env := wsa.NewEnv(names, schemasOf(rels))
 	opt, trace := rewrite.Optimize(q, env, true)
-	fmt.Printf("Figure 7 rewriting (cost %.1f → %.1f):\n", rewrite.Cost(q), rewrite.Cost(opt))
+	fmt.Printf("Figure 7 rewriting (estimated cost reduced %.1fx):\n", rewrite.Cost(q)/rewrite.Cost(opt))
 	for _, step := range trace {
 		fmt.Printf("  %-8s %s\n", step.Rule, step.Expr)
 	}

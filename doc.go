@@ -146,6 +146,37 @@
 // with deterministic merges — by world partition in internal/physical,
 // by decomposition component in internal/wsdexec.
 //
+// # Cost-based planning
+//
+// Planning is statistics-driven end to end. wsd.Normalize computes
+// per-relation decomposition statistics — certain and alternative
+// cardinality, component spread, and an alternatives-per-component
+// histogram — as a by-product of the normalization walk and caches
+// them on the DecompDB, so every catalog snapshot carries them for
+// free (Snapshot.Stats; the /metrics gauges read the same value). The
+// rewrite search (internal/rewrite) runs on a cardinality-propagating
+// cost estimator seeded by those statistics: per-class selectivity
+// defaults (0.1 equality, 0.9 inequality, 0.33 range, 0.5 otherwise),
+// join/product output estimates from input cardinalities, and world
+// growth for choice-of/repair-by-key from component arities, with the
+// world multiplier damped logarithmically — factorized evaluation's
+// work follows decomposition pieces, not worlds. The equivalence
+// search prunes branch-and-bound style: candidates costing more than a
+// slack factor above the best complete plan are dropped, and the
+// search stops outright once the cheapest frontier entry is past the
+// bound (the wsabench PLAN family gates the cold-compile win). At
+// execution time wsdexec orders pure product chains smallest-first by
+// estimated piece cardinality (behind a projection restoring the
+// original column order, so answers are byte-identical) and decides
+// merge-vs-fallback by comparing the merge cost against the input
+// world count the enumeration fallback would pay, not the fixed budget
+// alone. Plan-cache entries record the statistics they were optimized
+// under and re-plan when the live snapshot drifts past the staleness
+// threshold — a component-count change or cardinality leaving a 2x
+// band (wsdb_planner_replans_total counts these) — and bare EXPLAIN
+// prints the per-operator cost and cardinality estimates the plan was
+// chosen by.
+//
 // # Observability
 //
 // internal/obs is the low-overhead observability layer threaded

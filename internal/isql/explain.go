@@ -102,8 +102,13 @@ func (s *Session) explainCompile(st Statement) (*Result, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "compiled: %s", q)
 	env := wsa.NewEnv(snap.DB.Names, snap.DB.Schemas)
-	if r := rewrite.Prelower(q, env); !wsa.Equal(r, q) {
+	stats := rewrite.StatsOf(snap.DB)
+	r := rewrite.PrelowerStats(q, env, stats, nil)
+	if !wsa.Equal(r, q) {
 		fmt.Fprintf(&b, "\nprelowered: %s", r)
 	}
+	// Per-operator estimated cost and cardinality under the catalog's
+	// decomposition statistics — the numbers the plan was chosen by.
+	fmt.Fprintf(&b, "\nestimates:\n%s", rewrite.ExplainEstimates(r, stats))
 	return &Result{Message: b.String()}, nil
 }

@@ -6,12 +6,20 @@ import (
 	"sort"
 	"sync"
 
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/rewrite"
 	"worldsetdb/internal/store"
 	"worldsetdb/internal/value"
 	"worldsetdb/internal/wsa"
 	"worldsetdb/internal/wsdexec"
 )
+
+// PlannerReplans counts plan-cache recompiles triggered by decomposition
+// statistics drifting past the staleness threshold (statsDrifted) while
+// the schema fingerprint was unchanged — exported at isqld /metrics as
+// wsdb_planner_replans_total. Schema-change recompiles do not count:
+// those are forced correctness recompiles, not cost-model staleness.
+var PlannerReplans obs.Counter
 
 // Prepared statements: PREPARE parses a statement once (with optional
 // $1..$N placeholders) and registers it in a PlanCache; EXECUTE binds
@@ -120,6 +128,13 @@ type Prepared struct {
 	plan     wsa.Expr // the compiled plan
 	compiles int      // how many times the plan was (re)compiled
 
+	// planStats are the decomposition statistics the plan was optimized
+	// under. A plan stays cached while the catalog's statistics remain
+	// within the drift threshold of these; past it the costs the rewrite
+	// search minimized no longer describe the data and planFor re-plans
+	// (counted by PlannerReplans).
+	planStats rewrite.Stats
+
 	// Fallback memo: when the factorized engine fell back on this plan
 	// (entanglement beyond the merge budget), the op and the
 	// decomposition fingerprint it happened under. While the
@@ -157,19 +172,55 @@ func (p *Prepared) planFor(s *Session, snap *store.Snapshot) (wsa.Expr, error) {
 		return nil, fmt.Errorf("isql: prepared statement %q is not a select", p.Name)
 	}
 	fp := schemaFingerprint(snap)
+	st := rewrite.StatsOf(snap.DB)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.compiled && p.fp == fp {
-		return p.plan, nil
+		if !statsDrifted(p.planStats, st) {
+			return p.plan, nil
+		}
+		// Same schema, moved data: the cached plan is still correct but
+		// was optimized for cardinalities that no longer hold — re-plan.
+		PlannerReplans.Inc()
 	}
 	q, err := s.compileOn(snap.DB.Names, snap.DB.Schemas, sel)
 	if err != nil {
 		return nil, err
 	}
-	q = rewrite.Prelower(q, wsa.NewEnv(snap.DB.Names, snap.DB.Schemas))
-	p.compiled, p.fp, p.plan = true, fp, q
+	q = rewrite.PrelowerStats(q, wsa.NewEnv(snap.DB.Names, snap.DB.Schemas), st, nil)
+	p.compiled, p.fp, p.plan, p.planStats = true, fp, q, st
 	p.compiles++
 	return q, nil
+}
+
+// driftRatio is the staleness threshold on per-relation cardinality: a
+// cached plan survives while every relation's tuple count stays within
+// a factor of driftRatio of what it was optimized under (with +1
+// smoothing so empty relations drift on their first real growth, not on
+// every insert).
+const driftRatio = 2.0
+
+// statsDrifted reports whether the catalog's decomposition statistics
+// moved enough since plan optimization to invalidate the cost model's
+// choices: a relation's component count changed (the merge-vs-fallback
+// and world-growth estimates keyed on it), or its cardinality left the
+// driftRatio band (the join-order and selectivity estimates did).
+func statsDrifted(old, cur rewrite.Stats) bool {
+	if len(old) != len(cur) {
+		return true
+	}
+	for name, o := range old {
+		c, ok := cur[name]
+		if !ok || o.Components != c.Components {
+			return true
+		}
+		oc := o.Certain + o.Alternative + 1
+		cc := c.Certain + c.Alternative + 1
+		if oc > cc*driftRatio || cc > oc*driftRatio {
+			return true
+		}
+	}
+	return false
 }
 
 // assumeFallback returns the memoized fallback op when the snapshot's

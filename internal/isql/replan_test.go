@@ -1,0 +1,71 @@
+package isql
+
+import (
+	"fmt"
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// TestPlanCacheReplansOnStatsDrift proves the plan cache's staleness
+// check end to end: a cached prepared plan survives DML that keeps the
+// relation's cardinality inside the drift band, and is re-planned —
+// same schema fingerprint, so only the statistics check can trigger it
+// — once the catalog's statistics drift past driftRatio.
+func TestPlanCacheReplansOnStatsDrift(t *testing.T) {
+	r := relation.New(relation.NewSchema("A", "B"))
+	r.Insert(relation.Tuple{value.Int(1), value.Int(10)})
+	r.Insert(relation.Tuple{value.Int(2), value.Int(20)})
+	s := FromDB([]string{"T"}, []*relation.Relation{r})
+	if _, err := s.ExecScript(`
+		prepare p as select A from T where B = 10;
+		execute p;`); err != nil {
+		t.Fatal(err)
+	}
+	p := s.planCache().Get("p")
+	if p == nil {
+		t.Fatal("prepared statement not registered")
+	}
+	if got := p.Compiles(); got != 1 {
+		t.Fatalf("Compiles after first execute = %d, want 1", got)
+	}
+	replansBefore := PlannerReplans.Value()
+
+	// One more row: 3+1 tuples against the 2+1 the plan was optimized
+	// under — inside the 2x band, the cached plan must survive.
+	if _, err := s.ExecScript(`
+		insert into T values (3, 30);
+		execute p;`); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Compiles(); got != 1 {
+		t.Fatalf("Compiles after in-band insert = %d, want 1 (no replan)", got)
+	}
+
+	// Grow the relation past the band (2+1 → 10+1 is over driftRatio):
+	// the next execute must re-plan and count it.
+	for i := 4; i <= 10; i++ {
+		if _, err := s.ExecString(fmt.Sprintf("insert into T values (%d, %d);", i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ExecString("execute p;"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Compiles(); got != 2 {
+		t.Fatalf("Compiles after drifted catalog = %d, want 2 (replanned)", got)
+	}
+	if got := PlannerReplans.Value(); got != replansBefore+1 {
+		t.Fatalf("PlannerReplans = %d, want %d", got, replansBefore+1)
+	}
+
+	// The re-planned entry recorded the new statistics: executing again
+	// without further DML stays on the cached plan.
+	if _, err := s.ExecString("execute p;"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Compiles(); got != 2 {
+		t.Fatalf("Compiles after replan settled = %d, want 2", got)
+	}
+}

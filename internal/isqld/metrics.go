@@ -12,7 +12,7 @@ import (
 
 	"worldsetdb/internal/isql"
 	"worldsetdb/internal/obs"
-	"worldsetdb/internal/relation"
+	"worldsetdb/internal/rewrite"
 	"worldsetdb/internal/wsd"
 )
 
@@ -199,25 +199,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	// Decomposition statistics per relation: how much of each relation
 	// is certain vs alternative, and across how many components its
-	// uncertainty spreads — the planner feed for decomposition-aware
-	// cost decisions.
-	alts := make([]int, len(snap.DB.Names))
-	comps := make([]int, len(snap.DB.Names))
-	for i := range snap.DB.Names {
-		alts[i], comps[i] = altStats(snap.DB, i)
-	}
+	// uncertainty spreads — the same snapshot-cached statistics the
+	// planner reads (wsd.Stats, pre-computed by Normalize), so scraping
+	// /metrics never re-walks the decomposition.
+	st := snap.Stats()
 	for i, name := range snap.DB.Names {
 		p.Gauge("wsdb_relation_certain_tuples", "Tuples of the relation present in every world.",
-			relLabel(name), float64(relLen(snap.DB.Certain[i])))
+			relLabel(name), float64(st.Rel(i).Certain))
 	}
 	for i, name := range snap.DB.Names {
 		p.Gauge("wsdb_relation_alternative_tuples", "Tuples of the relation stored across component alternatives.",
-			relLabel(name), float64(alts[i]))
+			relLabel(name), float64(st.Rel(i).Alternative))
 	}
 	for i, name := range snap.DB.Names {
 		p.Gauge("wsdb_relation_components", "Components with alternatives contributing to the relation.",
-			relLabel(name), float64(comps[i]))
+			relLabel(name), float64(st.Rel(i).Components))
 	}
+
+	// Cost-based planning counters: rewrite-search effort across every
+	// compile in the process, and plan-cache re-plans forced by
+	// statistics drift.
+	p.Counter("wsdb_rewrite_expanded_total", "Rewrite-search candidate plans expanded across all compiles.",
+		"", rewrite.SearchExpanded.Value())
+	p.Counter("wsdb_rewrite_pruned_total", "Rewrite-search candidate plans pruned by the cost bound across all compiles.",
+		"", rewrite.SearchPruned.Value())
+	p.Counter("wsdb_planner_replans_total", "Plan-cache recompiles triggered by decomposition-statistics drift.",
+		"", isql.PlannerReplans.Value())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(p.Bytes())
@@ -226,31 +233,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func shardLabel(i int) string { return obs.Label("shard", strconv.Itoa(i)) }
 func relLabel(name string) string {
 	return obs.Label("relation", name)
-}
-
-func relLen(r *relation.Relation) int {
-	if r == nil {
-		return 0
-	}
-	return r.Len()
-}
-
-// altStats returns the alternative tuple count and touched-component
-// count of relation i in the decomposition.
-func altStats(db *wsd.DecompDB, i int) (alt, comps int) {
-	for _, c := range db.Components {
-		touched := false
-		for _, a := range c.Alternatives {
-			if r := a.Rel(i); r != nil && r.Len() > 0 {
-				alt += r.Len()
-				touched = true
-			}
-		}
-		if touched {
-			comps++
-		}
-	}
-	return alt, comps
 }
 
 // worldsLog2 approximates log2 of the represented world count (exact

@@ -3,43 +3,31 @@ package rewrite
 import (
 	"container/heap"
 
+	"worldsetdb/internal/obs"
 	"worldsetdb/internal/ra"
 	"worldsetdb/internal/wsa"
 )
 
-// Cost estimates the evaluation expense of a WSA plan. World-creating
-// and world-merging operators dominate: group-worlds-by pairs worlds
-// quadratically, choice-of multiplies the world count, and products are
-// quadratic in the data. The absolute numbers only matter relative to
-// one another.
-func Cost(q wsa.Expr) float64 {
-	switch n := q.(type) {
-	case *wsa.Rel:
-		return 1
-	case *wsa.Select:
-		return Cost(n.From) + 0.5
-	case *wsa.Project:
-		return Cost(n.From) + 0.5
-	case *wsa.Rename:
-		return Cost(n.From) + 0.2
-	case *wsa.BinOp:
-		base := Cost(n.L) + Cost(n.R)
-		if n.Kind == wsa.OpProduct {
-			return base + 10
-		}
-		return base + 3
-	case *wsa.Join:
-		return Cost(n.L) + Cost(n.R) + 5
-	case *wsa.Choice:
-		return Cost(n.From) + 6
-	case *wsa.Group:
-		return Cost(n.From) + 20
-	case *wsa.Close:
-		return Cost(n.From) + 4
-	case *wsa.RepairKey:
-		return Cost(n.From) + 50
-	}
-	return 1
+// The plan cost model lives in estimate.go: a cardinality-propagating
+// estimator (Cost, CostOn) seeded by decomposition statistics. This
+// file is the search over the Figure 7 equivalence space that minimizes
+// it, pruned branch-and-bound style against the best complete plan.
+
+// SearchExpanded and SearchPruned count, across every rewrite search in
+// the process, the candidate plans expanded versus abandoned by the
+// branch-and-bound bound — exported at isqld /metrics as
+// wsdb_rewrite_expanded_total / wsdb_rewrite_pruned_total.
+var (
+	SearchExpanded obs.Counter
+	SearchPruned   obs.Counter
+)
+
+// SearchStats reports one rewrite search's effort: candidates expanded
+// (popped and rewritten) versus pruned (discarded because their cost
+// bound already exceeded the best complete plan).
+type SearchStats struct {
+	Expanded int
+	Pruned   int
 }
 
 // children returns the direct subqueries of q.
@@ -155,6 +143,21 @@ type Options struct {
 	// MaxSize prunes expressions with more AST nodes than this
 	// (default 80).
 	MaxSize int
+	// Stats seeds the cost estimator with decomposition statistics
+	// (nil: the defaultCard model).
+	Stats Stats
+	// NoPrune disables the branch-and-bound bound (the pre-stats
+	// exhaustive behavior) — the ablation arm of the PLAN benchmarks.
+	NoPrune bool
+	// PruneSlack is the bound factor: a candidate whose cost exceeds
+	// PruneSlack times the best complete plan found so far is pruned —
+	// its lower bound (no rewrite sequence improves a plan by more than
+	// PruneSlack, empirically generous) already exceeds a known plan.
+	// Default 16.
+	PruneSlack float64
+	// Search, when non-nil, receives the expanded/pruned counts of this
+	// search (also accumulated into SearchExpanded/SearchPruned).
+	Search *SearchStats
 }
 
 func (o *Options) maxExpansions() int {
@@ -169,6 +172,20 @@ func (o *Options) maxSize() int {
 		return 80
 	}
 	return o.MaxSize
+}
+
+func (o *Options) stats() Stats {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}
+
+func (o *Options) pruneSlack() float64 {
+	if o == nil || o.PruneSlack == 0 {
+		return 16
+	}
+	return o.PruneSlack
 }
 
 // Optimize searches the rewrite space for the cheapest equivalent plan
@@ -196,7 +213,15 @@ func Optimize(q wsa.Expr, env *wsa.Env, completeInput bool) (wsa.Expr, []Step) {
 // and every selection evaluated before a ×/⋈/∩/− shrinks the operand
 // a merge would have to cover.
 func Prelower(q wsa.Expr, env *wsa.Env) wsa.Expr {
-	out, _ := OptimizeOpts(PushSelections(q, env), env, false, &Options{MaxExpansions: 200, MaxSize: 60})
+	return PrelowerStats(q, env, nil, nil)
+}
+
+// PrelowerStats is Prelower with the search's cost model seeded by
+// decomposition statistics (the compile-time half of cost-based
+// planning) and the search effort reported into search (may be nil).
+func PrelowerStats(q wsa.Expr, env *wsa.Env, st Stats, search *SearchStats) wsa.Expr {
+	out, _ := OptimizeOpts(PushSelections(q, env), env, false,
+		&Options{MaxExpansions: 200, MaxSize: 60, Stats: st, Search: search})
 	return out
 }
 
@@ -365,7 +390,15 @@ func splitConjuncts(ctx *Context, p ra.Pred, lq, rq wsa.Expr) (l, r, rest []ra.P
 	return l, r, rest
 }
 
-// OptimizeOpts is Optimize with explicit search bounds.
+// OptimizeOpts is Optimize with explicit search bounds. The best-first
+// search is pruned branch-and-bound style: a candidate whose cost
+// exceeds PruneSlack times the best complete plan found so far cannot
+// (under the bound's assumption on achievable improvement) lead to a
+// better plan and is dropped, and — the frontier being a min-heap —
+// the search stops outright once the cheapest remaining candidate is
+// past the bound, instead of burning the expansion budget on hopeless
+// variants. Every plan in the space is complete (rules rewrite whole
+// trees), so the incumbent is always a valid result.
 func OptimizeOpts(q wsa.Expr, env *wsa.Env, completeInput bool, opt *Options) (wsa.Expr, []Step) {
 	ctx := &Context{Env: env}
 	var rules []Rule
@@ -376,25 +409,47 @@ func OptimizeOpts(q wsa.Expr, env *wsa.Env, completeInput bool, opt *Options) (w
 		rules = append(rules, r)
 	}
 
-	best := &item{expr: q, cost: Cost(q)}
+	st := opt.stats()
+	best := &item{expr: q, cost: CostOn(q, st)}
 	visited := map[string]bool{q.String(): true}
 	f := &frontier{best}
 	heap.Init(f)
 
-	for expansions := 0; f.Len() > 0 && expansions < opt.maxExpansions(); expansions++ {
+	expanded, pruned := 0, 0
+	slack := opt.pruneSlack()
+	prune := func(cost float64) bool {
+		return !(opt != nil && opt.NoPrune) && cost > best.cost*slack
+	}
+	for f.Len() > 0 && expanded < opt.maxExpansions() {
 		cur := heap.Pop(f).(*item)
 		if cur.cost < best.cost {
 			best = cur
 		}
+		if prune(cur.cost) {
+			// Min-heap: everything still queued costs at least this much.
+			pruned += 1 + f.Len()
+			break
+		}
+		expanded++
 		for _, cand := range rewritesAt(ctx, cur.expr, rules) {
 			key := cand.expr.String()
 			if visited[key] || wsa.Size(cand.expr) > opt.maxSize() {
 				continue
 			}
 			visited[key] = true
+			cost := CostOn(cand.expr, st)
+			if prune(cost) {
+				pruned++
+				continue
+			}
 			trace := append(append([]Step{}, cur.trace...), Step{Rule: cand.rule, Expr: cand.expr})
-			heap.Push(f, &item{expr: cand.expr, cost: Cost(cand.expr), trace: trace})
+			heap.Push(f, &item{expr: cand.expr, cost: cost, trace: trace})
 		}
+	}
+	SearchExpanded.Add(uint64(expanded))
+	SearchPruned.Add(uint64(pruned))
+	if opt != nil && opt.Search != nil {
+		opt.Search.Expanded, opt.Search.Pruned = expanded, pruned
 	}
 	return best.expr, best.trace
 }

@@ -76,6 +76,14 @@ type Snapshot struct {
 	nshards int
 }
 
+// Stats returns the decomposition statistics of the snapshot's backing
+// DB — per-relation certain/alternative cardinality, component counts,
+// and the alternatives-per-component histogram. Commit paths normalize
+// the decomposition, which pre-fills the cache, so this is a pointer
+// load for any snapshot the catalog published; seeds that skipped
+// Normalize compute once, lazily, and cache.
+func (s *Snapshot) Stats() *wsd.Stats { return s.DB.Stats() }
+
 // HasRelation reports whether a table or view of that name exists.
 func (s *Snapshot) HasRelation(name string) bool {
 	if _, ok := s.Views[name]; ok {

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"worldsetdb/internal/relation"
 	"worldsetdb/internal/worldset"
@@ -59,6 +60,12 @@ type DecompDB struct {
 	Schemas    []relation.Schema
 	Certain    []*relation.Relation
 	Components []DBComponent
+
+	// stats caches the decomposition statistics (see Stats). Normalize
+	// pre-fills it; every copy-on-write edit builds a fresh DecompDB, so
+	// a cached value can never describe stale structure. Unexported, so
+	// JSON persistence skips it and loads recompute lazily.
+	stats atomic.Pointer[Stats]
 }
 
 // NewDecompDB returns a decomposition with empty certain relations and

@@ -191,6 +191,10 @@ func (db *DecompDB) Normalize() *DecompDB {
 		}
 		out.Components = append(out.Components, comp)
 	}
+	// Pre-fill the planner statistics: one extra O(size) pass over
+	// structure this function just built, so every normalized snapshot
+	// answers Stats() without computing anything at read time.
+	out.stats.Store(out.computeStats())
 	return out
 }
 

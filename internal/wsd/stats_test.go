@@ -1,0 +1,115 @@
+package wsd
+
+import (
+	"math"
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+)
+
+// statsComp builds a component whose n alternatives each contribute the
+// given number of single-column tuples to relation ri (distinct values
+// per alternative, so Normalize collapses nothing).
+func statsComp(schemas []relation.Schema, ri, n, tuples int) DBComponent {
+	c := DBComponent{}
+	for a := 0; a < n; a++ {
+		r := relation.New(schemas[ri])
+		for t := 0; t < tuples; t++ {
+			r.Insert(relation.Tuple{value.Int(int64(100*a + t))})
+		}
+		c.Alternatives = append(c.Alternatives, DBAlternative{Rels: map[int]*relation.Relation{ri: r}})
+	}
+	return c
+}
+
+// TestStatsKnownDecomposition pins the statistics computed for a
+// hand-built decomposition: certain cardinalities off the certain
+// relations, alternative cardinalities summed across every alternative,
+// per-relation component spread, and the arity histogram.
+func TestStatsKnownDecomposition(t *testing.T) {
+	names := []string{"R", "S"}
+	schemas := []relation.Schema{relation.NewSchema("A"), relation.NewSchema("B")}
+	db := NewDecompDB(names, schemas)
+	db.Certain[0].Insert(relation.Tuple{value.Int(1)})
+	db.Certain[0].Insert(relation.Tuple{value.Int(2)})
+	// One 3-alternative component on R (1 tuple per alternative), one
+	// 2-alternative component on S (2 tuples then 1 tuple).
+	db.Components = append(db.Components, statsComp(schemas, 0, 3, 1))
+	c2 := DBComponent{}
+	for a, n := range []int{2, 1} {
+		r := relation.New(schemas[1])
+		for tpl := 0; tpl < n; tpl++ {
+			r.Insert(relation.Tuple{value.Int(int64(10*a + tpl))})
+		}
+		c2.Alternatives = append(c2.Alternatives, DBAlternative{Rels: map[int]*relation.Relation{1: r}})
+	}
+	db.Components = append(db.Components, c2)
+
+	st := db.Stats()
+	if got, want := st.Rel(0), (RelStats{Certain: 2, Alternative: 3, Components: 1}); got != want {
+		t.Errorf("R stats = %+v, want %+v", got, want)
+	}
+	if got, want := st.Rel(1), (RelStats{Certain: 0, Alternative: 3, Components: 1}); got != want {
+		t.Errorf("S stats = %+v, want %+v", got, want)
+	}
+	if st.Components != 2 {
+		t.Errorf("Components = %d, want 2", st.Components)
+	}
+	if st.AltHist[3] != 1 || st.AltHist[2] != 1 || len(st.AltHist) != 2 {
+		t.Errorf("AltHist = %v, want {2:1, 3:1}", st.AltHist)
+	}
+	if got, want := st.WorldsLog2(), math.Log2(3)+1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("WorldsLog2 = %v, want %v", got, want)
+	}
+	// Out-of-range and nil receivers are zero-valued, not panics.
+	if st.Rel(7) != (RelStats{}) {
+		t.Errorf("Rel(7) = %+v, want zero", st.Rel(7))
+	}
+	var nilStats *Stats
+	if nilStats.Rel(0) != (RelStats{}) {
+		t.Errorf("nil.Rel(0) = %+v, want zero", nilStats.Rel(0))
+	}
+}
+
+// TestStatsCached verifies Stats computes once and answers from the
+// cache afterwards (the same pointer, not a recomputation per read).
+func TestStatsCached(t *testing.T) {
+	db := NewDecompDB([]string{"R"}, []relation.Schema{relation.NewSchema("A")})
+	if db.stats.Load() != nil {
+		t.Fatal("fresh DecompDB already has cached stats")
+	}
+	first := db.Stats()
+	if db.stats.Load() == nil {
+		t.Fatal("Stats() did not cache its result")
+	}
+	if second := db.Stats(); second != first {
+		t.Errorf("Stats() recomputed: %p then %p", first, second)
+	}
+}
+
+// TestNormalizePrefillsStats: Normalize must leave the statistics cache
+// pre-filled, and the cached value must describe the normalized shape —
+// here a single-alternative component folded into the certain relation.
+func TestNormalizePrefillsStats(t *testing.T) {
+	names := []string{"R"}
+	schemas := []relation.Schema{relation.NewSchema("A")}
+	db := NewDecompDB(names, schemas)
+	db.Certain[0].Insert(relation.Tuple{value.Int(50)})
+	db.Components = append(db.Components, statsComp(schemas, 0, 1, 2))
+
+	n := db.Normalize()
+	if n.stats.Load() == nil {
+		t.Fatal("Normalize did not pre-fill the statistics cache")
+	}
+	st := n.Stats()
+	if got, want := st.Rel(0), (RelStats{Certain: 3, Alternative: 0, Components: 0}); got != want {
+		t.Errorf("normalized R stats = %+v, want %+v (singleton component folded)", got, want)
+	}
+	if st.Components != 0 || len(st.AltHist) != 0 {
+		t.Errorf("normalized Components/AltHist = %d/%v, want 0/empty", st.Components, st.AltHist)
+	}
+	if st.WorldsLog2() != 0 {
+		t.Errorf("normalized WorldsLog2 = %v, want 0", st.WorldsLog2())
+	}
+}

@@ -1,0 +1,140 @@
+package wsdexec
+
+import (
+	"math/rand"
+	"testing"
+
+	"worldsetdb/internal/datagen"
+	"worldsetdb/internal/randquery"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsa"
+	"worldsetdb/internal/wsd"
+)
+
+// TestPlanChoiceNeutralitySweep runs random queries over random
+// decompositions through four planning configurations — the full
+// cost-based pipeline, the rewrite search disabled, product reordering
+// disabled, and bounded merging disabled (enumeration fallback) — and
+// requires all four to expand to identical world-sets. Whatever plan
+// the cost model picks may only ever change speed, never answers. Runs
+// under -race in CI.
+func TestPlanChoiceNeutralitySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	names := []string{"R", "S", "T"}
+	schemas := []relation.Schema{
+		relation.NewSchema("A", "B"), relation.NewSchema("C"), relation.NewSchema("D")}
+	gen := randquery.NewQueryGen(rng, names, schemas)
+	arms := []struct {
+		name string
+		opt  *Options
+	}{
+		{"stats-planned", nil},
+		{"no-rewrite", &Options{NoRewrite: true}},
+		{"no-reorder", &Options{NoReorder: true}},
+		{"no-merge", &Options{NoMerge: true}},
+	}
+	rewritten, reordered, merged := 0, 0, 0
+	for i := 0; i < 500; i++ {
+		db := datagen.RandomDecompDB(rng, names, schemas, 3, 2, 3, 3, 2)
+		q := gen.Query(1 + rng.Intn(4))
+		refOut, refPlan, refErr := EvalOpts(q, db, arms[0].opt)
+		if refErr == nil {
+			if refPlan.Rewritten {
+				rewritten++
+			}
+			if refPlan.Reordered {
+				reordered++
+			}
+			if refPlan.Native && len(refPlan.Merges) > 0 {
+				merged++
+			}
+		}
+		for _, arm := range arms[1:] {
+			out, plan, err := EvalOpts(q, db, arm.opt)
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("query %d: %s error %v vs %s error %v\nquery: %s",
+					i, arms[0].name, refErr, arm.name, err, q)
+			}
+			if refErr != nil {
+				continue
+			}
+			wsRef, err := refOut.Expand(1 << 20)
+			if err != nil {
+				t.Fatalf("query %d: %s output not expandable: %v", i, arms[0].name, err)
+			}
+			wsArm, err := out.Expand(1 << 20)
+			if err != nil {
+				t.Fatalf("query %d: %s output not expandable: %v", i, arm.name, err)
+			}
+			if !wsRef.EqualWorlds(wsArm) {
+				t.Fatalf("query %d: %s and %s disagree\nquery: %s\nplans: %v / %v\n%s:\n%s\n%s:\n%s",
+					i, arms[0].name, arm.name, q, refPlan, plan,
+					arms[0].name, wsRef, arm.name, wsArm)
+			}
+		}
+	}
+	t.Logf("500 queries: %d rewritten, %d reordered, %d merged natively", rewritten, reordered, merged)
+	if merged < 20 {
+		t.Fatalf("merge path under-exercised: only %d of 500 queries merged", merged)
+	}
+}
+
+// TestReorderNeutralityChain pins the reorder path deterministically
+// (the random sweep cannot guarantee a ≥3-way chain): a four-way
+// product chain written largest-first, over a decomposition mixing
+// certain and alternative pieces, must be reordered by the stats
+// planner and still expand to exactly the world-set the written order
+// produces.
+func TestReorderNeutralityChain(t *testing.T) {
+	names := []string{"Big", "Mid", "U", "One"}
+	schemas := []relation.Schema{
+		relation.NewSchema("A"), relation.NewSchema("B"),
+		relation.NewSchema("C"), relation.NewSchema("D")}
+	db := wsd.NewDecompDB(names, schemas)
+	for i := 0; i < 40; i++ {
+		db.Certain[0].Insert(relation.Tuple{value.Int(int64(i))})
+	}
+	for i := 0; i < 6; i++ {
+		db.Certain[1].Insert(relation.Tuple{value.Int(int64(i))})
+	}
+	// U is uncertain: one 2-alternative component.
+	comp := wsd.DBComponent{}
+	for a := 0; a < 2; a++ {
+		r := relation.New(schemas[2])
+		r.Insert(relation.Tuple{value.Int(int64(a))})
+		comp.Alternatives = append(comp.Alternatives, wsd.DBAlternative{Rels: map[int]*relation.Relation{2: r}})
+	}
+	db.Components = append(db.Components, comp)
+	db.Certain[3].Insert(relation.Tuple{value.Int(7)})
+
+	chain := wsa.Expr(&wsa.Rel{Name: "Big"})
+	for _, n := range names[1:] {
+		chain = wsa.NewProduct(chain, &wsa.Rel{Name: n})
+	}
+	ordered, orderedPlan, err := EvalOpts(chain, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orderedPlan.Reordered {
+		t.Fatalf("stats planner did not reorder the chain: %v", orderedPlan)
+	}
+	written, writtenPlan, err := EvalOpts(chain, db, &Options{NoReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writtenPlan.Reordered {
+		t.Fatalf("NoReorder arm reports a reorder: %v", writtenPlan)
+	}
+	wsO, err := ordered.Expand(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsW, err := written.Expand(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wsO.EqualWorlds(wsW) {
+		t.Fatalf("reordered chain changed the answer\nordered:\n%s\nwritten:\n%s", wsO, wsW)
+	}
+}

@@ -1,0 +1,122 @@
+package wsdexec
+
+import (
+	"sort"
+
+	"worldsetdb/internal/rewrite"
+	"worldsetdb/internal/wsa"
+)
+
+// This file is the execution-side half of cost-based planning: ordering
+// the pieces of n-ary ×/⋈ chains by their estimated cardinality before
+// lowering. The factorized product evaluates pairwise, so a left-deep
+// chain materializes every prefix product; putting the smallest
+// estimated pieces first minimizes those intermediates (the classic
+// join-ordering argument, applied to the certain and per-alternative
+// partitions alike). Reordering never changes the represented
+// world-set: the chain is rebuilt smallest-first and wrapped in a
+// projection restoring the original column order, so results stay
+// byte-identical with the naive order.
+
+// productChain collects the leaves of a maximal pure-product subtree
+// (joins carry predicates anchored to their own operand pair, so only
+// predicate-free products reorder freely).
+func productChain(q wsa.Expr) []wsa.Expr {
+	if n, ok := q.(*wsa.BinOp); ok && n.Kind == wsa.OpProduct {
+		return append(productChain(n.L), productChain(n.R)...)
+	}
+	return []wsa.Expr{q}
+}
+
+// reorderChain rebuilds a product chain's leaves in ascending estimated
+// cardinality. It declines (returning ok=false) when the chain is too
+// short to have intermediates, a leaf's schema cannot be computed, or
+// column names collide across leaves (the restoring projection would be
+// ambiguous).
+func reorderChain(leaves []wsa.Expr, st rewrite.Stats, env *wsa.Env) (wsa.Expr, bool) {
+	if len(leaves) < 3 {
+		return nil, false
+	}
+	var columns []string
+	seen := map[string]bool{}
+	for _, l := range leaves {
+		s, err := l.Schema(env)
+		if err != nil {
+			return nil, false
+		}
+		for _, c := range s {
+			if seen[c] {
+				return nil, false
+			}
+			seen[c] = true
+			columns = append(columns, c)
+		}
+	}
+	order := make([]int, len(leaves))
+	cards := make([]float64, len(leaves))
+	for i, l := range leaves {
+		order[i] = i
+		cards[i] = rewrite.EstimateCard(l, st)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cards[order[a]] < cards[order[b]] })
+	changed := false
+	for i, o := range order {
+		if i != o {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil, false
+	}
+	chain := leaves[order[0]]
+	for _, o := range order[1:] {
+		chain = &wsa.BinOp{Kind: wsa.OpProduct, L: chain, R: leaves[o]}
+	}
+	return &wsa.Project{Columns: columns, From: chain}, true
+}
+
+// reorderProducts walks the plan and reorders every maximal product
+// chain of three or more pieces by estimated cardinality, recursing
+// into the pieces themselves first (selections already pushed below the
+// chain by Prelower are part of the leaf estimates).
+func reorderProducts(q wsa.Expr, st rewrite.Stats, env *wsa.Env) wsa.Expr {
+	switch n := q.(type) {
+	case *wsa.Select:
+		return &wsa.Select{Pred: n.Pred, From: reorderProducts(n.From, st, env)}
+	case *wsa.Project:
+		return &wsa.Project{Columns: n.Columns, From: reorderProducts(n.From, st, env)}
+	case *wsa.Rename:
+		return &wsa.Rename{Pairs: n.Pairs, From: reorderProducts(n.From, st, env)}
+	case *wsa.Choice:
+		return &wsa.Choice{Attrs: n.Attrs, From: reorderProducts(n.From, st, env)}
+	case *wsa.Group:
+		return &wsa.Group{Kind: n.Kind, GroupBy: n.GroupBy, Proj: n.Proj,
+			From: reorderProducts(n.From, st, env)}
+	case *wsa.Close:
+		return &wsa.Close{Kind: n.Kind, From: reorderProducts(n.From, st, env)}
+	case *wsa.RepairKey:
+		return &wsa.RepairKey{Attrs: n.Attrs, From: reorderProducts(n.From, st, env)}
+	case *wsa.Join:
+		return &wsa.Join{L: reorderProducts(n.L, st, env),
+			R: reorderProducts(n.R, st, env), Pred: n.Pred}
+	case *wsa.BinOp:
+		if n.Kind != wsa.OpProduct {
+			return &wsa.BinOp{Kind: n.Kind, L: reorderProducts(n.L, st, env),
+				R: reorderProducts(n.R, st, env)}
+		}
+		leaves := productChain(n)
+		for i, l := range leaves {
+			leaves[i] = reorderProducts(l, st, env)
+		}
+		if out, ok := reorderChain(leaves, st, env); ok {
+			return out
+		}
+		chain := leaves[0]
+		for _, l := range leaves[1:] {
+			chain = &wsa.BinOp{Kind: wsa.OpProduct, L: chain, R: l}
+		}
+		return chain
+	}
+	return q
+}

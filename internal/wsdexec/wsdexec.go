@@ -98,6 +98,10 @@ type Options struct {
 	// NoRewrite disables the pre-lowering rewrite pass
 	// (rewrite.Prelower).
 	NoRewrite bool
+	// NoReorder disables the cost-based reordering of product chains by
+	// estimated piece cardinality (reorderProducts); benchmarks use it
+	// as the naive-order ablation arm.
+	NoReorder bool
 	// NoFallback turns entangling operators into errors instead of
 	// enumerating; tests and benchmarks use it to prove evaluations
 	// stayed native.
@@ -175,6 +179,12 @@ type Plan struct {
 	// Rewritten reports that rewrite.Prelower changed the query before
 	// lowering.
 	Rewritten bool
+	// Reordered reports that a product chain was reordered by estimated
+	// piece cardinality before lowering.
+	Reordered bool
+	// Search is the rewrite search effort (candidates expanded versus
+	// pruned by the branch-and-bound bound); zero when NoRewrite.
+	Search rewrite.SearchStats
 }
 
 func (p *Plan) String() string {
@@ -247,21 +257,30 @@ func EvalOpts(q wsa.Expr, db *wsd.DecompDB, opt *Options) (*wsd.DecompDB, *Plan,
 	if opt != nil {
 		trace = opt.Trace
 	}
+	// The decomposition statistics seed both the rewrite search's cost
+	// model and the product-chain ordering; Normalize pre-computed them,
+	// so this is a cache read, not a scan.
+	st := rewrite.StatsOf(db)
 	run := q
 	if opt == nil || !opt.NoRewrite {
 		rw := trace.Child("rewrite.prelower")
-		if r := rewrite.Prelower(q, env); !wsa.Equal(r, q) {
+		if r := rewrite.PrelowerStats(q, env, st, &plan.Search); !wsa.Equal(r, q) {
 			run, plan.Rewritten = r, true
 		}
-		rw.Set("rewritten", fmt.Sprintf("%v", plan.Rewritten)).End()
+		rw.Set("rewritten", fmt.Sprintf("%v", plan.Rewritten)).
+			SetInt("expanded", int64(plan.Search.Expanded)).
+			SetInt("pruned", int64(plan.Search.Pruned)).End()
 	}
-	e := &engine{db: db, env: env, budget: opt.budget(), slaved: map[int]slaveRef{},
-		trace: trace}
+	if opt == nil || !opt.NoReorder {
+		if r := reorderProducts(run, st, env); !wsa.Equal(r, run) {
+			run, plan.Reordered = r, true
+		}
+	}
+	e := &engine{db: db, env: env, st: st, budget: opt.budget(),
+		inWorlds: plan.InputWorlds, slaved: map[int]slaveRef{}, trace: trace}
 	if opt != nil {
 		e.shards = opt.Shards
-	}
-	if opt != nil && opt.NoMerge {
-		e.budget = 0 // every merge attempt exceeds a zero budget
+		e.noMerge = opt.NoMerge
 	}
 	for _, c := range db.Components {
 		e.arity = append(e.arity, len(c.Alternatives))
@@ -375,14 +394,17 @@ type slaveRef struct {
 // choice-of, repair-by-key and bounded merging, identified by index
 // into arity), plus the slaved-component registry of performed merges.
 type engine struct {
-	db     *wsd.DecompDB
-	env    *wsa.Env
-	arity  []int
-	budget int
-	shards []int // component index -> home shard (Options.Shards); nil when unsharded
-	slaved map[int]slaveRef
-	merges []MergeStep
-	trace  *obs.Span // current operator span; nil = tracing off
+	db       *wsd.DecompDB
+	env      *wsa.Env
+	st       rewrite.Stats // planner statistics of db (cardinality attrs on trace spans)
+	arity    []int
+	budget   int
+	inWorlds *big.Int // input world count: the fallback's enumeration cost estimate
+	noMerge  bool     // strictly disable merging (differential ablation arm)
+	shards   []int    // component index -> home shard (Options.Shards); nil when unsharded
+	slaved   map[int]slaveRef
+	merges   []MergeStep
+	trace    *obs.Span // current operator span; nil = tracing off
 }
 
 // addComponent registers a fresh component with n alternatives and
@@ -463,9 +485,33 @@ func (e *engine) compRelNames(comps []int) []string {
 // entangleError when the combined alternative count exceeds the
 // expansion budget — the caller propagates it and the top level falls
 // back to enumeration.
+// mergeHeadroom stretches the expansion budget for the cost-based
+// merge-vs-fallback decision: a merge up to mergeHeadroom× the budget
+// is still taken when it is strictly cheaper than what the fallback
+// would do — enumerating the whole input world-set. The budget alone
+// caps what the fallback's Expand may materialize; the merge only
+// materializes the coupled components' combinations.
+const mergeHeadroom = 4
+
+// mergeOK decides merge versus fallback: within budget always merge
+// (the pre-stats rule); beyond it, merge anyway when the cost stays
+// within the headroom and undercuts the input world count — the
+// fallback's enumeration cost — because collapsing just the dependent
+// region is then strictly less work than expanding everything (and the
+// fallback may not even be feasible). NoMerge refuses outright.
+func (e *engine) mergeOK(cost *big.Int) bool {
+	if e.noMerge || !cost.IsInt64() {
+		return false
+	}
+	if cost.Int64() <= int64(e.budget) {
+		return true
+	}
+	return cost.Int64() <= int64(e.budget)*mergeHeadroom && cost.Cmp(e.inWorlds) < 0
+}
+
 func (e *engine) merge(op string, comps []int) (int, error) {
 	cost := e.mergeCostBig(comps)
-	if !cost.IsInt64() || cost.Int64() > int64(e.budget) {
+	if !e.mergeOK(cost) {
 		return 0, &entangleError{
 			op:     op,
 			comps:  append([]int{}, comps...),
@@ -666,6 +712,11 @@ func (e *engine) eval(q wsa.Expr) (*frel, error) {
 			comps++
 		}
 		sp.SetInt("components", int64(comps))
+		// Estimated versus actual cardinality, for EXPLAIN ANALYZE's
+		// plan-quality readout: est_rows is the planner's per-world
+		// estimate, rows the stored tuples across the factored pieces.
+		sp.Set("est_rows", fmt.Sprintf("%.0f", rewrite.EstimateCard(q, e.st)))
+		sp.SetInt("rows", int64(out.size()))
 	}
 	sp.End()
 	return out, err
