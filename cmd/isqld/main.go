@@ -32,14 +32,22 @@
 // # Durability
 //
 // With -wal, the catalog is durable: every committed transaction is
-// appended (statement texts, CRC-framed, fsynced) to dir/wal.log before
-// it becomes visible, and dir/checkpoint.wsd holds the last checkpoint.
-// On startup the server recovers the checkpoint plus the replayed log
-// tail — a crash loses nothing committed. -checkpoint-every bounds
-// replay work by checkpointing after that many logged commits (0 =
-// checkpoint only on graceful shutdown). When the directory already
-// holds state, it wins over -demo/-load; a fresh directory is seeded
-// from them and checkpointed immediately so the seed itself is durable.
+// appended (statement texts plus a page delta, CRC-framed, fsynced) to
+// dir/wal.log before it becomes visible, and dir/checkpoint.wsd holds
+// the last checkpoint as an incremental page file — each checkpoint
+// rewrites only the pages of components touched since the previous one,
+// through a fixed-size buffer pool (-pool-pages frames per shard), and
+// a checkpoint with nothing new writes zero bytes. A pre-existing v1
+// JSON checkpoint is still recovered; the first checkpoint after the
+// upgrade migrates it to the page format in place. On startup the
+// server recovers the checkpoint plus the replayed log tail — records
+// carrying page deltas apply directly to the base without re-executing
+// statements — so a crash loses nothing committed. -checkpoint-every
+// bounds replay work by checkpointing after that many logged commits
+// (0 = checkpoint only on graceful shutdown). When the directory
+// already holds state, it wins over -demo/-load; a fresh directory is
+// seeded from them and checkpointed immediately so the seed itself is
+// durable.
 //
 // # Sharding
 //
@@ -84,11 +92,12 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 256, "with -wal: checkpoint after this many logged commits (0 = only on shutdown)")
 	txnRetries := flag.Int("txn-retries", 16, "automatic conflict retries per transaction (0 = surface conflicts immediately)")
 	shards := flag.Int("shards", 1, "component shards: commits on disjoint shards run in parallel, each with its own WAL segment (1 = unsharded)")
+	poolPages := flag.Int("pool-pages", store.DefaultPoolPages, "with -wal: buffer-pool capacity in pages per shard for the paged checkpoint base")
 	slowQuery := flag.Duration("slow-query", 0, "log the span tree of statements slower than this as JSON lines on stderr (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on a second listener (keep it private)")
 	flag.Parse()
 
-	cat, wals, ckptPath, err := openCatalog(*demo, *load, *walDir, *shards)
+	cat, wals, ckptPath, err := openCatalog(*demo, *load, *walDir, *shards, *poolPages)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -190,7 +199,7 @@ func main() {
 // existing durable state (checkpoint and/or log segments) is recovered
 // and wins; otherwise the seed is installed and immediately
 // checkpointed. A nil/empty WAL slice means not durable.
-func openCatalog(demo, load, walDir string, shards int) (*store.Catalog, []*store.WAL, string, error) {
+func openCatalog(demo, load, walDir string, shards, poolPages int) (*store.Catalog, []*store.WAL, string, error) {
 	if walDir == "" {
 		cat, err := newCatalog(demo, load)
 		if err != nil {
@@ -204,7 +213,7 @@ func openCatalog(demo, load, walDir string, shards int) (*store.Catalog, []*stor
 	}
 	ckptPath := filepath.Join(walDir, "checkpoint.wsd")
 	if shards > 1 {
-		return openShardedCatalog(demo, load, walDir, ckptPath, shards)
+		return openShardedCatalog(demo, load, walDir, ckptPath, shards, poolPages)
 	}
 	walPath := filepath.Join(walDir, "wal.log")
 	_, ckErr := os.Stat(ckptPath)
@@ -213,7 +222,7 @@ func openCatalog(demo, load, walDir string, shards int) (*store.Catalog, []*stor
 		if demo != "" || load != "" {
 			log.Printf("isqld: %s already holds catalog state; ignoring -demo/-load", walDir)
 		}
-		cat, wal, err := isql.OpenStore(ckptPath, walPath)
+		cat, wal, err := isql.OpenStorePaged(ckptPath, walPath, poolPages)
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -229,7 +238,13 @@ func openCatalog(demo, load, walDir string, shards int) (*store.Catalog, []*stor
 	}
 	// Make the seed itself durable before the first transaction: replay
 	// starts from the checkpoint, which must therefore include it.
-	if err := wal.Checkpoint(cat.Snapshot(), ckptPath); err != nil {
+	// Paging is attached first so the seed checkpoint already writes the
+	// incremental page format.
+	if err := cat.EnablePaging(ckptPath, poolPages); err != nil {
+		wal.Close()
+		return nil, nil, "", err
+	}
+	if err := cat.Checkpoint(wal, ckptPath); err != nil {
 		wal.Close()
 		return nil, nil, "", err
 	}
@@ -240,7 +255,7 @@ func openCatalog(demo, load, walDir string, shards int) (*store.Catalog, []*stor
 // openShardedCatalog is openCatalog's durable sharded arm: per-shard
 // wal-<i>.log segments, merged epoch recovery (isql.OpenStoreSharded)
 // when the directory holds state, seed + immediate checkpoint when not.
-func openShardedCatalog(demo, load, walDir, ckptPath string, shards int) (*store.Catalog, []*store.WAL, string, error) {
+func openShardedCatalog(demo, load, walDir, ckptPath string, shards, poolPages int) (*store.Catalog, []*store.WAL, string, error) {
 	exists := false
 	if _, err := os.Stat(ckptPath); err == nil {
 		exists = true
@@ -254,7 +269,7 @@ func openShardedCatalog(demo, load, walDir, ckptPath string, shards int) (*store
 		if demo != "" || load != "" {
 			log.Printf("isqld: %s already holds catalog state; ignoring -demo/-load", walDir)
 		}
-		cat, wals, err := isql.OpenStoreSharded(ckptPath, walDir, shards)
+		cat, wals, err := isql.OpenStoreShardedPaged(ckptPath, walDir, shards, poolPages)
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -265,8 +280,8 @@ func openShardedCatalog(demo, load, walDir, ckptPath string, shards int) (*store
 		return nil, nil, "", err
 	}
 	cat.Reshard(shards)
-	if err := store.SaveFile(ckptPath, cat.Snapshot()); err != nil {
-		return nil, nil, "", fmt.Errorf("isqld: checkpointing seed: %w", err)
+	if err := cat.EnablePaging(ckptPath, poolPages); err != nil {
+		return nil, nil, "", err
 	}
 	wals := make([]*store.WAL, shards)
 	for si := range wals {
@@ -280,6 +295,12 @@ func openShardedCatalog(demo, load, walDir, ckptPath string, shards int) (*store
 		wals[si] = w
 	}
 	cat.SetShardLoggers(wals)
+	if err := cat.CheckpointAll(ckptPath); err != nil {
+		for _, w := range wals {
+			w.Close()
+		}
+		return nil, nil, "", fmt.Errorf("isqld: checkpointing seed: %w", err)
+	}
 	return cat, wals, ckptPath, nil
 }
 

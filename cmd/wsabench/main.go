@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|TXN|AGG|SHARD|PLAN|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
+//	wsabench [-exp all|F2|ACQ|TPCH|CENSUS|WSD|WSDX|STORE|TXN|AGG|SHARD|PLAN|CKPT|SQL3|E56|F8F9|PHYS|F7|R46|P42] [-scale 1]
 //
 // -exp also accepts a comma-separated list (e.g. -exp TXN,AGG) so one
 // CI step can gate several families in a single run.
@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -64,6 +65,8 @@ var (
 		"flag ops whose ns/op exceeds this multiple of the baseline")
 	gate = flag.String("gate", "",
 		"comma-separated op prefixes whose regressions are blocking: any flagged op matching one makes wsabench exit nonzero (e.g. -gate TXN/)")
+	heapProfile = flag.String("heapprofile", "",
+		"write a pprof heap profile to this file after the experiments (CI uploads it as an artifact)")
 )
 
 // benchRow is one measured operation in the JSON report. The quantile
@@ -281,6 +284,7 @@ func main() {
 		{"AGG", "bounded component merging + world-count-independent aggregation (PR 6 tentpole)", expAgg},
 		{"SHARD", "component-sharded catalog: parallel commits, per-shard WAL group commit, scatter reads (PR 7 tentpole)", expShard},
 		{"PLAN", "cost-based planning over decomposition statistics: pruned rewrite search, ordered product chains, merge-vs-fallback decisions (PR 9 tentpole)", expPlan},
+		{"CKPT", "paged checkpoints: full vs incremental write volume, delta vs statement recovery, cold start under a small buffer pool (PR 10 tentpole)", expCkpt},
 		{"SQL3", "§2 I-SQL vs division vs double-not-exists (EXP-S2-SQL)", expThreeWays},
 		{"E56", "Examples 5.6/5.8: naive vs general vs optimized evaluation", expTranslations},
 		{"F8F9", "Figures 8/9: rewriting ablation q1→q1′, q2→q2′", expRewriting},
@@ -313,6 +317,14 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *heapProfile != "" {
+		f, err := os.Create(*heapProfile)
+		must(err)
+		runtime.GC() // fold transient experiment garbage out of the profile
+		must(pprof.WriteHeapProfile(f))
+		must(f.Close())
+		fmt.Printf("wrote heap profile to %s\n", *heapProfile)
 	}
 	// Read the baseline before writeJSON possibly overwrites it.
 	baseline := loadBaseline(*prevPath)
@@ -949,6 +961,197 @@ func txnCommitLatency(op string, k int, withWAL bool) time.Duration {
 		}
 		must(sess.Commit())
 	})
+}
+
+// expCkpt is the tentpole ablation for the paged storage engine: (1)
+// checkpoint write volume — a full checkpoint of a wide catalog versus
+// an incremental one after dirtying a single relation (the incremental
+// write must be a small fraction of the full one) and a no-op
+// checkpoint (which must write zero bytes); (2) cold start with a
+// buffer pool far smaller than the catalog — the pool pages chains in
+// and out, recovery still completes; (3) crash-recovery replay with
+// WAL page deltas versus pure statement re-execution (SetLogDeltas
+// toggles what the log carries).
+func expCkpt() {
+	const pool = 256
+	rels := 16 * *scale
+	rows := 25
+
+	dir, err := os.MkdirTemp("", "wsabench_ckpt")
+	must(err)
+	defer os.RemoveAll(dir)
+	wsdPath := filepath.Join(dir, "checkpoint.wsd")
+	cat, wal, err := isql.OpenStorePaged(wsdPath, filepath.Join(dir, "wal.log"), pool)
+	must(err)
+	sess := isql.FromCatalog(cat)
+	for i := 0; i < rels; i++ {
+		_, err := sess.ExecString(fmt.Sprintf("create table T%02d (A, B);", i))
+		must(err)
+		var ins strings.Builder
+		fmt.Fprintf(&ins, "insert into T%02d values", i)
+		for v := 0; v < rows; v++ {
+			if v > 0 {
+				ins.WriteString(",")
+			}
+			fmt.Fprintf(&ins, " (%d, %d)", i*1000+v, v*7)
+		}
+		ins.WriteString(";")
+		_, err = sess.ExecString(ins.String())
+		must(err)
+	}
+
+	// Full checkpoints: every iteration writes the whole catalog to a
+	// fresh page file.
+	swapPagers := func(path string) {
+		for _, ps := range cat.Pagers() {
+			if ps != nil {
+				must(ps.Close())
+			}
+		}
+		must(cat.EnablePaging(path, pool))
+	}
+	iter := 0
+	dFull := bench(fmt.Sprintf("CKPT/checkpoint-full/rels=%d", rels), nil, func() {
+		p := filepath.Join(dir, fmt.Sprintf("full-%d.wsd", iter))
+		iter++
+		swapPagers(p)
+		must(cat.Checkpoint(wal, p))
+	})
+	fullBytes := cat.Pagers()[0].Stats().BytesWritten
+
+	// Incremental: re-home on the main path, establish the base, then
+	// each iteration dirties one relation and checkpoints only its pages.
+	swapPagers(wsdPath)
+	must(cat.Checkpoint(wal, wsdPath))
+	ps := cat.Pagers()[0]
+	incrBase := ps.Stats()
+	v := 0
+	dIncr := bench("CKPT/checkpoint-incremental", nil, func() {
+		_, err := sess.ExecString(fmt.Sprintf("insert into T00 values (%d, %d);", 900000+v, v))
+		must(err)
+		v++
+		must(cat.Checkpoint(wal, wsdPath))
+	})
+	incrStats := ps.Stats()
+	incrBytes := (incrStats.BytesWritten - incrBase.BytesWritten) /
+		(incrStats.Checkpoints - incrBase.Checkpoints)
+	noopBase := ps.Stats()
+	dNoop := bench("CKPT/checkpoint-noop", nil, func() {
+		must(cat.Checkpoint(wal, wsdPath))
+	})
+	noopStats := ps.Stats()
+	fmt.Printf("%-28s %-14s %12s\n", "checkpoint", "time", "bytes")
+	fmt.Printf("%-28s %-14s %12d\n", fmt.Sprintf("full (%d relations)", rels), dFull, fullBytes)
+	fmt.Printf("%-28s %-14s %12d\n", "incremental (1 dirty rel)", dIncr, incrBytes)
+	fmt.Printf("%-28s %-14s %12d\n", "no-op (nothing committed)", dNoop, noopStats.BytesWritten-noopBase.BytesWritten)
+	if noopStats.BytesWritten != noopBase.BytesWritten || noopStats.NoopSkips == noopBase.NoopSkips {
+		must(fmt.Errorf("no-op checkpoint wrote %d bytes (skips %d -> %d)",
+			noopStats.BytesWritten-noopBase.BytesWritten, noopBase.NoopSkips, noopStats.NoopSkips))
+	}
+	byteRatio := float64(fullBytes) / float64(incrBytes)
+	fmt.Printf("incremental byte reduction: %.1fx fewer bytes than full (floor 4x)\n", byteRatio)
+	acceptRatio("incremental vs full checkpoint bytes", byteRatio, 4)
+
+	// Cold start: reopen the checkpointed catalog with a pool a fraction
+	// of the file size, versus a pool that holds it entirely.
+	wantVersion := cat.Snapshot().Version
+	must(wal.Close())
+	coldstart := func(op string, poolPages int) time.Duration {
+		return bench(op, nil, func() {
+			c2, w2, err := isql.OpenStorePaged(wsdPath, filepath.Join(dir, "wal.log"), poolPages)
+			must(err)
+			if got := c2.Snapshot().Version; got != wantVersion {
+				must(fmt.Errorf("cold start recovered v%d, want v%d", got, wantVersion))
+			}
+			for _, p := range c2.Pagers() {
+				must(p.Close())
+			}
+			must(w2.Close())
+		})
+	}
+	dTiny := coldstart("CKPT/coldstart/pool=8", 8)
+	dBig := coldstart(fmt.Sprintf("CKPT/coldstart/pool=%d", pool), pool)
+	fi, err := os.Stat(wsdPath)
+	must(err)
+	fmt.Printf("\ncold start of a %d-page catalog: pool=8 %s, pool=%d %s\n",
+		fi.Size()/8192, dTiny, pool, dBig)
+
+	// Recovery replay: the checkpointed base is a raw Lineitem table;
+	// every committed record past the checkpoint drops and rebuilds the
+	// §2 what-if analysis with an analytic CTAS (choice-of worlds, a
+	// not-in subquery, grouped aggregation). Replaying such a record
+	// from statements re-runs the whole analysis through the engine;
+	// replaying its WAL page delta just patches the resulting relations
+	// back into the catalog. The gap is the query-evaluation cost deltas
+	// skip — trivial single-row statements would hide it (their
+	// execution is cheaper than decoding the post-commit state the
+	// delta carries).
+	li := datagen.Lineitem(20, 3, 4, 42)
+	var seed strings.Builder
+	seed.WriteString("insert into Lineitem values")
+	wroteRow := false
+	li.Each(func(t relation.Tuple) {
+		if wroteRow {
+			seed.WriteString(",")
+		}
+		wroteRow = true
+		fmt.Fprintf(&seed, " ('%s', %d, %d, %d)",
+			t[0].AsString(), t[1].AsInt(), t[2].AsInt(), t[3].AsInt())
+	})
+	seed.WriteString(";")
+	const whatIf = `create table YearQuantity as
+		select A.Year, sum(A.Price) as Revenue
+		from (select * from Lineitem choice of Year) as A
+		where Quantity not in (select * from Lineitem choice of Quantity)
+		group by A.Year;`
+	for _, records := range []int{10} {
+		records := records * *scale
+		var times [2]time.Duration
+		for mode, deltas := range map[int]bool{0: true, 1: false} {
+			rdir, err := os.MkdirTemp("", "wsabench_ckpt_rec")
+			must(err)
+			wsd2 := filepath.Join(rdir, "checkpoint.wsd")
+			wal2path := filepath.Join(rdir, "wal.log")
+			c2, w2, err := isql.OpenStorePaged(wsd2, wal2path, pool)
+			must(err)
+			c2.SetLogDeltas(deltas)
+			s2 := isql.FromCatalog(c2)
+			_, err = s2.ExecString("create table Lineitem (Product, Quantity, Price, Year);")
+			must(err)
+			_, err = s2.ExecString(seed.String())
+			must(err)
+			must(c2.Checkpoint(w2, wsd2)) // the WAL tail holds only the analyses
+			for i := 0; i < records; i++ {
+				if i > 0 {
+					_, err := s2.ExecString("drop table YearQuantity;")
+					must(err)
+				}
+				_, err := s2.ExecString(whatIf)
+				must(err)
+			}
+			must(w2.Close()) // crash: the analyses live only in the log
+			name := "delta"
+			if !deltas {
+				name = "stmt"
+			}
+			times[mode] = bench(fmt.Sprintf("CKPT/recovery-%s/records=%d", name, records), nil, func() {
+				c3, w3, err := isql.OpenStorePaged(wsd2, wal2path, pool)
+				must(err)
+				if got := c3.Snapshot().Version; got != c2.Snapshot().Version {
+					must(fmt.Errorf("recovery ended at v%d, want v%d", got, c2.Snapshot().Version))
+				}
+				for _, p := range c3.Pagers() {
+					must(p.Close())
+				}
+				must(w3.Close())
+			})
+			os.RemoveAll(rdir)
+		}
+		speedup := float64(times[1]) / float64(times[0])
+		fmt.Printf("recovery of %d commits: deltas %s, statements %s — %.1fx (floor 1.5x)\n",
+			records, times[0], times[1], speedup)
+		acceptRatio("delta vs statement recovery", speedup, 1.5)
+	}
 }
 
 // expAgg is the tentpole ablation for the bounded evaluator: (1) the

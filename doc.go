@@ -75,13 +75,49 @@
 // intact record prefix: an un-acked commit may be recovered (its record
 // hit disk before the crash) but an acked commit is never lost and no
 // record replays out of order. store.Open (isql.OpenStore with the
-// I-SQL replayer) recovers the last checkpoint — a .wsd snapshot
-// written via temp-file + atomic rename, durable through the directory
-// fsync — and deterministically re-executes the log tail, reproducing
-// the committed catalog byte-for-byte; torn tails are CRC-detected and
-// truncated, and checkpoints (Catalog.Checkpoint) bound replay work by
-// draining in-flight group commits and truncating the log under the
-// writer lock.
+// I-SQL replayer) recovers the last checkpoint plus the log tail,
+// reproducing the committed catalog byte-for-byte; torn tails are
+// CRC-detected and truncated, and checkpoints (Catalog.Checkpoint)
+// bound replay work by draining in-flight group commits and resetting
+// the log under the writer lock.
+//
+// # Paged storage
+//
+// The checkpoint base is a page file (internal/page, internal/bufpool,
+// store.PageStore): fixed 8 KiB CRC-framed pages holding one durable
+// object each — a certain relation, a component, the view map —
+// chained when an object outgrows a page, reached through a buffer
+// pool with LRU eviction (-pool-pages caps resident pages per shard,
+// so a catalog larger than memory still checkpoints and recovers).
+// Checkpoints are incremental and copy-on-write: only objects whose
+// content changed since the base version write pages, new page chains
+// are committed by flipping one of two meta slots (epoch-stamped,
+// CRC-guarded — a torn checkpoint leaves the previous slot intact and
+// recovery falls back to it), and the pages freed by the flip are
+// recycled into a free list so repeated checkpoints do not grow the
+// file. A checkpoint at an unchanged version is skipped entirely
+// (zero bytes written); a v1 JSON .wsd file found at the checkpoint
+// path is migrated to the page format on the first checkpoint through
+// it. Component-sharded catalogs write one page file per shard
+// (checkpoint.wsd, checkpoint.wsd.s1, ...) with the coordinator file
+// committed last, so a crash between shard files recovers a
+// consistent mixed-epoch merge healed by WAL replay.
+//
+// WAL records additionally carry page deltas (store.CommitDelta): the
+// commit's durable effect — touched certain relations, upserted and
+// dropped components by stable ID, view and schema changes — computed
+// on the commit path by pointer/shape diffing of the copy-on-write
+// snapshots. Small edits log tuple-level patches (a single-row insert
+// carries one tuple, not the relation), keeping records O(edit) on
+// insert-heavy workloads. Recovery replays deltas by patching the
+// decomposition directly — time proportional to the touched data,
+// skipping parse, compile, the rewrite search and query evaluation —
+// and falls back to deterministic statement re-execution for records
+// without a delta or whose patch does not match the replay state
+// (wsabench's CKPT family gates both the incremental-write and the
+// delta-replay floors). Catalog.DurabilityStats feeds the /metrics
+// durability gauges: checkpoint age, on-disk bytes, WAL tail depth,
+// checkpoint and buffer-pool counters per shard.
 //
 // PREPARE parses a statement once — optionally with $1..$N
 // placeholders — into a PlanCache shared across sessions; EXECUTE binds

@@ -1,0 +1,229 @@
+// Package bufpool is the buffer pool of the paged storage engine: a
+// fixed set of in-memory page frames over a backing page file, with
+// pin/unpin reference counting, clock (second-chance) eviction and
+// dirty tracking. The catalog's page store reads object chains through
+// the pool — a catalog larger than the pool still loads, it just pays
+// backend reads for the cold pages — and stages checkpoint writes as
+// dirty frames that FlushDirty pushes to the backend in one sorted
+// sweep (eviction under memory pressure writes dirty victims through
+// early, which is safe: checkpoint commit is the meta-slot write, not
+// the data write).
+package bufpool
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is the page I/O the pool caches. Page ids are frame indexes
+// into the backing file; reads and writes are whole-page.
+type Backend interface {
+	ReadPage(id uint64, buf []byte) error
+	WritePage(id uint64, buf []byte) error
+}
+
+// Stats is a point-in-time copy of the pool's counters.
+type Stats struct {
+	Hits        uint64 // Get served from a resident frame
+	Misses      uint64 // Get that read through to the backend
+	Evictions   uint64 // frames recycled by the clock hand
+	DirtyWrites uint64 // dirty frames written back on eviction
+}
+
+// Pool is a fixed-capacity page cache. Safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	be   Backend
+	size int // page size in bytes
+	cap  int // max resident frames
+
+	frames map[uint64]*Frame
+	ring   []*Frame // clock order (append-only up to cap)
+	hand   int
+
+	hits, misses, evictions, dirtyWrites atomic.Uint64
+}
+
+// Frame is one resident page, pinned by the caller until Release. The
+// buffer must not be touched after Release.
+type Frame struct {
+	pool  *Pool
+	id    uint64
+	buf   []byte
+	pins  int
+	ref   bool // clock reference bit
+	dirty bool
+}
+
+// New returns a pool of capPages frames of pageSize bytes each over be.
+// Capacity is clamped to at least 2 (a chain walk pins one frame while
+// acquiring the next).
+func New(be Backend, capPages, pageSize int) *Pool {
+	if capPages < 2 {
+		capPages = 2
+	}
+	return &Pool{be: be, size: pageSize, cap: capPages, frames: map[uint64]*Frame{}}
+}
+
+// Cap reports the pool's frame capacity.
+func (p *Pool) Cap() int { return p.cap }
+
+// Get pins the frame holding page id, reading it from the backend when
+// not resident. The caller must Release it.
+func (p *Pool) Get(id uint64) (*Frame, error) {
+	p.mu.Lock()
+	if fr, ok := p.frames[id]; ok {
+		fr.pins++
+		fr.ref = true
+		p.hits.Add(1)
+		p.mu.Unlock()
+		return fr, nil
+	}
+	// The backend read stays under the lock: releasing it would let a
+	// concurrent Get of the same id find the frame mapped but unfilled.
+	// Reads are page-sized and the pool serves single-flighted paths
+	// (recovery, checkpoint), so the serialization is not a bottleneck.
+	fr, err := p.acquire(id)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.misses.Add(1)
+	if err := p.be.ReadPage(id, fr.buf); err != nil {
+		p.drop(fr)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("bufpool: reading page %d: %w", id, err)
+	}
+	p.mu.Unlock()
+	return fr, nil
+}
+
+// NewFrame pins a frame for page id without reading the backend — the
+// caller is about to overwrite the whole page (checkpoint writes to
+// freshly allocated pages). The buffer contents are unspecified until
+// written. The caller must Release it.
+func (p *Pool) NewFrame(id uint64) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[id]; ok {
+		fr.pins++
+		fr.ref = true
+		fr.dirty = false
+		return fr, nil
+	}
+	return p.acquire(id)
+}
+
+// acquire returns a pinned frame mapped to id, evicting if the pool is
+// full. Caller holds p.mu.
+func (p *Pool) acquire(id uint64) (*Frame, error) {
+	if len(p.ring) < p.cap {
+		fr := &Frame{pool: p, id: id, buf: make([]byte, p.size), pins: 1, ref: true}
+		p.ring = append(p.ring, fr)
+		p.frames[id] = fr
+		return fr, nil
+	}
+	// Clock sweep: skip pinned frames, give referenced frames a second
+	// chance, take the first unreferenced unpinned victim. Two full
+	// sweeps without a victim means every frame is pinned.
+	for scanned := 0; scanned < 2*len(p.ring); scanned++ {
+		fr := p.ring[p.hand]
+		p.hand = (p.hand + 1) % len(p.ring)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		if fr.dirty {
+			if err := p.be.WritePage(fr.id, fr.buf); err != nil {
+				return nil, fmt.Errorf("bufpool: writing back evicted page %d: %w", fr.id, err)
+			}
+			fr.dirty = false
+			p.dirtyWrites.Add(1)
+		}
+		p.evictions.Add(1)
+		delete(p.frames, fr.id)
+		fr.id = id
+		fr.pins = 1
+		fr.ref = true
+		p.frames[id] = fr
+		return fr, nil
+	}
+	return nil, fmt.Errorf("bufpool: all %d frames pinned", p.cap)
+}
+
+// drop unmaps a frame after a failed backend read. Caller holds p.mu;
+// the frame keeps its ring slot and becomes an immediate eviction
+// candidate.
+func (p *Pool) drop(fr *Frame) {
+	fr.pins = 0
+	fr.ref = false
+	fr.dirty = false
+	delete(p.frames, fr.id)
+}
+
+// Data returns the frame's page buffer. Valid until Release.
+func (f *Frame) Data() []byte { return f.buf }
+
+// ID returns the page id the frame holds.
+func (f *Frame) ID() uint64 { return f.id }
+
+// MarkDirty flags the frame for write-back (FlushDirty, or eviction).
+func (f *Frame) MarkDirty() {
+	f.pool.mu.Lock()
+	f.dirty = true
+	f.pool.mu.Unlock()
+}
+
+// Release unpins the frame.
+func (f *Frame) Release() {
+	f.pool.mu.Lock()
+	if f.pins > 0 {
+		f.pins--
+	}
+	f.pool.mu.Unlock()
+}
+
+// FlushDirty writes every dirty frame to the backend in ascending page
+// order (one sequential sweep for the checkpoint's dirty set) and
+// clears their dirty bits. Pinned frames flush too — the pin protects
+// residency, not write-back.
+func (p *Pool) FlushDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dirty []*Frame
+	for _, fr := range p.frames {
+		if fr.dirty {
+			dirty = append(dirty, fr)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	for _, fr := range dirty {
+		if err := p.be.WritePage(fr.id, fr.buf); err != nil {
+			return fmt.Errorf("bufpool: flushing page %d: %w", fr.id, err)
+		}
+		fr.dirty = false
+	}
+	return nil
+}
+
+// Resident reports how many frames are currently mapped.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		Evictions:   p.evictions.Load(),
+		DirtyWrites: p.dirtyWrites.Load(),
+	}
+}

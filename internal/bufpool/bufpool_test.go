@@ -1,0 +1,179 @@
+package bufpool
+
+import (
+	"fmt"
+	"testing"
+)
+
+// memBackend is an in-memory page array tracking I/O counts.
+type memBackend struct {
+	pages       map[uint64][]byte
+	size        int
+	reads       int
+	writes      int
+	failWrites  bool
+	missingRead bool
+}
+
+func newMem(size int) *memBackend { return &memBackend{pages: map[uint64][]byte{}, size: size} }
+
+func (m *memBackend) ReadPage(id uint64, buf []byte) error {
+	m.reads++
+	pg, ok := m.pages[id]
+	if !ok {
+		if m.missingRead {
+			return fmt.Errorf("no page %d", id)
+		}
+		pg = make([]byte, m.size)
+	}
+	copy(buf, pg)
+	return nil
+}
+
+func (m *memBackend) WritePage(id uint64, buf []byte) error {
+	m.writes++
+	if m.failWrites {
+		return fmt.Errorf("write failure injected")
+	}
+	m.pages[id] = append([]byte{}, buf...)
+	return nil
+}
+
+func TestGetReadThroughAndHit(t *testing.T) {
+	be := newMem(64)
+	be.pages[3] = []byte("hello")
+	p := New(be, 4, 64)
+	fr, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fr.Data()[:5]) != "hello" {
+		t.Fatalf("read-through data: %q", fr.Data()[:5])
+	}
+	fr.Release()
+	if _, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if be.reads != 1 {
+		t.Fatalf("backend reads = %d, want 1", be.reads)
+	}
+}
+
+func TestClockEviction(t *testing.T) {
+	be := newMem(8)
+	p := New(be, 2, 8)
+	for id := uint64(0); id < 6; id++ {
+		fr, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}
+	st := p.Stats()
+	if st.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", st.Evictions)
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", p.Resident())
+	}
+}
+
+func TestPinnedFramesAreNotEvicted(t *testing.T) {
+	be := newMem(8)
+	p := New(be, 2, 8)
+	a, _ := p.Get(1)
+	b, _ := p.Get(2)
+	if _, err := p.Get(3); err == nil {
+		t.Fatal("Get succeeded with every frame pinned")
+	}
+	b.Release()
+	fr, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+	a.Release()
+	// Frame for id 1 must still be resident (it was pinned through the
+	// eviction of 2).
+	fr, err = p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+	if got := p.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1 (id 1 must have stayed resident)", got)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	be := newMem(8)
+	p := New(be, 2, 8)
+	fr, _ := p.NewFrame(1)
+	copy(fr.Data(), "dirty!")
+	fr.MarkDirty()
+	fr.Release()
+	// Force eviction of page 1.
+	for id := uint64(2); id <= 4; id++ {
+		f, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if string(be.pages[1][:6]) != "dirty!" {
+		t.Fatal("dirty page not written back on eviction")
+	}
+	if st := p.Stats(); st.DirtyWrites != 1 {
+		t.Fatalf("dirty writes = %d, want 1", st.DirtyWrites)
+	}
+}
+
+func TestFlushDirtySortedSweep(t *testing.T) {
+	be := newMem(8)
+	p := New(be, 8, 8)
+	for _, id := range []uint64{5, 2, 9} {
+		fr, err := p.NewFrame(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(id)
+		fr.MarkDirty()
+		fr.Release()
+	}
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uint64{2, 5, 9} {
+		if be.pages[id][0] != byte(id) {
+			t.Fatalf("page %d not flushed", id)
+		}
+	}
+	if be.writes != 3 {
+		t.Fatalf("backend writes = %d, want 3", be.writes)
+	}
+	// Second flush is a no-op: dirty bits cleared.
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if be.writes != 3 {
+		t.Fatalf("re-flush wrote %d extra pages", be.writes-3)
+	}
+}
+
+func TestNewFrameDoesNotReadBackend(t *testing.T) {
+	be := newMem(8)
+	be.missingRead = true
+	p := New(be, 4, 8)
+	fr, err := p.NewFrame(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+	if be.reads != 0 {
+		t.Fatalf("NewFrame issued %d backend reads", be.reads)
+	}
+}

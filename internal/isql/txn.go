@@ -199,3 +199,15 @@ func OpenStore(wsdPath, walPath string) (*store.Catalog, *store.WAL, error) {
 func OpenStoreSharded(wsdPath, walDir string, nshards int) (*store.Catalog, []*store.WAL, error) {
 	return store.OpenSharded(wsdPath, walDir, nshards, ReplayRecord)
 }
+
+// OpenStorePaged is OpenStore with an explicit buffer-pool capacity (in
+// pages) for the page-file checkpoint base.
+func OpenStorePaged(wsdPath, walPath string, poolPages int) (*store.Catalog, *store.WAL, error) {
+	return store.OpenPaged(wsdPath, walPath, ReplayRecord, poolPages)
+}
+
+// OpenStoreShardedPaged is OpenStoreSharded with an explicit per-shard
+// buffer-pool capacity.
+func OpenStoreShardedPaged(wsdPath, walDir string, nshards, poolPages int) (*store.Catalog, []*store.WAL, error) {
+	return store.OpenShardedPaged(wsdPath, walDir, nshards, ReplayRecord, poolPages)
+}

@@ -75,6 +75,29 @@ func (p *Prom) Histogram(name, help, labels string, s HistSnapshot) {
 	sample(&p.buf, name+"_count", labels, strconv.FormatUint(s.Count, 10))
 }
 
+// HistogramRaw emits one histogram series whose observations are raw
+// unit counts (bytes, pages, rows) rather than durations: bucket bounds
+// and the sum are reported in the recorded unit instead of being scaled
+// to seconds. The snapshot must come from a Histogram that observed
+// raw values cast to time.Duration.
+func (p *Prom) HistogramRaw(name, help, labels string, s HistSnapshot) {
+	p.header(name, help, "histogram")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i := 0; i < histBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := strconv.FormatInt(int64(BucketBound(i))+1, 10)
+		sample(&p.buf, name+"_bucket", labels+sep+`le="`+le+`"`, strconv.FormatUint(cum, 10))
+	}
+	cum += s.Buckets[histBuckets-1]
+	sample(&p.buf, name+"_bucket", labels+sep+`le="+Inf"`, strconv.FormatUint(cum, 10))
+	sample(&p.buf, name+"_sum", labels, strconv.FormatUint(s.SumNs, 10))
+	sample(&p.buf, name+"_count", labels, strconv.FormatUint(s.Count, 10))
+}
+
 // Bytes returns the accumulated exposition text.
 func (p *Prom) Bytes() []byte { return p.buf.Bytes() }
 

@@ -1,0 +1,143 @@
+// Package page defines the fixed-size on-disk page frame of the paged
+// storage engine (format v2). A page file is an array of Size-byte
+// frames; every frame carries a small header — kind, payload length,
+// the id of the next page in its chain, and a CRC over header and
+// payload — so torn or garbage frames are detected on read and an
+// object larger than one page is stored as a singly linked page chain.
+//
+// The package is deliberately dumb: it frames bytes, nothing more.
+// Allocation, chains, directories and checkpoint atomicity live in
+// internal/store's PageStore; caching and eviction in internal/bufpool.
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// Size is the fixed page size in bytes.
+	Size = 8192
+	// HeaderLen is the framing overhead per page: kind (1 byte), three
+	// reserved padding bytes, payload length (4), next page id (8) and
+	// CRC-32 (4).
+	HeaderLen = 20
+	// MaxPayload is the payload capacity of one page.
+	MaxPayload = Size - HeaderLen
+)
+
+// Kind tags what a page holds.
+type Kind uint8
+
+const (
+	// KindFree marks an unused frame (also the zero value of fresh
+	// file space, which never carries a valid CRC).
+	KindFree Kind = iota
+	// KindMeta is one of the two alternating checkpoint-commit slots
+	// (pages 0 and 1 of a page file).
+	KindMeta
+	// KindDir is a directory chain page: the object table of one
+	// durable checkpoint epoch.
+	KindDir
+	// KindData is an object chain page: certain-relation rows or
+	// component alternatives.
+	KindData
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFree:
+		return "free"
+	case KindMeta:
+		return "meta"
+	case KindDir:
+		return "dir"
+	case KindData:
+		return "data"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Layout of a frame:
+//
+//	[0]     kind
+//	[1:4]   reserved (zero)
+//	[4:8]   payload length, little endian
+//	[8:16]  next page id, little endian (0 = end of chain; page 0 is a
+//	        meta slot and can never be chain-linked)
+//	[16:20] CRC-32 (IEEE) of bytes [0:16] and the payload
+//	[20:]   payload
+const (
+	offKind    = 0
+	offLen     = 4
+	offNext    = 8
+	offCRC     = 16
+	offPayload = HeaderLen
+)
+
+// Encode frames payload into buf (which must be exactly Size bytes):
+// header, CRC, payload, zero fill. The payload must fit MaxPayload.
+func Encode(buf []byte, kind Kind, next uint64, payload []byte) error {
+	if len(buf) != Size {
+		return fmt.Errorf("page: Encode into %d-byte buffer (want %d)", len(buf), Size)
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("page: %d-byte payload exceeds page capacity %d", len(payload), MaxPayload)
+	}
+	buf[offKind] = byte(kind)
+	buf[1], buf[2], buf[3] = 0, 0, 0
+	binary.LittleEndian.PutUint32(buf[offLen:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[offNext:], next)
+	copy(buf[offPayload:], payload)
+	for i := offPayload + len(payload); i < Size; i++ {
+		buf[i] = 0
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(buf[:offCRC])
+	crc.Write(buf[offPayload : offPayload+len(payload)])
+	binary.LittleEndian.PutUint32(buf[offCRC:], crc.Sum32())
+	return nil
+}
+
+// Decode validates the frame in buf and returns its kind, next pointer
+// and payload. The payload aliases buf — callers that outlive the
+// buffer must copy. A CRC mismatch (torn write, garbage, or a
+// never-written frame) is an error.
+func Decode(buf []byte) (Kind, uint64, []byte, error) {
+	if len(buf) != Size {
+		return 0, 0, nil, fmt.Errorf("page: Decode of %d-byte buffer (want %d)", len(buf), Size)
+	}
+	n := binary.LittleEndian.Uint32(buf[offLen:])
+	if n > MaxPayload {
+		return 0, 0, nil, fmt.Errorf("page: payload length %d exceeds capacity %d", n, MaxPayload)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(buf[:offCRC])
+	crc.Write(buf[offPayload : offPayload+int(n)])
+	if got, want := binary.LittleEndian.Uint32(buf[offCRC:]), crc.Sum32(); got != want {
+		return 0, 0, nil, fmt.Errorf("page: CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	kind := Kind(buf[offKind])
+	next := binary.LittleEndian.Uint64(buf[offNext:])
+	return kind, next, buf[offPayload : offPayload+int(n)], nil
+}
+
+// Chunks splits an object's bytes into per-page payloads. Every object
+// occupies at least one page, so an empty object still gets a frame
+// (its directory entry needs a head page to point at).
+func Chunks(data []byte) [][]byte {
+	if len(data) == 0 {
+		return [][]byte{nil}
+	}
+	var out [][]byte
+	for len(data) > 0 {
+		n := len(data)
+		if n > MaxPayload {
+			n = MaxPayload
+		}
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package page
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	buf := make([]byte, Size)
+	payload := []byte(`{"hello":"world"}`)
+	if err := Encode(buf, KindData, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, next, got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindData || next != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: kind=%v next=%d payload=%q", kind, next, got)
+	}
+}
+
+func TestDecodeEmptyPayload(t *testing.T) {
+	buf := make([]byte, Size)
+	if err := Encode(buf, KindDir, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	kind, next, got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindDir || next != 0 || len(got) != 0 {
+		t.Fatalf("empty round trip: kind=%v next=%d len=%d", kind, next, len(got))
+	}
+}
+
+func TestEncodeRejectsOversizedPayload(t *testing.T) {
+	buf := make([]byte, Size)
+	if err := Encode(buf, KindData, 0, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := Encode(buf, KindData, 0, make([]byte, MaxPayload)); err != nil {
+		t.Fatalf("max payload rejected: %v", err)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	buf := make([]byte, Size)
+	if err := Encode(buf, KindData, 7, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit.
+	buf[offPayload] ^= 1
+	if _, _, _, err := Decode(buf); err == nil {
+		t.Fatal("corrupt payload decoded")
+	}
+	buf[offPayload] ^= 1
+	// Flip a header bit (the next pointer).
+	buf[offNext] ^= 1
+	if _, _, _, err := Decode(buf); err == nil {
+		t.Fatal("corrupt header decoded")
+	}
+}
+
+func TestDecodeRejectsZeroFrame(t *testing.T) {
+	// A never-written frame is all zeros; its CRC field (0) must not
+	// accidentally validate. CRC-32 IEEE of 16 zero bytes is nonzero.
+	if _, _, _, err := Decode(make([]byte, Size)); err == nil {
+		t.Fatal("all-zero frame decoded as valid")
+	}
+}
+
+func TestChunks(t *testing.T) {
+	if got := Chunks(nil); len(got) != 1 || got[0] != nil {
+		t.Fatalf("empty object: %v", got)
+	}
+	data := make([]byte, MaxPayload*2+5)
+	got := Chunks(data)
+	if len(got) != 3 || len(got[0]) != MaxPayload || len(got[1]) != MaxPayload || len(got[2]) != 5 {
+		t.Fatalf("chunk sizes: %d %d", len(got), len(got[len(got)-1]))
+	}
+	if got = Chunks(make([]byte, MaxPayload)); len(got) != 1 {
+		t.Fatalf("exact-fit object split into %d chunks", len(got))
+	}
+}

@@ -1,0 +1,536 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/wsd"
+)
+
+// WAL page-delta records. A commit's WAL record historically carried
+// only the SQL statements; recovery re-executed them through the engine
+// (O(query cost) per record). A CommitDelta captures the commit's
+// effect on durable state instead — which certain relations changed,
+// which components (by stable ID) were upserted or dropped, view and
+// schema changes — so store.Open can replay a record by patching the
+// decomposition directly, in time proportional to the touched data.
+// Statements stay in the record as provenance and as the fallback for
+// records written before deltas existed.
+//
+// The delta is computed on the commit path by pointer/shape diffing
+// (see wsd.SameComponentShape): copy-on-write edits share
+// *relation.Relation values for untouched data, so the diff never
+// compares tuples. A false positive (rebuilt relation with equal
+// content) only makes the record larger, never wrong.
+
+// CommitDelta is the durable description of one commit's effect.
+type CommitDelta struct {
+	// Full marks a whole-snapshot delta: Names/Schemas/Certain/Upserts
+	// describe the complete post-commit state, not a patch. Used for
+	// schema changes (renames and drops make index-based patching
+	// ambiguous) and as the safety fallback when components lack IDs.
+	Full bool `json:"full,omitempty"`
+
+	// Names and Schemas are set only on Full deltas.
+	Names   []string   `json:"names,omitempty"`
+	Schemas [][]string `json:"schemas,omitempty"`
+
+	// Certain maps relation name → complete post-commit tuple set for
+	// each certain relation the commit touched (every relation, on Full
+	// deltas — empty ones omitted).
+	Certain map[string][]jsonTuple `json:"certain,omitempty"`
+
+	// Patch maps relation name → tuple-level edit for touched certain
+	// relations whose change is a small fraction of their rows. A
+	// single-row insert into an n-row relation logs one tuple instead
+	// of n — without this, insert-heavy workloads pay O(n) delta encode
+	// per commit and O(n) decode per replayed record, and past a few
+	// dozen rows that costs more than re-executing the statement.
+	// Relations are tuple sets (serialization sorts), so an edit list
+	// replays to byte-identical state. Never set on Full deltas.
+	Patch map[string]*relPatch `json:"patch,omitempty"`
+
+	// Upserts carries every created or modified component, keyed by
+	// stable ID, in post-commit order. Drops lists IDs of components
+	// the commit removed, in pre-commit order.
+	Upserts []deltaComp `json:"upserts,omitempty"`
+	Drops   []uint64    `json:"drops,omitempty"`
+
+	// Order overrides the derived component order (base order with
+	// drops removed, upserts substituted in place and new components
+	// appended) when the commit reordered components beyond that rule.
+	Order []uint64 `json:"order,omitempty"`
+
+	// ViewsChanged/Views carry the complete post-commit view map when
+	// the commit changed it (a nil-vs-empty distinction plain omitempty
+	// cannot express).
+	ViewsChanged bool              `json:"vch,omitempty"`
+	Views        map[string]string `json:"views,omitempty"`
+}
+
+type deltaComp struct {
+	ID   uint64            `json:"id"`
+	Alts []jsonAlternative `json:"alts"`
+}
+
+// relPatch is a tuple-level edit to one certain relation: Ins are the
+// tuples the commit added, Del the tuples it removed (both sorted for
+// deterministic record bytes).
+type relPatch struct {
+	Ins []jsonTuple `json:"ins,omitempty"`
+	Del []jsonTuple `json:"del,omitempty"`
+}
+
+// diffRelation computes a tuple-level patch base → next, or nil when a
+// whole-relation capture is the better encoding. The budget is a
+// quarter of the larger side's rows: below it the patch is strictly
+// smaller than the capture; above it (bulk loads, rewrites) the
+// capture costs about the same and skips the membership probes. The
+// probe pass bails out as soon as the budget is exceeded, so the diff
+// costs O(n) hash lookups, never O(n) encodes.
+func diffRelation(base, next *relation.Relation) *relPatch {
+	if base == nil || next == nil {
+		return nil
+	}
+	budget := next.Len() / 4
+	if b := base.Len() / 4; b > budget {
+		budget = b
+	}
+	if budget == 0 {
+		return nil
+	}
+	var ins, del []relation.Tuple
+	over := false
+	next.Each(func(t relation.Tuple) {
+		if over || base.Contains(t) {
+			return
+		}
+		ins = append(ins, t)
+		over = len(ins) > budget
+	})
+	if over {
+		return nil
+	}
+	// |base ∩ next| = next.Len() - len(ins), so the deletion count is
+	// known before probing for the deleted tuples themselves.
+	nDel := base.Len() - (next.Len() - len(ins))
+	if len(ins)+nDel > budget {
+		return nil
+	}
+	if nDel > 0 {
+		base.Each(func(t relation.Tuple) {
+			if !next.Contains(t) {
+				del = append(del, t)
+			}
+		})
+	}
+	return &relPatch{Ins: encodeTuples(ins), Del: encodeTuples(del)}
+}
+
+// encodeTuples encodes an edit list in sorted order.
+func encodeTuples(ts []relation.Tuple) []jsonTuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	out := make([]jsonTuple, len(ts))
+	for i, t := range ts {
+		out[i] = encodeTuple(t)
+	}
+	return out
+}
+
+// decodeDelta parses a delta's raw JSON with UseNumber so tuple cells
+// decode as json.Number (decodeValue's integer/float discrimination
+// depends on it).
+func decodeDelta(raw []byte) (*CommitDelta, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var d CommitDelta
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decoding commit delta: %w", err)
+	}
+	return &d, nil
+}
+
+func sameSchema(a, b *wsd.DecompDB) bool {
+	if len(a.Names) != len(b.Names) {
+		return false
+	}
+	for i := range a.Names {
+		if a.Names[i] != b.Names[i] {
+			return false
+		}
+		as, bs := a.Schemas[i], b.Schemas[i]
+		if len(as) != len(bs) {
+			return false
+		}
+		for j := range as {
+			if as[j] != bs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameViews(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fullDelta encodes next as a whole-snapshot delta.
+func fullDelta(next *Snapshot) *CommitDelta {
+	d := &CommitDelta{Full: true, Names: append([]string{}, next.DB.Names...), ViewsChanged: true, Views: next.Views}
+	for _, s := range next.DB.Schemas {
+		d.Schemas = append(d.Schemas, []string(s))
+	}
+	for i, r := range next.DB.Certain {
+		if r == nil || r.Len() == 0 {
+			continue
+		}
+		if d.Certain == nil {
+			d.Certain = map[string][]jsonTuple{}
+		}
+		d.Certain[next.DB.Names[i]] = encodeRelation(r)
+	}
+	for _, c := range next.DB.Components {
+		d.Upserts = append(d.Upserts, deltaComp{ID: c.ID, Alts: encodeAlternatives(next.DB.Names, c)})
+	}
+	return d
+}
+
+// diffSnapshots computes the delta carrying base → next. Component IDs
+// must already be assigned on next (commitLocked assigns before
+// diffing); a component without one forces a Full delta.
+func diffSnapshots(base, next *Snapshot) *CommitDelta {
+	if !sameSchema(base.DB, next.DB) {
+		return fullDelta(next)
+	}
+	for i := range next.DB.Components {
+		if next.DB.Components[i].ID == 0 {
+			return fullDelta(next)
+		}
+	}
+	baseByID := map[uint64]int{}
+	for i := range base.DB.Components {
+		id := base.DB.Components[i].ID
+		if id == 0 {
+			return fullDelta(next)
+		}
+		baseByID[id] = i
+	}
+
+	d := &CommitDelta{}
+	for i := range next.DB.Certain {
+		if next.DB.Certain[i] == base.DB.Certain[i] {
+			continue
+		}
+		if p := diffRelation(base.DB.Certain[i], next.DB.Certain[i]); p != nil {
+			if d.Patch == nil {
+				d.Patch = map[string]*relPatch{}
+			}
+			d.Patch[next.DB.Names[i]] = p
+			continue
+		}
+		if d.Certain == nil {
+			d.Certain = map[string][]jsonTuple{}
+		}
+		d.Certain[next.DB.Names[i]] = encodeRelation(next.DB.Certain[i])
+	}
+
+	nextIDs := map[uint64]bool{}
+	for _, c := range next.DB.Components {
+		nextIDs[c.ID] = true
+		if bi, ok := baseByID[c.ID]; ok && wsd.SameComponentShape(base.DB.Components[bi], c) {
+			continue
+		}
+		d.Upserts = append(d.Upserts, deltaComp{ID: c.ID, Alts: encodeAlternatives(next.DB.Names, c)})
+	}
+	for _, c := range base.DB.Components {
+		if !nextIDs[c.ID] {
+			d.Drops = append(d.Drops, c.ID)
+		}
+	}
+
+	// Derived order: base order minus drops, new IDs appended in upsert
+	// order. Record an explicit order only when next deviates.
+	derived := deriveOrder(base.DB, d)
+	actual := make([]uint64, len(next.DB.Components))
+	for i := range next.DB.Components {
+		actual[i] = next.DB.Components[i].ID
+	}
+	if !sameIDSeq(derived, actual) {
+		d.Order = actual
+	}
+
+	if !sameViews(base.Views, next.Views) {
+		d.ViewsChanged = true
+		d.Views = next.Views
+	}
+	return d
+}
+
+// diffShard computes the routed delta for a sharded commit: certain
+// relations homed at a participant shard whose pointer changed, plus
+// write-set components (by stable ID) that changed shape or dropped.
+// Routed commits never create components, change schema or views, so
+// the delta mirrors applyShardDiff exactly — replaying it with
+// applyDelta's in-place substitution rule reproduces the merge.
+func diffShard(base, next *wsd.DecompDB, nshards int, ps []int, wset map[uint64]bool) *CommitDelta {
+	inP := map[int]bool{}
+	for _, p := range ps {
+		inP[p] = true
+	}
+	d := &CommitDelta{}
+	for i := range base.Certain {
+		if !inP[shardOfName(base.Names[i], nshards)] || next.Certain[i] == base.Certain[i] {
+			continue
+		}
+		if p := diffRelation(base.Certain[i], next.Certain[i]); p != nil {
+			if d.Patch == nil {
+				d.Patch = map[string]*relPatch{}
+			}
+			d.Patch[base.Names[i]] = p
+			continue
+		}
+		if d.Certain == nil {
+			d.Certain = map[string][]jsonTuple{}
+		}
+		d.Certain[base.Names[i]] = encodeRelation(next.Certain[i])
+	}
+	baseByID := map[uint64]int{}
+	for i := range base.Components {
+		baseByID[base.Components[i].ID] = i
+	}
+	nextIDs := map[uint64]bool{}
+	for _, c := range next.Components {
+		if !wset[c.ID] {
+			continue
+		}
+		nextIDs[c.ID] = true
+		if bi, ok := baseByID[c.ID]; ok && wsd.SameComponentShape(base.Components[bi], c) {
+			continue
+		}
+		d.Upserts = append(d.Upserts, deltaComp{ID: c.ID, Alts: encodeAlternatives(base.Names, c)})
+	}
+	for _, c := range base.Components {
+		if wset[c.ID] && !nextIDs[c.ID] {
+			d.Drops = append(d.Drops, c.ID)
+		}
+	}
+	return d
+}
+
+func deriveOrder(base *wsd.DecompDB, d *CommitDelta) []uint64 {
+	dropped := map[uint64]bool{}
+	for _, id := range d.Drops {
+		dropped[id] = true
+	}
+	inBase := map[uint64]bool{}
+	var out []uint64
+	for _, c := range base.Components {
+		inBase[c.ID] = true
+		if !dropped[c.ID] {
+			out = append(out, c.ID)
+		}
+	}
+	for _, u := range d.Upserts {
+		if !inBase[u.ID] {
+			out = append(out, u.ID)
+		}
+	}
+	return out
+}
+
+func sameIDSeq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isEmpty reports whether the delta carries no change at all (a commit
+// whose statements had no durable effect).
+func (d *CommitDelta) isEmpty() bool {
+	return !d.Full && len(d.Certain) == 0 && len(d.Patch) == 0 &&
+		len(d.Upserts) == 0 && len(d.Drops) == 0 && len(d.Order) == 0 && !d.ViewsChanged
+}
+
+// applyDelta patches (db, views) with d and returns the post-commit
+// decomposition and view map. The inputs are never mutated; untouched
+// relations and components are shared by pointer, exactly like the
+// engine's own copy-on-write edits. The result is NOT re-normalized —
+// the writer's state already was, and skipping it keeps replayed
+// snapshots byte-identical to the originals.
+func applyDelta(db *wsd.DecompDB, views map[string]string, d *CommitDelta) (*wsd.DecompDB, map[string]string, error) {
+	if d.Full {
+		return applyFullDelta(d)
+	}
+	out := wsd.NewDecompDB(db.Names, db.Schemas)
+	copy(out.Certain, db.Certain)
+	for name, rows := range d.Certain {
+		ri := out.IndexOf(name)
+		if ri < 0 {
+			return nil, nil, fmt.Errorf("store: delta touches unknown relation %q", name)
+		}
+		rel, err := decodeRelation(out.Schemas[ri], rows)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: delta relation %q: %w", name, err)
+		}
+		out.Certain[ri] = rel
+	}
+	for name, p := range d.Patch {
+		ri := out.IndexOf(name)
+		if ri < 0 {
+			return nil, nil, fmt.Errorf("store: delta patches unknown relation %q", name)
+		}
+		rel, err := applyPatch(out.Certain[ri], out.Schemas[ri], p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: delta patch for %q: %w", name, err)
+		}
+		out.Certain[ri] = rel
+	}
+
+	dropped := map[uint64]bool{}
+	for _, id := range d.Drops {
+		dropped[id] = true
+	}
+	upserts := map[uint64]wsd.DBComponent{}
+	for _, u := range d.Upserts {
+		alts, err := decodeAlternatives(out, u.Alts, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: delta component %d: %w", u.ID, err)
+		}
+		upserts[u.ID] = wsd.DBComponent{ID: u.ID, Alternatives: alts}
+	}
+
+	inBase := map[uint64]bool{}
+	out.Components = make([]wsd.DBComponent, 0, len(db.Components)+len(d.Upserts))
+	for _, c := range db.Components {
+		inBase[c.ID] = true
+		if dropped[c.ID] {
+			continue
+		}
+		if nc, ok := upserts[c.ID]; ok {
+			out.Components = append(out.Components, nc)
+			continue
+		}
+		out.Components = append(out.Components, c)
+	}
+	for _, u := range d.Upserts {
+		if !inBase[u.ID] {
+			out.Components = append(out.Components, upserts[u.ID])
+		}
+	}
+
+	if len(d.Order) > 0 {
+		byID := map[uint64]wsd.DBComponent{}
+		for _, c := range out.Components {
+			byID[c.ID] = c
+		}
+		if len(d.Order) != len(out.Components) {
+			return nil, nil, fmt.Errorf("store: delta order lists %d components, state has %d", len(d.Order), len(out.Components))
+		}
+		reordered := make([]wsd.DBComponent, 0, len(d.Order))
+		for _, id := range d.Order {
+			c, ok := byID[id]
+			if !ok {
+				return nil, nil, fmt.Errorf("store: delta order references unknown component %d", id)
+			}
+			reordered = append(reordered, c)
+		}
+		out.Components = reordered
+	}
+
+	if d.ViewsChanged {
+		views = copyViews(d.Views)
+	}
+	return out, views, nil
+}
+
+// applyPatch replays a tuple-level edit against the replay state's
+// copy of the relation. A deletion of a missing tuple or an insertion
+// of a present one means the patch was diffed against a different base
+// than the one being replayed — that is an error (the caller falls
+// back to statement re-execution), never a silent divergence.
+func applyPatch(base *relation.Relation, schema relation.Schema, p *relPatch) (*relation.Relation, error) {
+	var rel *relation.Relation
+	if base == nil {
+		rel = relation.New(schema)
+	} else {
+		rel = base.Clone()
+	}
+	for _, row := range p.Del {
+		t, err := decodeTuple(schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Delete(t) {
+			return nil, fmt.Errorf("deleted tuple %v not in replay state", t)
+		}
+	}
+	for _, row := range p.Ins {
+		t, err := decodeTuple(schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if !rel.Insert(t) {
+			return nil, fmt.Errorf("inserted tuple %v already in replay state", t)
+		}
+	}
+	return rel, nil
+}
+
+func applyFullDelta(d *CommitDelta) (*wsd.DecompDB, map[string]string, error) {
+	schemas := make([]relation.Schema, len(d.Schemas))
+	for i, s := range d.Schemas {
+		schemas[i] = relation.NewSchema(s...)
+	}
+	if len(d.Names) != len(schemas) {
+		return nil, nil, fmt.Errorf("store: full delta has %d names, %d schemas", len(d.Names), len(schemas))
+	}
+	out := wsd.NewDecompDB(d.Names, schemas)
+	for name, rows := range d.Certain {
+		ri := out.IndexOf(name)
+		if ri < 0 {
+			return nil, nil, fmt.Errorf("store: full delta touches unknown relation %q", name)
+		}
+		rel, err := decodeRelation(out.Schemas[ri], rows)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: full delta relation %q: %w", name, err)
+		}
+		out.Certain[ri] = rel
+	}
+	for _, u := range d.Upserts {
+		alts, err := decodeAlternatives(out, u.Alts, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: full delta component %d: %w", u.ID, err)
+		}
+		out.Components = append(out.Components, wsd.DBComponent{ID: u.ID, Alternatives: alts})
+	}
+	return out, copyViews(d.Views), nil
+}
+
+func copyViews(v map[string]string) map[string]string {
+	out := make(map[string]string, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}

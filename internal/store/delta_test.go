@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsd"
+)
+
+// deltaDB builds a two-relation decomposition for delta tests.
+func deltaDB() *wsd.DecompDB {
+	db := wsd.NewDecompDB([]string{"A", "B"},
+		[]relation.Schema{relation.NewSchema("X"), relation.NewSchema("X")})
+	for i := range db.Certain {
+		r := relation.New(db.Schemas[i])
+		r.Insert(relation.Tuple{value.Int(int64(i))})
+		db.Certain[i] = r
+	}
+	return db
+}
+
+// compOf builds a component with one single-relation alternative per
+// value, contributing to name.
+func compOf(db *wsd.DecompDB, id uint64, name string, vals ...int64) wsd.DBComponent {
+	ri := db.IndexOf(name)
+	alts := make([]wsd.DBAlternative, len(vals))
+	for i, v := range vals {
+		r := relation.New(db.Schemas[ri])
+		r.Insert(relation.Tuple{value.Int(v)})
+		alts[i] = wsd.DBAlternative{Rels: map[int]*relation.Relation{ri: r}}
+	}
+	return wsd.DBComponent{ID: id, Alternatives: alts}
+}
+
+// applyThroughDisk round-trips d through its JSON encoding (the WAL's
+// framing) before applying — exactly what recovery sees.
+func applyThroughDisk(t *testing.T, base *Snapshot, d *CommitDelta) *Snapshot {
+	t.Helper()
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := decodeDelta(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, views, err := applyDelta(base.DB, base.Views, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Snapshot{Version: base.Version + 1, DB: db, Views: views}
+}
+
+// TestDeltaRoundTrip: an incremental diff (changed certain relation,
+// modified component, dropped component, new component) replays to the
+// byte-identical snapshot.
+func TestDeltaRoundTrip(t *testing.T) {
+	db := deltaDB()
+	db.Components = []wsd.DBComponent{
+		compOf(db, 1, "A", 10, 11),
+		compOf(db, 2, "B", 20, 21),
+		compOf(db, 3, "A", 30),
+	}
+	base := &Snapshot{Version: 5, DB: db, Views: map[string]string{}}
+
+	nr := relation.New(db.Schemas[0])
+	nr.Insert(relation.Tuple{value.Int(0)})
+	nr.Insert(relation.Tuple{value.Int(99)})
+	next := db.WithCertain(0, nr)
+	next.Components = []wsd.DBComponent{
+		next.Components[0],               // untouched (shared alternatives)
+		compOf(next, 2, "B", 20, 21, 22), // modified
+		// ID 3 dropped
+		compOf(next, 4, "A", 40), // created
+	}
+	nextSnap := &Snapshot{Version: 6, DB: next, Views: map[string]string{}}
+
+	d := diffSnapshots(base, nextSnap)
+	if d.Full {
+		t.Fatal("incremental change produced a Full delta")
+	}
+	if len(d.Certain) != 1 {
+		t.Fatalf("delta carries %d certain relations, want 1 (only A changed)", len(d.Certain))
+	}
+	if len(d.Upserts) != 2 || len(d.Drops) != 1 || d.Drops[0] != 3 {
+		t.Fatalf("delta upserts=%d drops=%v, want 2 upserts and drop of id 3", len(d.Upserts), d.Drops)
+	}
+	got := applyThroughDisk(t, base, d)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, nextSnap)) {
+		t.Fatal("delta replay differs from the committed snapshot")
+	}
+}
+
+// TestDeltaFullOnSchemaChange: adding a relation forces a Full delta,
+// and the Full delta replays byte-identically.
+func TestDeltaFullOnSchemaChange(t *testing.T) {
+	db := deltaDB()
+	db.Components = []wsd.DBComponent{compOf(db, 1, "A", 10, 11)}
+	base := &Snapshot{Version: 1, DB: db, Views: map[string]string{}}
+	next := db.WithRelation("C", relation.NewSchema("Y", "Z"), nil)
+	nextSnap := &Snapshot{Version: 2, DB: next, Views: map[string]string{}}
+
+	d := diffSnapshots(base, nextSnap)
+	if !d.Full {
+		t.Fatal("schema change did not force a Full delta")
+	}
+	got := applyThroughDisk(t, base, d)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, nextSnap)) {
+		t.Fatal("full delta replay differs from the committed snapshot")
+	}
+}
+
+// TestDeltaOrderOverride: a commit that reorders components beyond the
+// derived rule records an explicit order, and replay honors it.
+func TestDeltaOrderOverride(t *testing.T) {
+	db := deltaDB()
+	db.Components = []wsd.DBComponent{
+		compOf(db, 1, "A", 10),
+		compOf(db, 2, "B", 20),
+	}
+	base := &Snapshot{Version: 1, DB: db, Views: map[string]string{}}
+	next := db.WithCertain(0, db.Certain[0])
+	next.Components[0], next.Components[1] = next.Components[1], next.Components[0]
+	nextSnap := &Snapshot{Version: 2, DB: next, Views: map[string]string{}}
+
+	d := diffSnapshots(base, nextSnap)
+	if len(d.Order) != 2 || d.Order[0] != 2 || d.Order[1] != 1 {
+		t.Fatalf("reorder recorded order %v, want [2 1]", d.Order)
+	}
+	got := applyThroughDisk(t, base, d)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, nextSnap)) {
+		t.Fatal("order-override replay differs from the committed snapshot")
+	}
+}
+
+// TestDeltaViewsChange: view-map changes ride the delta even when the
+// decomposition is untouched, including clearing to empty.
+func TestDeltaViewsChange(t *testing.T) {
+	db := deltaDB()
+	base := &Snapshot{Version: 1, DB: db, Views: map[string]string{"V": "select 1"}}
+	nextSnap := &Snapshot{Version: 2, DB: db, Views: map[string]string{}}
+	d := diffSnapshots(base, nextSnap)
+	if !d.ViewsChanged {
+		t.Fatal("view drop not recorded")
+	}
+	got := applyThroughDisk(t, base, d)
+	if len(got.Views) != 0 {
+		t.Fatalf("replayed views %v, want empty", got.Views)
+	}
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, nextSnap)) {
+		t.Fatal("views-change replay differs from the committed snapshot")
+	}
+}
+
+// TestDeltaShardDiffMirrorsPublish: diffShard's record replays to the
+// same state applyShardDiff publishes, for a single-shard commit that
+// modifies its homed certain relation and replaces one write-set
+// component.
+func TestDeltaShardDiffMirrorsPublish(t *testing.T) {
+	const nshards = 4
+	names := shardNames(nshards)
+	dbNames := make([]string, nshards)
+	schemas := make([]relation.Schema, nshards)
+	for i := range dbNames {
+		dbNames[i] = names[i]
+		schemas[i] = relation.NewSchema("X")
+	}
+	db := wsd.NewDecompDB(dbNames, schemas)
+	db.Components = []wsd.DBComponent{
+		compOf(db, 1, names[1], 10, 11),
+		compOf(db, 2, names[2], 20, 21),
+	}
+
+	si := shardOfName(names[1], nshards)
+	nr := relation.New(db.Schemas[1])
+	nr.Insert(relation.Tuple{value.Int(7)})
+	next := db.WithCertain(1, nr)
+	next.Components[0] = compOf(next, 1, names[1], 10) // shrink component 1
+	wset := map[uint64]bool{1: true}
+
+	d := diffShard(db, next, nshards, []int{si}, wset)
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := decodeDelta(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, _, err := applyDelta(db, map[string]string{}, dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Catalog{nshards: nshards}
+	published := c.applyShardDiff(db, next, []int{si}, wset)
+	a := saveBytes(t, &Snapshot{Version: 1, DB: replayed, Views: map[string]string{}})
+	b := saveBytes(t, &Snapshot{Version: 1, DB: published, Views: map[string]string{}})
+	if !bytes.Equal(a, b) {
+		t.Fatal("shard delta replay differs from applyShardDiff publication")
+	}
+}
+
+// TestDeltaPatchSmallEdit: a single-row insert into a large relation
+// logs a one-tuple patch, never the whole post-commit contents, and
+// the patch replays byte-identically. This is what keeps delta records
+// O(edit) on insert-heavy workloads — whole-relation capture would
+// make both the commit path and recovery O(relation) per record.
+func TestDeltaPatchSmallEdit(t *testing.T) {
+	db := deltaDB()
+	big := relation.New(db.Schemas[0])
+	for i := int64(0); i < 100; i++ {
+		big.Insert(relation.Tuple{value.Int(i)})
+	}
+	db.Certain[0] = big
+	base := &Snapshot{Version: 1, DB: db, Views: map[string]string{}}
+
+	nr := big.Clone()
+	nr.Insert(relation.Tuple{value.Int(999)})
+	next := db.WithCertain(0, nr)
+	nextSnap := &Snapshot{Version: 2, DB: next, Views: map[string]string{}}
+
+	d := diffSnapshots(base, nextSnap)
+	if len(d.Certain) != 0 {
+		t.Fatalf("small edit captured %d whole relations, want a patch", len(d.Certain))
+	}
+	p := d.Patch["A"]
+	if p == nil || len(p.Ins) != 1 || len(p.Del) != 0 {
+		t.Fatalf("patch = %+v, want exactly one inserted tuple", p)
+	}
+	got := applyThroughDisk(t, base, d)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, nextSnap)) {
+		t.Fatal("patch replay differs from the committed snapshot")
+	}
+
+	// Mixed edit: replace one tuple (delete + insert) — still a patch.
+	nr2 := nr.Clone()
+	nr2.Delete(relation.Tuple{value.Int(7)})
+	nr2.Insert(relation.Tuple{value.Int(-7)})
+	next2 := next.WithCertain(0, nr2)
+	next2Snap := &Snapshot{Version: 3, DB: next2, Views: map[string]string{}}
+	d2 := diffSnapshots(nextSnap, next2Snap)
+	p2 := d2.Patch["A"]
+	if p2 == nil || len(p2.Ins) != 1 || len(p2.Del) != 1 {
+		t.Fatalf("patch = %+v, want one insert and one delete", p2)
+	}
+	got2 := applyThroughDisk(t, nextSnap, d2)
+	if !bytes.Equal(saveBytes(t, got2), saveBytes(t, next2Snap)) {
+		t.Fatal("delete+insert patch replay differs from the committed snapshot")
+	}
+
+	// Rewriting most of the relation is not patch-worthy: the capture
+	// costs the same and skips the probes.
+	bulk := relation.New(db.Schemas[0])
+	for i := int64(500); i < 600; i++ {
+		bulk.Insert(relation.Tuple{value.Int(i)})
+	}
+	next3 := next2.WithCertain(0, bulk)
+	d3 := diffSnapshots(next2Snap, &Snapshot{Version: 4, DB: next3, Views: map[string]string{}})
+	if len(d3.Patch) != 0 || len(d3.Certain) != 1 {
+		t.Fatalf("bulk rewrite produced patch=%v certain=%d, want whole-relation capture", d3.Patch, len(d3.Certain))
+	}
+}
+
+// TestDeltaPatchMismatchErrors: a patch applied against a base it was
+// not diffed from errors out (recovery then falls back to statement
+// re-execution) instead of silently diverging.
+func TestDeltaPatchMismatchErrors(t *testing.T) {
+	db := deltaDB()
+	schema := db.Schemas[0]
+	big := relation.New(schema)
+	for i := int64(0); i < 20; i++ {
+		big.Insert(relation.Tuple{value.Int(i)})
+	}
+	if _, err := applyPatch(big, schema, &relPatch{Del: []jsonTuple{{json.Number("99")}}}); err == nil {
+		t.Fatal("deleting a missing tuple did not error")
+	}
+	if _, err := applyPatch(big, schema, &relPatch{Ins: []jsonTuple{{json.Number("5")}}}); err == nil {
+		t.Fatal("inserting a present tuple did not error")
+	}
+}
+
+// TestDeltaEmptyOnNoChange: diffing a snapshot against itself yields an
+// empty delta.
+func TestDeltaEmptyOnNoChange(t *testing.T) {
+	db := deltaDB()
+	db.Components = []wsd.DBComponent{compOf(db, 1, "A", 10)}
+	snap := &Snapshot{Version: 1, DB: db, Views: map[string]string{}}
+	if d := diffSnapshots(snap, snap); !d.isEmpty() {
+		t.Fatalf("self-diff is not empty: %+v", d)
+	}
+}

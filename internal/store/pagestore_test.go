@@ -1,0 +1,284 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"worldsetdb/internal/page"
+	"worldsetdb/internal/relation"
+	"worldsetdb/internal/value"
+	"worldsetdb/internal/wsd"
+)
+
+// pageSnap builds an n-relation snapshot with data in every certain
+// relation and a component per relation, suitable for page-store
+// round trips.
+func pageSnap(n int, version uint64, rowsPer int) *Snapshot {
+	names := make([]string, n)
+	schemas := make([]relation.Schema, n)
+	for i := range names {
+		names[i] = relName(i)
+		schemas[i] = relation.NewSchema("X")
+	}
+	db := wsd.NewDecompDB(names, schemas)
+	for i := range db.Certain {
+		r := relation.New(schemas[i])
+		for k := 0; k < rowsPer; k++ {
+			r.Insert(relation.Tuple{value.Int(int64(i*1000 + k))})
+		}
+		db.Certain[i] = r
+	}
+	for i := range names {
+		db.Components = append(db.Components, compOf(db, uint64(i+1), names[i], int64(i), int64(i+100)))
+	}
+	return &Snapshot{Version: version, DB: db, Views: map[string]string{}}
+}
+
+func relName(i int) string {
+	return string(rune('A'+i%26)) + string(rune('a'+i/26))
+}
+
+// reloadSnap reopens the page file at path and returns the snapshot it
+// holds.
+func reloadSnap(t *testing.T, path string, poolPages int) *Snapshot {
+	t.Helper()
+	ps, loaded, err := OpenPageStore(path, 0, true, poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if loaded == nil {
+		t.Fatalf("%s is not a page file", path)
+	}
+	snap, _, err := mergeLoaded([]*loadedShard{loaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestPageStoreFreshWriteReload: the first checkpoint creates a page
+// file that reloads byte-identically (through Save).
+func TestPageStoreFreshWriteReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cat.wsd")
+	snap := pageSnap(8, 3, 5)
+	ps, loaded, err := OpenPageStore(path, 0, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != nil {
+		t.Fatal("missing file reported as loadable")
+	}
+	if err := ps.WriteCheckpoint(ckptSlices(snap, 1, 99)[0]); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+	got := reloadSnap(t, path, 64)
+	if got.Version != 3 {
+		t.Fatalf("reloaded version %d, want 3", got.Version)
+	}
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, snap)) {
+		t.Fatal("page-file reload differs from the checkpointed snapshot")
+	}
+}
+
+// TestPageStoreIncrementalWritesOnlyDirty: a second checkpoint that
+// touched one relation out of many rewrites a small fraction of the
+// pages the first one wrote.
+func TestPageStoreIncrementalWritesOnlyDirty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cat.wsd")
+	snap := pageSnap(24, 1, 40)
+	ps, _, err := OpenPageStore(path, 0, true, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if err := ps.WriteCheckpoint(ckptSlices(snap, 1, 50)[0]); err != nil {
+		t.Fatal(err)
+	}
+	full := ps.Stats().PagesWritten
+
+	nr := relation.New(snap.DB.Schemas[0])
+	nr.Insert(relation.Tuple{value.Int(424242)})
+	db2 := snap.DB.WithCertain(0, nr)
+	snap2 := &Snapshot{Version: 2, DB: db2, Views: snap.Views}
+	if err := ps.WriteCheckpoint(ckptSlices(snap2, 1, 50)[0]); err != nil {
+		t.Fatal(err)
+	}
+	incr := ps.Stats().PagesWritten - full
+	if incr*4 >= full {
+		t.Fatalf("incremental checkpoint wrote %d pages vs %d for the full one — not O(dirty)", incr, full)
+	}
+	got := reloadSnap(t, path, 256)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, snap2)) {
+		t.Fatal("incremental checkpoint reload differs from the committed snapshot")
+	}
+}
+
+// TestPageStoreNoopSkipZeroWrites: checkpointing an already-persisted
+// version writes nothing — not one page, not one byte.
+func TestPageStoreNoopSkipZeroWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cat.wsd")
+	snap := pageSnap(4, 7, 3)
+	ps, _, err := OpenPageStore(path, 0, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if err := ps.WriteCheckpoint(ckptSlices(snap, 1, 9)[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := ps.Stats()
+	fi1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.WriteCheckpoint(ckptSlices(snap, 1, 9)[0]); err != nil {
+		t.Fatal(err)
+	}
+	after := ps.Stats()
+	if after.PagesWritten != before.PagesWritten || after.BytesWritten != before.BytesWritten {
+		t.Fatalf("no-op checkpoint wrote %d pages", after.PagesWritten-before.PagesWritten)
+	}
+	if after.Checkpoints != before.Checkpoints {
+		t.Fatal("no-op checkpoint counted as a page-writing checkpoint")
+	}
+	if after.NoopSkips != before.NoopSkips+1 {
+		t.Fatalf("no-op skips %d, want %d", after.NoopSkips, before.NoopSkips+1)
+	}
+	fi2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Size() != fi1.Size() || !fi2.ModTime().Equal(fi1.ModTime()) {
+		t.Fatal("no-op checkpoint modified the file")
+	}
+}
+
+// TestPageStoreRecyclesFreedPages: repeatedly rewriting the same
+// relation reuses freed pages instead of growing the file.
+func TestPageStoreRecyclesFreedPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cat.wsd")
+	snap := pageSnap(6, 1, 30)
+	ps, _, err := OpenPageStore(path, 0, true, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if err := ps.WriteCheckpoint(ckptSlices(snap, 1, 7)[0]); err != nil {
+		t.Fatal(err)
+	}
+	var sizeAt5 int64
+	db := snap.DB
+	for v := uint64(2); v <= 11; v++ {
+		nr := relation.New(db.Schemas[0])
+		for k := 0; k < 30; k++ {
+			nr.Insert(relation.Tuple{value.Int(int64(v)*100 + int64(k))})
+		}
+		db = db.WithCertain(0, nr)
+		s := &Snapshot{Version: v, DB: db, Views: snap.Views}
+		if err := ps.WriteCheckpoint(ckptSlices(s, 1, 7)[0]); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 5 {
+			sizeAt5 = fi.Size()
+		}
+		if v > 5 && fi.Size() > sizeAt5+2*page.Size {
+			t.Fatalf("file grew from %d to %d bytes across same-size rewrites — freed pages not recycled", sizeAt5, fi.Size())
+		}
+	}
+	got := reloadSnap(t, path, 128)
+	want := &Snapshot{Version: 11, DB: db, Views: snap.Views}
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, want)) {
+		t.Fatal("reload after recycling differs from the last checkpoint")
+	}
+}
+
+// TestPageStoreMetaSlotFallback: corrupting the newest meta slot makes
+// the open fall back to the previous checkpoint — an in-place torn
+// checkpoint never loses the older base.
+func TestPageStoreMetaSlotFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cat.wsd")
+	snap1 := pageSnap(4, 1, 3)
+	ps, _, err := OpenPageStore(path, 0, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.WriteCheckpoint(ckptSlices(snap1, 1, 5)[0]); err != nil {
+		t.Fatal(err)
+	}
+	nr := relation.New(snap1.DB.Schemas[1])
+	nr.Insert(relation.Tuple{value.Int(31337)})
+	snap2 := &Snapshot{Version: 2, DB: snap1.DB.WithCertain(1, nr), Views: snap1.Views}
+	if err := ps.WriteCheckpoint(ckptSlices(snap2, 1, 5)[0]); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+
+	// The fresh write used epoch 1 (slot 1); the second used epoch 2
+	// (slot 0). Corrupt slot 0 — the newest — and reopen.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xff}, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got := reloadSnap(t, path, 64)
+	if got.Version != 1 {
+		t.Fatalf("fallback loaded version %d, want 1 (the surviving slot)", got.Version)
+	}
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, snap1)) {
+		t.Fatal("meta-slot fallback state differs from the older checkpoint")
+	}
+}
+
+// TestPageStoreShardedSlicesMerge: a 4-way sliced checkpoint written to
+// four files merges back byte-identically, including global component
+// order.
+func TestPageStoreShardedSlicesMerge(t *testing.T) {
+	const nshards = 4
+	dir := t.TempDir()
+	main := filepath.Join(dir, "cat.wsd")
+	snap := pageSnap(12, 9, 6)
+	slices := ckptSlices(snap, nshards, 12)
+	var files []*loadedShard
+	for i := 0; i < nshards; i++ {
+		ps, _, err := OpenPageStore(shardCkptPath(main, i), i, i == 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.WriteCheckpoint(slices[i]); err != nil {
+			t.Fatal(err)
+		}
+		ps.Close()
+	}
+	for i := 0; i < nshards; i++ {
+		ps, sl, err := OpenPageStore(shardCkptPath(main, i), i, i == 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl == nil {
+			t.Fatalf("shard %d file is not a page file", i)
+		}
+		files = append(files, sl)
+		ps.Close()
+	}
+	got, compID, err := mergeLoaded(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compID != 12 {
+		t.Fatalf("merged comp-ID counter %d, want 12", compID)
+	}
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, snap)) {
+		t.Fatal("sharded merge differs from the sliced snapshot")
+	}
+}

@@ -35,10 +35,18 @@ type jsonCatalog struct {
 	Certain    [][]jsonTuple     `json:"certain"`
 	Components []jsonComponent   `json:"components,omitempty"`
 	Views      map[string]string `json:"views,omitempty"`
+	// CompID persists the component-ID allocator so IDs stay stable
+	// across restarts — WAL delta records and page chains address
+	// components by these IDs. Absent in historical files; the loader
+	// then seeds the allocator past the highest assigned ID.
+	CompID uint64 `json:"comp_id,omitempty"`
 }
 
 type jsonComponent struct {
 	Alternatives []jsonAlternative `json:"alternatives"`
+	// ID is the component's stable identity (see wsd.DBComponent.ID);
+	// omitted in files written before IDs were persisted.
+	ID uint64 `json:"id,omitempty"`
 }
 
 type jsonAlternative struct {
@@ -132,19 +140,81 @@ func encodeRelation(r *relation.Relation) []jsonTuple {
 	return out
 }
 
+// encodeAlternatives converts a component's alternatives to their JSON
+// form, contributions keyed by relation name (empty contributions are
+// skipped — they carry no durable state). Shared by Save, the WAL's
+// page-delta records and the page store's object payloads, so all three
+// persist byte-compatible content.
+func encodeAlternatives(names []string, comp wsd.DBComponent) []jsonAlternative {
+	out := make([]jsonAlternative, len(comp.Alternatives))
+	for ai, a := range comp.Alternatives {
+		ja := jsonAlternative{}
+		for ri, rel := range a.Rels {
+			if rel == nil || rel.Len() == 0 {
+				continue
+			}
+			if ja.Rels == nil {
+				ja.Rels = map[string][]jsonTuple{}
+			}
+			ja.Rels[names[ri]] = encodeRelation(rel)
+		}
+		out[ai] = ja
+	}
+	return out
+}
+
+// decodeAlternatives rebuilds a component's alternatives against db's
+// schema. With lenient set, contributions to relations db does not know
+// are dropped instead of failing — the page store's mixed-epoch merge
+// uses this (a torn multi-file checkpoint can hold components from an
+// older schema; the WAL replay that follows heals the state).
+func decodeAlternatives(db *wsd.DecompDB, alts []jsonAlternative, lenient bool) ([]wsd.DBAlternative, error) {
+	out := make([]wsd.DBAlternative, len(alts))
+	for ai, ja := range alts {
+		alt := wsd.DBAlternative{Rels: map[int]*relation.Relation{}}
+		for name, rows := range ja.Rels {
+			ri := db.IndexOf(name)
+			if ri < 0 {
+				if lenient {
+					continue
+				}
+				return nil, fmt.Errorf("store: component references unknown relation %q", name)
+			}
+			rel, err := decodeRelation(db.Schemas[ri], rows)
+			if err != nil {
+				if lenient {
+					continue
+				}
+				return nil, fmt.Errorf("store: component relation %q: %w", name, err)
+			}
+			alt.Rels[ri] = rel
+		}
+		out[ai] = alt
+	}
+	return out, nil
+}
+
+func decodeTuple(schema relation.Schema, row jsonTuple) (relation.Tuple, error) {
+	if len(row) != len(schema) {
+		return nil, fmt.Errorf("store: arity-%d tuple under schema %v", len(row), schema)
+	}
+	t := make(relation.Tuple, len(row))
+	for i, cell := range row {
+		v, err := decodeValue(cell)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
 func decodeRelation(schema relation.Schema, rows []jsonTuple) (*relation.Relation, error) {
 	r := relation.New(schema)
 	for _, row := range rows {
-		if len(row) != len(schema) {
-			return nil, fmt.Errorf("store: arity-%d tuple under schema %v", len(row), schema)
-		}
-		t := make(relation.Tuple, len(row))
-		for i, cell := range row {
-			v, err := decodeValue(cell)
-			if err != nil {
-				return nil, err
-			}
-			t[i] = v
+		t, err := decodeTuple(schema, row)
+		if err != nil {
+			return nil, err
 		}
 		r.Insert(t)
 	}
@@ -158,6 +228,10 @@ func Save(w io.Writer, snap *Snapshot) error {
 		Version: snap.Version,
 		Names:   snap.DB.Names,
 		Views:   snap.Views,
+		CompID:  snap.compID,
+	}
+	if doc.CompID == 0 {
+		doc.CompID = snap.DB.MaxComponentID()
 	}
 	for _, s := range snap.DB.Schemas {
 		doc.Schemas = append(doc.Schemas, []string(s))
@@ -166,21 +240,8 @@ func Save(w io.Writer, snap *Snapshot) error {
 		doc.Certain = append(doc.Certain, encodeRelation(r))
 	}
 	for _, c := range snap.DB.Components {
-		jc := jsonComponent{Alternatives: make([]jsonAlternative, len(c.Alternatives))}
-		for ai, a := range c.Alternatives {
-			ja := jsonAlternative{}
-			for ri, rel := range a.Rels {
-				if rel == nil || rel.Len() == 0 {
-					continue
-				}
-				if ja.Rels == nil {
-					ja.Rels = map[string][]jsonTuple{}
-				}
-				ja.Rels[snap.DB.Names[ri]] = encodeRelation(rel)
-			}
-			jc.Alternatives[ai] = ja
-		}
-		doc.Components = append(doc.Components, jc)
+		doc.Components = append(doc.Components, jsonComponent{
+			Alternatives: encodeAlternatives(snap.DB.Names, c), ID: c.ID})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -216,23 +277,11 @@ func Load(r io.Reader) (*Catalog, error) {
 		db.Certain[i] = rel
 	}
 	for ci, jc := range doc.Components {
-		comp := wsd.DBComponent{Alternatives: make([]wsd.DBAlternative, len(jc.Alternatives))}
-		for ai, ja := range jc.Alternatives {
-			alt := wsd.DBAlternative{Rels: map[int]*relation.Relation{}}
-			for name, rows := range ja.Rels {
-				ri := db.IndexOf(name)
-				if ri < 0 {
-					return nil, fmt.Errorf("store: component %d references unknown relation %q", ci, name)
-				}
-				rel, err := decodeRelation(schemas[ri], rows)
-				if err != nil {
-					return nil, fmt.Errorf("store: component %d relation %q: %w", ci, name, err)
-				}
-				alt.Rels[ri] = rel
-			}
-			comp.Alternatives[ai] = alt
+		alts, err := decodeAlternatives(db, jc.Alternatives, false)
+		if err != nil {
+			return nil, fmt.Errorf("store: component %d: %w", ci, err)
 		}
-		db.Components = append(db.Components, comp)
+		db.Components = append(db.Components, wsd.DBComponent{Alternatives: alts, ID: jc.ID})
 	}
 	views := doc.Views
 	if views == nil {
@@ -242,7 +291,11 @@ func Load(r io.Reader) (*Catalog, error) {
 	if version == 0 {
 		version = 1
 	}
-	return newCatalog(&Snapshot{Version: version, DB: db, Views: views}), nil
+	compID := doc.CompID
+	if m := db.MaxComponentID(); m > compID {
+		compID = m
+	}
+	return newCatalogSeeded(&Snapshot{Version: version, DB: db, Views: views}, compID), nil
 }
 
 // SaveFile writes the snapshot to path atomically: the document goes to

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -93,6 +94,7 @@ type shardReq struct {
 	db      *wsd.DecompDB
 	wset    map[uint64]bool // component IDs the commit may replace
 	stmts   []string
+	delta   *CommitDelta // page-delta record for replay-free recovery
 	done    chan error
 	enq     time.Time // when the commit entered the queue
 	trace   *obs.Span // committer's trace; the flush leader attaches spans
@@ -135,20 +137,13 @@ func (c *Catalog) shard(nshards int) {
 // with every shard at snap.Version. Single-threaded use only
 // (construction and recovery).
 func (c *Catalog) resetSharded(snap *Snapshot) {
-	for i := range snap.DB.Components {
-		if snap.DB.Components[i].ID == 0 {
-			c.compID++
-			snap.DB.Components[i].ID = c.compID
-		} else if snap.DB.Components[i].ID > c.compID {
-			c.compID = snap.DB.Components[i].ID
-		}
-	}
+	c.assignIDs(snap.DB)
 	vers := make([]uint64, c.nshards)
 	for i := range vers {
 		vers[i] = snap.Version
 	}
 	ns := &Snapshot{Version: snap.Version, DB: snap.DB, Views: snap.Views,
-		shardVers: vers, nshards: c.nshards}
+		shardVers: vers, nshards: c.nshards, compID: c.compID.Load()}
 	c.hmu.Lock()
 	c.head = ns
 	c.hmu.Unlock()
@@ -416,9 +411,12 @@ func (c *Catalog) enqueueShard(si int, base *Snapshot, db *wsd.DecompDB, wset ma
 	vers := append([]uint64{}, base.shardVers...)
 	vers[si] = epoch
 	head := &Snapshot{Version: epoch, DB: db, Views: base.Views,
-		shardVers: vers, nshards: c.nshards}
+		shardVers: vers, nshards: c.nshards, compID: c.compID.Load()}
 	req := &shardReq{epoch: epoch, db: db, wset: wset, stmts: stmts,
 		enq: time.Now(), trace: trace}
+	if sh.wal != nil && !c.noDeltas {
+		req.delta = diffShard(base.DB, db, c.nshards, []int{si}, wset)
+	}
 	trace.SetInt("shard", int64(si))
 	sh.hmu.Lock()
 	req.baseVer = sh.headVer
@@ -477,7 +475,7 @@ func (c *Catalog) flushShardBatch(si int, batch []*shardReq) {
 	if len(ok) > 0 {
 		recs := make([]WALRecord, len(ok))
 		for i, r := range ok {
-			recs[i] = WALRecord{Version: r.epoch, Stmts: r.stmts, Shard: si}
+			recs[i] = WALRecord{Version: r.epoch, Stmts: r.stmts, Shard: si, Delta: r.delta}
 		}
 		flushStart := time.Now()
 		err := sh.wal.AppendBatch(recs)
@@ -558,7 +556,7 @@ func (c *Catalog) storeMerged(cur *Snapshot, db *wsd.DecompDB, views map[string]
 		ver = epoch
 	}
 	c.cur.Store(&Snapshot{Version: ver, DB: db, Views: views,
-		shardVers: vers, nshards: c.nshards})
+		shardVers: vers, nshards: c.nshards, compID: c.compID.Load()})
 }
 
 // applyShardDiff overlays a commit's staged decomposition onto the
@@ -642,7 +640,11 @@ func (c *Catalog) updateMulti(ps []int, refs []string, fn func(*Tx) error) error
 	}
 	wset := compIDsTouching(base.DB, refIdx)
 	epoch := c.epoch.Add(1)
-	if err := c.stageAndMark(ps, epoch, tx.stmts, tx.trace); err != nil {
+	var delta *CommitDelta
+	if c.shards[ps[0]].wal != nil && !c.noDeltas {
+		delta = diffShard(base.DB, tx.db, c.nshards, ps, wset)
+	}
+	if err := c.stageAndMark(ps, epoch, tx.stmts, delta, tx.trace); err != nil {
 		return err
 	}
 	c.pub.Lock()
@@ -674,23 +676,26 @@ func (c *Catalog) updateAll(fn func(*Tx) error) error {
 		return nil
 	}
 	db := tx.DB()
+	// IDs are assigned before staging so the logged delta names the same
+	// component IDs recovery will re-derive.
+	c.assignIDs(db)
 	epoch := c.epoch.Add(1)
-	if err := c.stageAndMark(all, epoch, tx.stmts, tx.trace); err != nil {
+	next := &Snapshot{Version: epoch, DB: db, Views: tx.Views(),
+		nshards: c.nshards, compID: c.compID.Load()}
+	var delta *CommitDelta
+	if c.shards[all[0]].wal != nil && !c.noDeltas {
+		delta = diffSnapshots(base, next)
+	}
+	if err := c.stageAndMark(all, epoch, tx.stmts, delta, tx.trace); err != nil {
 		return err
 	}
 	c.pub.Lock()
-	for i := range db.Components {
-		if db.Components[i].ID == 0 {
-			c.compID++
-			db.Components[i].ID = c.compID
-		}
-	}
 	vers := make([]uint64, c.nshards)
 	for i := range vers {
 		vers[i] = epoch
 	}
-	c.cur.Store(&Snapshot{Version: epoch, DB: db, Views: tx.Views(),
-		shardVers: vers, nshards: c.nshards})
+	next.shardVers = vers
+	c.cur.Store(next)
 	c.pub.Unlock()
 	c.finishShards(all, epoch)
 	return nil
@@ -715,7 +720,7 @@ func (c *Catalog) finishShards(ps []int, epoch uint64) {
 // Recovery discards staged cross-shard epochs without their marker, so
 // a failure (or crash) anywhere before the marker aborts the commit on
 // every shard; after the marker it is durable on every shard.
-func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string, trace *obs.Span) error {
+func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string, delta *CommitDelta, trace *obs.Span) error {
 	if c.shards[ps[0]].wal == nil {
 		return nil
 	}
@@ -730,7 +735,7 @@ func (c *Catalog) stageAndMark(ps []int, epoch uint64, stmts []string, trace *ob
 		go func(i, p int) {
 			defer wg.Done()
 			errs[i] = c.shards[p].wal.AppendBatch([]WALRecord{
-				{Version: epoch, Stmts: stmts, Shard: p, Parts: ps}})
+				{Version: epoch, Stmts: stmts, Shard: p, Parts: ps, Delta: delta}})
 		}(i, p)
 	}
 	wg.Wait()
@@ -784,6 +789,13 @@ func (c *Catalog) waitPublishedSharded(v uint64) {
 // and truncates every shard segment, with all shard locks held and all
 // queues drained so no commit can land between the snapshot read and
 // the truncates. The unsharded catalog keeps using Checkpoint.
+//
+// With paging enabled the base is one page file per shard (the main
+// file plus <wsdPath>.s<i> side files), each written incrementally —
+// only shards whose homed state changed rewrite any pages. Side files
+// commit before the main file, so a crash mid-checkpoint leaves either
+// the old base (main file not yet renamed/advanced) or a mixed set of
+// per-shard epochs that recovery merges and heals from the WALs.
 func (c *Catalog) CheckpointAll(wsdPath string) error {
 	if c.nshards <= 1 {
 		return fmt.Errorf("store: CheckpointAll requires a sharded catalog (use Checkpoint)")
@@ -795,8 +807,14 @@ func (c *Catalog) CheckpointAll(wsdPath string) error {
 		c.shards[p].drain()
 	}
 	snap := c.cur.Load()
-	if err := SaveFile(wsdPath, snap); err != nil {
-		return fmt.Errorf("store: writing checkpoint: %w", err)
+	if len(c.pagers) == c.nshards && c.pagers[0] != nil && c.pagers[0].Path() == wsdPath {
+		if err := c.checkpointPaged(snap, wsdPath); err != nil {
+			return err
+		}
+	} else {
+		if err := SaveFile(wsdPath, snap); err != nil {
+			return fmt.Errorf("store: writing checkpoint: %w", err)
+		}
 	}
 	for _, sh := range c.shards {
 		if sh.wal == nil {
@@ -805,6 +823,59 @@ func (c *Catalog) CheckpointAll(wsdPath string) error {
 		if err := sh.wal.reset(); err != nil {
 			return err
 		}
+		sh.wal.noteCheckpoint(snap.Version)
+	}
+	return nil
+}
+
+// checkpointPaged writes the sharded snapshot across the per-shard page
+// files: side shards first (in parallel — they are independent files),
+// the coordinating main file last. Every file records the full global
+// version, so recovery can tell exactly which files a torn checkpoint
+// advanced. Called with all shard locks held and queues drained.
+func (c *Catalog) checkpointPaged(snap *Snapshot, wsdPath string) error {
+	allNoop := true
+	for _, ps := range c.pagers {
+		if ps.Version() != snap.Version {
+			allNoop = false
+			break
+		}
+	}
+	if allNoop {
+		// Nothing committed since the last checkpoint on any shard: the
+		// on-disk base already is this state. Zero writes.
+		for _, ps := range c.pagers {
+			ps.NoteNoop()
+		}
+		return nil
+	}
+	slices := ckptSlices(snap, c.nshards, c.compID.Load())
+	var wg sync.WaitGroup
+	errs := make([]error, c.nshards)
+	for i := 1; i < c.nshards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.pagers[i].WriteCheckpoint(slices[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < c.nshards; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("store: writing shard %d page checkpoint: %w", i, errs[i])
+		}
+	}
+	if err := c.pagers[0].WriteCheckpoint(slices[0]); err != nil {
+		return fmt.Errorf("store: writing shard 0 page checkpoint: %w", err)
+	}
+	// A previous run at a higher shard count can leave side files beyond
+	// ours; they are stale the moment this full-set checkpoint commits.
+	for i := c.nshards; ; i++ {
+		p := shardCkptPath(wsdPath, i)
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		os.Remove(p)
 	}
 	return nil
 }
@@ -902,23 +973,24 @@ func (s *Staged) commitSharded() error {
 			c.shards[p].drain()
 		}
 		db := s.cur.DB
+		c.assignIDs(db)
 		epoch := c.epoch.Add(1)
-		if err := c.stageAndMark(ps, epoch, s.stmts, nil); err != nil {
+		next := &Snapshot{Version: epoch, DB: db, Views: s.cur.Views,
+			nshards: c.nshards, compID: c.compID.Load()}
+		var delta *CommitDelta
+		if c.shards[ps[0]].wal != nil && !c.noDeltas {
+			delta = diffSnapshots(c.cur.Load(), next)
+		}
+		if err := c.stageAndMark(ps, epoch, s.stmts, delta, nil); err != nil {
 			return err
 		}
 		c.pub.Lock()
-		for i := range db.Components {
-			if db.Components[i].ID == 0 {
-				c.compID++
-				db.Components[i].ID = c.compID
-			}
-		}
 		vers := make([]uint64, c.nshards)
 		for i := range vers {
 			vers[i] = epoch
 		}
-		c.cur.Store(&Snapshot{Version: epoch, DB: db, Views: s.cur.Views,
-			shardVers: vers, nshards: c.nshards})
+		next.shardVers = vers
+		c.cur.Store(next)
 		c.pub.Unlock()
 		c.finishShards(ps, epoch)
 		return nil
@@ -951,7 +1023,11 @@ func (s *Staged) commitSharded() error {
 		c.shards[p].drain()
 	}
 	epoch := c.epoch.Add(1)
-	if err := c.stageAndMark(wps, epoch, s.stmts, nil); err != nil {
+	var delta *CommitDelta
+	if c.shards[wps[0]].wal != nil && !c.noDeltas {
+		delta = diffShard(s.base.DB, s.cur.DB, c.nshards, wps, wset)
+	}
+	if err := c.stageAndMark(wps, epoch, s.stmts, delta, nil); err != nil {
 		return err
 	}
 	c.pub.Lock()

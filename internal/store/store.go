@@ -74,6 +74,11 @@ type Snapshot struct {
 	shardVers []uint64
 	// nshards is the owning catalog's shard count (0 or 1 = unsharded).
 	nshards int
+	// compID is the catalog's component ID counter at publication.
+	// Checkpoints persist it so recovery resumes ID assignment exactly
+	// where the writer left off — WAL page-delta records address
+	// components by ID, so replay must reproduce the same assignments.
+	compID uint64
 }
 
 // Stats returns the decomposition statistics of the snapshot's backing
@@ -136,7 +141,18 @@ type Catalog struct {
 	shards  []*shardState
 	epoch   atomic.Uint64 // global commit epoch counter
 	pub     sync.Mutex    // serializes merged-snapshot publication
-	compID  uint64        // component ID counter, guarded by pub
+	compID  atomic.Uint64 // component ID counter
+
+	// pagers, when paging is enabled (Open/OpenSharded attach them, or
+	// EnablePaging for a fresh catalog), hold one paged checkpoint file
+	// per shard; Checkpoint/CheckpointAll write incrementally through
+	// them instead of rewriting a v1 JSON document.
+	pagers []*PageStore
+
+	// noDeltas disables WAL page-delta records (commits then log only
+	// their statement texts, and recovery re-executes them) — a bench
+	// knob for measuring what delta replay buys; see SetLogDeltas.
+	noDeltas bool
 
 	// queueHist measures group-commit queue wait (enqueue to flush
 	// start) on the unsharded path; sharded catalogs keep one per shard.
@@ -147,6 +163,7 @@ type Catalog struct {
 type commitReq struct {
 	snap  *Snapshot
 	stmts []string
+	delta *CommitDelta // page-delta record content; nil = statements only
 	done  chan error
 	enq   time.Time // when the commit entered the queue
 	trace *obs.Span // committer's trace; the flush leader attaches spans
@@ -190,12 +207,49 @@ func New(db *wsd.DecompDB) *Catalog {
 }
 
 // newCatalog builds a catalog publishing snap as its current version.
-func newCatalog(snap *Snapshot) *Catalog {
+func newCatalog(snap *Snapshot) *Catalog { return newCatalogSeeded(snap, 0) }
+
+// newCatalogSeeded is newCatalog with the component ID counter resumed
+// from a persisted checkpoint, so IDs assigned after recovery continue
+// the pre-crash sequence.
+func newCatalogSeeded(snap *Snapshot, compID uint64) *Catalog {
 	c := &Catalog{head: snap}
 	c.qcond = sync.NewCond(&c.qmu)
+	c.compID.Store(compID)
+	c.assignIDs(snap.DB)
+	snap.compID = c.compID.Load()
 	c.cur.Store(snap)
 	return c
 }
+
+// assignIDs gives every component a stable ID: first the counter is
+// raised past every ID already present (two passes — a fresh component
+// ordered before a high-ID survivor must not be assigned a colliding
+// ID), then unassigned components get fresh ones in order. Safe under
+// any of the commit locks; the counter is atomic so all-shard and
+// routed paths never race it.
+func (c *Catalog) assignIDs(db *wsd.DecompDB) {
+	for i := range db.Components {
+		id := db.Components[i].ID
+		for id != 0 {
+			cur := c.compID.Load()
+			if id <= cur || c.compID.CompareAndSwap(cur, id) {
+				break
+			}
+		}
+	}
+	for i := range db.Components {
+		if db.Components[i].ID == 0 {
+			db.Components[i].ID = c.compID.Add(1)
+		}
+	}
+}
+
+// SetLogDeltas toggles WAL page-delta records (default on). With them
+// off, commits log only statement texts and recovery re-executes them
+// — the pre-paging behavior, kept as a benchmark baseline. Call before
+// concurrent use.
+func (c *Catalog) SetLogDeltas(on bool) { c.noDeltas = !on }
 
 // headSnap returns the newest assigned version (what the next writer
 // must base on). Callers hold the writer lock, so the head cannot be
@@ -350,7 +404,15 @@ func (c *Catalog) Update(fn func(*Tx) error) error {
 // into one write + one fsync; commitLocked returns once next is durable
 // and visible to readers.
 func (c *Catalog) commitLocked(base, next *Snapshot, stmts []string, trace *obs.Span) error {
+	c.assignIDs(next.DB)
+	next.compID = c.compID.Load()
 	bl, group := c.logger.(BatchTxLogger)
+	var delta *CommitDelta
+	if group && !c.noDeltas {
+		sp := trace.Child("wal.delta")
+		delta = diffSnapshots(base, next)
+		sp.End()
+	}
 	if !group {
 		defer c.writer.Unlock()
 		if c.logger != nil {
@@ -372,7 +434,7 @@ func (c *Catalog) commitLocked(base, next *Snapshot, stmts []string, trace *obs.
 		c.writer.Unlock()
 		return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", next.Version)
 	}
-	req := &commitReq{snap: next, stmts: stmts, done: make(chan error, 1),
+	req := &commitReq{snap: next, stmts: stmts, delta: delta, done: make(chan error, 1),
 		enq: time.Now(), trace: trace}
 	c.qmu.Lock()
 	c.queue = append(c.queue, req)
@@ -452,7 +514,7 @@ func (c *Catalog) flushBatch(bl BatchTxLogger, batch []*commitReq) {
 	if len(ok) > 0 {
 		recs := make([]WALRecord, len(ok))
 		for i, r := range ok {
-			recs[i] = WALRecord{Version: r.snap.Version, Stmts: r.stmts}
+			recs[i] = WALRecord{Version: r.snap.Version, Stmts: r.stmts, Delta: r.delta}
 		}
 		flushStart := time.Now()
 		err := bl.AppendBatch(recs)

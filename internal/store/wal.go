@@ -57,18 +57,28 @@ type WALRecord struct {
 	// is durable. A staged cross-shard epoch without its marker is
 	// discarded by recovery — the commit rolls back on all shards.
 	Marker bool
+	// Delta, when present, is the commit's effect on durable state
+	// (delta.go); recovery applies it directly instead of re-executing
+	// Stmts. Records written before deltas existed replay by statement.
+	Delta *CommitDelta
+
+	// deltaRaw is Delta's verbatim JSON as stored on disk — the CRC
+	// covers these exact bytes, so a re-marshal can never invalidate a
+	// record.
+	deltaRaw []byte
 }
 
 // walLine is the on-disk framing of a record. The shard fields are
 // omitted when empty, so unsharded logs keep the historical format
 // byte-for-byte.
 type walLine struct {
-	Version uint64   `json:"v"`
-	Stmts   []string `json:"stmts"`
-	Shard   int      `json:"shard,omitempty"`
-	Parts   []int    `json:"parts,omitempty"`
-	Marker  bool     `json:"m,omitempty"`
-	CRC     uint32   `json:"crc"`
+	Version uint64          `json:"v"`
+	Stmts   []string        `json:"stmts"`
+	Shard   int             `json:"shard,omitempty"`
+	Parts   []int           `json:"parts,omitempty"`
+	Marker  bool            `json:"m,omitempty"`
+	Delta   json.RawMessage `json:"delta,omitempty"`
+	CRC     uint32          `json:"crc"`
 }
 
 // crcOf sums the record content: version plus length-prefixed statement
@@ -102,6 +112,11 @@ func crcOfRecord(rec WALRecord) uint32 {
 			h.Write([]byte{0})
 		}
 	}
+	if len(rec.deltaRaw) > 0 {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(rec.deltaRaw)))
+		h.Write(buf[:])
+		h.Write(rec.deltaRaw)
+	}
 	return h.Sum32()
 }
 
@@ -116,7 +131,14 @@ type WAL struct {
 	f        *os.File
 	path     string
 	appended int    // records appended since open or last checkpoint
+	tail     int    // records currently in the log (survivors at open + appends)
 	syncs    uint64 // fsyncs issued for record appends (not checkpoints)
+
+	// Checkpoint bookkeeping for the durability gauges: the catalog
+	// version the last checkpoint persisted and when it completed. Both
+	// are zero until the first checkpoint after open.
+	lastCkptVer uint64
+	lastCkptAt  time.Time
 
 	// fsync measures the latency of each record-append fsync — the
 	// durability cost the group-commit leader amortizes. Zero-value
@@ -153,7 +175,7 @@ func OpenWAL(path string) (*WAL, []WALRecord, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &WAL{f: f, path: path}, records, nil
+	return &WAL{f: f, path: path, tail: len(records)}, records, nil
 }
 
 // scanWAL reads records from the start of f, stopping (without error)
@@ -181,9 +203,16 @@ func scanWAL(f *os.File) ([]WALRecord, int64, error) {
 			break // torn or corrupt tail
 		}
 		decoded := WALRecord{Version: rec.Version, Stmts: rec.Stmts,
-			Shard: rec.Shard, Parts: rec.Parts, Marker: rec.Marker}
+			Shard: rec.Shard, Parts: rec.Parts, Marker: rec.Marker, deltaRaw: rec.Delta}
 		if rec.CRC != crcOfRecord(decoded) {
 			break
+		}
+		if len(decoded.deltaRaw) > 0 {
+			d, err := decodeDelta(decoded.deltaRaw)
+			if err != nil {
+				break // CRC-intact but undecodable delta: treat as torn
+			}
+			decoded.Delta = d
 		}
 		records = append(records, decoded)
 		valid += int64(len(line))
@@ -228,8 +257,16 @@ func (w *WAL) AppendBatch(recs []WALRecord) error {
 			// statements.)
 			return fmt.Errorf("store: refusing to log commit v%d with no statement records (writer did not call Tx.Log)", rec.Version)
 		}
+		if rec.Delta != nil && len(rec.deltaRaw) == 0 {
+			raw, err := json.Marshal(rec.Delta)
+			if err != nil {
+				return fmt.Errorf("store: encoding commit delta v%d: %w", rec.Version, err)
+			}
+			rec.deltaRaw = raw
+		}
 		line, err := json.Marshal(walLine{Version: rec.Version, Stmts: rec.Stmts,
-			Shard: rec.Shard, Parts: rec.Parts, Marker: rec.Marker, CRC: crcOfRecord(rec)})
+			Shard: rec.Shard, Parts: rec.Parts, Marker: rec.Marker,
+			Delta: json.RawMessage(rec.deltaRaw), CRC: crcOfRecord(rec)})
 		if err != nil {
 			return err
 		}
@@ -255,6 +292,7 @@ func (w *WAL) AppendBatch(recs []WALRecord) error {
 	}
 	w.fsync.Observe(time.Since(syncStart))
 	w.appended += len(recs)
+	w.tail += len(recs)
 	w.syncs++
 	return nil
 }
@@ -285,6 +323,38 @@ func (w *WAL) Appended() int {
 	return w.appended
 }
 
+// TailRecords reports the number of records the log currently holds —
+// the replay work a crash right now would cost. Unlike Appended it
+// counts records that survived the last open, not just new appends.
+func (w *WAL) TailRecords() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tail
+}
+
+// LastCheckpoint reports the catalog version and completion time of the
+// last checkpoint taken through this log (zero values before the
+// first). Feeds the wsdb_checkpoint_age_seconds gauge.
+func (w *WAL) LastCheckpoint() (uint64, time.Time) {
+	if w == nil {
+		return 0, time.Time{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastCkptVer, w.lastCkptAt
+}
+
+// noteCheckpoint records that a checkpoint at version v completed.
+func (w *WAL) noteCheckpoint(v uint64) {
+	w.mu.Lock()
+	w.lastCkptVer = v
+	w.lastCkptAt = time.Now()
+	w.mu.Unlock()
+}
+
 // Checkpoint persists the snapshot as the new recovery base at wsdPath
 // (atomically, via SaveFile's temp-file + rename) and truncates the
 // log. Crash safety: replay filters records by version, so dying
@@ -296,7 +366,11 @@ func (w *WAL) Checkpoint(snap *Snapshot, wsdPath string) error {
 	if err := SaveFile(wsdPath, snap); err != nil {
 		return fmt.Errorf("store: writing checkpoint: %w", err)
 	}
-	return w.reset()
+	if err := w.reset(); err != nil {
+		return err
+	}
+	w.noteCheckpoint(snap.Version)
+	return nil
 }
 
 // reset truncates the log to empty after a checkpoint save.
@@ -316,6 +390,7 @@ func (w *WAL) reset() error {
 		return err
 	}
 	w.appended = 0
+	w.tail = 0
 	return nil
 }
 
@@ -326,11 +401,37 @@ func (w *WAL) reset() error {
 // their records must land in the log (and their versions in cur) before
 // the snapshot is taken, or the truncate would orphan them. Readers are
 // unaffected; writers wait for the checkpoint save.
+//
+// On a catalog with paging enabled (OpenPaged / EnablePaging) the base
+// at wsdPath is a page file and the checkpoint is incremental: only
+// pages of components touched since the previous checkpoint are
+// rewritten, and a checkpoint at an already-persisted version writes
+// nothing at all.
 func (c *Catalog) Checkpoint(w *WAL, wsdPath string) error {
 	c.writer.Lock()
 	defer c.writer.Unlock()
 	c.waitFlushed()
-	return w.Checkpoint(c.cur.Load(), wsdPath)
+	snap := c.cur.Load()
+	if len(c.pagers) > 0 && c.pagers[0] != nil && c.pagers[0].Path() == wsdPath {
+		ps := c.pagers[0]
+		if ps.Version() == snap.Version {
+			// Nothing committed since the last checkpoint: the base on
+			// disk is already this exact state and the WAL holds only
+			// records the next recovery will skip. Zero writes.
+			ps.NoteNoop()
+			w.noteCheckpoint(snap.Version)
+			return nil
+		}
+		if err := ps.WriteCheckpoint(ckptSlices(snap, 1, c.compID.Load())[0]); err != nil {
+			return fmt.Errorf("store: writing page checkpoint: %w", err)
+		}
+		if err := w.reset(); err != nil {
+			return err
+		}
+		w.noteCheckpoint(snap.Version)
+		return nil
+	}
+	return w.Checkpoint(snap, wsdPath)
 }
 
 // Close closes the log file. Appends after Close fail.
@@ -354,26 +455,61 @@ type Applier func(cat *Catalog, rec WALRecord) error
 
 // Open recovers a WAL-backed catalog: load the last checkpoint from
 // wsdPath (the empty catalog when none exists), replay the log tail —
-// every intact record newer than the checkpoint, re-executed through
-// applier — and return the catalog with the WAL attached as its commit
-// logger, ready for new transactions. The catalog after Open is
+// every intact record newer than the checkpoint, applied as a page
+// delta when the record carries one, re-executed through applier
+// otherwise — and return the catalog with the WAL attached as its
+// commit logger, ready for new transactions. The catalog after Open is
 // byte-identical (through Save) to the last committed state before the
 // crash: committed transactions survive, uncommitted ones vanish.
+//
+// The checkpoint base at wsdPath may be either the historical v1 JSON
+// document or a v2 page file; subsequent checkpoints through the
+// returned catalog write the page format (the v1→v2 migration happens
+// on the first checkpoint after an upgrade).
 func Open(wsdPath, walPath string, applier Applier) (*Catalog, *WAL, error) {
-	var cat *Catalog
-	switch _, err := os.Stat(wsdPath); {
-	case err == nil:
-		cat, err = LoadFile(wsdPath)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: loading checkpoint: %w", err)
-		}
-	case os.IsNotExist(err):
-		cat = New(nil)
-	default:
-		return nil, nil, err
+	return OpenPaged(wsdPath, walPath, applier, DefaultPoolPages)
+}
+
+// OpenPaged is Open with an explicit buffer-pool capacity (in pages)
+// for the page-file base. Catalogs larger than the pool still recover:
+// the pool pages object chains in and out of memory on demand.
+func OpenPaged(wsdPath, walPath string, applier Applier, poolPages int) (*Catalog, *WAL, error) {
+	ps, loaded, err := OpenPageStore(wsdPath, 0, true, poolPages)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: loading checkpoint: %w", err)
 	}
+	var cat *Catalog
+	if loaded != nil {
+		snap, compID, err := mergeLoaded([]*loadedShard{loaded})
+		if err != nil {
+			ps.Close()
+			return nil, nil, fmt.Errorf("store: loading page checkpoint: %w", err)
+		}
+		cat = newCatalogSeeded(snap, compID)
+	} else {
+		switch _, err := os.Stat(wsdPath); {
+		case err == nil:
+			cat, err = LoadFile(wsdPath)
+			if err != nil {
+				ps.Close()
+				return nil, nil, fmt.Errorf("store: loading checkpoint: %w", err)
+			}
+		case os.IsNotExist(err):
+			cat = New(nil)
+		default:
+			ps.Close()
+			return nil, nil, err
+		}
+	}
+	cat.pagers = []*PageStore{ps}
 	wal, records, err := OpenWAL(walPath)
 	if err != nil {
+		ps.Close()
+		return nil, nil, err
+	}
+	fail := func(err error) (*Catalog, *WAL, error) {
+		wal.Close()
+		ps.Close()
 		return nil, nil, err
 	}
 	for _, rec := range records {
@@ -382,20 +518,46 @@ func Open(wsdPath, walPath string, applier Applier) (*Catalog, *WAL, error) {
 			continue // already in the checkpoint
 		}
 		if rec.Version != snap.Version+1 {
-			wal.Close()
-			return nil, nil, fmt.Errorf("store: WAL gap: catalog at v%d, next record is v%d", snap.Version, rec.Version)
+			return fail(fmt.Errorf("store: WAL gap: catalog at v%d, next record is v%d", snap.Version, rec.Version))
+		}
+		if rec.Delta != nil {
+			// Delta replay is the fast path; a delta that no longer applies
+			// (e.g. the epoch that created a relation it touches was itself
+			// discarded by crash filtering) falls back to deterministic
+			// statement re-execution below.
+			if err := cat.replayDelta(rec.Version, rec.Delta); err == nil {
+				continue
+			}
 		}
 		if err := applier(cat, rec); err != nil {
-			wal.Close()
-			return nil, nil, fmt.Errorf("store: replaying WAL record v%d: %w", rec.Version, err)
+			return fail(fmt.Errorf("store: replaying WAL record v%d: %w", rec.Version, err))
 		}
 		if got := cat.Snapshot().Version; got != rec.Version {
-			wal.Close()
-			return nil, nil, fmt.Errorf("store: replaying WAL record v%d left the catalog at v%d (non-deterministic replay?)", rec.Version, got)
+			return fail(fmt.Errorf("store: replaying WAL record v%d left the catalog at v%d (non-deterministic replay?)", rec.Version, got))
 		}
 	}
 	cat.SetLogger(wal)
 	return cat, wal, nil
+}
+
+// replayDelta installs the effect of one delta-carrying WAL record:
+// the delta is applied to the current snapshot and the result published
+// as version v — no statement re-execution, no query-engine
+// involvement. Recovery-only; the catalog must have no live writers.
+func (c *Catalog) replayDelta(v uint64, d *CommitDelta) error {
+	cur := c.cur.Load()
+	db, views, err := applyDelta(cur.DB, cur.Views, d)
+	if err != nil {
+		return err
+	}
+	next := &Snapshot{Version: v, DB: db, Views: views}
+	c.assignIDs(next.DB)
+	next.compID = c.compID.Load()
+	c.hmu.Lock()
+	c.head = next
+	c.hmu.Unlock()
+	c.cur.Store(next)
+	return nil
 }
 
 // SegmentPath returns the path of shard si's WAL segment under walDir.
@@ -417,27 +579,39 @@ func SegmentPath(walDir string, si int) string {
 //
 // nshards == 1 delegates to Open on wal-0.log (the strict
 // density-checked single-log recovery).
+//
+// With a page-file base, the checkpoint is one file per shard (wsdPath
+// plus wsdPath.s<i> side files); a torn multi-file checkpoint leaves
+// the files at mixed epochs, so recovery merges them — each object from
+// the newest file holding it — and replays every WAL epoch newer than
+// the oldest file, which delta replay makes idempotent.
 func OpenSharded(wsdPath, walDir string, nshards int, applier Applier) (*Catalog, []*WAL, error) {
+	return OpenShardedPaged(wsdPath, walDir, nshards, applier, DefaultPoolPages)
+}
+
+// OpenShardedPaged is OpenSharded with an explicit per-shard
+// buffer-pool capacity in pages.
+func OpenShardedPaged(wsdPath, walDir string, nshards int, applier Applier, poolPages int) (*Catalog, []*WAL, error) {
 	if nshards <= 1 {
-		cat, wal, err := Open(wsdPath, SegmentPath(walDir, 0), applier)
+		cat, wal, err := OpenPaged(wsdPath, SegmentPath(walDir, 0), applier, poolPages)
 		if err != nil {
 			return nil, nil, err
 		}
 		return cat, []*WAL{wal}, nil
 	}
-	var cat *Catalog
-	switch _, err := os.Stat(wsdPath); {
-	case err == nil:
-		cat, err = LoadFile(wsdPath)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: loading checkpoint: %w", err)
-		}
-	case os.IsNotExist(err):
-		cat = New(nil)
-	default:
+	cat, pagers, err := loadShardedBase(wsdPath, nshards, poolPages)
+	if err != nil {
 		return nil, nil, err
 	}
 	cat.shard(nshards)
+	cat.pagers = pagers
+	closePagers := func() {
+		for _, ps := range pagers {
+			if ps != nil {
+				ps.Close()
+			}
+		}
+	}
 	wals := make([]*WAL, nshards)
 	closeAll := func() {
 		for _, w := range wals {
@@ -445,10 +619,12 @@ func OpenSharded(wsdPath, walDir string, nshards int, applier Applier) (*Catalog
 				w.Close()
 			}
 		}
+		closePagers()
 	}
 	type epochRec struct {
 		stmts  []string
 		parts  []int
+		delta  *CommitDelta
 		staged map[int]bool // shards whose segment holds the stage record
 		marked bool
 	}
@@ -472,6 +648,9 @@ func OpenSharded(wsdPath, walDir string, nshards int, applier Applier) (*Catalog
 			}
 			er.stmts = rec.Stmts
 			er.parts = rec.Parts
+			if rec.Delta != nil {
+				er.delta = rec.Delta
+			}
 			er.staged[si] = true
 		}
 	}
@@ -490,8 +669,29 @@ func OpenSharded(wsdPath, walDir string, nshards int, applier Applier) (*Catalog
 		order = append(order, e)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	// Delta replay is only sound while the surviving epoch chain is
+	// dense: a delta captures whole objects as of its commit, so applying
+	// one after an earlier epoch was discarded (torn segment, rolled-back
+	// cross-shard commit) would resurrect that epoch's effects. The first
+	// gap switches the rest of the replay to statement re-execution —
+	// the reference semantics for arbitrary surviving subsets.
+	dense := true
+	expected := base + 1
 	for _, e := range order {
-		if err := applier(cat, WALRecord{Version: e, Stmts: epochs[e].stmts}); err != nil {
+		er := epochs[e]
+		if e != expected {
+			dense = false
+		}
+		expected = e + 1
+		if dense && er.delta != nil {
+			cur := cat.Snapshot()
+			if db, views, aerr := applyDelta(cur.DB, cur.Views, er.delta); aerr == nil {
+				cat.resetSharded(&Snapshot{Version: e, DB: db, Views: views})
+				continue
+			}
+			dense = false
+		}
+		if err := applier(cat, WALRecord{Version: e, Stmts: er.stmts}); err != nil {
 			closeAll()
 			return nil, nil, fmt.Errorf("store: replaying WAL epoch e%d: %w", e, err)
 		}
@@ -506,4 +706,97 @@ func OpenSharded(wsdPath, walDir string, nshards int, applier Applier) (*Catalog
 	cat.resetSharded(&Snapshot{Version: last, DB: cat.Snapshot().DB, Views: cat.Snapshot().Views})
 	cat.SetShardLoggers(wals)
 	return cat, wals, nil
+}
+
+// loadShardedBase loads the checkpoint base for an nshards-way catalog
+// and returns it with one PageStore per shard (uninitialized stores for
+// files that do not exist yet — the first checkpoint creates them).
+// With a page-file main base, side files are probed past nshards too: a
+// catalog checkpointed at a higher shard count keeps its objects in
+// files the current count does not write, and the merge must still see
+// them.
+func loadShardedBase(wsdPath string, nshards, poolPages int) (*Catalog, []*PageStore, error) {
+	pagers := make([]*PageStore, nshards)
+	var extras []*PageStore
+	fail := func(err error) (*Catalog, []*PageStore, error) {
+		for _, ps := range pagers {
+			if ps != nil {
+				ps.Close()
+			}
+		}
+		for _, ps := range extras {
+			ps.Close()
+		}
+		return nil, nil, err
+	}
+	main, loaded, err := OpenPageStore(wsdPath, 0, true, poolPages)
+	if err != nil {
+		return fail(fmt.Errorf("store: loading checkpoint: %w", err))
+	}
+	pagers[0] = main
+	if loaded == nil {
+		// Legacy v1 JSON (or no file at all): load it whole; the pagers
+		// stay uninitialized until the first checkpoint migrates the base
+		// to the page format.
+		var cat *Catalog
+		switch _, serr := os.Stat(wsdPath); {
+		case serr == nil:
+			cat, err = LoadFile(wsdPath)
+			if err != nil {
+				return fail(fmt.Errorf("store: loading checkpoint: %w", err))
+			}
+		case os.IsNotExist(serr):
+			cat = New(nil)
+		default:
+			return fail(serr)
+		}
+		for i := 1; i < nshards; i++ {
+			ps, _, perr := OpenPageStore(shardCkptPath(wsdPath, i), i, false, poolPages)
+			if perr != nil {
+				return fail(fmt.Errorf("store: opening shard %d page store: %w", i, perr))
+			}
+			pagers[i] = ps
+		}
+		return cat, pagers, nil
+	}
+	files := []*loadedShard{loaded}
+	for i := 1; ; i++ {
+		p := shardCkptPath(wsdPath, i)
+		if _, serr := os.Stat(p); os.IsNotExist(serr) {
+			if i < nshards {
+				ps, _, perr := OpenPageStore(p, i, false, poolPages)
+				if perr != nil {
+					return fail(fmt.Errorf("store: opening shard %d page store: %w", i, perr))
+				}
+				pagers[i] = ps
+				continue
+			}
+			break
+		}
+		ps, sl, perr := OpenPageStore(p, i, false, poolPages)
+		if perr != nil {
+			return fail(fmt.Errorf("store: loading shard %d checkpoint: %w", i, perr))
+		}
+		if sl == nil {
+			ps.Close()
+			return fail(fmt.Errorf("store: shard checkpoint %s exists but is not a page file", p))
+		}
+		files = append(files, sl)
+		if i < nshards {
+			pagers[i] = ps
+		} else {
+			// Stale file from a higher shard count: its objects join the
+			// merge, but the store closes now — the next checkpoint
+			// deletes the file.
+			extras = append(extras, ps)
+		}
+	}
+	snap, compID, err := mergeLoaded(files)
+	if err != nil {
+		return fail(fmt.Errorf("store: merging shard checkpoints: %w", err))
+	}
+	for _, ps := range extras {
+		ps.Close()
+	}
+	return newCatalogSeeded(snap, compID), pagers, nil
 }
